@@ -1,0 +1,147 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (see DESIGN.md §3 for the experiment index).
+
+      dune exec bench/main.exe                 # everything, quick settings
+      dune exec bench/main.exe -- table1 [-n N] [-t SECONDS]
+      dune exec bench/main.exe -- table2
+      dune exec bench/main.exe -- table3
+      dune exec bench/main.exe -- figure4 [-n N] [-t SECONDS]
+      dune exec bench/main.exe -- precision    # the 2.1 precision experiment
+      dune exec bench/main.exe -- bechamel     # micro-benchmarks
+
+    Absolute numbers will differ from the paper (our substrate is a
+    simulator, their testbed was KLEE+STP on x86); the shapes — who wins,
+    by what order of magnitude, where the trade-off flips — are the
+    reproduction target.  EXPERIMENTS.md records paper-vs-measured. *)
+
+module H = Overify_harness
+
+let parse_flags args =
+  let n = ref None and t = ref None in
+  let rec go = function
+    | "-n" :: v :: rest -> n := Some (int_of_string v); go rest
+    | "-t" :: v :: rest -> t := Some (float_of_string v); go rest
+    | _ :: rest -> go rest
+    | [] -> ()
+  in
+  go args;
+  (!n, !t)
+
+let run_table1 args =
+  let (n, t) = parse_flags args in
+  let input_size = Option.value n ~default:4 in
+  let timeout = Option.value t ~default:60.0 in
+  ignore (H.Table1.print ~input_size ~timeout ());
+  (* the paper emphasizes scaling: show a small sweep of input sizes *)
+  if not (List.mem "-n" args) then begin
+    H.Report.section "Table 1 (scaling): paths by symbolic input size";
+    let sizes = [ 2; 3; 4; 5 ] in
+    let rows =
+      List.map
+        (fun (cm : Overify_opt.Costmodel.t) ->
+          cm.Overify_opt.Costmodel.name
+          :: List.map
+               (fun sz ->
+                 let c = H.Experiment.compile cm (H.Table1.wc ()) in
+                 let v = H.Experiment.verify ~input_size:sz ~timeout:30.0 c in
+                 Printf.sprintf "%d%s" v.Overify_symex.Engine.paths
+                   (if v.Overify_symex.Engine.complete then "" else "+"))
+               sizes)
+        Overify_opt.Costmodel.all
+    in
+    H.Report.table
+      (("level" :: List.map (fun sz -> Printf.sprintf "n=%d" sz) sizes) :: rows);
+    print_endline "('+' = budget exhausted before full exploration)"
+  end
+
+let run_table2 args =
+  let (n, t) = parse_flags args in
+  ignore (H.Table2.print ?timeout:t ~input_size:(Option.value n ~default:4) ())
+
+let run_table3 _args = ignore (H.Table3.print ())
+
+let run_figure4 args =
+  let (n, t) = parse_flags args in
+  ignore
+    (H.Figure4.print
+       ~input_size:(Option.value n ~default:5)
+       ~timeout:(Option.value t ~default:10.0)
+       ())
+
+let run_precision _args = ignore (H.Precision.print ())
+
+(* ---- Bechamel micro-benchmarks: one Test.make per table/figure driver,
+   at miniature settings so each iteration is sub-second ---- *)
+
+let bechamel () =
+  let open Bechamel in
+  let wc = H.Table1.wc () in
+  let compile_overify () =
+    ignore (H.Experiment.compile Overify_opt.Costmodel.overify wc)
+  in
+  let table1_tiny () =
+    let c = H.Experiment.compile Overify_opt.Costmodel.overify wc in
+    ignore (H.Experiment.verify ~input_size:2 ~timeout:5.0 c)
+  in
+  let table2_cell () =
+    let c = H.Experiment.compile Overify_opt.Costmodel.o3 wc in
+    ignore (H.Experiment.measure_cycles ~runs:2 ~size:8 c)
+  in
+  let table3_cell () =
+    ignore (H.Experiment.compile Overify_opt.Costmodel.o3 wc)
+  in
+  let figure4_cell () =
+    let p = Option.get (Overify_corpus.Programs.find "tr") in
+    let c = H.Experiment.compile Overify_opt.Costmodel.overify p in
+    ignore (H.Experiment.verify ~input_size:2 ~timeout:5.0 c)
+  in
+  let tests =
+    [
+      Test.make ~name:"compile-overify-wc" (Staged.stage compile_overify);
+      Test.make ~name:"table1-verify-wc-n2" (Staged.stage table1_tiny);
+      Test.make ~name:"table2-exec-cycles" (Staged.stage table2_cell);
+      Test.make ~name:"table3-compile-stats" (Staged.stage table3_cell);
+      Test.make ~name:"figure4-verify-tr-n2" (Staged.stage figure4_cell);
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let a = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        a)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "table1" :: rest -> run_table1 rest
+  | _ :: "table2" :: rest -> run_table2 rest
+  | _ :: "table3" :: rest -> run_table3 rest
+  | _ :: "figure4" :: rest -> run_figure4 rest
+  | _ :: "precision" :: rest -> run_precision rest
+  | _ :: "bechamel" :: _ -> bechamel ()
+  | _ ->
+      (* default: regenerate everything at quick settings *)
+      run_table1 [];
+      run_table2 [ "-n"; "3" ];
+      run_table3 [];
+      run_precision [];
+      run_figure4 [ "-n"; "5"; "-t"; "12" ]

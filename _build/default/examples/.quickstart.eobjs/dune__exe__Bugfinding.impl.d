@@ -1,0 +1,1 @@
+examples/bugfinding.ml: Char List Overify Printf String

@@ -1,0 +1,1 @@
+examples/buildchain.ml: List Option Overify Printf

@@ -1,0 +1,1 @@
+examples/coreutils_sweep.ml: List Overify Overify_harness Printf

@@ -1,0 +1,1 @@
+examples/precision.ml: Int64 List Overify Printf

@@ -1,0 +1,64 @@
+(** The paper's §2.1 precision claim, demonstrated on one program: "For
+    simple verification tools that employ coarse-grained abstractions …
+    compiler transformations can increase their precision and allow them to
+    prove more facts about a program."
+
+    The "simple tool" here is an ordinary interval analysis (lib/absint).
+    On the -O0 build, every interesting value lives in memory, so the
+    analysis sees nothing.  After mem2reg + inlining + simplification it can
+    bound loop indices and prove the buffer accesses safe.
+
+    Run with: [dune exec examples/precision.exe] *)
+
+module O = Overify
+
+let source = {|
+int main(void) {
+  char buf[16];
+  int n = __input_size();
+  if (n > 15) n = 15;               /* clamp: buf[i] is always in bounds */
+  int vowels = 0;
+  for (int i = 0; i < n; i++) {
+    buf[i] = (char)__input(i);
+    int c = tolower((int)(unsigned char)buf[i]);
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') vowels++;
+  }
+  return vowels;
+}
+|}
+
+let () =
+  print_endline "== Interval-analysis precision across optimization levels ==\n";
+  Printf.printf "%-9s  %-28s  %-24s  %s\n" "level" "accesses proved in-bounds"
+    "branches decided" "registers bounded";
+  List.iter
+    (fun (level : O.Costmodel.t) ->
+      let m = O.compile ~level source in
+      let c = O.Precision.of_module m in
+      Printf.printf "%-9s  %14d / %-11d  %10d / %-11d  %8d / %d\n"
+        level.O.Costmodel.name c.O.Precision.geps_proved c.O.Precision.geps
+        c.O.Precision.branches_decided c.O.Precision.branches
+        c.O.Precision.regs_bounded c.O.Precision.regs)
+    O.Costmodel.all;
+  print_endline
+    "\nAt -O0 the loop index and the clamped length live in stack slots, so\n\
+     the interval analysis cannot relate them and proves nothing.  Once\n\
+     mem2reg exposes them as registers, the analysis bounds i by n <= 15 and\n\
+     proves the buffer accesses safe — the same coarse tool, a more\n\
+     verification-friendly presentation of the same program.";
+  (* show a couple of concrete ranges the analysis derives at -OVERIFY *)
+  let m = O.compile ~level:O.Costmodel.overify source in
+  let main = O.Ir.find_func_exn m "main" in
+  let r = O.Absint.analyze main in
+  print_endline "\nSample facts at -OVERIFY (register: range):";
+  let shown = ref 0 in
+  O.Absint.IMap.iter
+    (fun reg range ->
+      match range with
+      | O.Interval.Range (lo, hi)
+        when !shown < 8 && hi <> Int64.max_int && lo <> Int64.min_int
+             && Int64.sub hi lo < 300L ->
+          incr shown;
+          Printf.printf "  %%%d: %s\n" reg (O.Interval.to_string range)
+      | _ -> ())
+    r.O.Absint.reg_out

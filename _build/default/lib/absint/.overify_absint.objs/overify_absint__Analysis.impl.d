@@ -1,0 +1,1 @@
+lib/absint/analysis.ml: Hashtbl Int Int64 Interval List Map Overify_ir

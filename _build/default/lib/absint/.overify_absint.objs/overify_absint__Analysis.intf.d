@@ -1,0 +1,1 @@
+lib/absint/analysis.mli: Hashtbl Interval Map Overify_ir

@@ -1,0 +1,1 @@
+lib/absint/interval.ml: Int64 List Printf

@@ -1,0 +1,1 @@
+lib/absint/precision.ml: Analysis Hashtbl Int64 Interval List Overify_ir

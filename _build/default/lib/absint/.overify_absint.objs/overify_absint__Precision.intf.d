@@ -1,0 +1,1 @@
+lib/absint/precision.mli: Overify_ir

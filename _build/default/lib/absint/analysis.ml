@@ -1,0 +1,322 @@
+(** Flow-sensitive interval analysis over SSA IR, with branch refinement and
+    widening — the "simple verification tool" of the paper's §2.1.
+
+    The analysis itself is deliberately ordinary; the experiment is what the
+    compiler does {e to its precision}: after [-OVERIFY]'s inlining and
+    simplification, the same analysis proves more memory accesses in bounds
+    and decides more branches (see {!Precision}). *)
+
+module Ir = Overify_ir.Ir
+module Cfg = Overify_ir.Cfg
+module IMap = Map.Make (Int)
+
+type env = Interval.t IMap.t
+
+let lookup env r =
+  match IMap.find_opt r env with Some v -> v | None -> Interval.Bot
+
+let value_range (env : env) (v : Ir.value) : Interval.t =
+  match v with
+  | Ir.Imm (c, ty) -> Interval.const (Ir.signed_of ty c)
+  | Ir.Reg r -> lookup env r
+  | Ir.Glob _ -> Interval.Range (Int64.min_int, Int64.max_int)
+
+let bits_of ty = try Ir.bits_of_ty ty with Invalid_argument _ -> 64
+
+(* transfer one instruction; [deftbl] resolves condition registers so that
+   selects can refine their arms (the min/max idiom) *)
+let rec transfer_inst ?deftbl (env : env) (i : Ir.inst) : env =
+  let set d v = IMap.add d v env in
+  match i with
+  | Ir.Bin (d, op, ty, a, b) ->
+      let bits = bits_of ty in
+      let ra = value_range env a and rb = value_range env b in
+      let r =
+        match op with
+        | Ir.Add -> Interval.add ~bits ra rb
+        | Ir.Sub -> Interval.sub ~bits ra rb
+        | Ir.Mul -> Interval.mul ~bits ra rb
+        | Ir.Sdiv -> Interval.div ~bits ra rb
+        | Ir.Srem | Ir.Urem -> Interval.rem ~bits ra rb
+        | Ir.Udiv -> Interval.div ~bits ra rb
+        | Ir.And -> Interval.band ~bits ra rb
+        | Ir.Or -> Interval.bor ~bits ra rb
+        | Ir.Xor -> (
+            match (ra, rb) with
+            | (Interval.Range (l1, h1), Interval.Range (l2, h2))
+              when l1 >= 0L && l2 >= 0L ->
+                (* stays within the covering power of two *)
+                Interval.bor ~bits (Interval.Range (0L, h1)) (Interval.Range (0L, h2))
+            | _ -> Interval.top_for_bits bits)
+        | Ir.Shl -> Interval.shl ~bits ra rb
+        | Ir.Lshr -> Interval.lshr ~bits ra rb
+        | Ir.Ashr -> (
+            match (ra, rb) with
+            | (Interval.Range (l1, _), _) when l1 >= 0L -> Interval.lshr ~bits ra rb
+            | _ -> Interval.top_for_bits bits)
+      in
+      set d r
+  | Ir.Cmp (d, op, ty, a, b) -> (
+      (* decide statically when ranges separate *)
+      let ra = value_range env a and rb = value_range env b in
+      match (ra, rb) with
+      | (Interval.Range (l1, h1), Interval.Range (l2, h2)) when ty <> Ir.Ptr ->
+          let decided =
+            match op with
+            | Ir.Slt -> if h1 < l2 then Some true else if l1 >= h2 then Some false else None
+            | Ir.Sle -> if h1 <= l2 then Some true else if l1 > h2 then Some false else None
+            | Ir.Sgt -> if l1 > h2 then Some true else if h1 <= l2 then Some false else None
+            | Ir.Sge -> if l1 >= h2 then Some true else if h1 < l2 then Some false else None
+            | Ir.Eq ->
+                if l1 = h1 && l2 = h2 && l1 = l2 then Some true
+                else if Interval.meet ra rb = Interval.Bot then Some false
+                else None
+            | Ir.Ne ->
+                if Interval.meet ra rb = Interval.Bot then Some true
+                else if l1 = h1 && l2 = h2 && l1 = l2 then Some false
+                else None
+            | Ir.Ult | Ir.Ule | Ir.Ugt | Ir.Uge ->
+                (* only decide when both ranges are non-negative, where the
+                   unsigned order agrees with the signed one *)
+                if l1 >= 0L && l2 >= 0L then
+                  match op with
+                  | Ir.Ult -> if h1 < l2 then Some true else if l1 > h2 then Some false else None
+                  | Ir.Ule -> if h1 <= l2 then Some true else if l1 > h2 then Some false else None
+                  | Ir.Ugt -> if l1 > h2 then Some true else if h1 < l2 then Some false else None
+                  | Ir.Uge -> if l1 >= h2 then Some true else if h1 < l2 then Some false else None
+                  | _ -> None
+                else None
+          in
+          (match decided with
+          | Some b -> set d (Interval.const (if b then 1L else 0L))
+          | None -> set d Interval.bool_range)
+      | _ -> set d Interval.bool_range)
+  | Ir.Select (d, _, c, a, b) -> (
+      match value_range env c with
+      | Interval.Range (1L, 1L) -> set d (value_range env a)
+      | Interval.Range (0L, 0L) -> set d (value_range env b)
+      | _ ->
+          (* refine each arm under the condition: captures min/max idioms
+             like [n > 15 ? 15 : n] *)
+          let (ra, rb) =
+            match (c, deftbl) with
+            | (Ir.Reg cr, Some deftbl) ->
+                let env_t = refine deftbl env cr ~taken:true in
+                let env_f = refine deftbl env cr ~taken:false in
+                (value_range env_t a, value_range env_f b)
+            | _ -> (value_range env a, value_range env b)
+          in
+          set d (Interval.join ra rb))
+  | Ir.Cast (d, op, to_ty, v, from_ty) -> (
+      let r = value_range env v in
+      match op with
+      | Ir.Zext -> (
+          match r with
+          | Interval.Range (l, _) when l >= 0L ->
+              set d (Interval.meet r (Interval.unsigned_for_bits 64))
+          | _ -> set d (Interval.unsigned_for_bits (bits_of from_ty)))
+      | Ir.Sext -> set d r
+      | Ir.Trunc ->
+          if Interval.leq r (Interval.top_for_bits (bits_of to_ty)) then set d r
+          else set d (Interval.top_for_bits (bits_of to_ty)))
+  | Ir.Load (d, ty, _) ->
+      (* coarse: a loaded value is only bounded by its type *)
+      set d (Interval.top_for_bits (bits_of ty))
+  | Ir.Call (Some d, ty, name, _) ->
+      if name = "__input" then set d (Interval.Range (0L, 255L))
+      else if name = "__input_size" then set d (Interval.Range (0L, 0x7FFFFFFFL))
+      else if ty = Ir.Void then env
+      else set d (Interval.top_for_bits (bits_of ty))
+  | Ir.Alloca (d, _, _) | Ir.Gep (d, _, _, _) ->
+      set d (Interval.Range (Int64.min_int, Int64.max_int))
+  | Ir.Store _ | Ir.Call (None, _, _, _) -> env
+  | Ir.Phi _ -> env (* handled at block entry *)
+
+(** Refine ranges knowing the boolean register [cond] is [taken].  The
+    compared right-hand side may be a constant or another register whose
+    current bounds act as (sound, non-relational) pseudo-constants — this is
+    what lets [i < n] bound a loop index once mem2reg has put both in
+    registers.  Negations ([xor c, 1]) are looked through. *)
+and refine (deftbl : (int, Ir.inst) Hashtbl.t) (env : env) (cond : int)
+    ~(taken : bool) : env =
+  match Hashtbl.find_opt deftbl cond with
+  | Some (Ir.Bin (_, Ir.Xor, Ir.I1, Ir.Reg c2, Ir.Imm (1L, _))) ->
+      refine deftbl env c2 ~taken:(not taken)
+  | Some (Ir.Cmp (_, op, ty, Ir.Reg r, rhs)) when ty <> Ir.Ptr -> (
+      let rhs_range =
+        match rhs with
+        | Ir.Imm (c, cty) ->
+            let c = Ir.signed_of cty c in
+            Some (c, c)
+        | Ir.Reg s -> (
+            match lookup env s with
+            | Interval.Range (lo, hi) -> Some (lo, hi)
+            | Interval.Bot -> None)
+        | Ir.Glob _ -> None
+      in
+      match rhs_range with
+      | None -> env
+      | Some (rlo, rhi) -> refine_var env r op ~taken ~rlo ~rhi)
+  | _ -> env
+
+and refine_var (env : env) r op ~taken ~rlo ~rhi =
+  (
+      let cur = lookup env r in
+      let constraint_ =
+        (* taken: r OP rhs holds, where rhs is in [rlo, rhi] *)
+        match (op, taken) with
+        | (Ir.Slt, true) | (Ir.Sge, false) ->
+            (* r < rhs  =>  r <= rhi - 1 *)
+            Interval.Range (Int64.min_int, Int64.sub rhi 1L)
+        | (Ir.Slt, false) | (Ir.Sge, true) ->
+            (* r >= rhs  =>  r >= rlo *)
+            Interval.Range (rlo, Int64.max_int)
+        | (Ir.Sle, true) | (Ir.Sgt, false) -> Interval.Range (Int64.min_int, rhi)
+        | (Ir.Sle, false) | (Ir.Sgt, true) ->
+            Interval.Range (Int64.add rlo 1L, Int64.max_int)
+        | (Ir.Eq, true) | (Ir.Ne, false) -> Interval.Range (rlo, rhi)
+        | (Ir.Ult, true) when rhi >= 0L ->
+            (* r <u rhs with rhs <= max_int: a signed-negative r would be a
+               huge unsigned value, so r is non-negative and below rhi *)
+            Interval.Range (0L, Int64.sub rhi 1L)
+        | (Ir.Ule, true) when rhi >= 0L -> Interval.Range (0L, rhi)
+        | ((Ir.Ugt | Ir.Uge), true) when rlo >= 0L ->
+            Interval.Range (0L, Int64.max_int)
+        | _ -> Interval.Range (Int64.min_int, Int64.max_int)
+      in
+      let refined = Interval.meet cur constraint_ in
+      if Interval.is_bot refined then env  (* edge infeasible; keep coarse *)
+      else IMap.add r refined env)
+
+type result = {
+  block_in : (int, env) Hashtbl.t;
+  reg_out : env;  (** final fixpoint environment over all registers *)
+  deftbl : (int, Ir.inst) Hashtbl.t;
+}
+
+(** Run to fixpoint over one function. *)
+let analyze (fn : Ir.func) : result =
+  let order = Cfg.rpo fn in
+  let btbl = Ir.block_tbl fn in
+  let preds = Cfg.preds fn in
+  let block_in : (int, env) Hashtbl.t = Hashtbl.create 16 in
+  let block_out : (int, env) Hashtbl.t = Hashtbl.create 16 in
+  let deftbl = Hashtbl.create 64 in
+  Ir.iter_insts
+    (fun _ i ->
+      match Ir.def_of_inst i with
+      | Some d -> Hashtbl.replace deftbl d i
+      | None -> ())
+    fn;
+  let entry_bid = (Ir.entry fn).Ir.bid in
+  (* parameters: type range *)
+  let init_env =
+    List.fold_left
+      (fun env (r, ty) ->
+        IMap.add r
+          (try Interval.top_for_bits (Ir.bits_of_ty ty)
+           with Invalid_argument _ ->
+             Interval.Range (Int64.min_int, Int64.max_int))
+          env)
+      IMap.empty fn.Ir.params
+  in
+  let visits = Hashtbl.create 16 in
+  let widen_threshold = 3 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 50 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun bid ->
+        let b = Hashtbl.find btbl bid in
+        (* per-edge refined predecessor environments: used both for the join
+           and for evaluating phi incoming values, so a clamp like
+           [if (n > 15) n = 15] flows into the merged phi *)
+        let refined_out p =
+          match Hashtbl.find_opt block_out p with
+          | None -> None
+          | Some out ->
+              let refined =
+                match Hashtbl.find_opt btbl p with
+                | Some pb -> (
+                    match pb.Ir.term with
+                    | Ir.Cbr (Ir.Reg c, t, e) when t <> e ->
+                        if t = bid then refine deftbl out c ~taken:true
+                        else if e = bid then refine deftbl out c ~taken:false
+                        else out
+                    | _ -> out)
+                | None -> out
+              in
+              Some refined
+        in
+        let in_env =
+          if bid = entry_bid then init_env
+          else
+            List.fold_left
+              (fun acc p ->
+                match refined_out p with
+                | None -> acc
+                | Some refined ->
+                    IMap.union (fun _ a b -> Some (Interval.join a b)) acc refined)
+              IMap.empty (Cfg.preds_of preds bid)
+        in
+        (* phis: join incoming values under each edge's refinement *)
+        let in_env =
+          List.fold_left
+            (fun env i ->
+              match i with
+              | Ir.Phi (d, ty, incoming) ->
+                  let bits = bits_of ty in
+                  let v =
+                    List.fold_left
+                      (fun acc (p, v) ->
+                        match refined_out p with
+                        | Some out -> Interval.join acc (value_range out v)
+                        | None -> acc)
+                      Interval.Bot incoming
+                  in
+                  let v =
+                    if Interval.is_bot v then Interval.top_for_bits bits else v
+                  in
+                  (* widening against the previous value at this phi *)
+                  let prev =
+                    match Hashtbl.find_opt block_in bid with
+                    | Some old -> lookup old d
+                    | None -> Interval.Bot
+                  in
+                  let n = try Hashtbl.find visits (bid, d) with Not_found -> 0 in
+                  Hashtbl.replace visits (bid, d) (n + 1);
+                  let v =
+                    if n > widen_threshold then Interval.widen ~bits prev v else v
+                  in
+                  IMap.add d (Interval.meet (Interval.join prev v) (Interval.top_for_bits bits)) env
+              | _ -> env)
+            in_env b.Ir.insts
+        in
+        Hashtbl.replace block_in bid in_env;
+        let out_env =
+          List.fold_left
+            (fun env i ->
+              match i with
+              | Ir.Phi _ -> env
+              | i -> transfer_inst ~deftbl env i)
+            in_env b.Ir.insts
+        in
+        let same =
+          match Hashtbl.find_opt block_out bid with
+          | Some old -> IMap.equal Interval.equal old out_env
+          | None -> false
+        in
+        if not same then begin
+          Hashtbl.replace block_out bid out_env;
+          changed := true
+        end)
+      order
+  done;
+  let final =
+    Hashtbl.fold
+      (fun _ env acc -> IMap.union (fun _ a b -> Some (Interval.join a b)) acc env)
+      block_out IMap.empty
+  in
+  { block_in; reg_out = final; deftbl }

@@ -1,0 +1,30 @@
+(** Flow-sensitive interval analysis over SSA IR, with branch and select
+    refinement and widening — the "simple verification tool" of the paper's
+    §2.1. *)
+
+module IMap : Map.S with type key = int
+
+type env = Interval.t IMap.t
+
+val lookup : env -> int -> Interval.t
+val value_range : env -> Overify_ir.Ir.value -> Interval.t
+
+val transfer_inst :
+  ?deftbl:(int, Overify_ir.Ir.inst) Hashtbl.t -> env -> Overify_ir.Ir.inst -> env
+(** Abstract transfer of one instruction.  With [deftbl], selects refine
+    their arms under the condition (captures min/max idioms). *)
+
+val refine :
+  (int, Overify_ir.Ir.inst) Hashtbl.t -> env -> int -> taken:bool -> env
+(** Refine ranges knowing the boolean register is [taken]; looks through
+    negations; register-vs-register compares use the right side's bounds as
+    sound pseudo-constants. *)
+
+type result = {
+  block_in : (int, env) Hashtbl.t;  (** environment at each block entry *)
+  reg_out : env;                    (** final joined environment *)
+  deftbl : (int, Overify_ir.Ir.inst) Hashtbl.t;
+}
+
+val analyze : Overify_ir.Ir.func -> result
+(** Run to fixpoint (widening bounds the iteration count). *)

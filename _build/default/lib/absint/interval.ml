@@ -1,0 +1,186 @@
+(** The interval abstract domain: signed 64-bit ranges [lo, hi], with
+    bottom for unreachable values.  Transfer functions are deliberately
+    coarse — this models the paper's "simple verification tools that employ
+    coarse-grained abstractions" (§2.1), whose precision depends heavily on
+    how the compiler presents the program. *)
+
+type t =
+  | Bot
+  | Range of int64 * int64  (** inclusive; invariant lo <= hi *)
+
+let top_for_bits bits =
+  if bits >= 64 then Range (Int64.min_int, Int64.max_int)
+  else
+    Range
+      ( Int64.neg (Int64.shift_left 1L (bits - 1)),
+        Int64.sub (Int64.shift_left 1L (bits - 1)) 1L )
+
+(** Unsigned view for zero-extended values of [bits] source bits. *)
+let unsigned_for_bits bits =
+  if bits >= 64 then Range (Int64.min_int, Int64.max_int)
+  else Range (0L, Int64.sub (Int64.shift_left 1L bits) 1L)
+
+let const v = Range (v, v)
+let bool_range = Range (0L, 1L)
+
+let is_bot = function Bot -> true | Range _ -> false
+
+let join a b =
+  match (a, b) with
+  | (Bot, x) | (x, Bot) -> x
+  | (Range (l1, h1), Range (l2, h2)) -> Range (min l1 l2, max h1 h2)
+
+let meet a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, h1), Range (l2, h2)) ->
+      let lo = max l1 l2 and hi = min h1 h2 in
+      if lo > hi then Bot else Range (lo, hi)
+
+let equal a b =
+  match (a, b) with
+  | (Bot, Bot) -> true
+  | (Range (l1, h1), Range (l2, h2)) -> l1 = l2 && h1 = h2
+  | _ -> false
+
+let leq a b =
+  match (a, b) with
+  | (Bot, _) -> true
+  | (_, Bot) -> false
+  | (Range (l1, h1), Range (l2, h2)) -> l1 >= l2 && h1 <= h2
+
+(** Widening: escape ascending chains by jumping unstable bounds to the
+    type's extremes. *)
+let widen ~bits old_ new_ =
+  match (old_, new_) with
+  | (Bot, x) -> x
+  | (x, Bot) -> x
+  | (Range (l1, h1), Range (l2, h2)) ->
+      let (tl, th) =
+        match top_for_bits bits with
+        | Range (a, b) -> (a, b)
+        | Bot -> (Int64.min_int, Int64.max_int)
+      in
+      Range ((if l2 < l1 then tl else l1), if h2 > h1 then th else h1)
+
+(* checked 64-bit arithmetic: saturate to Top on overflow *)
+let add_sat a b =
+  let r = Int64.add a b in
+  if (a > 0L && b > 0L && r < 0L) || (a < 0L && b < 0L && r >= 0L) then None
+  else Some r
+
+let singleton = function
+  | Range (l, h) when l = h -> Some l
+  | _ -> None
+
+(* ------------- transfer functions ------------- *)
+
+let clamp ~bits r = meet r (top_for_bits bits)
+
+let add ~bits a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, h1), Range (l2, h2)) -> (
+      match (add_sat l1 l2, add_sat h1 h2) with
+      | (Some lo, Some hi) ->
+          (* result may wrap at the type boundary: fall back to Top then *)
+          if leq (Range (lo, hi)) (top_for_bits bits) then Range (lo, hi)
+          else top_for_bits bits
+      | _ -> top_for_bits bits)
+
+let neg ~bits = function
+  | Bot -> Bot
+  | Range (l, h) ->
+      if l = Int64.min_int then top_for_bits bits
+      else clamp ~bits (Range (Int64.neg h, Int64.neg l))
+
+let sub ~bits a b = add ~bits a (neg ~bits b)
+
+let mul ~bits a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, h1), Range (l2, h2)) ->
+      let safe v = Int64.abs v < 0x40000000L in
+      if safe l1 && safe h1 && safe l2 && safe h2 then begin
+        let products =
+          [ Int64.mul l1 l2; Int64.mul l1 h2; Int64.mul h1 l2; Int64.mul h1 h2 ]
+        in
+        let lo = List.fold_left min (List.hd products) products in
+        let hi = List.fold_left max (List.hd products) products in
+        if leq (Range (lo, hi)) (top_for_bits bits) then Range (lo, hi)
+        else top_for_bits bits
+      end
+      else top_for_bits bits
+
+let div ~bits a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, h1), Range (l2, h2)) ->
+      if l2 > 0L then
+        (* positive divisor: magnitude shrinks *)
+        let candidates =
+          [ Int64.div l1 l2; Int64.div l1 h2; Int64.div h1 l2; Int64.div h1 h2 ]
+        in
+        clamp ~bits
+          (Range
+             ( List.fold_left min (List.hd candidates) candidates,
+               List.fold_left max (List.hd candidates) candidates ))
+      else top_for_bits bits
+
+let rem ~bits a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, _), Range (l2, h2)) ->
+      if l2 > 0L && l1 >= 0L then Range (0L, Int64.sub h2 1L)
+      else top_for_bits bits
+
+let band ~bits a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, h1), Range (l2, h2)) ->
+      (* non-negative & non-negative stays within the smaller bound *)
+      if l1 >= 0L && l2 >= 0L then Range (0L, min h1 h2)
+      else if l2 >= 0L then Range (0L, h2)   (* masking with a constant *)
+      else if l1 >= 0L then Range (0L, h1)
+      else top_for_bits bits
+
+let bor ~bits a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, h1), Range (l2, h2)) ->
+      if l1 >= 0L && l2 >= 0L then begin
+        (* result < next power of two above max hi *)
+        let m = max h1 h2 in
+        let rec ceil_pow2 v acc = if acc > v then acc else ceil_pow2 v (Int64.mul acc 2L) in
+        if m < 0x4000000000000000L then
+          Range (max l1 l2, Int64.sub (ceil_pow2 m 1L) 1L)
+        else top_for_bits bits
+      end
+      else top_for_bits bits
+
+let shl ~bits a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, h1), Range (l2, h2)) ->
+      if l1 >= 0L && l2 >= 0L && h2 < 32L && h1 < 0x100000000L then
+        clamp ~bits
+          (Range
+             ( Int64.shift_left l1 (Int64.to_int l2),
+               Int64.shift_left h1 (Int64.to_int h2) ))
+      else top_for_bits bits
+
+let lshr ~bits a b =
+  match (a, b) with
+  | (Bot, _) | (_, Bot) -> Bot
+  | (Range (l1, h1), Range (l2, h2)) ->
+      if l1 >= 0L && l2 >= 0L && h2 < 64L then
+        Range
+          ( Int64.shift_right_logical l1 (Int64.to_int h2),
+            Int64.shift_right_logical h1 (Int64.to_int l2) )
+      else if l2 > 0L then Range (0L, Int64.max_int)  (* sign bit cleared *)
+      else top_for_bits bits
+
+let to_string = function
+  | Bot -> "bot"
+  | Range (l, h) when l = h -> Int64.to_string l
+  | Range (l, h) -> Printf.sprintf "[%Ld,%Ld]" l h

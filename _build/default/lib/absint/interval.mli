@@ -1,0 +1,45 @@
+(** The interval abstract domain: signed ranges [lo, hi] over [int64], plus
+    bottom.  Transfer functions are deliberately coarse — this models the
+    "simple verification tool" of the paper's §2.1. *)
+
+type t =
+  | Bot
+  | Range of int64 * int64  (** inclusive; invariant lo <= hi *)
+
+val top_for_bits : int -> t
+(** Full signed range of an n-bit integer. *)
+
+val unsigned_for_bits : int -> t
+(** [0, 2^n - 1], the range of a zero-extended n-bit value. *)
+
+val const : int64 -> t
+
+val bool_range : t
+(** The range [0, 1]. *)
+
+val is_bot : t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val widen : bits:int -> t -> t -> t
+(** Escape ascending chains: unstable bounds jump to the type extremes. *)
+
+val singleton : t -> int64 option
+(** The value, when the range is a single point. *)
+
+(** Sound over-approximations of the IR's arithmetic (two's complement,
+    [bits]-wide).  Imprecise cases return [top_for_bits]. *)
+
+val add : bits:int -> t -> t -> t
+val sub : bits:int -> t -> t -> t
+val neg : bits:int -> t -> t
+val mul : bits:int -> t -> t -> t
+val div : bits:int -> t -> t -> t
+val rem : bits:int -> t -> t -> t
+val band : bits:int -> t -> t -> t
+val bor : bits:int -> t -> t -> t
+val shl : bits:int -> t -> t -> t
+val lshr : bits:int -> t -> t -> t
+
+val to_string : t -> string

@@ -1,0 +1,22 @@
+(** Precision metrics for the interval analysis — the measurable version of
+    the paper's §2.1 claim that compiler transformations increase simple
+    tools' precision. *)
+
+type counts = {
+  branches : int;
+  branches_decided : int;  (** condition proven constant at its branch *)
+  geps : int;              (** address computations with a known extent *)
+  geps_proved : int;       (** … proven in bounds at their program point *)
+  regs : int;
+  regs_bounded : int;      (** range strictly tighter than the type allows *)
+}
+
+val zero : counts
+val add : counts -> counts -> counts
+
+val of_function : Overify_ir.Ir.func -> counts
+val of_module : Overify_ir.Ir.modul -> counts
+(** Aggregates over the functions reachable from [main]. *)
+
+val ratio : int -> int -> float
+(** [ratio num den], treating 0/0 as 1. *)

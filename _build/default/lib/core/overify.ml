@@ -1,0 +1,55 @@
+(** Public facade of the -OVERIFY reproduction.
+
+    Typical use:
+    {[
+      let m = Overify.compile ~level:Overify.Costmodel.overify src in
+      let report = Overify.verify m ~input_size:6 in
+      Printf.printf "%d paths\n" report.Overify.Engine.paths
+    ]} *)
+
+module Ir = Overify_ir.Ir
+module Printer = Overify_ir.Printer
+module Verify_ir = Overify_ir.Verify
+module Frontend = Overify_minic.Frontend
+module Costmodel = Overify_opt.Costmodel
+module Pipeline = Overify_opt.Pipeline
+module Opt_stats = Overify_opt.Stats
+module Engine = Overify_symex.Engine
+module Interp = Overify_interp.Interp
+module Vclib = Overify_vclib.Vclib
+module Programs = Overify_corpus.Programs
+module Workload = Overify_corpus.Workload
+module Interval = Overify_absint.Interval
+module Absint = Overify_absint.Analysis
+module Precision = Overify_absint.Precision
+
+(** Compile MiniC source at an optimization level.  [link_libc] (default
+    true) links the libc variant the level selects, like the paper's build
+    chain does. *)
+let compile ?(level = Costmodel.overify) ?(link_libc = true) (src : string) :
+    Ir.modul =
+  let sources =
+    if link_libc then [ Vclib.for_cost_model level; src ] else [ src ]
+  in
+  let m = Frontend.compile_sources sources in
+  (Pipeline.optimize level m).Pipeline.modul
+
+(** Compile and also return the transformation statistics. *)
+let compile_with_stats ?(level = Costmodel.overify) ?(link_libc = true) src =
+  let sources =
+    if link_libc then [ Vclib.for_cost_model level; src ] else [ src ]
+  in
+  let m = Frontend.compile_sources sources in
+  let r = Pipeline.optimize level m in
+  (r.Pipeline.modul, r.Pipeline.stats)
+
+(** Symbolically execute a module's [main] over [input_size] symbolic
+    bytes. *)
+let verify ?(input_size = 4) ?(timeout = 30.0) (m : Ir.modul) : Engine.result =
+  Engine.run
+    ~config:{ Engine.default_config with Engine.input_size; timeout }
+    m
+
+(** Concretely execute a module's [main] on [input]. *)
+let run (m : Ir.modul) ~(input : string) : Interp.result =
+  Interp.run m ~input

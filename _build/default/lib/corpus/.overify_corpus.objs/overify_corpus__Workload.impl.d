@@ -1,0 +1,1 @@
+lib/corpus/workload.ml: Char Int64 List String

@@ -1,0 +1,784 @@
+(** The evaluation corpus: UNIX-utility-style MiniC programs standing in for
+    Coreutils 6.10 (see DESIGN.md "Substitutions").  Every program reads the
+    symbolic input through [read_input]/[__input], writes through
+    [__output], and exercises the shapes that drive the paper's numbers:
+    input-scanning loops, character classification, tables, nested
+    conditions, and libc calls. *)
+
+type t = {
+  name : string;
+  descr : string;
+  source : string;
+}
+
+let p name descr source = { name; descr; source }
+
+let programs : t list =
+  [
+    p "wc" "word count (the paper's Listing 1)" {|
+int wc_count(unsigned char *str, int any) {
+  int res = 0;
+  int new_word = 1;
+  for (unsigned char *q = str; *q; ++q) {
+    if (isspace((int)*q) || (any && !isalpha((int)*q))) {
+      new_word = 1;
+    } else {
+      if (new_word) { ++res; new_word = 0; }
+    }
+  }
+  return res;
+}
+int main(void) {
+  char buf[24];
+  read_input(buf, 24);
+  return wc_count((unsigned char *)buf, 1);
+}
+|};
+    p "echo" "copy input to output, expanding \\n escapes" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = 0; i < n; i++) {
+    if (buf[i] == '\\' && i + 1 < n && buf[i + 1] == 'n') {
+      __output('\n');
+      i++;
+    } else {
+      __output(buf[i]);
+    }
+  }
+  __output('\n');
+  return 0;
+}
+|};
+    p "cat" "copy input, with line numbering when it starts with '#'" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int number = n > 0 && buf[0] == '#';
+  int line = 1;
+  int at_bol = 1;
+  for (int i = number; i < n; i++) {
+    if (number && at_bol) {
+      print_int(line);
+      __output('\t');
+      at_bol = 0;
+    }
+    __output(buf[i]);
+    if (buf[i] == '\n') { line++; at_bol = 1; }
+  }
+  return 0;
+}
+|};
+    p "true" "exit 0" {|
+int main(void) { return 0; }
+|};
+    p "false" "exit 1" {|
+int main(void) { return 1; }
+|};
+    p "yes" "repeat the first input character" {|
+int main(void) {
+  char buf[8];
+  int n = read_input(buf, 8);
+  if (n == 0) return 1;
+  int reps = (buf[0] & 3) + 1;
+  for (int i = 0; i < reps; i++) {
+    __output(buf[0]);
+    __output('\n');
+  }
+  return 0;
+}
+|};
+    p "basename" "strip directory prefix" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n == 0) return 1;
+  char *slash = strrchr(buf, '/');
+  char *base = slash ? slash + 1 : buf;
+  if (*base == 0) base = buf;    /* path ends in '/' */
+  puts_(base);
+  __output('\n');
+  return 0;
+}
+|};
+    p "dirname" "strip the last path component" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n == 0) return 1;
+  char *slash = strrchr(buf, '/');
+  if (!slash) { puts_("."); __output('\n'); return 0; }
+  if (slash == buf) { puts_("/"); __output('\n'); return 0; }
+  *slash = 0;
+  puts_(buf);
+  __output('\n');
+  return 0;
+}
+|};
+    p "head" "print the first K lines (K from the first byte)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n == 0) return 0;
+  int k = (buf[0] & 3) + 1;
+  int lines = 0;
+  for (int i = 1; i < n && lines < k; i++) {
+    __output(buf[i]);
+    if (buf[i] == '\n') lines++;
+  }
+  return 0;
+}
+|};
+    p "tail" "print the last line" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int start = 0;
+  for (int i = 0; i < n; i++) {
+    if (buf[i] == '\n' && i + 1 < n) start = i + 1;
+  }
+  for (int i = start; i < n; i++) __output(buf[i]);
+  return 0;
+}
+|};
+    p "tr" "translate characters (from/to in the first two bytes)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n < 2) return 1;
+  char from = buf[0];
+  char to = buf[1];
+  for (int i = 2; i < n; i++) {
+    char c = buf[i];
+    __output(c == from ? to : c);
+  }
+  return 0;
+}
+|};
+    p "cut" "print the second ':'-separated field" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int field = 0;
+  for (int i = 0; i < n; i++) {
+    if (buf[i] == ':') { field++; continue; }
+    if (field == 1) __output(buf[i]);
+  }
+  return field >= 1 ? 0 : 1;
+}
+|};
+    p "seq" "count from 1 to atoi(input) (clamped)" {|
+int main(void) {
+  char buf[16];
+  read_input(buf, 16);
+  int k = atoi(buf);
+  if (k < 0) return 1;
+  if (k > 9) k = 9;
+  for (int i = 1; i <= k; i++) {
+    print_int(i);
+    __output('\n');
+  }
+  return 0;
+}
+|};
+    p "sum" "BSD 16-bit rotating checksum" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  unsigned int ck = 0;
+  for (int i = 0; i < n; i++) {
+    ck = (ck >> 1) + ((ck & 1) << 15);
+    ck = ck + (unsigned int)(unsigned char)buf[i];
+    ck = ck & 0xffff;
+  }
+  print_int((int)ck);
+  __output('\n');
+  return 0;
+}
+|};
+    p "cksum" "CRC-32 with a computed table (constant-trip table loop)" {|
+unsigned int crc_table[256];
+void build_table(void) {
+  for (int i = 0; i < 256; i++) {
+    unsigned int c = (unsigned int)i << 24;
+    for (int j = 0; j < 8; j++) {
+      if (c & 0x80000000u) c = (c << 1) ^ 0x04c11db7u;
+      else c = c << 1;
+    }
+    crc_table[i] = c;
+  }
+}
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  build_table();
+  unsigned int crc = 0;
+  for (int i = 0; i < n; i++) {
+    int idx = (int)(((crc >> 24) ^ (unsigned int)(unsigned char)buf[i]) & 0xffu);
+    crc = (crc << 8) ^ crc_table[idx];
+  }
+  print_uint_base(crc, 16);
+  __output('\n');
+  return 0;
+}
+|};
+    p "od" "octal dump" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = 0; i < n; i++) {
+    print_uint_base((unsigned int)(unsigned char)buf[i], 8);
+    __output(i + 1 < n ? ' ' : '\n');
+  }
+  return 0;
+}
+|};
+    p "rev" "reverse the input" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = n - 1; i >= 0; i--) __output(buf[i]);
+  __output('\n');
+  return 0;
+}
+|};
+    p "nl" "number non-empty lines" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int line = 1;
+  int at_bol = 1;
+  for (int i = 0; i < n; i++) {
+    if (at_bol && buf[i] != '\n') {
+      print_int(line);
+      __output(' ');
+      line++;
+      at_bol = 0;
+    }
+    __output(buf[i]);
+    if (buf[i] == '\n') at_bol = 1;
+  }
+  return 0;
+}
+|};
+    p "expand" "tabs to spaces (tab stop 4)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  unsigned int col = 0;
+  for (int i = 0; i < n; i++) {
+    if (buf[i] == '\t') {
+      do { __output(' '); col++; } while (col % 4u != 0u);
+    } else {
+      __output(buf[i]);
+      col = buf[i] == '\n' ? 0u : col + 1u;
+    }
+  }
+  return 0;
+}
+|};
+    p "unexpand" "leading spaces to tabs (tab stop 4)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int spaces = 0;
+  int at_bol = 1;
+  for (int i = 0; i < n; i++) {
+    if (at_bol && buf[i] == ' ') {
+      spaces++;
+      if (spaces == 4) { __output('\t'); spaces = 0; }
+    } else {
+      while (spaces > 0) { __output(' '); spaces--; }
+      at_bol = buf[i] == '\n';
+      __output(buf[i]);
+    }
+  }
+  while (spaces > 0) { __output(' '); spaces--; }
+  return 0;
+}
+|};
+    p "fold" "wrap lines at column 8" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int col = 0;
+  for (int i = 0; i < n; i++) {
+    if (buf[i] == '\n') col = 0;
+    else if (col == 8) { __output('\n'); col = 0; }
+    __output(buf[i]);
+    col++;
+  }
+  return 0;
+}
+|};
+    p "uniq" "drop repeated adjacent lines" {|
+int main(void) {
+  char buf[24];
+  char prev[24];
+  char cur[24];
+  int n = read_input(buf, 24);
+  prev[0] = 0;
+  int have_prev = 0;
+  int pos = 0;
+  int ci = 0;
+  while (pos <= n) {
+    char c = pos < n ? buf[pos] : '\n';
+    if (c == '\n') {
+      cur[ci] = 0;
+      if (ci > 0 && (!have_prev || strcmp(cur, prev) != 0)) {
+        puts_(cur);
+        __output('\n');
+      }
+      strcpy(prev, cur);
+      have_prev = 1;
+      ci = 0;
+    } else if (ci < 23) {
+      cur[ci] = c;
+      ci++;
+    }
+    pos++;
+  }
+  return 0;
+}
+|};
+    p "sort" "sort the input bytes (insertion sort)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = 1; i < n; i++) {
+    char key = buf[i];
+    int j = i - 1;
+    while (j >= 0 && buf[j] > key) {
+      buf[j + 1] = buf[j];
+      j--;
+    }
+    buf[j + 1] = key;
+  }
+  for (int i = 0; i < n; i++) __output(buf[i]);
+  return 0;
+}
+|};
+    p "grep" "print lines containing the pattern byte" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n < 1) return 2;
+  char pat = buf[0];
+  int start = 1;
+  int found = 0;
+  for (int i = 1; i <= n; i++) {
+    if (i == n || buf[i] == '\n') {
+      int hit = 0;
+      for (int j = start; j < i; j++) {
+        if (buf[j] == pat) hit = 1;
+      }
+      if (hit) {
+        for (int j = start; j < i; j++) __output(buf[j]);
+        __output('\n');
+        found = 1;
+      }
+      start = i + 1;
+    }
+  }
+  return found ? 0 : 1;
+}
+|};
+    p "test" "evaluate 'N<op>M' with op in {=,<,>}" {|
+int main(void) {
+  char buf[16];
+  int n = read_input(buf, 16);
+  int i = 0;
+  int a = 0;
+  while (i < n && isdigit((int)buf[i])) { a = a * 10 + (buf[i] - '0'); i++; }
+  if (i >= n) return 2;
+  char op = buf[i];
+  i++;
+  int b = 0;
+  int got = 0;
+  while (i < n && isdigit((int)buf[i])) { b = b * 10 + (buf[i] - '0'); i++; got = 1; }
+  if (!got) return 2;
+  if (op == '=') return a == b ? 0 : 1;
+  if (op == '<') return a < b ? 0 : 1;
+  if (op == '>') return a > b ? 0 : 1;
+  return 2;
+}
+|};
+    p "factor" "smallest prime factor of atoi(input)" {|
+int main(void) {
+  char buf[16];
+  read_input(buf, 16);
+  int v = atoi(buf);
+  if (v < 2) return 1;
+  if (v > 997) v = 997;
+  for (int d = 2; d * d <= v; d++) {
+    if (v % d == 0) {
+      print_int(d);
+      __output('\n');
+      return 0;
+    }
+  }
+  print_int(v);
+  __output('\n');
+  return 0;
+}
+|};
+    p "base64" "base64-encode the input (table lookup + bit packing)" {|
+char b64[65] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int i = 0;
+  while (i + 2 < n) {
+    int v = ((int)(unsigned char)buf[i] << 16)
+          | ((int)(unsigned char)buf[i + 1] << 8)
+          | (int)(unsigned char)buf[i + 2];
+    __output(b64[(v >> 18) & 63]);
+    __output(b64[(v >> 12) & 63]);
+    __output(b64[(v >> 6) & 63]);
+    __output(b64[v & 63]);
+    i += 3;
+  }
+  if (n - i == 1) {
+    int v = (int)(unsigned char)buf[i] << 16;
+    __output(b64[(v >> 18) & 63]);
+    __output(b64[(v >> 12) & 63]);
+    __output('=');
+    __output('=');
+  } else if (n - i == 2) {
+    int v = ((int)(unsigned char)buf[i] << 16) | ((int)(unsigned char)buf[i + 1] << 8);
+    __output(b64[(v >> 18) & 63]);
+    __output(b64[(v >> 12) & 63]);
+    __output(b64[(v >> 6) & 63]);
+    __output('=');
+  }
+  return 0;
+}
+|};
+    p "paste" "join lines with tabs" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = 0; i < n; i++) {
+    if (buf[i] == '\n' && i + 1 < n) __output('\t');
+    else __output(buf[i]);
+  }
+  __output('\n');
+  return 0;
+}
+|};
+    p "printf" "minimal %d/%c/%% formatter over fixed arguments" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int arg = 42;
+  for (int i = 0; i < n; i++) {
+    if (buf[i] == '%' && i + 1 < n) {
+      i++;
+      if (buf[i] == 'd') { print_int(arg); arg++; }
+      else if (buf[i] == 'c') { __output('*'); }
+      else if (buf[i] == '%') { __output('%'); }
+      else return 1;
+    } else {
+      __output(buf[i]);
+    }
+  }
+  return 0;
+}
+|};
+    p "tac" "print lines in reverse order" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int end = n;
+  for (int i = n - 1; i >= -1; i--) {
+    if (i < 0 || buf[i] == '\n') {
+      for (int j = i + 1; j < end; j++) __output(buf[j]);
+      __output('\n');
+      end = i;
+    }
+  }
+  return 0;
+}
+|};
+    p "wcfull" "count lines, words and bytes (wc without flags)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int lines = 0;
+  int words = 0;
+  int in_word = 0;
+  for (int i = 0; i < n; i++) {
+    int c = (int)(unsigned char)buf[i];
+    if (c == '\n') lines++;
+    if (isspace(c)) in_word = 0;
+    else if (!in_word) { words++; in_word = 1; }
+  }
+  print_int(lines); __output(' ');
+  print_int(words); __output(' ');
+  print_int(n); __output('\n');
+  return 0;
+}
+|};
+    p "cmp" "compare the two ';'-separated halves byte by byte" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  char *semi = strchr(buf, ';');
+  if (!semi) return 2;
+  *semi = 0;
+  char *a = buf;
+  char *b = semi + 1;
+  int i = 0;
+  while (a[i] && b[i]) {
+    if (a[i] != b[i]) {
+      puts_("differ: ");
+      print_int(i + 1);
+      __output('\n');
+      return 1;
+    }
+    i++;
+  }
+  if (a[i] != b[i]) { puts_("eof\n"); return 1; }
+  return 0;
+}
+|};
+    p "strings" "print runs of 3+ printable characters" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  int start = 0;
+  int run = 0;
+  for (int i = 0; i <= n; i++) {
+    int printable = i < n && isprint((int)(unsigned char)buf[i]);
+    if (printable) {
+      if (run == 0) start = i;
+      run++;
+    } else {
+      if (run >= 3) {
+        for (int j = start; j < i; j++) __output(buf[j]);
+        __output('\n');
+      }
+      run = 0;
+    }
+  }
+  return 0;
+}
+|};
+    p "lcase" "lowercase the input (tr A-Z a-z)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = 0; i < n; i++)
+    __output(tolower((int)(unsigned char)buf[i]));
+  return 0;
+}
+|};
+    p "rot13" "ROT13 the input" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = 0; i < n; i++) {
+    int c = (int)(unsigned char)buf[i];
+    if (islower(c)) c = 'a' + (c - 'a' + 13) % 26;
+    else if (isupper(c)) c = 'A' + (c - 'A' + 13) % 26;
+    __output(c);
+  }
+  return 0;
+}
+|};
+    p "hexdump" "two-digit hex dump" {|
+char hexdigits[17] = "0123456789abcdef";
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = 0; i < n; i++) {
+    int c = (int)(unsigned char)buf[i];
+    __output(hexdigits[(c >> 4) & 15]);
+    __output(hexdigits[c & 15]);
+    __output(i + 1 < n ? ' ' : '\n');
+  }
+  return 0;
+}
+|};
+    p "sysvsum" "System V checksum" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  unsigned int s = 0;
+  for (int i = 0; i < n; i++) s += (unsigned int)(unsigned char)buf[i];
+  unsigned int r = (s & 0xffff) + ((s & 0xffffffff) >> 16);
+  unsigned int ck = (r & 0xffff) + (r >> 16);
+  print_int((int)ck);
+  __output('\n');
+  return 0;
+}
+|};
+    p "look" "print the value for a key in 'key;k1=v1;k2=v2' input" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  char *semi = strchr(buf, ';');
+  if (!semi) return 2;
+  *semi = 0;
+  char *rest = semi + 1;
+  int keylen = strlen(buf);
+  while (*rest) {
+    /* compare the next entry's key */
+    if (strncmp(rest, buf, keylen) == 0 && rest[keylen] == '=') {
+      char *v = rest + keylen + 1;
+      while (*v && *v != ';') { __output(*v); v++; }
+      __output('\n');
+      return 0;
+    }
+    while (*rest && *rest != ';') rest++;
+    if (*rest == ';') rest++;
+  }
+  return 1;
+}
+|};
+    p "split" "print the first or second half (flag in first byte)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n < 1) return 1;
+  int half = (n - 1) / 2;
+  int second = buf[0] & 1;
+  int from = second ? 1 + half : 1;
+  int to = second ? n : 1 + half;
+  for (int i = from; i < to; i++) __output(buf[i]);
+  return 0;
+}
+|};
+    p "shuf" "deterministic LCG shuffle (seed in first byte)" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n < 2) return 0;
+  unsigned int seed = (unsigned int)(unsigned char)buf[0];
+  for (int i = n - 1; i > 1; i--) {
+    seed = seed * 1103515245u + 12345u;
+    int j = 1 + (int)((seed >> 16) % (unsigned int)i);
+    char tmp = buf[i];
+    buf[i] = buf[j];
+    buf[j] = tmp;
+  }
+  for (int i = 1; i < n; i++) __output(buf[i]);
+  return 0;
+}
+|};
+    p "expr" "evaluate 'A?B' for ? in {+,-,*}" {|
+int main(void) {
+  char buf[16];
+  int n = read_input(buf, 16);
+  int i = 0;
+  int a = 0;
+  int got = 0;
+  while (i < n && isdigit((int)buf[i])) { a = a * 10 + (buf[i] - '0'); i++; got = 1; }
+  if (!got || i >= n) return 2;
+  char op = buf[i];
+  i++;
+  int b = 0;
+  got = 0;
+  while (i < n && isdigit((int)buf[i])) { b = b * 10 + (buf[i] - '0'); i++; got = 1; }
+  if (!got) return 2;
+  int r;
+  if (op == '+') r = a + b;
+  else if (op == '-') r = a - b;
+  else if (op == '*') r = a * b;
+  else return 2;
+  print_int(r);
+  __output('\n');
+  return 0;
+}
+|};
+    p "dd" "copy with skip and count from the first two bytes" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n < 2) return 1;
+  int skip = buf[0] & 7;
+  int count = (buf[1] & 7) + 1;
+  int copied = 0;
+  for (int i = 2 + skip; i < n && copied < count; i++) {
+    __output(buf[i]);
+    copied++;
+  }
+  print_int(copied);
+  __output('\n');
+  return 0;
+}
+|};
+    p "join" "join the first two ':' fields with '-'" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  char *colon = strchr(buf, ':');
+  if (!colon) return 1;
+  *colon = 0;
+  puts_(buf);
+  __output('-');
+  char *second = colon + 1;
+  int i = 0;
+  while (second[i] && second[i] != ':') { __output(second[i]); i++; }
+  __output('\n');
+  return 0;
+}
+|};
+    p "caesar" "Caesar cipher, shift in the first byte" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  if (n < 1) return 1;
+  int shift = buf[0] % 26;
+  if (shift < 0) shift += 26;
+  for (int i = 1; i < n; i++) {
+    int c = (int)(unsigned char)buf[i];
+    if (islower(c)) c = 'a' + (c - 'a' + shift) % 26;
+    else if (isupper(c)) c = 'A' + (c - 'A' + shift) % 26;
+    __output(c);
+  }
+  return 0;
+}
+|};
+    p "csplit" "print the prefix up to the first '%'" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  for (int i = 0; i < n; i++) {
+    if (buf[i] == '%') return 0;
+    __output(buf[i]);
+  }
+  return 1;  /* delimiter not found */
+}
+|};
+    p "cksum2" "djb2 hash of the input" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  unsigned int h = 5381;
+  for (int i = 0; i < n; i++)
+    h = h * 33u + (unsigned int)(unsigned char)buf[i];
+  print_uint_base(h, 16);
+  __output('\n');
+  return 0;
+}
+|};
+    p "comm" "compare the two ';'-separated halves" {|
+int main(void) {
+  char buf[24];
+  int n = read_input(buf, 24);
+  char *semi = strchr(buf, ';');
+  if (!semi) return 2;
+  *semi = 0;
+  int r = strcmp(buf, semi + 1);
+  if (r == 0) { puts_("same"); __output('\n'); return 0; }
+  puts_(r < 0 ? "lt" : "gt");
+  __output('\n');
+  return 1;
+}
+|};
+  ]
+
+let find name = List.find_opt (fun t -> t.name = name) programs
+
+let names = List.map (fun t -> t.name) programs

@@ -1,0 +1,16 @@
+(** The evaluation corpus: UNIX-utility-style MiniC programs standing in for
+    Coreutils 6.10 (see DESIGN.md "Substitutions").  Every program reads the
+    symbolic input through [read_input]/[__input] and writes through
+    [__output]. *)
+
+type t = {
+  name : string;
+  descr : string;
+  source : string;  (** MiniC source; link with {!Overify_vclib.Vclib} *)
+}
+
+val programs : t list
+(** All bundled utilities, including the paper's Listing-1 [wc]. *)
+
+val find : string -> t option
+val names : string list

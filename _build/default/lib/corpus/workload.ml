@@ -1,0 +1,35 @@
+(** Deterministic workload generator for concrete (execution-time) runs.
+
+    A small LCG produces reproducible pseudo-random inputs; [text] skews the
+    distribution toward letters/spaces/newlines so that the utilities'
+    interesting paths (word boundaries, line handling) are actually
+    exercised, like the text workload used for the paper's t_run column. *)
+
+type gen = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int (seed * 2 + 1) }
+
+let next g =
+  (* Knuth MMIX LCG *)
+  g.state <-
+    Int64.add (Int64.mul g.state 6364136223846793005L) 1442695040888963407L;
+  Int64.to_int (Int64.shift_right_logical g.state 33)
+
+let byte g = next g land 0xFF
+
+(** Uniformly random bytes (may contain NULs). *)
+let random ~seed ~size =
+  let g = create seed in
+  String.init size (fun _ -> Char.chr (byte g))
+
+let text_alphabet = "abcdefghijklm nopqrstuvwxyz \nABCDE 0123456789 /.:;%\t"
+
+(** Text-like input: letters, digits, whitespace, separators; no NULs. *)
+let text ~seed ~size =
+  let g = create seed in
+  String.init size (fun _ ->
+      text_alphabet.[next g mod String.length text_alphabet])
+
+(** A batch of text inputs for throughput measurements. *)
+let batch ~seed ~size ~count =
+  List.init count (fun i -> text ~seed:(seed + (i * 7919)) ~size)

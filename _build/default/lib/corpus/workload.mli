@@ -1,0 +1,12 @@
+(** Deterministic workload generator for concrete (execution-time) runs;
+    seeded LCG, fully reproducible. *)
+
+val random : seed:int -> size:int -> string
+(** Uniform random bytes (may contain NULs). *)
+
+val text : seed:int -> size:int -> string
+(** Text-like input (letters, digits, whitespace, separators; no NULs), the
+    distribution the corpus's interesting paths care about. *)
+
+val batch : seed:int -> size:int -> count:int -> string list
+(** Independent text inputs for throughput measurements. *)

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: List Overify_corpus Overify_interp Overify_ir Overify_minic Overify_opt Overify_symex Overify_vclib Unix

@@ -1,0 +1,1 @@
+lib/harness/figure4.ml: Experiment List Overify_corpus Overify_opt Overify_symex Printf Report

@@ -1,0 +1,1 @@
+lib/harness/precision.ml: Experiment List Overify_absint Overify_corpus Overify_opt Printf Report

@@ -1,0 +1,1 @@
+lib/harness/table3.ml: Experiment List Overify_corpus Overify_opt Report

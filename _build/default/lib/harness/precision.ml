@@ -1,0 +1,48 @@
+(** The §2.1 precision experiment: run the coarse interval analysis
+    (lib/absint) over the corpus compiled at each level and report how many
+    facts it can prove.  The paper's claim is qualitative — "compiler
+    transformations can increase their precision and allow them to prove
+    more facts"; this measures it. *)
+
+module Costmodel = Overify_opt.Costmodel
+module Precision = Overify_absint.Precision
+
+let levels = [ Costmodel.o0; Costmodel.o3; Costmodel.overify ]
+
+let totals (level : Costmodel.t) : Precision.counts =
+  List.fold_left
+    (fun acc p ->
+      let c = Experiment.compile level p in
+      Precision.add acc (Precision.of_module c.Experiment.modul))
+    Precision.zero Overify_corpus.Programs.programs
+
+let print () =
+  Report.section
+    "Precision: facts provable by a coarse interval analysis (paper 2.1)";
+  let stats = List.map (fun l -> (l, totals l)) levels in
+  Report.table
+    (("Metric" :: List.map (fun (l, _) -> l.Costmodel.name) stats)
+    :: List.map
+         (fun (label, get) -> label :: List.map (fun (_, s) -> get s) stats)
+         [
+           ( "branches decided / total",
+             fun (s : Precision.counts) ->
+               Printf.sprintf "%d/%d" s.Precision.branches_decided
+                 s.Precision.branches );
+           ( "accesses proven in-bounds / total",
+             fun s ->
+               Printf.sprintf "%d/%d" s.Precision.geps_proved s.Precision.geps );
+           ( "in-bounds ratio",
+             fun s ->
+               Printf.sprintf "%.0f%%"
+                 (100.0 *. Precision.ratio s.Precision.geps_proved s.Precision.geps)
+           );
+           ( "registers with tight ranges",
+             fun s ->
+               Printf.sprintf "%d/%d" s.Precision.regs_bounded s.Precision.regs );
+         ]);
+  print_endline
+    "(A higher in-bounds ratio means the same simple tool proves more\n\
+    \ memory accesses safe because the compiler exposed the masking and\n\
+    \ specialized the code — the paper's precision argument.)";
+  stats

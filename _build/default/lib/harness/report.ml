@@ -1,0 +1,52 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+(** Print a column-aligned table; the first row is the header. *)
+let table ?(out = stdout) (rows : string list list) =
+  match rows with
+  | [] -> ()
+  | header :: _ ->
+      let ncols = List.length header in
+      let widths = Array.make ncols 0 in
+      List.iter
+        (fun row ->
+          List.iteri
+            (fun i cell ->
+              if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+            row)
+        rows;
+      let print_row row =
+        List.iteri
+          (fun i cell ->
+            Printf.fprintf out "%s%s"
+              (if i = 0 then "" else "  ")
+              (let pad = widths.(i) - String.length cell in
+               if i = 0 then cell ^ String.make pad ' '
+               else String.make pad ' ' ^ cell))
+          row;
+        Printf.fprintf out "\n"
+      in
+      (match rows with
+      | h :: rest ->
+          print_row h;
+          Printf.fprintf out "%s\n"
+            (String.concat "  "
+               (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+          List.iter print_row rest
+      | [] -> ())
+
+let section ?(out = stdout) title =
+  Printf.fprintf out "\n=== %s ===\n\n" title
+
+let ms t = Printf.sprintf "%.1f" (t *. 1000.)
+
+let fmt_int n =
+  (* thousands separators for readability *)
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,121 @@
+(** Table 2: measured ablation of the paper's qualitative
+    transformation-impact matrix.
+
+    For each transformation class we compare the full [-OVERIFY] pipeline
+    against the same pipeline with that class disabled (and [-O3] against
+    [-O3]-plus/minus for the execution-oriented entries), measuring the
+    impact on verification time and on simulated execution cycles over a few
+    representative corpus programs.  A '+' means the transformation helps
+    (time drops when it is enabled), '-' means it hurts, '0' means within
+    noise. *)
+
+module Costmodel = Overify_opt.Costmodel
+module Engine = Overify_symex.Engine
+
+type row = {
+  transformation : string;
+  verify_factor : float;  (** t_verify(disabled) / t_verify(enabled) *)
+  exec_factor : float;    (** cycles(disabled) / cycles(enabled) *)
+  paths_with : int;
+  paths_without : int;
+}
+
+let sign ?(threshold = 1.05) f =
+  if f > threshold then "+" else if f < 1.0 /. threshold then "-" else "0"
+
+(** Verification impact sign: path counts are deterministic, so when the
+    ablation changes them they give the answer; otherwise fall back to the
+    time factor with a generous noise band. *)
+let verify_sign (r : row) =
+  if r.paths_without <> r.paths_with then
+    sign (float_of_int r.paths_without /. float_of_int (max r.paths_with 1))
+  else sign ~threshold:1.2 r.verify_factor
+
+let test_programs = [ "wc"; "tr"; "nl"; "cut" ]
+
+(** Total verification time + paths over the ablation program set. *)
+let measure_level ?(input_size = 4) ?(timeout = 20.0) (cm : Costmodel.t) :
+    float * float * int =
+  List.fold_left
+    (fun (tv, cyc, paths) name ->
+      match Overify_corpus.Programs.find name with
+      | None -> (tv, cyc, paths)
+      | Some p ->
+          let c = Experiment.compile cm p in
+          let v = Experiment.verify ~input_size ~timeout c in
+          let cycles = Experiment.measure_cycles ~size:12 c in
+          (tv +. v.Engine.time, cyc +. cycles, paths + v.Engine.paths))
+    (0.0, 0.0, 0) test_programs
+
+let ablate ?input_size ?timeout ~name ~(base : Costmodel.t)
+    ~(disabled : string list) () : row =
+  let (tv_on, cyc_on, p_on) = measure_level ?input_size ?timeout base in
+  let without =
+    { base with
+      Costmodel.disabled_passes = disabled @ base.Costmodel.disabled_passes }
+  in
+  let (tv_off, cyc_off, p_off) = measure_level ?input_size ?timeout without in
+  {
+    transformation = name;
+    verify_factor = tv_off /. max tv_on 1e-6;
+    exec_factor = cyc_off /. max cyc_on 1e-6;
+    paths_with = p_on;
+    paths_without = p_off;
+  }
+
+(** The runtime-checks row is special: enabling the pass adds work for both
+    consumers, but turns every failure mode into a crash. *)
+let runtime_checks_row ?input_size ?timeout () : row =
+  let base = Costmodel.overify in
+  let with_checks = { base with Costmodel.runtime_checks = true } in
+  let (tv_off, cyc_off, p_off) = measure_level ?input_size ?timeout base in
+  let (tv_on, cyc_on, p_on) = measure_level ?input_size ?timeout with_checks in
+  {
+    transformation = "Generate runtime checks";
+    verify_factor = tv_off /. max tv_on 1e-6;
+    exec_factor = cyc_off /. max cyc_on 1e-6;
+    paths_with = p_on;
+    paths_without = p_off;
+  }
+
+let rows ?input_size ?timeout () : row list =
+  let ab = ablate ?input_size ?timeout in
+  [
+    ab ~name:"Constant propagation/folding, arithmetic simplifications"
+      ~base:Costmodel.overify ~disabled:[ "constfold"; "gvn" ] ();
+    ab ~name:"Remove/split memory accesses"
+      ~base:Costmodel.overify
+      ~disabled:[ "mem2reg"; "sroa"; "loadelim" ] ();
+    ab ~name:"Simplify control flow: jump threading, loop unswitching"
+      ~base:Costmodel.overify ~disabled:[ "jump_threading"; "unswitch" ] ();
+    ab ~name:"Speculate branches (if-conversion)"
+      ~base:Costmodel.overify ~disabled:[ "if_convert" ] ();
+    ab ~name:"Restructure the program: function inlining, loop unrolling"
+      ~base:Costmodel.overify ~disabled:[ "inline"; "unroll" ] ();
+    ab ~name:"CPU-specific: instruction scheduling"
+      ~base:Costmodel.o3 ~disabled:[ "schedule" ] ();
+    runtime_checks_row ?input_size ?timeout ();
+  ]
+
+let print ?(input_size = 4) ?timeout () =
+  Report.section
+    "Table 2: measured impact of transformation classes (ablation)";
+  let rs = rows ~input_size ?timeout () in
+  Report.table
+    ([ "Transformation"; "Verification"; "Execution"; "x faster verify";
+       "x faster exec"; "paths with/without" ]
+    :: List.map
+         (fun r ->
+           [
+             r.transformation;
+             verify_sign r;
+             sign r.exec_factor;
+             Printf.sprintf "%.2f" r.verify_factor;
+             Printf.sprintf "%.2f" r.exec_factor;
+             Printf.sprintf "%d/%d" r.paths_with r.paths_without;
+           ])
+         rs);
+  print_endline
+    "('+' = transformation speeds this consumer up, '-' = slows it down;\n\
+    \ factors are time-without / time-with over the ablation program set)";
+  rs

@@ -1,0 +1,39 @@
+(** Table 3: transformation counts when compiling the whole corpus at
+    [-O0], [-O3] and [-OSYMBEX]/[-OVERIFY] — how much more aggressively the
+    verification-oriented level transforms the same code. *)
+
+module Costmodel = Overify_opt.Costmodel
+module Stats = Overify_opt.Stats
+
+let totals (level : Costmodel.t) : Stats.t =
+  List.fold_left
+    (fun acc p ->
+      let c = Experiment.compile level p in
+      Stats.add acc c.Experiment.opt_stats)
+    (Stats.create ())
+    Overify_corpus.Programs.programs
+
+let levels = [ Costmodel.o0; Costmodel.o3; Costmodel.overify ]
+
+let print () =
+  Report.section "Table 3: compiling the corpus with different options";
+  let stats = List.map (fun l -> (l, totals l)) levels in
+  Report.table
+    ([ "Optimization" ]
+     @ List.map (fun (l, _) -> l.Costmodel.name) stats
+    |> fun header ->
+    header
+    :: List.map
+         (fun (label, get) ->
+           label :: List.map (fun (_, s) -> Report.fmt_int (get s)) stats)
+         [
+           ("# functions inlined", fun s -> s.Stats.functions_inlined);
+           ("# loops unswitched", fun s -> s.Stats.loops_unswitched);
+           ("# loops unrolled", fun s -> s.Stats.loops_unrolled);
+           ("# branches converted", fun s -> s.Stats.branches_converted);
+           ("# jumps threaded", fun s -> s.Stats.jumps_threaded);
+           ("# allocas promoted", fun s -> s.Stats.allocas_promoted);
+           ("# instructions folded", fun s -> s.Stats.insts_folded);
+           ("# annotations emitted", fun s -> s.Stats.annotations_added);
+         ]);
+  stats

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Buffer Bytes Char Hashtbl Int64 List Overify_ir Printf String

@@ -1,0 +1,45 @@
+(** Concrete IR interpreter with a CPU cycle cost model — the "execution"
+    side of the paper's trade-off (provides [t_run]) and the semantic oracle
+    for differential testing of optimization passes. *)
+
+type trap =
+  | Out_of_bounds of string
+  | Null_deref
+  | Use_after_free
+  | Div_by_zero
+  | Assert_failure
+  | Abort_called
+  | Unknown_function of string
+  | Out_of_fuel
+  | Invalid of string
+
+val string_of_trap : trap -> string
+
+(** Runtime values: normalized integers or (object, byte-offset) pointers. *)
+type value = VInt of int64 | VPtr of int * int
+
+(** Per-instruction cycle costs of the simulated in-order CPU. *)
+module Cost : sig
+  val alu : int
+  val mul : int
+  val divide : int
+  val load : int
+  val store : int
+  val call : int
+  val br : int
+  val cbr : int
+  val of_inst : Overify_ir.Ir.inst -> int
+  val of_term : Overify_ir.Ir.term -> int
+end
+
+type result = {
+  exit_code : int64;   (** signed 32-bit view of [main]'s return value *)
+  output : string;     (** bytes written through [__output] *)
+  cycles : int;        (** simulated cycles, including dependency stalls *)
+  insts : int;         (** dynamic instruction count *)
+  trap : trap option;  (** [None] on clean termination *)
+}
+
+val run : ?fuel:int -> Overify_ir.Ir.modul -> input:string -> result
+(** Execute [main] against a concrete input.  [fuel] bounds the dynamic
+    instruction count (default 50M); exhausting it reports {!Out_of_fuel}. *)

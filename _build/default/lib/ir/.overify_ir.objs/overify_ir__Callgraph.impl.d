@@ -1,0 +1,1 @@
+lib/ir/callgraph.ml: Ir List Set String

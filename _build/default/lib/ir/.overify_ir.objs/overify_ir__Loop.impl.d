@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Cfg Dom Hashtbl Ir List

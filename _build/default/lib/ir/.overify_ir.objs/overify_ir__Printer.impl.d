@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Format Int64 Ir List Printf String

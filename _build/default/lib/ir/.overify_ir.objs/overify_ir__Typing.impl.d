@@ -1,0 +1,1 @@
+lib/ir/typing.ml: Hashtbl Ir List Printf

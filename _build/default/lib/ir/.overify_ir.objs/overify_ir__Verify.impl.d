@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Cfg Dom Hashtbl Ir List Printer Printf String

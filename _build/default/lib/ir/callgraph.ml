@@ -1,0 +1,56 @@
+(** Call graph over direct calls, used to order inlining bottom-up. *)
+
+module StrSet = Set.Make (String)
+
+(** Callees of [fn] that are defined in the module (intrinsics and unknown
+    externals excluded), without duplicates, in first-call order. *)
+let callees (m : Ir.modul) (fn : Ir.func) : string list =
+  let defined = List.map (fun (f : Ir.func) -> f.Ir.fname) m.funcs in
+  let seen = ref StrSet.empty in
+  let out = ref [] in
+  Ir.iter_insts
+    (fun _ inst ->
+      match inst with
+      | Ir.Call (_, _, callee, _)
+        when List.mem callee defined && not (StrSet.mem callee !seen) ->
+          seen := StrSet.add callee !seen;
+          out := callee :: !out
+      | _ -> ())
+    fn;
+  List.rev !out
+
+(** Is [name] on a call-graph cycle (including direct recursion)?  True when
+    [name] is reachable from one of its own callees. *)
+let in_cycle (m : Ir.modul) (name : string) : bool =
+  match Ir.find_func m name with
+  | None -> false
+  | Some f ->
+      let visited = ref StrSet.empty in
+      let rec reaches cur =
+        cur = name
+        || (not (StrSet.mem cur !visited)
+           && begin
+                visited := StrSet.add cur !visited;
+                match Ir.find_func m cur with
+                | None -> false
+                | Some cf -> List.exists reaches (callees m cf)
+              end)
+      in
+      List.exists reaches (callees m f)
+
+(** Function names ordered so that callees come before callers (cycles broken
+    arbitrarily); the order used by the inliner. *)
+let bottom_up_order (m : Ir.modul) : string list =
+  let visited = ref StrSet.empty in
+  let order = ref [] in
+  let rec go name =
+    if not (StrSet.mem name !visited) then begin
+      visited := StrSet.add name !visited;
+      (match Ir.find_func m name with
+      | Some f -> List.iter go (callees m f)
+      | None -> ());
+      order := name :: !order
+    end
+  in
+  List.iter (fun (f : Ir.func) -> go f.Ir.fname) m.funcs;
+  List.rev !order

@@ -1,0 +1,30 @@
+(** Control-flow graph queries over a function's blocks. *)
+
+module IntSet : Set.S with type elt = int
+module IntMap : Map.S with type key = int
+
+val succs_of_term : Ir.term -> int list
+(** Successor labels; a same-target [Cbr] is reported once. *)
+
+val succs : Ir.block -> int list
+
+val preds : Ir.func -> (int, int list) Hashtbl.t
+(** Predecessor table: block id -> predecessors, in block order. *)
+
+val preds_of : (int, int list) Hashtbl.t -> int -> int list
+
+val reachable : Ir.func -> IntSet.t
+(** Blocks reachable from the entry. *)
+
+val postorder : Ir.func -> int list
+val rpo : Ir.func -> int list
+(** Reverse postorder of reachable blocks (entry first). *)
+
+val remove_unreachable : Ir.func -> Ir.func * bool
+(** Drop unreachable blocks and prune phi entries from removed edges. *)
+
+val redirect_term : int -> int -> Ir.term -> Ir.term
+(** [redirect_term from_l to_l t] retargets branches to [from_l]. *)
+
+val retarget_phis : Ir.block -> from_pred:int -> to_pred:int -> Ir.block
+(** Rewrite a block's phi incoming labels for a moved edge. *)

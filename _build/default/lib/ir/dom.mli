@@ -1,0 +1,26 @@
+(** Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy). *)
+
+module IntSet = Cfg.IntSet
+
+type t = {
+  idom : (int, int) Hashtbl.t;        (** immediate dominator; entry absent *)
+  children : (int, int list) Hashtbl.t;
+  rpo_index : (int, int) Hashtbl.t;
+  entry : int;
+  tin : (int, int) Hashtbl.t;   (** Euler-tour entry time in the dom tree *)
+  tout : (int, int) Hashtbl.t;  (** … exit time: O(1) dominance queries *)
+}
+
+val compute : Ir.func -> t
+
+val idom : t -> int -> int option
+val children : t -> int -> int list
+
+val dominates : t -> int -> int -> bool
+(** Does the first block dominate the second?  Reflexive. *)
+
+val frontiers : Ir.func -> t -> (int, IntSet.t) Hashtbl.t
+(** Dominance frontier of every block.  A loop header belongs to its own
+    frontier (this is what places the phis for back edges). *)
+
+val frontier_of : (int, IntSet.t) Hashtbl.t -> int -> IntSet.t

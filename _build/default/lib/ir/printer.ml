@@ -1,0 +1,105 @@
+(** LLVM-flavoured textual printing of the IR, for debugging, tests and the
+    [--emit-ir] mode of the CLI. *)
+
+open Ir
+
+let rec string_of_ty = function
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Ptr -> "ptr"
+  | Void -> "void"
+  | Arr (t, n) -> Printf.sprintf "[%d x %s]" n (string_of_ty t)
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul"
+  | Sdiv -> "sdiv" | Udiv -> "udiv" | Srem -> "srem" | Urem -> "urem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let string_of_cmp = function
+  | Eq -> "eq" | Ne -> "ne"
+  | Slt -> "slt" | Sle -> "sle" | Sgt -> "sgt" | Sge -> "sge"
+  | Ult -> "ult" | Ule -> "ule" | Ugt -> "ugt" | Uge -> "uge"
+
+let string_of_castop = function
+  | Zext -> "zext" | Sext -> "sext" | Trunc -> "trunc"
+
+let string_of_value = function
+  | Imm (v, ty) ->
+      if ty = I1 then if v = 0L then "false" else "true"
+      else Int64.to_string (signed_of ty v)
+  | Reg r -> Printf.sprintf "%%%d" r
+  | Glob g -> "@" ^ g
+
+let sv = string_of_value
+let sty = string_of_ty
+
+let string_of_inst inst =
+  match inst with
+  | Bin (d, op, ty, a, b) ->
+      Printf.sprintf "%%%d = %s %s %s, %s" d (string_of_binop op) (sty ty)
+        (sv a) (sv b)
+  | Cmp (d, op, ty, a, b) ->
+      Printf.sprintf "%%%d = icmp %s %s %s, %s" d (string_of_cmp op) (sty ty)
+        (sv a) (sv b)
+  | Select (d, ty, c, a, b) ->
+      Printf.sprintf "%%%d = select %s, %s %s, %s" d (sv c) (sty ty) (sv a)
+        (sv b)
+  | Cast (d, op, to_ty, v, from_ty) ->
+      Printf.sprintf "%%%d = %s %s %s to %s" d (string_of_castop op)
+        (sty from_ty) (sv v) (sty to_ty)
+  | Alloca (d, ty, n) ->
+      if n = 1 then Printf.sprintf "%%%d = alloca %s" d (sty ty)
+      else Printf.sprintf "%%%d = alloca %s, %d" d (sty ty) n
+  | Load (d, ty, p) -> Printf.sprintf "%%%d = load %s, %s" d (sty ty) (sv p)
+  | Store (ty, v, p) ->
+      Printf.sprintf "store %s %s, %s" (sty ty) (sv v) (sv p)
+  | Gep (d, base, scale, idx) ->
+      Printf.sprintf "%%%d = gep %s, %d * %s" d (sv base) scale (sv idx)
+  | Call (Some d, ty, fn, args) ->
+      Printf.sprintf "%%%d = call %s @%s(%s)" d (sty ty) fn
+        (String.concat ", " (List.map sv args))
+  | Call (None, _, fn, args) ->
+      Printf.sprintf "call void @%s(%s)" fn
+        (String.concat ", " (List.map sv args))
+  | Phi (d, ty, incoming) ->
+      Printf.sprintf "%%%d = phi %s %s" d (sty ty)
+        (String.concat ", "
+           (List.map (fun (p, v) -> Printf.sprintf "[L%d: %s]" p (sv v))
+              incoming))
+
+let string_of_term = function
+  | Br l -> Printf.sprintf "br L%d" l
+  | Cbr (c, t, e) -> Printf.sprintf "br %s, L%d, L%d" (sv c) t e
+  | Ret None -> "ret void"
+  | Ret (Some v) -> Printf.sprintf "ret %s" (sv v)
+  | Unreachable -> "unreachable"
+
+let pp_block fmt (b : block) =
+  Format.fprintf fmt "L%d:@." b.bid;
+  List.iter (fun i -> Format.fprintf fmt "  %s@." (string_of_inst i)) b.insts;
+  Format.fprintf fmt "  %s@." (string_of_term b.term)
+
+let pp_func fmt (fn : func) =
+  let params =
+    String.concat ", "
+      (List.map (fun (r, ty) -> Printf.sprintf "%s %%%d" (sty ty) r) fn.params)
+  in
+  Format.fprintf fmt "define %s @%s(%s) {@." (sty fn.ret) fn.fname params;
+  List.iter (pp_block fmt) fn.blocks;
+  Format.fprintf fmt "}@."
+
+let pp_global fmt (g : global) =
+  Format.fprintf fmt "@%s = %s global [%d x i8]@." g.gname
+    (if g.gconst then "constant" else "")
+    g.gsize
+
+let pp_modul fmt (m : modul) =
+  List.iter (pp_global fmt) m.globals;
+  List.iter (fun f -> Format.fprintf fmt "@.%a" pp_func f) m.funcs
+
+let func_to_string fn = Format.asprintf "%a" pp_func fn
+let modul_to_string m = Format.asprintf "%a" pp_modul m

@@ -1,0 +1,28 @@
+(** Register typing environment for a function.
+
+    Register types are implicit in instruction definitions; this module
+    materializes them once per function for passes that need to query the
+    type of an arbitrary operand. *)
+
+type t = (int, Ir.ty) Hashtbl.t
+
+let of_func (fn : Ir.func) : t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (r, ty) -> Hashtbl.replace tbl r ty) fn.params;
+  Ir.iter_insts
+    (fun _blk inst ->
+      match Ir.def_of_inst inst with
+      | Some d -> Hashtbl.replace tbl d (Ir.ty_of_inst inst)
+      | None -> ())
+    fn;
+  tbl
+
+let reg_ty (t : t) r =
+  match Hashtbl.find_opt t r with
+  | Some ty -> ty
+  | None -> invalid_arg (Printf.sprintf "Typing.reg_ty: unknown register %%%d" r)
+
+let value_ty (t : t) = function
+  | Ir.Imm (_, ty) -> ty
+  | Ir.Reg r -> reg_ty t r
+  | Ir.Glob _ -> Ir.Ptr

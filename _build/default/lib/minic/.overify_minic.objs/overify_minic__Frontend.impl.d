@@ -1,0 +1,1 @@
+lib/minic/frontend.ml: Lexer List Lower Overify_ir Parser Printf Sema

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Char Hashtbl Int64 Lexer List Option Overify_ir Printf Sema String

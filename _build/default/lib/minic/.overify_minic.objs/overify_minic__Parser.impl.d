@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Int64 Lexer List Printf Token

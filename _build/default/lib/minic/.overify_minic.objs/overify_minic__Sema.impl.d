@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Bytes Char Hashtbl Int64 Lexer List Option Printf String

@@ -1,0 +1,103 @@
+(** Abstract syntax of MiniC (untyped; see {!Sema} for the typed tree). *)
+
+type loc = Lexer.loc
+
+type width = W8 | W16 | W32 | W64
+
+(** C-level types.  [CInt (w, signed)]; arrays appear only in declarations
+    and decay to pointers in expressions. *)
+type cty =
+  | CVoid
+  | CInt of width * bool
+  | CPtr of cty
+  | CArr of cty * int
+
+let c_char = CInt (W8, true)
+let c_uchar = CInt (W8, false)
+let c_int = CInt (W32, true)
+let c_uint = CInt (W32, false)
+let c_long = CInt (W64, true)
+let c_ulong = CInt (W64, false)
+
+let rec string_of_cty = function
+  | CVoid -> "void"
+  | CInt (W8, true) -> "char"
+  | CInt (W8, false) -> "unsigned char"
+  | CInt (W16, true) -> "short"
+  | CInt (W16, false) -> "unsigned short"
+  | CInt (W32, true) -> "int"
+  | CInt (W32, false) -> "unsigned int"
+  | CInt (W64, true) -> "long"
+  | CInt (W64, false) -> "unsigned long"
+  | CPtr t -> string_of_cty t ^ "*"
+  | CArr (t, n) -> Printf.sprintf "%s[%d]" (string_of_cty t) n
+
+let rec sizeof_cty = function
+  | CVoid -> 0
+  | CInt (W8, _) -> 1
+  | CInt (W16, _) -> 2
+  | CInt (W32, _) -> 4
+  | CInt (W64, _) -> 8
+  | CPtr _ -> 8
+  | CArr (t, n) -> sizeof_cty t * n
+
+type unop =
+  | Neg    (** [-e] *)
+  | LogNot (** [!e] *)
+  | BitNot (** [~e] *)
+  | Deref  (** [*e] *)
+  | Addr   (** [&e] *)
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bshl | Bshr
+  | Blt | Bgt | Ble | Bge | Beq | Bne
+  | Band | Bor | Bxor
+  | Bland | Blor  (** short-circuit [&&] and [||] *)
+
+type expr = { e : expr_node; eloc : loc }
+
+and expr_node =
+  | IntLit of int64
+  | LongLit of int64
+  | CharLit of char
+  | StrLit of string
+  | Ident of string
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | Assign of binop option * expr * expr  (** [lhs op= rhs]; [None] = plain *)
+  | Cond of expr * expr * expr
+  | Call of string * expr list
+  | Index of expr * expr
+  | CastE of cty * expr
+  | SizeofT of cty
+  | IncDec of { pre : bool; inc : bool; arg : expr }
+  | Comma of expr * expr
+
+type init = Iexpr of expr | Ilist of expr list | Istr of string
+
+type decl = { dty : cty; dname : string; dinit : init option }
+
+type stmt = { s : stmt_node; sloc : loc }
+
+and stmt_node =
+  | Sexpr of expr
+  | Sdecl of decl list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of forinit option * expr option * expr option * stmt
+  | Sblock of stmt list
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+
+and forinit = FDecl of decl list | FExpr of expr
+
+type top =
+  | Tfunc of { fret : cty; fname : string; fparams : (cty * string) list;
+               fbody : stmt }
+  | Tproto of { pret : cty; pname : string; pparams : cty list }
+  | Tglobal of decl
+
+type program = top list

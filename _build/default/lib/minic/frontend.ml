@@ -1,0 +1,29 @@
+(** Frontend driver: source text in, IR module out. *)
+
+exception Compile_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+(** Parse, type-check and lower one or more translation units (they share
+    one global namespace, like linking objects). *)
+let compile_sources (srcs : string list) : Overify_ir.Ir.modul =
+  let program =
+    List.concat_map
+      (fun src ->
+        try Parser.parse_program src with
+        | Lexer.Error (loc, msg) -> fail "lex error at %s: %s" (Lexer.pp_loc loc) msg
+        | Parser.Error (loc, msg) ->
+            fail "parse error at %s: %s" (Lexer.pp_loc loc) msg)
+      srcs
+  in
+  let typed =
+    try Sema.check_program program
+    with Sema.Error (loc, msg) ->
+      fail "type error at %s: %s" (Lexer.pp_loc loc) msg
+  in
+  try Lower.lower_prog typed
+  with Lower.Error (loc, msg) ->
+    fail "lowering error at %s: %s" (Lexer.pp_loc loc) msg
+
+let compile_source (src : string) : Overify_ir.Ir.modul =
+  compile_sources [ src ]

@@ -1,0 +1,12 @@
+(** Frontend driver: MiniC source text in, memory-form IR module out. *)
+
+exception Compile_error of string
+(** Raised for lexical, syntactic, type or lowering errors, with a
+    location-bearing message. *)
+
+val compile_sources : string list -> Overify_ir.Ir.modul
+(** Parse, type-check and lower one or more translation units; they share a
+    single global namespace, like linking objects.  The result is in memory
+    form (no phis; cross-block values live in allocas). *)
+
+val compile_source : string -> Overify_ir.Ir.modul

@@ -1,0 +1,227 @@
+(** Hand-written lexer for MiniC. *)
+
+type loc = { line : int; col : int }
+
+exception Error of loc * string
+
+let pp_loc l = Printf.sprintf "%d:%d" l.line l.col
+
+type lexed = { tok : Token.t; loc : loc }
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
+
+let loc_of lx = { line = lx.line; col = lx.pos - lx.bol + 1 }
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let error lx msg = raise (Error (loc_of lx, msg))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let rec skip_ws_comments lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws_comments lx
+  | Some '/' when peek2 lx = Some '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do advance lx done;
+      skip_ws_comments lx
+  | Some '/' when peek2 lx = Some '*' ->
+      advance lx; advance lx;
+      let rec go () =
+        match peek_char lx with
+        | None -> error lx "unterminated comment"
+        | Some '*' when peek2 lx = Some '/' -> advance lx; advance lx
+        | Some _ -> advance lx; go ()
+      in
+      go ();
+      skip_ws_comments lx
+  | _ -> ()
+
+let read_escape lx =
+  (* called after the backslash has been consumed *)
+  match peek_char lx with
+  | None -> error lx "unterminated escape"
+  | Some c ->
+      advance lx;
+      (match c with
+      | 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | '0' -> '\000'
+      | '\\' -> '\\' | '\'' -> '\'' | '"' -> '"'
+      | 'x' ->
+          let hex = Buffer.create 2 in
+          let rec go () =
+            match peek_char lx with
+            | Some c when is_hex c && Buffer.length hex < 2 ->
+                Buffer.add_char hex c; advance lx; go ()
+            | _ -> ()
+          in
+          go ();
+          if Buffer.length hex = 0 then error lx "empty \\x escape";
+          Char.chr (int_of_string ("0x" ^ Buffer.contents hex))
+      | c -> error lx (Printf.sprintf "unknown escape \\%c" c))
+
+let read_number lx =
+  let start = lx.pos in
+  let hex =
+    peek_char lx = Some '0' && (peek2 lx = Some 'x' || peek2 lx = Some 'X')
+  in
+  if hex then begin
+    advance lx; advance lx;
+    while (match peek_char lx with Some c -> is_hex c | None -> false) do
+      advance lx
+    done
+  end
+  else
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  (* integer suffixes: u/U ignored (the type system treats literals as int),
+     l/L widens the literal to long *)
+  let is_long = ref false in
+  while (match peek_char lx with
+         | Some ('u' | 'U' | 'l' | 'L') -> true
+         | _ -> false) do
+    (match peek_char lx with
+    | Some ('l' | 'L') -> is_long := true
+    | _ -> ());
+    advance lx
+  done;
+  match Int64.of_string_opt text with
+  | Some v -> if !is_long then Token.LONG_LIT v else Token.INT_LIT v
+  | None -> error lx ("bad integer literal " ^ text)
+
+let next (lx : t) : lexed =
+  skip_ws_comments lx;
+  let loc = loc_of lx in
+  let ret tok = { tok; loc } in
+  let one tok = advance lx; ret tok in
+  let two tok = advance lx; advance lx; ret tok in
+  match peek_char lx with
+  | None -> ret Token.EOF
+  | Some c when is_digit c -> ret (read_number lx)
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while (match peek_char lx with Some c -> is_ident_char c | None -> false)
+      do advance lx done;
+      let text = String.sub lx.src start (lx.pos - start) in
+      ret
+        (match List.assoc_opt text Token.keywords with
+        | Some kw -> kw
+        | None -> Token.IDENT text)
+  | Some '\'' ->
+      advance lx;
+      let c =
+        match peek_char lx with
+        | None -> error lx "unterminated char literal"
+        | Some '\\' -> advance lx; read_escape lx
+        | Some c -> advance lx; c
+      in
+      if peek_char lx <> Some '\'' then error lx "unterminated char literal";
+      advance lx;
+      ret (Token.CHAR_LIT c)
+  | Some '"' ->
+      advance lx;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek_char lx with
+        | None -> error lx "unterminated string literal"
+        | Some '"' -> advance lx
+        | Some '\\' -> advance lx; Buffer.add_char buf (read_escape lx); go ()
+        | Some c -> advance lx; Buffer.add_char buf c; go ()
+      in
+      go ();
+      ret (Token.STR_LIT (Buffer.contents buf))
+  | Some '(' -> one Token.LPAREN
+  | Some ')' -> one Token.RPAREN
+  | Some '{' -> one Token.LBRACE
+  | Some '}' -> one Token.RBRACE
+  | Some '[' -> one Token.LBRACKET
+  | Some ']' -> one Token.RBRACKET
+  | Some ';' -> one Token.SEMI
+  | Some ',' -> one Token.COMMA
+  | Some '?' -> one Token.QUESTION
+  | Some ':' -> one Token.COLON
+  | Some '~' -> one Token.TILDE
+  | Some '+' -> (
+      match peek2 lx with
+      | Some '+' -> two Token.PLUSPLUS
+      | Some '=' -> two Token.PLUS_ASSIGN
+      | _ -> one Token.PLUS)
+  | Some '-' -> (
+      match peek2 lx with
+      | Some '-' -> two Token.MINUSMINUS
+      | Some '=' -> two Token.MINUS_ASSIGN
+      | _ -> one Token.MINUS)
+  | Some '*' ->
+      if peek2 lx = Some '=' then two Token.STAR_ASSIGN else one Token.STAR
+  | Some '/' ->
+      if peek2 lx = Some '=' then two Token.SLASH_ASSIGN else one Token.SLASH
+  | Some '%' ->
+      if peek2 lx = Some '=' then two Token.PERCENT_ASSIGN else one Token.PERCENT
+  | Some '^' ->
+      if peek2 lx = Some '=' then two Token.CARET_ASSIGN else one Token.CARET
+  | Some '!' -> if peek2 lx = Some '=' then two Token.NEQ else one Token.BANG
+  | Some '=' -> if peek2 lx = Some '=' then two Token.EQEQ else one Token.ASSIGN
+  | Some '&' -> (
+      match peek2 lx with
+      | Some '&' -> two Token.AMPAMP
+      | Some '=' -> two Token.AMP_ASSIGN
+      | _ -> one Token.AMP)
+  | Some '|' -> (
+      match peek2 lx with
+      | Some '|' -> two Token.PIPEPIPE
+      | Some '=' -> two Token.PIPE_ASSIGN
+      | _ -> one Token.PIPE)
+  | Some '<' -> (
+      match peek2 lx with
+      | Some '<' ->
+          advance lx; advance lx;
+          if peek_char lx = Some '=' then begin
+            advance lx; ret Token.LSHIFT_ASSIGN
+          end
+          else ret Token.LSHIFT
+      | Some '=' -> two Token.LE
+      | _ -> one Token.LT)
+  | Some '>' -> (
+      match peek2 lx with
+      | Some '>' ->
+          advance lx; advance lx;
+          if peek_char lx = Some '=' then begin
+            advance lx; ret Token.RSHIFT_ASSIGN
+          end
+          else ret Token.RSHIFT
+      | Some '=' -> two Token.GE
+      | _ -> one Token.GT)
+  | Some c -> error lx (Printf.sprintf "unexpected character %C" c)
+
+(** Tokenize a whole source string. *)
+let tokenize src : lexed list =
+  let lx = create src in
+  let rec go acc =
+    let l = next lx in
+    if l.tok = Token.EOF then List.rev (l :: acc) else go (l :: acc)
+  in
+  go []

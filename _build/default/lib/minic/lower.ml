@@ -1,0 +1,532 @@
+(** Lowering of the typed tree to IR in {e memory form}.
+
+    Memory-form invariant: the only registers live across basic-block
+    boundaries are entry-block allocas.  Every local variable gets an alloca;
+    short-circuit operators and [?:] produce control flow whose value is
+    communicated through a temporary alloca; when a later operand of an
+    expression can branch, already-computed operands are spilled to
+    temporaries and reloaded afterwards.
+
+    Keeping [-O0] output maximally branchy mirrors clang -O0 and gives the
+    path-count baseline the paper's Table 1 starts from. *)
+
+open Sema
+module A = Ast
+module B = Overify_ir.Builder
+module Ir = Overify_ir.Ir
+
+exception Error of A.loc * string
+
+let err loc fmt = Printf.ksprintf (fun s -> raise (Error (loc, s))) fmt
+
+let rec ir_ty : A.cty -> Ir.ty = function
+  | A.CVoid -> Ir.Void
+  | A.CInt (A.W8, _) -> Ir.I8
+  | A.CInt (A.W16, _) -> Ir.I16
+  | A.CInt (A.W32, _) -> Ir.I32
+  | A.CInt (A.W64, _) -> Ir.I64
+  | A.CPtr _ -> Ir.Ptr
+  | A.CArr (t, n) -> Ir.Arr (ir_ty t, n)
+
+let is_signed = function A.CInt (_, s) -> s | _ -> false
+
+(* module-wide lowering state: interned string literals *)
+type mstate = {
+  strtbl : (string, string) Hashtbl.t;  (* content -> global name *)
+  mutable nstr : int;
+  mutable extra_globals : Ir.global list;
+}
+
+let intern_string ms s =
+  match Hashtbl.find_opt ms.strtbl s with
+  | Some name -> name
+  | None ->
+      let name = Printf.sprintf ".str.%d" ms.nstr in
+      ms.nstr <- ms.nstr + 1;
+      Hashtbl.replace ms.strtbl s name;
+      ms.extra_globals <-
+        {
+          Ir.gname = name;
+          gsize = String.length s + 1;
+          ginit = s ^ "\000";
+          gconst = true;
+        }
+        :: ms.extra_globals;
+      name
+
+(* per-function lowering state *)
+type ctx = {
+  b : B.t;
+  ms : mstate;
+  vars : (string, Ir.value) Hashtbl.t;  (* unique local name -> alloca *)
+  entry_allocas : (int, unit) Hashtbl.t;
+  mutable loops : (int * int) list;  (* (break target, continue target) *)
+  ret_ty : A.cty;
+}
+
+let entry_alloca ctx ty n =
+  let v = B.entry_alloca ctx.b ty n in
+  (match v with Ir.Reg r -> Hashtbl.replace ctx.entry_allocas r () | _ -> ());
+  v
+
+(** Can lowering this expression create new basic blocks? *)
+let rec may_branch (e : texpr) : bool =
+  match e.node with
+  | TAnd _ | TOr _ | TCond _ -> true
+  | TConst _ | TStr _ -> false
+  | TLoad lv | TAddr lv -> lval_may_branch lv
+  | TBin (_, a, b) | TPtrAdd (a, b, _) | TComma (a, b) ->
+      may_branch a || may_branch b
+  | TCmp (_, a, b) -> may_branch a || may_branch b
+  | TLogNot a | TCast (a, _) -> may_branch a
+  | TAssign (lv, r) -> lval_may_branch lv || may_branch r
+  | TAssignArith (lv, _, r, _) -> lval_may_branch lv || may_branch r
+  | TAssignPtr (lv, r, _) -> lval_may_branch lv || may_branch r
+  | TIncDec { lv; _ } -> lval_may_branch lv
+  | TCall (_, args) -> List.exists may_branch args
+
+and lval_may_branch = function
+  | LVar _ -> false
+  | LMem (a, _) -> may_branch a
+
+(** Return a thunk producing [v] in whatever block is current when the thunk
+    runs.  If evaluation of subsequent operands may branch and [v] is a
+    block-local register, spill it to a temporary now and reload then. *)
+let protect ctx ty (v : Ir.value) ~later_branches =
+  match v with
+  | Ir.Imm _ | Ir.Glob _ -> fun () -> v
+  | Ir.Reg r when Hashtbl.mem ctx.entry_allocas r -> fun () -> v
+  | Ir.Reg _ when not later_branches -> fun () -> v
+  | Ir.Reg _ ->
+      let slot = entry_alloca ctx ty 1 in
+      B.store ctx.b ty v slot;
+      fun () -> B.load ctx.b ty slot
+
+let zext_bool ctx (v : Ir.value) to_ty = B.cast ctx.b Ir.Zext to_ty v Ir.I1
+
+let rec lower_expr ctx (e : texpr) : Ir.value =
+  let loc = e.tloc in
+  match e.node with
+  | TConst v -> Ir.imm (ir_ty e.ty) v
+  | TStr s -> Ir.Glob (intern_string ctx.ms s)
+  | TLoad lv -> (
+      match e.ty with
+      | A.CArr _ -> err loc "internal: load of array value"
+      | _ ->
+          let addr = lower_lval ctx lv in
+          B.load ctx.b (ir_ty e.ty) addr)
+  | TAddr lv -> lower_lval ctx lv
+  | TBin (op, a, b) -> (
+      let ty = ir_ty e.ty in
+      match lower_many ctx [ a; b ] with
+      | [ va; vb ] -> B.bin ctx.b (ir_binop op (is_signed e.ty)) ty va vb
+      | _ -> assert false)
+  | TPtrAdd (p, idx, scale) -> (
+      match lower_many ctx [ p; idx ] with
+      | [ vp; vi ] -> B.gep ctx.b vp scale vi
+      | _ -> assert false)
+  | TCmp (rel, a, b) ->
+      let c = lower_cmp ctx rel a b in
+      zext_bool ctx c Ir.I32
+  | TLogNot a ->
+      let va = lower_expr ctx a in
+      let vty = ir_ty a.ty in
+      let c = B.cmp ctx.b Ir.Eq vty va (Ir.zero vty) in
+      zext_bool ctx c Ir.I32
+  | TAnd _ | TOr _ ->
+      (* materialize the short-circuit result through a temporary *)
+      lower_bool_value ctx e
+  | TCond (c, t, f) ->
+      let ty = ir_ty e.ty in
+      let slot = entry_alloca ctx ty 1 in
+      let lt = B.new_block ctx.b
+      and lf = B.new_block ctx.b
+      and lm = B.new_block ctx.b in
+      lower_branch ctx c lt lf;
+      B.switch_to ctx.b lt;
+      let vt = lower_expr ctx t in
+      B.store ctx.b ty vt slot;
+      B.term ctx.b (Ir.Br lm);
+      B.switch_to ctx.b lf;
+      let vf = lower_expr ctx f in
+      B.store ctx.b ty vf slot;
+      B.term ctx.b (Ir.Br lm);
+      B.switch_to ctx.b lm;
+      B.load ctx.b ty slot
+  | TAssign (lv, rhs) ->
+      let lty = ir_ty (lval_ty lv) in
+      let get_addr = lower_lval_protected ctx lv ~later:[ rhs ] in
+      let v = lower_expr ctx rhs in
+      B.store ctx.b lty v (get_addr ());
+      v
+  | TAssignArith (lv, op, rhs, opcty) ->
+      let lcty = lval_ty lv in
+      let lty = ir_ty lcty in
+      let opty = ir_ty opcty in
+      let get_addr = lower_lval_protected ctx lv ~later:[ rhs ] in
+      let vr = lower_expr ctx rhs in
+      let addr = get_addr () in
+      let old = B.load ctx.b lty addr in
+      let old' = lower_conversion ctx old lcty opcty in
+      let res = B.bin ctx.b (ir_binop op (is_signed opcty)) opty old' vr in
+      let res' = lower_conversion ctx res opcty lcty in
+      B.store ctx.b lty res' addr;
+      res'
+  | TAssignPtr (lv, idx, scale) ->
+      let get_addr = lower_lval_protected ctx lv ~later:[ idx ] in
+      let vi = lower_expr ctx idx in
+      let addr = get_addr () in
+      let old = B.load ctx.b Ir.Ptr addr in
+      let np = B.gep ctx.b old scale vi in
+      B.store ctx.b Ir.Ptr np addr;
+      np
+  | TIncDec { lv; pre; inc; scale } ->
+      let lcty = lval_ty lv in
+      let lty = ir_ty lcty in
+      let addr = lower_lval ctx lv in
+      let old = B.load ctx.b lty addr in
+      let nv =
+        if scale = 0 then
+          B.bin ctx.b (if inc then Ir.Add else Ir.Sub) lty old (Ir.one lty)
+        else
+          B.gep ctx.b old scale (Ir.imm Ir.I64 (if inc then 1L else -1L))
+      in
+      B.store ctx.b lty nv addr;
+      if pre then nv else old
+  | TCast (a, to_cty) ->
+      let v = lower_expr ctx a in
+      lower_conversion ~loc ctx v a.ty to_cty
+  | TCall (name, args) -> (
+      let rty = lookup_ret ctx name e.ty in
+      let vargs = lower_many ctx args in
+      match B.call ctx.b rty name vargs with
+      | Some v -> v
+      | None -> Ir.zero Ir.I32 (* void result; never used as a value *))
+  | TComma (a, b) ->
+      ignore (lower_expr ctx a);
+      lower_expr ctx b
+
+and lookup_ret _ctx _name cty = ir_ty cty
+
+and ir_binop (op : arith) signed : Ir.binop =
+  match op with
+  | AAdd -> Ir.Add | ASub -> Ir.Sub | AMul -> Ir.Mul
+  | ADiv -> if signed then Ir.Sdiv else Ir.Udiv
+  | AMod -> if signed then Ir.Srem else Ir.Urem
+  | AShl -> Ir.Shl
+  | AShr -> if signed then Ir.Ashr else Ir.Lshr
+  | AAnd -> Ir.And | AOr -> Ir.Or | AXor -> Ir.Xor
+
+and ir_cmp (rel : relop) signed : Ir.cmp =
+  match rel with
+  | REq -> Ir.Eq | RNe -> Ir.Ne
+  | RLt -> if signed then Ir.Slt else Ir.Ult
+  | RLe -> if signed then Ir.Sle else Ir.Ule
+  | RGt -> if signed then Ir.Sgt else Ir.Ugt
+  | RGe -> if signed then Ir.Sge else Ir.Uge
+
+(** Integer/pointer conversions.  IR types do not carry signedness, so a
+    same-width conversion is the identity; sign/zero extension is chosen by
+    the {e source} type, following C. *)
+and lower_conversion ?loc ctx v (from_cty : A.cty) (to_cty : A.cty) : Ir.value =
+  let loc = Option.value loc ~default:{ Lexer.line = 0; col = 0 } in
+  match (from_cty, to_cty) with
+  | (f, t) when ir_ty f = ir_ty t -> v
+  | (A.CInt _, A.CInt _) ->
+      let fi = ir_ty from_cty and ti = ir_ty to_cty in
+      let fb = Ir.bits_of_ty fi and tb = Ir.bits_of_ty ti in
+      let op =
+        if tb < fb then Ir.Trunc
+        else if is_signed from_cty then Ir.Sext
+        else Ir.Zext
+      in
+      (* fold constant conversions right here so that constant array indices
+         stay literal (SROA and the peeler pattern-match on them) *)
+      (match v with
+      | Ir.Imm (c, _) -> Ir.Imm (Ir.eval_cast op ti c fi, ti)
+      | _ -> B.cast ctx.b op ti v fi)
+  | (A.CInt _, (A.CPtr _ | A.CArr _)) -> (
+      match v with
+      | Ir.Imm (0L, _) -> Ir.Imm (0L, Ir.Ptr)
+      | _ -> err loc "integer-to-pointer casts are not supported")
+  | ((A.CPtr _ | A.CArr _), A.CInt _) ->
+      err loc "pointer-to-integer casts are not supported"
+  | (_, A.CVoid) -> v
+  | _ -> err loc "unsupported conversion"
+
+(** Lower a list of operands left to right, spilling earlier results when a
+    later operand can branch. *)
+and lower_many ctx (es : texpr list) : Ir.value list =
+  match es with
+  | [] -> []
+  | [ e ] -> [ lower_expr ctx e ]
+  | e :: rest ->
+      let later_branches = List.exists may_branch rest in
+      let v = lower_expr ctx e in
+      let get = protect ctx (ir_ty e.ty) v ~later_branches in
+      let vs = lower_many ctx rest in
+      get () :: vs
+
+and lower_lval ctx (lv : tlval) : Ir.value =
+  match lv with
+  | LVar (name, false, _) -> (
+      match Hashtbl.find_opt ctx.vars name with
+      | Some slot -> slot
+      | None -> failwith ("lower: unknown local " ^ name))
+  | LVar (name, true, _) -> Ir.Glob name
+  | LMem (addr, _) -> lower_expr ctx addr
+
+(** Lower an lvalue address and protect it against branching in [later]. *)
+and lower_lval_protected ctx lv ~later =
+  let branches = List.exists may_branch later in
+  let addr = lower_lval ctx lv in
+  protect ctx Ir.Ptr addr ~later_branches:branches
+
+(** Produce an [I1] for a comparison whose operands are already checked. *)
+and lower_cmp ctx rel a b : Ir.value =
+  let signed = is_signed a.ty in
+  let vty = ir_ty a.ty in
+  match lower_many ctx [ a; b ] with
+  | [ va; vb ] -> B.cmp ctx.b (ir_cmp rel signed) vty va vb
+  | _ -> assert false
+
+(** Lower a boolean-valued short-circuit expression by materializing 0/1
+    through a temporary (used when [&&]/[||] appears in value position). *)
+and lower_bool_value ctx (e : texpr) : Ir.value =
+  let slot = entry_alloca ctx Ir.I32 1 in
+  let lt = B.new_block ctx.b
+  and lf = B.new_block ctx.b
+  and lm = B.new_block ctx.b in
+  lower_branch ctx e lt lf;
+  B.switch_to ctx.b lt;
+  B.store ctx.b Ir.I32 (Ir.imm Ir.I32 1L) slot;
+  B.term ctx.b (Ir.Br lm);
+  B.switch_to ctx.b lf;
+  B.store ctx.b Ir.I32 (Ir.imm Ir.I32 0L) slot;
+  B.term ctx.b (Ir.Br lm);
+  B.switch_to ctx.b lm;
+  B.load ctx.b Ir.I32 slot
+
+(** Lower [e] as a condition: emit control flow ending with a conditional
+    branch to [ltrue]/[lfalse].  Short-circuit structure maps directly onto
+    the CFG, exactly like clang -O0. *)
+and lower_branch ctx (e : texpr) ltrue lfalse : unit =
+  match e.node with
+  | TAnd (a, b) ->
+      let lmid = B.new_block ctx.b in
+      lower_branch ctx a lmid lfalse;
+      B.switch_to ctx.b lmid;
+      lower_branch ctx b ltrue lfalse
+  | TOr (a, b) ->
+      let lmid = B.new_block ctx.b in
+      lower_branch ctx a ltrue lmid;
+      B.switch_to ctx.b lmid;
+      lower_branch ctx b ltrue lfalse
+  | TLogNot a -> lower_branch ctx a lfalse ltrue
+  | TCmp (rel, a, b) ->
+      let c = lower_cmp ctx rel a b in
+      B.term ctx.b (Ir.Cbr (c, ltrue, lfalse))
+  | TCond (c, t, f) ->
+      let lt = B.new_block ctx.b and lf = B.new_block ctx.b in
+      lower_branch ctx c lt lf;
+      B.switch_to ctx.b lt;
+      lower_branch ctx t ltrue lfalse;
+      B.switch_to ctx.b lf;
+      lower_branch ctx f ltrue lfalse
+  | TConst v ->
+      B.term ctx.b (Ir.Br (if v <> 0L then ltrue else lfalse))
+  | _ ->
+      let v = lower_expr ctx e in
+      let vty = ir_ty e.ty in
+      let c = B.cmp ctx.b Ir.Ne vty v (Ir.zero vty) in
+      B.term ctx.b (Ir.Cbr (c, ltrue, lfalse))
+
+(* ---------------- statements ---------------- *)
+
+let ensure_open ctx =
+  (* after a return/break, remaining source statements are unreachable; give
+     them a fresh block that dead-code elimination will drop *)
+  if B.is_terminated ctx.b then begin
+    let l = B.new_block ctx.b in
+    B.switch_to ctx.b l
+  end
+
+let rec lower_stmts ctx (ss : tstmt list) : unit =
+  List.iter
+    (fun s ->
+      ensure_open ctx;
+      lower_stmt ctx s)
+    ss
+
+and lower_stmt ctx (s : tstmt) : unit =
+  match s with
+  | TSexpr e -> ignore (lower_expr ctx e)
+  | TSdecl d -> lower_decl ctx d
+  | TSif (c, th, el) ->
+      let lt = B.new_block ctx.b and lm = B.new_block ctx.b in
+      let lf = if el = [] then lm else B.new_block ctx.b in
+      lower_branch ctx c lt lf;
+      B.switch_to ctx.b lt;
+      lower_stmts ctx th;
+      B.term ctx.b (Ir.Br lm);
+      if el <> [] then begin
+        B.switch_to ctx.b lf;
+        lower_stmts ctx el;
+        B.term ctx.b (Ir.Br lm)
+      end;
+      B.switch_to ctx.b lm
+  | TSwhile (c, body) ->
+      let lhead = B.new_block ctx.b
+      and lbody = B.new_block ctx.b
+      and lexit = B.new_block ctx.b in
+      B.term ctx.b (Ir.Br lhead);
+      B.switch_to ctx.b lhead;
+      lower_branch ctx c lbody lexit;
+      B.switch_to ctx.b lbody;
+      ctx.loops <- (lexit, lhead) :: ctx.loops;
+      lower_stmts ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      B.term ctx.b (Ir.Br lhead);
+      B.switch_to ctx.b lexit
+  | TSdo (body, c) ->
+      let lbody = B.new_block ctx.b
+      and lcond = B.new_block ctx.b
+      and lexit = B.new_block ctx.b in
+      B.term ctx.b (Ir.Br lbody);
+      B.switch_to ctx.b lbody;
+      ctx.loops <- (lexit, lcond) :: ctx.loops;
+      lower_stmts ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      B.term ctx.b (Ir.Br lcond);
+      B.switch_to ctx.b lcond;
+      lower_branch ctx c lbody lexit;
+      B.switch_to ctx.b lexit
+  | TSfor (init, cond, step, body) ->
+      lower_stmts ctx init;
+      ensure_open ctx;
+      let lhead = B.new_block ctx.b
+      and lbody = B.new_block ctx.b
+      and lstep = B.new_block ctx.b
+      and lexit = B.new_block ctx.b in
+      B.term ctx.b (Ir.Br lhead);
+      B.switch_to ctx.b lhead;
+      (match cond with
+      | Some c -> lower_branch ctx c lbody lexit
+      | None -> B.term ctx.b (Ir.Br lbody));
+      B.switch_to ctx.b lbody;
+      ctx.loops <- (lexit, lstep) :: ctx.loops;
+      lower_stmts ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      B.term ctx.b (Ir.Br lstep);
+      B.switch_to ctx.b lstep;
+      (match step with Some e -> ignore (lower_expr ctx e) | None -> ());
+      B.term ctx.b (Ir.Br lhead);
+      B.switch_to ctx.b lexit
+  | TSbreak -> (
+      match ctx.loops with
+      | (lexit, _) :: _ -> B.term ctx.b (Ir.Br lexit)
+      | [] -> failwith "lower: break outside loop")
+  | TScontinue -> (
+      match ctx.loops with
+      | (_, lcont) :: _ -> B.term ctx.b (Ir.Br lcont)
+      | [] -> failwith "lower: continue outside loop")
+  | TSreturn None -> B.term ctx.b (Ir.Ret None)
+  | TSreturn (Some e) ->
+      let v = lower_expr ctx e in
+      B.term ctx.b (Ir.Ret (Some v))
+
+and lower_decl ctx (d : tdecl) : unit =
+  match d.td_ty with
+  | A.CArr (elt, n) -> (
+      let ety = ir_ty elt in
+      let slot = entry_alloca ctx ety n in
+      Hashtbl.replace ctx.vars d.td_name slot;
+      let esize = A.sizeof_cty elt in
+      match d.td_init with
+      | None -> ()
+      | Some (TIlist es) ->
+          List.iteri
+            (fun i e ->
+              let v = lower_expr ctx e in
+              let addr = B.gep ctx.b slot esize (Ir.imm Ir.I64 (Int64.of_int i)) in
+              B.store ctx.b ety v addr)
+            es;
+          (* zero-fill the rest, as C does for partially initialized arrays *)
+          for i = List.length es to n - 1 do
+            let addr = B.gep ctx.b slot esize (Ir.imm Ir.I64 (Int64.of_int i)) in
+            B.store ctx.b ety (Ir.zero ety) addr
+          done
+      | Some (TIstr s) ->
+          String.iteri
+            (fun i c ->
+              let addr = B.gep ctx.b slot 1 (Ir.imm Ir.I64 (Int64.of_int i)) in
+              B.store ctx.b Ir.I8 (Ir.imm Ir.I8 (Int64.of_int (Char.code c))) addr)
+            s;
+          for i = String.length s to n - 1 do
+            let addr = B.gep ctx.b slot 1 (Ir.imm Ir.I64 (Int64.of_int i)) in
+            B.store ctx.b Ir.I8 (Ir.zero Ir.I8) addr
+          done
+      | Some (TIexpr _) -> failwith "lower: scalar initializer for array")
+  | _ ->
+      let ty = ir_ty d.td_ty in
+      let slot = entry_alloca ctx ty 1 in
+      Hashtbl.replace ctx.vars d.td_name slot;
+      (match d.td_init with
+      | Some (TIexpr e) ->
+          let v = lower_expr ctx e in
+          B.store ctx.b ty v slot
+      | Some (TIlist _ | TIstr _) -> failwith "lower: list init for scalar"
+      | None -> ())
+
+(* ---------------- functions and programs ---------------- *)
+
+let lower_func ms (tf : tfunc) : Ir.func =
+  let b =
+    B.create ~name:tf.tf_name
+      ~params:(List.map (fun (ty, _) -> ir_ty ty) tf.tf_params)
+      ~ret:(ir_ty tf.tf_ret)
+  in
+  let ctx =
+    {
+      b;
+      ms;
+      vars = Hashtbl.create 16;
+      entry_allocas = Hashtbl.create 16;
+      loops = [];
+      ret_ty = tf.tf_ret;
+    }
+  in
+  (* spill parameters into allocas so they are ordinary mutable locals *)
+  List.iter2
+    (fun preg (cty, name) ->
+      let ty = ir_ty cty in
+      let slot = entry_alloca ctx ty 1 in
+      B.store ctx.b ty (Ir.Reg preg) slot;
+      Hashtbl.replace ctx.vars name slot)
+    (B.param_regs b) tf.tf_params;
+  lower_stmts ctx tf.tf_body;
+  (* implicit return *)
+  if not (B.is_terminated b) then
+    B.term b
+      (match tf.tf_ret with
+      | A.CVoid -> Ir.Ret None
+      | t -> Ir.Ret (Some (Ir.zero (ir_ty t))));
+  B.finish b
+
+let lower_prog (tp : tprog) : Ir.modul =
+  let ms =
+    { strtbl = Hashtbl.create 16; nstr = 0; extra_globals = [] }
+  in
+  let funcs = List.map (lower_func ms) tp.tp_funcs in
+  let globals =
+    List.map
+      (fun g ->
+        {
+          Ir.gname = g.tg_name;
+          gsize = A.sizeof_cty g.tg_ty;
+          ginit = g.tg_image;
+          gconst = g.tg_const;
+        })
+      tp.tp_globals
+  in
+  { Ir.globals = globals @ List.rev ms.extra_globals; funcs }

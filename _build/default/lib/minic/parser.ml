@@ -1,0 +1,461 @@
+(** Recursive-descent parser for MiniC with precedence-climbing expression
+    parsing (precedence table matches C). *)
+
+open Ast
+
+exception Error of loc * string
+
+type t = { toks : Lexer.lexed array; mutable pos : int }
+
+let make toks = { toks = Array.of_list toks; pos = 0 }
+
+let cur p = p.toks.(p.pos).Lexer.tok
+let cur_loc p = p.toks.(p.pos).Lexer.loc
+
+let peek_ahead p n =
+  let i = p.pos + n in
+  if i < Array.length p.toks then p.toks.(i).Lexer.tok else Token.EOF
+
+let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
+
+let error p msg = raise (Error (cur_loc p, msg))
+
+let expect p tok =
+  if cur p = tok then advance p
+  else
+    error p
+      (Printf.sprintf "expected '%s' but found '%s'" (Token.to_string tok)
+         (Token.to_string (cur p)))
+
+let accept p tok = if cur p = tok then (advance p; true) else false
+
+(* ---------------- types ---------------- *)
+
+let starts_type p =
+  match cur p with
+  | Token.KW_VOID | Token.KW_CHAR | Token.KW_SHORT | Token.KW_INT
+  | Token.KW_LONG | Token.KW_UNSIGNED | Token.KW_SIGNED | Token.KW_CONST ->
+      true
+  | _ -> false
+
+(** Parse a type specifier: [const]? [signed|unsigned]? base, then [*]*.
+    (We accept C's flexible keyword order for the common cases.) *)
+let parse_base_type p : cty =
+  let signedness = ref None in
+  let base = ref None in
+  let progress = ref true in
+  while !progress do
+    progress := true;
+    match cur p with
+    | Token.KW_CONST -> advance p
+    | Token.KW_UNSIGNED -> signedness := Some false; advance p
+    | Token.KW_SIGNED -> signedness := Some true; advance p
+    | Token.KW_VOID -> base := Some CVoid; advance p
+    | Token.KW_CHAR -> base := Some (CInt (W8, true)); advance p
+    | Token.KW_SHORT ->
+        advance p;
+        ignore (accept p Token.KW_INT);
+        base := Some (CInt (W16, true))
+    | Token.KW_INT -> base := Some (CInt (W32, true)); advance p
+    | Token.KW_LONG ->
+        advance p;
+        ignore (accept p Token.KW_LONG);
+        ignore (accept p Token.KW_INT);
+        base := Some (CInt (W64, true))
+    | _ -> progress := false
+  done;
+  let t =
+    match (!base, !signedness) with
+    | (Some CVoid, _) -> CVoid
+    | (Some (CInt (w, _)), Some s) -> CInt (w, s)
+    | (Some (CInt (w, s)), None) -> CInt (w, s)
+    | (Some t, _) -> t
+    | (None, Some s) -> CInt (W32, s)  (* bare "unsigned" / "signed" *)
+    | (None, None) -> error p "expected type"
+  in
+  let t = ref t in
+  while accept p Token.STAR do
+    ignore (accept p Token.KW_CONST);
+    t := CPtr !t
+  done;
+  !t
+
+(* ---------------- expressions ---------------- *)
+
+let prec_of = function
+  | Token.STAR | Token.SLASH | Token.PERCENT -> 13
+  | Token.PLUS | Token.MINUS -> 12
+  | Token.LSHIFT | Token.RSHIFT -> 11
+  | Token.LT | Token.GT | Token.LE | Token.GE -> 10
+  | Token.EQEQ | Token.NEQ -> 9
+  | Token.AMP -> 8
+  | Token.CARET -> 7
+  | Token.PIPE -> 6
+  | Token.AMPAMP -> 5
+  | Token.PIPEPIPE -> 4
+  | _ -> 0
+
+let binop_of = function
+  | Token.STAR -> Bmul | Token.SLASH -> Bdiv | Token.PERCENT -> Bmod
+  | Token.PLUS -> Badd | Token.MINUS -> Bsub
+  | Token.LSHIFT -> Bshl | Token.RSHIFT -> Bshr
+  | Token.LT -> Blt | Token.GT -> Bgt | Token.LE -> Ble | Token.GE -> Bge
+  | Token.EQEQ -> Beq | Token.NEQ -> Bne
+  | Token.AMP -> Band | Token.CARET -> Bxor | Token.PIPE -> Bor
+  | Token.AMPAMP -> Bland | Token.PIPEPIPE -> Blor
+  | _ -> invalid_arg "binop_of"
+
+let assign_op_of = function
+  | Token.ASSIGN -> Some None
+  | Token.PLUS_ASSIGN -> Some (Some Badd)
+  | Token.MINUS_ASSIGN -> Some (Some Bsub)
+  | Token.STAR_ASSIGN -> Some (Some Bmul)
+  | Token.SLASH_ASSIGN -> Some (Some Bdiv)
+  | Token.PERCENT_ASSIGN -> Some (Some Bmod)
+  | Token.AMP_ASSIGN -> Some (Some Band)
+  | Token.PIPE_ASSIGN -> Some (Some Bor)
+  | Token.CARET_ASSIGN -> Some (Some Bxor)
+  | Token.LSHIFT_ASSIGN -> Some (Some Bshl)
+  | Token.RSHIFT_ASSIGN -> Some (Some Bshr)
+  | _ -> None
+
+let rec parse_expr p : expr = parse_comma p
+
+and parse_comma p =
+  let loc = cur_loc p in
+  let e = parse_assign p in
+  if cur p = Token.COMMA then begin
+    advance p;
+    let rest = parse_comma p in
+    { e = Comma (e, rest); eloc = loc }
+  end
+  else e
+
+(** Assignment expression (no top-level comma). *)
+and parse_assign p =
+  let loc = cur_loc p in
+  let lhs = parse_ternary p in
+  match assign_op_of (cur p) with
+  | Some op ->
+      advance p;
+      let rhs = parse_assign p in
+      { e = Assign (op, lhs, rhs); eloc = loc }
+  | None -> lhs
+
+and parse_ternary p =
+  let loc = cur_loc p in
+  let c = parse_binary p 1 in
+  if accept p Token.QUESTION then begin
+    let t = parse_assign p in
+    expect p Token.COLON;
+    let f = parse_ternary p in
+    { e = Cond (c, t, f); eloc = loc }
+  end
+  else c
+
+and parse_binary p min_prec =
+  let lhs = ref (parse_unary p) in
+  let continue = ref true in
+  while !continue do
+    let prec = prec_of (cur p) in
+    if prec >= min_prec && prec > 0 then begin
+      let op = binop_of (cur p) in
+      let loc = cur_loc p in
+      advance p;
+      let rhs = parse_binary p (prec + 1) in
+      lhs := { e = Bin (op, !lhs, rhs); eloc = loc }
+    end
+    else continue := false
+  done;
+  !lhs
+
+and parse_unary p =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.MINUS -> advance p; { e = Un (Neg, parse_unary p); eloc = loc }
+  | Token.BANG -> advance p; { e = Un (LogNot, parse_unary p); eloc = loc }
+  | Token.TILDE -> advance p; { e = Un (BitNot, parse_unary p); eloc = loc }
+  | Token.STAR -> advance p; { e = Un (Deref, parse_unary p); eloc = loc }
+  | Token.AMP -> advance p; { e = Un (Addr, parse_unary p); eloc = loc }
+  | Token.PLUS -> advance p; parse_unary p
+  | Token.PLUSPLUS ->
+      advance p;
+      { e = IncDec { pre = true; inc = true; arg = parse_unary p }; eloc = loc }
+  | Token.MINUSMINUS ->
+      advance p;
+      { e = IncDec { pre = true; inc = false; arg = parse_unary p }; eloc = loc }
+  | Token.KW_SIZEOF ->
+      advance p;
+      if cur p = Token.LPAREN && starts_type { p with pos = p.pos + 1 } then begin
+        expect p Token.LPAREN;
+        let ty = parse_base_type p in
+        expect p Token.RPAREN;
+        { e = SizeofT ty; eloc = loc }
+      end
+      else
+        let arg = parse_unary p in
+        ignore arg;
+        error p "sizeof of expressions is not supported; use sizeof(type)"
+  | Token.LPAREN when starts_type { p with pos = p.pos + 1 } ->
+      (* cast *)
+      expect p Token.LPAREN;
+      let ty = parse_base_type p in
+      expect p Token.RPAREN;
+      { e = CastE (ty, parse_unary p); eloc = loc }
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let loc = cur_loc p in
+  let e = ref (parse_primary p) in
+  let continue = ref true in
+  while !continue do
+    match cur p with
+    | Token.LBRACKET ->
+        advance p;
+        let idx = parse_expr p in
+        expect p Token.RBRACKET;
+        e := { e = Index (!e, idx); eloc = loc }
+    | Token.PLUSPLUS ->
+        advance p;
+        e := { e = IncDec { pre = false; inc = true; arg = !e }; eloc = loc }
+    | Token.MINUSMINUS ->
+        advance p;
+        e := { e = IncDec { pre = false; inc = false; arg = !e }; eloc = loc }
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary p =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.INT_LIT v -> advance p; { e = IntLit v; eloc = loc }
+  | Token.LONG_LIT v -> advance p; { e = LongLit v; eloc = loc }
+  | Token.CHAR_LIT c -> advance p; { e = CharLit c; eloc = loc }
+  | Token.STR_LIT s -> advance p; { e = StrLit s; eloc = loc }
+  | Token.IDENT name ->
+      advance p;
+      if cur p = Token.LPAREN then begin
+        advance p;
+        let args = ref [] in
+        if cur p <> Token.RPAREN then begin
+          args := [ parse_assign p ];
+          while accept p Token.COMMA do args := parse_assign p :: !args done
+        end;
+        expect p Token.RPAREN;
+        { e = Call (name, List.rev !args); eloc = loc }
+      end
+      else { e = Ident name; eloc = loc }
+  | Token.LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      e
+  | t -> error p ("expected expression, found '" ^ Token.to_string t ^ "'")
+
+(* ---------------- declarations ---------------- *)
+
+(** Parse declarators after a base type: [name ([N])? (= init)? (, ...)*]. *)
+and parse_declarators p base : decl list =
+  let one () =
+    let ty = ref base in
+    while accept p Token.STAR do ty := CPtr !ty done;
+    let name =
+      match cur p with
+      | Token.IDENT n -> advance p; n
+      | _ -> error p "expected identifier in declaration"
+    in
+    (* array suffixes, innermost last: int a[2][3] -> CArr (CArr (int,3), 2) *)
+    let dims = ref [] in
+    while accept p Token.LBRACKET do
+      (match cur p with
+      | Token.INT_LIT n ->
+          advance p;
+          dims := Int64.to_int n :: !dims
+      | _ -> error p "array dimension must be an integer literal");
+      expect p Token.RBRACKET
+    done;
+    let ty = List.fold_left (fun acc n -> CArr (acc, n)) !ty !dims in
+    let init =
+      if accept p Token.ASSIGN then
+        Some
+          (match cur p with
+          | Token.LBRACE ->
+              advance p;
+              let items = ref [] in
+              if cur p <> Token.RBRACE then begin
+                items := [ parse_assign p ];
+                while accept p Token.COMMA do
+                  if cur p <> Token.RBRACE then
+                    items := parse_assign p :: !items
+                done
+              end;
+              expect p Token.RBRACE;
+              Ilist (List.rev !items)
+          | Token.STR_LIT s when (match ty with CArr _ -> true | _ -> false) ->
+              advance p;
+              Istr s
+          | _ -> Iexpr (parse_assign p))
+      else None
+    in
+    { dty = ty; dname = name; dinit = init }
+  in
+  let ds = ref [ one () ] in
+  while accept p Token.COMMA do ds := one () :: !ds done;
+  List.rev !ds
+
+(* ---------------- statements ---------------- *)
+
+and parse_stmt p : stmt =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.LBRACE ->
+      advance p;
+      let stmts = ref [] in
+      while cur p <> Token.RBRACE do stmts := parse_stmt p :: !stmts done;
+      expect p Token.RBRACE;
+      { s = Sblock (List.rev !stmts); sloc = loc }
+  | Token.KW_IF ->
+      advance p;
+      expect p Token.LPAREN;
+      let c = parse_expr p in
+      expect p Token.RPAREN;
+      let th = parse_stmt p in
+      let el = if accept p Token.KW_ELSE then Some (parse_stmt p) else None in
+      { s = Sif (c, th, el); sloc = loc }
+  | Token.KW_WHILE ->
+      advance p;
+      expect p Token.LPAREN;
+      let c = parse_expr p in
+      expect p Token.RPAREN;
+      { s = Swhile (c, parse_stmt p); sloc = loc }
+  | Token.KW_DO ->
+      advance p;
+      let body = parse_stmt p in
+      expect p Token.KW_WHILE;
+      expect p Token.LPAREN;
+      let c = parse_expr p in
+      expect p Token.RPAREN;
+      expect p Token.SEMI;
+      { s = Sdo (body, c); sloc = loc }
+  | Token.KW_FOR ->
+      advance p;
+      expect p Token.LPAREN;
+      let init =
+        if cur p = Token.SEMI then None
+        else if starts_type p then begin
+          let base = parse_base_type p in
+          Some (FDecl (parse_declarators p base))
+        end
+        else Some (FExpr (parse_expr p))
+      in
+      expect p Token.SEMI;
+      let cond = if cur p = Token.SEMI then None else Some (parse_expr p) in
+      expect p Token.SEMI;
+      let step = if cur p = Token.RPAREN then None else Some (parse_expr p) in
+      expect p Token.RPAREN;
+      { s = Sfor (init, cond, step, parse_stmt p); sloc = loc }
+  | Token.KW_BREAK ->
+      advance p; expect p Token.SEMI; { s = Sbreak; sloc = loc }
+  | Token.KW_CONTINUE ->
+      advance p; expect p Token.SEMI; { s = Scontinue; sloc = loc }
+  | Token.KW_RETURN ->
+      advance p;
+      let v = if cur p = Token.SEMI then None else Some (parse_expr p) in
+      expect p Token.SEMI;
+      { s = Sreturn v; sloc = loc }
+  | Token.SEMI -> advance p; { s = Sblock []; sloc = loc }
+  | _ when starts_type p ->
+      let base = parse_base_type p in
+      let ds = parse_declarators p base in
+      expect p Token.SEMI;
+      { s = Sdecl ds; sloc = loc }
+  | _ ->
+      let e = parse_expr p in
+      expect p Token.SEMI;
+      { s = Sexpr e; sloc = loc }
+
+(* ---------------- top level ---------------- *)
+
+let parse_top p : top =
+  let base = parse_base_type p in
+  let name =
+    match cur p with
+    | Token.IDENT n -> advance p; n
+    | _ -> error p "expected identifier at top level"
+  in
+  if cur p = Token.LPAREN then begin
+    advance p;
+    let params = ref [] in
+    if cur p = Token.KW_VOID && peek_ahead p 1 = Token.RPAREN then advance p
+    else if cur p <> Token.RPAREN then begin
+      let one () =
+        let ty = parse_base_type p in
+        let pname =
+          match cur p with
+          | Token.IDENT n -> advance p; n
+          | _ -> error p "expected parameter name"
+        in
+        (* array parameters decay to pointers *)
+        let ty = ref ty in
+        while accept p Token.LBRACKET do
+          (match cur p with
+          | Token.INT_LIT _ -> advance p
+          | _ -> ());
+          expect p Token.RBRACKET;
+          ty := CPtr !ty
+        done;
+        (!ty, pname)
+      in
+      params := [ one () ];
+      while accept p Token.COMMA do params := one () :: !params done
+    end;
+    expect p Token.RPAREN;
+    let params = List.rev !params in
+    if accept p Token.SEMI then
+      Tproto { pret = base; pname = name; pparams = List.map fst params }
+    else begin
+      let body = parse_stmt p in
+      Tfunc { fret = base; fname = name; fparams = params; fbody = body }
+    end
+  end
+  else begin
+    (* global variable(s): re-parse declarators, first name already consumed *)
+    let ty = ref base in
+    let dims = ref [] in
+    while accept p Token.LBRACKET do
+      (match cur p with
+      | Token.INT_LIT n -> advance p; dims := Int64.to_int n :: !dims
+      | _ -> error p "array dimension must be an integer literal");
+      expect p Token.RBRACKET
+    done;
+    let ty = List.fold_left (fun acc n -> CArr (acc, n)) !ty !dims in
+    let init =
+      if accept p Token.ASSIGN then
+        Some
+          (match cur p with
+          | Token.LBRACE ->
+              advance p;
+              let items = ref [] in
+              if cur p <> Token.RBRACE then begin
+                items := [ parse_assign p ];
+                while accept p Token.COMMA do
+                  if cur p <> Token.RBRACE then
+                    items := parse_assign p :: !items
+                done
+              end;
+              expect p Token.RBRACE;
+              Ilist (List.rev !items)
+          | Token.STR_LIT s -> advance p; Istr s
+          | _ -> Iexpr (parse_assign p))
+      else None
+    in
+    expect p Token.SEMI;
+    Tglobal { dty = ty; dname = name; dinit = init }
+  end
+
+(** Parse a whole translation unit. *)
+let parse_program (src : string) : program =
+  let p = make (Lexer.tokenize src) in
+  let tops = ref [] in
+  while cur p <> Token.EOF do tops := parse_top p :: !tops done;
+  List.rev !tops

@@ -1,0 +1,685 @@
+(** Type checking and elaboration of MiniC into a typed tree.
+
+    The typed tree makes every implicit C behaviour explicit so that lowering
+    is a mechanical translation: integer promotions and usual arithmetic
+    conversions become [TCast]s, pointer arithmetic carries its scale,
+    compound assignments and increments carry the evaluated lvalue. *)
+
+open Ast
+
+exception Error of loc * string
+
+let err loc fmt = Printf.ksprintf (fun s -> raise (Error (loc, s))) fmt
+
+(* ---------------- typed tree ---------------- *)
+
+type tlval =
+  | LVar of string * bool * cty  (** name, is_global, variable type *)
+  | LMem of texpr * cty          (** address, pointee type *)
+
+(** Arithmetic operators on matching-width integer operands; signedness is
+    taken from the result type. *)
+and arith = AAdd | ASub | AMul | ADiv | AMod | AShl | AShr | AAnd | AOr | AXor
+
+and relop = REq | RNe | RLt | RLe | RGt | RGe
+
+and texpr = { ty : cty; node : tnode; tloc : loc }
+
+and tnode =
+  | TConst of int64
+  | TStr of string                       (** char* pointing at a literal *)
+  | TLoad of tlval
+  | TAddr of tlval
+  | TBin of arith * texpr * texpr        (** both operands have type [ty] *)
+  | TPtrAdd of texpr * texpr * int       (** base, index (i64), byte scale *)
+  | TCmp of relop * texpr * texpr        (** result int; same-typed operands *)
+  | TLogNot of texpr                     (** !e, result int *)
+  | TAnd of texpr * texpr                (** short-circuit, result int *)
+  | TOr of texpr * texpr
+  | TCond of texpr * texpr * texpr
+  | TAssign of tlval * texpr             (** rhs already converted *)
+  | TAssignArith of tlval * arith * texpr * cty
+      (** [lv op= rhs]: compute in type [cty], store back converted *)
+  | TAssignPtr of tlval * texpr * int    (** pointer [p += idx*scale] *)
+  | TIncDec of { lv : tlval; pre : bool; inc : bool; scale : int }
+      (** [scale = 0] for integers, element size for pointers *)
+  | TCast of texpr * cty                 (** value conversion to [ty] *)
+  | TCall of string * texpr list
+  | TComma of texpr * texpr
+
+type tstmt =
+  | TSexpr of texpr
+  | TSdecl of tdecl
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list        (** also encodes [for] after elab *)
+  | TSdo of tstmt list * texpr
+  | TSfor of tstmt list * texpr option * texpr option * tstmt list
+  | TSbreak
+  | TScontinue
+  | TSreturn of texpr option
+
+and tdecl = {
+  td_name : string;
+  td_ty : cty;
+  td_init : tinit option;
+}
+
+and tinit =
+  | TIexpr of texpr
+  | TIlist of texpr list  (** element-typed, zero-filled to array length *)
+  | TIstr of string
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : cty;
+  tf_params : (cty * string) list;
+  tf_body : tstmt list;
+}
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : cty;
+  tg_image : string;  (** initial byte image, little-endian *)
+  tg_const : bool;
+}
+
+type tprog = {
+  tp_globals : tglobal list;
+  tp_funcs : tfunc list;
+}
+
+(* ---------------- environments ---------------- *)
+
+type funsig = { fs_ret : cty; fs_params : cty list }
+
+type env = {
+  funs : (string, funsig) Hashtbl.t;
+  globals : (string, cty) Hashtbl.t;
+  mutable scopes : (string, string * cty) Hashtbl.t list;
+      (** source name -> (unique name, type); locals are alpha-renamed so
+          that lowering can key purely on the unique name *)
+  mutable ret_ty : cty;
+  mutable uid : int;
+}
+
+let intrinsic_sigs =
+  [
+    ("__input", { fs_ret = c_int; fs_params = [ c_int ] });
+    ("__input_size", { fs_ret = c_int; fs_params = [] });
+    ("__output", { fs_ret = CVoid; fs_params = [ c_int ] });
+    ("__abort", { fs_ret = CVoid; fs_params = [] });
+    ("__assert", { fs_ret = CVoid; fs_params = [ c_int ] });
+  ]
+
+(** Resolve a variable to (unique name, type, is_global). *)
+let lookup_var env loc name =
+  let rec in_scopes = function
+    | [] -> None
+    | s :: rest -> (
+        match Hashtbl.find_opt s name with
+        | Some (u, t) -> Some (u, t, false)
+        | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some r -> r
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some t -> (name, t, true)
+      | None -> err loc "unknown variable %s" name)
+
+(* ---------------- type algebra ---------------- *)
+
+let is_integer = function CInt _ -> true | CVoid | CPtr _ | CArr _ -> false
+let is_pointerish = function CPtr _ | CArr _ -> true | CVoid | CInt _ -> false
+
+let width_rank = function W8 -> 1 | W16 -> 2 | W32 -> 3 | W64 -> 4
+
+(** C integer promotion: anything narrower than int becomes int. *)
+let promote = function
+  | CInt (w, _) when width_rank w < width_rank W32 -> c_int
+  | t -> t
+
+(** Usual arithmetic conversions over promoted integer operands. *)
+let common_int loc a b =
+  match (promote a, promote b) with
+  | (CInt (wa, sa), CInt (wb, sb)) ->
+      if width_rank wa > width_rank wb then CInt (wa, sa)
+      else if width_rank wb > width_rank wa then CInt (wb, sb)
+      else CInt (wa, sa && sb)
+  | _ -> err loc "expected integer operands"
+
+(** Decay arrays to pointers; the given texpr must denote an lvalue whose
+    address is meaningful. *)
+let decay (e : texpr) : texpr =
+  match (e.ty, e.node) with
+  | (CArr (elt, _), TLoad lv) -> { e with ty = CPtr elt; node = TAddr lv }
+  | (CArr (elt, _), _) -> { e with ty = CPtr elt }
+  | _ -> e
+
+(** Insert a conversion of [e] to type [want] (no-op when equal). *)
+let convert loc (e : texpr) want =
+  if e.ty = want then e
+  else
+    match (e.ty, want) with
+    | (CInt _, CInt _) -> { ty = want; node = TCast (e, want); tloc = loc }
+    | (CInt _, CPtr _) -> { ty = want; node = TCast (e, want); tloc = loc }
+    | (CPtr _, CInt _) -> { ty = want; node = TCast (e, want); tloc = loc }
+    | (CPtr _, CPtr _) -> { e with ty = want }
+    | _ ->
+        err loc "cannot convert %s to %s" (string_of_cty e.ty)
+          (string_of_cty want)
+
+let elem_size loc = function
+  | CPtr t ->
+      let s = sizeof_cty t in
+      if s = 0 then err loc "arithmetic on void pointer" else s
+  | t -> err loc "expected pointer, got %s" (string_of_cty t)
+
+let arith_of_binop loc = function
+  | Badd -> AAdd | Bsub -> ASub | Bmul -> AMul | Bdiv -> ADiv | Bmod -> AMod
+  | Bshl -> AShl | Bshr -> AShr | Band -> AAnd | Bor -> AOr | Bxor -> AXor
+  | _ -> err loc "not an arithmetic operator"
+
+let relop_of_binop = function
+  | Blt -> Some RLt | Bgt -> Some RGt | Ble -> Some RLe | Bge -> Some RGe
+  | Beq -> Some REq | Bne -> Some RNe
+  | _ -> None
+
+(* ---------------- constant evaluation (for initializers) ---------------- *)
+
+let rec const_eval (e : expr) : int64 option =
+  match e.e with
+  | IntLit v | LongLit v -> Some v
+  | CharLit c -> Some (Int64.of_int (Char.code c))
+  | SizeofT t -> Some (Int64.of_int (sizeof_cty t))
+  | Un (Neg, a) -> Option.map Int64.neg (const_eval a)
+  | Un (BitNot, a) -> Option.map Int64.lognot (const_eval a)
+  | Un (LogNot, a) ->
+      Option.map (fun v -> if v = 0L then 1L else 0L) (const_eval a)
+  | CastE (CInt (w, signed), a) ->
+      Option.map
+        (fun v ->
+          let bits = 8 * sizeof_cty (CInt (w, signed)) in
+          if bits >= 64 then v
+          else
+            let m = Int64.sub (Int64.shift_left 1L bits) 1L in
+            let v = Int64.logand v m in
+            if signed then
+              let shift = 64 - bits in
+              Int64.shift_right (Int64.shift_left v shift) shift
+            else v)
+        (const_eval a)
+  | Bin (op, a, b) -> (
+      match (const_eval a, const_eval b) with
+      | (Some va, Some vb) -> (
+          match op with
+          | Badd -> Some (Int64.add va vb)
+          | Bsub -> Some (Int64.sub va vb)
+          | Bmul -> Some (Int64.mul va vb)
+          | Bdiv -> if vb = 0L then None else Some (Int64.div va vb)
+          | Bmod -> if vb = 0L then None else Some (Int64.rem va vb)
+          | Bshl -> Some (Int64.shift_left va (Int64.to_int vb land 63))
+          | Bshr -> Some (Int64.shift_right va (Int64.to_int vb land 63))
+          | Band -> Some (Int64.logand va vb)
+          | Bor -> Some (Int64.logor va vb)
+          | Bxor -> Some (Int64.logxor va vb)
+          | Blt -> Some (if va < vb then 1L else 0L)
+          | Bgt -> Some (if va > vb then 1L else 0L)
+          | Ble -> Some (if va <= vb then 1L else 0L)
+          | Bge -> Some (if va >= vb then 1L else 0L)
+          | Beq -> Some (if va = vb then 1L else 0L)
+          | Bne -> Some (if va <> vb then 1L else 0L)
+          | Bland -> Some (if va <> 0L && vb <> 0L then 1L else 0L)
+          | Blor -> Some (if va <> 0L || vb <> 0L then 1L else 0L))
+      | _ -> None)
+  | Cond (c, t, f) -> (
+      match const_eval c with
+      | Some v -> const_eval (if v <> 0L then t else f)
+      | None -> None)
+  | _ -> None
+
+(* ---------------- expression checking ---------------- *)
+
+let rec check_expr env (e : expr) : texpr =
+  let loc = e.eloc in
+  match e.e with
+  | IntLit v -> { ty = c_int; node = TConst v; tloc = loc }
+  | LongLit v -> { ty = c_long; node = TConst v; tloc = loc }
+  | CharLit c ->
+      { ty = c_int; node = TConst (Int64.of_int (Char.code c)); tloc = loc }
+  | StrLit s -> { ty = CPtr c_char; node = TStr s; tloc = loc }
+  | SizeofT t ->
+      { ty = c_ulong; node = TConst (Int64.of_int (sizeof_cty t)); tloc = loc }
+  | Ident name ->
+      let (uname, ty, is_global) = lookup_var env loc name in
+      decay { ty; node = TLoad (LVar (uname, is_global, ty)); tloc = loc }
+  | Un (Deref, a) -> (
+      let a = decay (check_expr env a) in
+      match a.ty with
+      | CPtr pt when pt <> CVoid ->
+          decay { ty = pt; node = TLoad (LMem (a, pt)); tloc = loc }
+      | _ -> err loc "cannot dereference %s" (string_of_cty a.ty))
+  | Un (Addr, a) -> (
+      let lv = check_lvalue env a in
+      match lv with
+      | LVar (_, _, ty) | LMem (_, ty) ->
+          { ty = CPtr ty; node = TAddr lv; tloc = loc })
+  | Un (Neg, a) ->
+      let a = check_expr env a in
+      if not (is_integer a.ty) then err loc "negation of non-integer";
+      let ty = promote a.ty in
+      let a = convert loc a ty in
+      let zero = { ty; node = TConst 0L; tloc = loc } in
+      { ty; node = TBin (ASub, zero, a); tloc = loc }
+  | Un (BitNot, a) ->
+      let a = check_expr env a in
+      if not (is_integer a.ty) then err loc "~ of non-integer";
+      let ty = promote a.ty in
+      let a = convert loc a ty in
+      let ones = { ty; node = TConst (-1L); tloc = loc } in
+      { ty; node = TBin (AXor, a, ones); tloc = loc }
+  | Un (LogNot, a) ->
+      let a = decay (check_expr env a) in
+      if not (is_integer a.ty || is_pointerish a.ty) then
+        err loc "! of non-scalar";
+      { ty = c_int; node = TLogNot a; tloc = loc }
+  | Bin (Bland, a, b) ->
+      let a = check_cond env a and b = check_cond env b in
+      { ty = c_int; node = TAnd (a, b); tloc = loc }
+  | Bin (Blor, a, b) ->
+      let a = check_cond env a and b = check_cond env b in
+      { ty = c_int; node = TOr (a, b); tloc = loc }
+  | Bin (op, a, b) -> (
+      let a = decay (check_expr env a) and b = decay (check_expr env b) in
+      match relop_of_binop op with
+      | Some rel -> check_relational env loc rel a b
+      | None -> check_arith env loc op a b)
+  | Cond (c, t, f) ->
+      let c = check_cond env c in
+      let t = decay (check_expr env t) and f = decay (check_expr env f) in
+      let ty =
+        if t.ty = f.ty then t.ty
+        else if is_integer t.ty && is_integer f.ty then common_int loc t.ty f.ty
+        else if is_pointerish t.ty && is_const_zero f then t.ty
+        else if is_pointerish f.ty && is_const_zero t then f.ty
+        else
+          err loc "incompatible branches of ?: (%s vs %s)"
+            (string_of_cty t.ty) (string_of_cty f.ty)
+      in
+      let t = convert loc t ty and f = convert loc f ty in
+      { ty; node = TCond (c, t, f); tloc = loc }
+  | Assign (None, lhs, rhs) ->
+      let lv = check_lvalue env lhs in
+      let lty = lval_ty lv in
+      let rhs = decay (check_expr env rhs) in
+      let rhs = assign_convert loc rhs lty in
+      { ty = lty; node = TAssign (lv, rhs); tloc = loc }
+  | Assign (Some op, lhs, rhs) -> (
+      let lv = check_lvalue env lhs in
+      let lty = lval_ty lv in
+      let rhs = decay (check_expr env rhs) in
+      match lty with
+      | CPtr _ when op = Badd || op = Bsub ->
+          if not (is_integer rhs.ty) then err loc "pointer += non-integer";
+          let idx = convert loc rhs c_long in
+          let idx =
+            if op = Bsub then
+              let z = { ty = c_long; node = TConst 0L; tloc = loc } in
+              { ty = c_long; node = TBin (ASub, z, idx); tloc = loc }
+            else idx
+          in
+          { ty = lty; node = TAssignPtr (lv, idx, elem_size loc lty); tloc = loc }
+      | CInt _ ->
+          let a = arith_of_binop loc op in
+          let opty = common_int loc lty rhs.ty in
+          let opty = if op = Bshl || op = Bshr then promote lty else opty in
+          let rhs = convert loc rhs opty in
+          { ty = lty; node = TAssignArith (lv, a, rhs, opty); tloc = loc }
+      | _ -> err loc "bad compound assignment target")
+  | IncDec { pre; inc; arg } -> (
+      let lv = check_lvalue env arg in
+      let lty = lval_ty lv in
+      match lty with
+      | CInt _ ->
+          { ty = lty; node = TIncDec { lv; pre; inc; scale = 0 }; tloc = loc }
+      | CPtr _ ->
+          { ty = lty;
+            node = TIncDec { lv; pre; inc; scale = elem_size loc lty };
+            tloc = loc }
+      | _ -> err loc "++/-- of non-scalar")
+  | Call (name, args) -> (
+      let fsig =
+        match Hashtbl.find_opt env.funs name with
+        | Some s -> Some s
+        | None -> List.assoc_opt name intrinsic_sigs
+      in
+      match fsig with
+      | None -> err loc "call to undeclared function %s" name
+      | Some { fs_ret; fs_params } ->
+          if List.length args <> List.length fs_params then
+            err loc "%s expects %d arguments, got %d" name
+              (List.length fs_params) (List.length args);
+          let targs =
+            List.map2
+              (fun a pty ->
+                assign_convert loc (decay (check_expr env a)) pty)
+              args fs_params
+          in
+          { ty = fs_ret; node = TCall (name, targs); tloc = loc })
+  | Index (base, idx) -> (
+      let base = decay (check_expr env base) in
+      let idx = decay (check_expr env idx) in
+      match base.ty with
+      | CPtr elt when elt <> CVoid ->
+          if not (is_integer idx.ty) then err loc "array index not integer";
+          let idx = convert loc idx c_long in
+          let addr =
+            { ty = base.ty;
+              node = TPtrAdd (base, idx, sizeof_cty elt);
+              tloc = loc }
+          in
+          decay { ty = elt; node = TLoad (LMem (addr, elt)); tloc = loc }
+      | _ -> err loc "indexing a non-pointer (%s)" (string_of_cty base.ty))
+  | CastE (ty, a) -> (
+      let a = decay (check_expr env a) in
+      match (a.ty, ty) with
+      | (t1, t2) when t1 = t2 -> a
+      | ((CInt _ | CPtr _), (CInt _ | CPtr _)) ->
+          { ty; node = TCast (a, ty); tloc = loc }
+      | (_, CVoid) -> { ty = CVoid; node = TCast (a, CVoid); tloc = loc }
+      | _ -> err loc "invalid cast to %s" (string_of_cty ty))
+  | Comma (a, b) ->
+      let a = check_expr env a in
+      let b = decay (check_expr env b) in
+      { ty = b.ty; node = TComma (a, b); tloc = loc }
+
+and is_const_zero (e : texpr) =
+  match e.node with TConst 0L -> true | _ -> false
+
+and lval_ty = function LVar (_, _, t) -> t | LMem (_, t) -> t
+
+(** An expression used where a boolean condition is needed: any scalar. *)
+and check_cond env (e : expr) : texpr =
+  let t = decay (check_expr env e) in
+  if not (is_integer t.ty || is_pointerish t.ty) then
+    err e.eloc "condition is not scalar (%s)" (string_of_cty t.ty);
+  t
+
+and check_relational _env loc rel a b =
+  if is_integer a.ty && is_integer b.ty then begin
+    let ty = common_int loc a.ty b.ty in
+    let a = convert loc a ty and b = convert loc b ty in
+    { ty = c_int; node = TCmp (rel, a, b); tloc = loc }
+  end
+  else if is_pointerish a.ty && is_pointerish b.ty then
+    { ty = c_int; node = TCmp (rel, a, b); tloc = loc }
+  else if is_pointerish a.ty && is_const_zero b then
+    { ty = c_int; node = TCmp (rel, a, convert loc b a.ty); tloc = loc }
+  else if is_pointerish b.ty && is_const_zero a then
+    { ty = c_int; node = TCmp (rel, convert loc a b.ty, b); tloc = loc }
+  else err loc "invalid comparison"
+
+and check_arith _env loc op a b =
+  match (a.ty, b.ty, op) with
+  | (CPtr _, CInt _, (Badd | Bsub)) ->
+      let idx = convert loc b c_long in
+      let idx =
+        if op = Bsub then
+          let z = { ty = c_long; node = TConst 0L; tloc = loc } in
+          { ty = c_long; node = TBin (ASub, z, idx); tloc = loc }
+        else idx
+      in
+      { ty = a.ty; node = TPtrAdd (a, idx, elem_size loc a.ty); tloc = loc }
+  | (CInt _, CPtr _, Badd) ->
+      let idx = convert loc a c_long in
+      { ty = b.ty; node = TPtrAdd (b, idx, elem_size loc b.ty); tloc = loc }
+  | (CPtr _, CPtr _, Bsub) ->
+      err loc "pointer difference is not supported; track indices instead"
+  | (CInt _, CInt _, _) ->
+      let aop = arith_of_binop loc op in
+      let ty =
+        if op = Bshl || op = Bshr then promote a.ty else common_int loc a.ty b.ty
+      in
+      let shift_ty = if op = Bshl || op = Bshr then promote b.ty else ty in
+      let a = convert loc a ty in
+      let b = convert loc b (if op = Bshl || op = Bshr then shift_ty else ty) in
+      (* shifts: bring the amount to the operand type for the IR *)
+      let b = if op = Bshl || op = Bshr then convert loc b ty else b in
+      { ty; node = TBin (aop, a, b); tloc = loc }
+  | _ ->
+      err loc "invalid operands (%s, %s)" (string_of_cty a.ty)
+        (string_of_cty b.ty)
+
+and assign_convert loc (e : texpr) want =
+  match (e.ty, want) with
+  | (t1, t2) when t1 = t2 -> e
+  | (CInt _, CInt _) -> convert loc e want
+  | (CInt _, CPtr _) when is_const_zero e -> convert loc e want
+  | (CPtr _, CPtr (CInt (W8, _)))
+  | (CPtr (CInt (W8, _)), CPtr _) ->
+      (* char* interconversion, pervasive in C string code *)
+      { e with ty = want }
+  | (CPtr _, CPtr CVoid) | (CPtr CVoid, CPtr _) -> { e with ty = want }
+  | _ ->
+      err loc "cannot assign %s to %s" (string_of_cty e.ty)
+        (string_of_cty want)
+
+and check_lvalue env (e : expr) : tlval =
+  let loc = e.eloc in
+  match e.e with
+  | Ident name ->
+      let (uname, ty, is_global) = lookup_var env loc name in
+      LVar (uname, is_global, ty)
+  | Un (Deref, a) -> (
+      let a = decay (check_expr env a) in
+      match a.ty with
+      | CPtr pt when pt <> CVoid -> LMem (a, pt)
+      | _ -> err loc "cannot dereference %s" (string_of_cty a.ty))
+  | Index (base, idx) -> (
+      let base = decay (check_expr env base) in
+      let idx = decay (check_expr env idx) in
+      match base.ty with
+      | CPtr elt when elt <> CVoid ->
+          let idx = convert loc idx c_long in
+          let addr =
+            { ty = base.ty;
+              node = TPtrAdd (base, idx, sizeof_cty elt);
+              tloc = loc }
+          in
+          LMem (addr, elt)
+      | _ -> err loc "indexing a non-pointer")
+  | _ -> err loc "expression is not an lvalue"
+
+(* ---------------- statements ---------------- *)
+
+let rec check_stmt env (s : stmt) : tstmt list =
+  let loc = s.sloc in
+  match s.s with
+  | Sexpr e -> [ TSexpr (check_expr env e) ]
+  | Sdecl ds -> List.map (check_decl env loc) ds
+  | Sif (c, th, el) ->
+      let c = check_cond env c in
+      let th = in_scope env (fun () -> check_stmt env th) in
+      let el =
+        match el with
+        | Some el -> in_scope env (fun () -> check_stmt env el)
+        | None -> []
+      in
+      [ TSif (c, th, el) ]
+  | Swhile (c, body) ->
+      let c = check_cond env c in
+      let body = in_scope env (fun () -> check_stmt env body) in
+      [ TSwhile (c, body) ]
+  | Sdo (body, c) ->
+      let body = in_scope env (fun () -> check_stmt env body) in
+      let c = check_cond env c in
+      [ TSdo (body, c) ]
+  | Sfor (init, cond, step, body) ->
+      in_scope env (fun () ->
+          let init =
+            match init with
+            | None -> []
+            | Some (FExpr e) -> [ TSexpr (check_expr env e) ]
+            | Some (FDecl ds) -> List.map (check_decl env loc) ds
+          in
+          let cond = Option.map (check_cond env) cond in
+          let step = Option.map (check_expr env) step in
+          let body = in_scope env (fun () -> check_stmt env body) in
+          [ TSfor (init, cond, step, body) ])
+  | Sblock ss ->
+      in_scope env (fun () -> List.concat_map (check_stmt env) ss)
+  | Sbreak -> [ TSbreak ]
+  | Scontinue -> [ TScontinue ]
+  | Sreturn None ->
+      if env.ret_ty <> CVoid then err loc "missing return value";
+      [ TSreturn None ]
+  | Sreturn (Some e) ->
+      if env.ret_ty = CVoid then err loc "return value in void function";
+      let e = assign_convert loc (decay (check_expr env e)) env.ret_ty in
+      [ TSreturn (Some e) ]
+
+and in_scope env f =
+  env.scopes <- Hashtbl.create 8 :: env.scopes;
+  let r = f () in
+  env.scopes <- List.tl env.scopes;
+  r
+
+and check_decl env loc (d : decl) : tstmt =
+  (match d.dty with
+  | CVoid -> err loc "variable %s has type void" d.dname
+  | _ -> ());
+  let init =
+    match (d.dinit, d.dty) with
+    | (None, _) -> None
+    | (Some (Iexpr e), _) ->
+        let e = decay (check_expr env e) in
+        Some (TIexpr (assign_convert loc e d.dty))
+    | (Some (Ilist es), CArr (elt, n)) ->
+        if List.length es > n then err loc "too many initializers for %s" d.dname;
+        let tes =
+          List.map
+            (fun e -> assign_convert loc (decay (check_expr env e)) elt)
+            es
+        in
+        Some (TIlist tes)
+    | (Some (Ilist _), _) -> err loc "initializer list for non-array"
+    | (Some (Istr s), CArr (CInt (W8, _), n)) ->
+        if String.length s + 1 > n then err loc "string too long for %s" d.dname;
+        Some (TIstr s)
+    | (Some (Istr _), _) -> err loc "string initializer for non-char-array"
+  in
+  let uname =
+    env.uid <- env.uid + 1;
+    Printf.sprintf "%s$%d" d.dname env.uid
+  in
+  (match env.scopes with
+  | scope :: _ ->
+      if Hashtbl.mem scope d.dname then err loc "redeclaration of %s" d.dname;
+      Hashtbl.replace scope d.dname (uname, d.dty)
+  | [] -> assert false);
+  TSdecl { td_name = uname; td_ty = d.dty; td_init = init }
+
+(* ---------------- globals ---------------- *)
+
+let store_le bytes off v size =
+  for i = 0 to size - 1 do
+    Bytes.set bytes (off + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let global_image loc (d : decl) : string =
+  let size = sizeof_cty d.dty in
+  if size <= 0 then err loc "global %s has zero size" d.dname;
+  let img = Bytes.make size '\000' in
+  (match (d.dinit, d.dty) with
+  | (None, _) -> ()
+  | (Some (Iexpr e), t) when is_integer t -> (
+      match const_eval e with
+      | Some v -> store_le img 0 v size
+      | None -> err loc "global %s initializer is not constant" d.dname)
+  | (Some (Ilist es), CArr (elt, _)) ->
+      let esize = sizeof_cty elt in
+      List.iteri
+        (fun i e ->
+          match const_eval e with
+          | Some v -> store_le img (i * esize) v esize
+          | None -> err loc "global %s element %d not constant" d.dname i)
+        es
+  | (Some (Istr s), CArr (CInt (W8, _), n)) ->
+      if String.length s + 1 > n then err loc "string too long for %s" d.dname;
+      Bytes.blit_string s 0 img 0 (String.length s)
+  | _ -> err loc "unsupported global initializer for %s" d.dname);
+  Bytes.to_string img
+
+(* ---------------- program ---------------- *)
+
+let dummy_loc : loc = { Lexer.line = 0; col = 0 }
+
+(** Check a whole program (several translation units may be concatenated
+    before the call).  Returns the typed program. *)
+let check_program (prog : program) : tprog =
+  let env =
+    {
+      funs = Hashtbl.create 32;
+      globals = Hashtbl.create 16;
+      scopes = [];
+      ret_ty = CVoid;
+      uid = 0;
+    }
+  in
+  (* first pass: signatures and globals *)
+  List.iter
+    (fun top ->
+      match top with
+      | Tproto { pret; pname; pparams } ->
+          Hashtbl.replace env.funs pname { fs_ret = pret; fs_params = pparams }
+      | Tfunc { fret; fname; fparams; _ } ->
+          (match Hashtbl.find_opt env.funs fname with
+          | Some existing ->
+              if existing.fs_ret <> fret
+                 || existing.fs_params <> List.map fst fparams
+              then err dummy_loc "conflicting declarations of %s" fname
+          | None -> ());
+          Hashtbl.replace env.funs fname
+            { fs_ret = fret; fs_params = List.map fst fparams }
+      | Tglobal d ->
+          if Hashtbl.mem env.globals d.dname then
+            err dummy_loc "redefinition of global %s" d.dname;
+          Hashtbl.replace env.globals d.dname d.dty)
+    prog;
+  (* second pass: bodies and images *)
+  let funcs = ref [] and globals = ref [] and defined = Hashtbl.create 16 in
+  List.iter
+    (fun top ->
+      match top with
+      | Tproto _ -> ()
+      | Tglobal d ->
+          globals :=
+            {
+              tg_name = d.dname;
+              tg_ty = d.dty;
+              tg_image = global_image dummy_loc d;
+              tg_const = false;
+            }
+            :: !globals
+      | Tfunc { fret; fname; fparams; fbody } ->
+          if Hashtbl.mem defined fname then
+            err dummy_loc "redefinition of function %s" fname;
+          Hashtbl.replace defined fname ();
+          env.ret_ty <- fret;
+          let body =
+            in_scope env (fun () ->
+                List.iter
+                  (fun (ty, name) ->
+                    match env.scopes with
+                    | scope :: _ -> Hashtbl.replace scope name (name, ty)
+                    | [] -> assert false)
+                  fparams;
+                check_stmt env fbody)
+          in
+          funcs :=
+            { tf_name = fname; tf_ret = fret; tf_params = fparams;
+              tf_body = body }
+            :: !funcs)
+    prog;
+  { tp_globals = List.rev !globals; tp_funcs = List.rev !funcs }

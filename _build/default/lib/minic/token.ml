@@ -1,0 +1,66 @@
+(** Tokens of the MiniC language, the C subset our corpus and libc are
+    written in. *)
+
+type t =
+  | INT_LIT of int64
+  | LONG_LIT of int64  (* literal with an l/L suffix *)
+  | CHAR_LIT of char
+  | STR_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_UNSIGNED | KW_SIGNED
+  | KW_CONST
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_BREAK | KW_CONTINUE | KW_RETURN | KW_SIZEOF
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | AMPAMP | PIPEPIPE
+  | ASSIGN
+  | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN | PERCENT_ASSIGN
+  | AMP_ASSIGN | PIPE_ASSIGN | CARET_ASSIGN | LSHIFT_ASSIGN | RSHIFT_ASSIGN
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let to_string = function
+  | INT_LIT v -> Int64.to_string v
+  | LONG_LIT v -> Int64.to_string v ^ "L"
+  | CHAR_LIT c -> Printf.sprintf "%C" c
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_VOID -> "void" | KW_CHAR -> "char" | KW_SHORT -> "short"
+  | KW_INT -> "int" | KW_LONG -> "long" | KW_UNSIGNED -> "unsigned"
+  | KW_SIGNED -> "signed" | KW_CONST -> "const"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_DO -> "do"
+  | KW_FOR -> "for" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_RETURN -> "return" | KW_SIZEOF -> "sizeof"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | LSHIFT -> "<<" | RSHIFT -> ">>"
+  | LT -> "<" | GT -> ">" | LE -> "<=" | GE -> ">=" | EQEQ -> "==" | NEQ -> "!="
+  | AMPAMP -> "&&" | PIPEPIPE -> "||"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+=" | MINUS_ASSIGN -> "-=" | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/=" | PERCENT_ASSIGN -> "%="
+  | AMP_ASSIGN -> "&=" | PIPE_ASSIGN -> "|=" | CARET_ASSIGN -> "^="
+  | LSHIFT_ASSIGN -> "<<=" | RSHIFT_ASSIGN -> ">>="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"
+
+let keywords =
+  [
+    ("void", KW_VOID); ("char", KW_CHAR); ("short", KW_SHORT);
+    ("int", KW_INT); ("long", KW_LONG); ("unsigned", KW_UNSIGNED);
+    ("signed", KW_SIGNED); ("const", KW_CONST);
+    ("if", KW_IF); ("else", KW_ELSE); ("while", KW_WHILE); ("do", KW_DO);
+    ("for", KW_FOR); ("break", KW_BREAK); ("continue", KW_CONTINUE);
+    ("return", KW_RETURN); ("sizeof", KW_SIZEOF);
+  ]

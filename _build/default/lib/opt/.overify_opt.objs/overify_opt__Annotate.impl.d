@@ -1,0 +1,1 @@
+lib/opt/annotate.ml: Costmodel Gvn Int64 List Loop_unroll Loop_unswitch Overify_ir Printf Stats

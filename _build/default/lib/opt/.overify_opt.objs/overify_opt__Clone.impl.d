@@ -1,0 +1,1 @@
+lib/opt/clone.ml: Hashtbl List Option Overify_ir

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Hashtbl Int64 List Overify_ir Stats

@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Hashtbl List Overify_ir

@@ -1,0 +1,1 @@
+lib/opt/if_convert.ml: Costmodel Hashtbl List Overify_ir Stats

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Clone Costmodel Hashtbl List Overify_ir Stats

@@ -1,0 +1,1 @@
+lib/opt/inline.mli: Costmodel Overify_ir Stats

@@ -1,0 +1,1 @@
+lib/opt/jump_threading.ml: Hashtbl List Overify_ir Stats

@@ -1,0 +1,1 @@
+lib/opt/loadelim.ml: Hashtbl List Map Overify_ir

@@ -1,0 +1,1 @@
+lib/opt/loadelim.mli: Overify_ir

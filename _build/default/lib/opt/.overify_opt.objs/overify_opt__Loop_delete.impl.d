@@ -1,0 +1,1 @@
+lib/opt/loop_delete.ml: Hashtbl List Option Overify_ir

@@ -1,0 +1,1 @@
+lib/opt/loop_unroll.ml: Array Clone Costmodel Hashtbl List Loop_unswitch Overify_ir Stats

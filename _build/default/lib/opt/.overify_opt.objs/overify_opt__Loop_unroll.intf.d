@@ -1,0 +1,1 @@
+lib/opt/loop_unroll.mli: Costmodel Hashtbl Overify_ir Stats

@@ -1,0 +1,1 @@
+lib/opt/loop_unswitch.ml: Clone Costmodel Hashtbl List Overify_ir Stats

@@ -1,0 +1,1 @@
+lib/opt/loop_unswitch.mli: Costmodel Overify_ir Stats

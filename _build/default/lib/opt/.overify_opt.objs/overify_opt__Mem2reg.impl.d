@@ -1,0 +1,1 @@
+lib/opt/mem2reg.ml: Hashtbl List Overify_ir Stats

@@ -1,0 +1,1 @@
+lib/opt/runtime_checks.ml: Hashtbl Int64 List Overify_ir Stats

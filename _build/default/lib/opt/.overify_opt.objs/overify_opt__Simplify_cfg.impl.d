@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Hashtbl List Overify_ir

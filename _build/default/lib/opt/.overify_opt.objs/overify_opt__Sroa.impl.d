@@ -1,0 +1,1 @@
+lib/opt/sroa.ml: Hashtbl Int64 List Overify_ir Stats

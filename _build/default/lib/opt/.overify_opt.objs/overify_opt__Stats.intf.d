@@ -1,0 +1,1 @@
+lib/opt/stats.mli: Format

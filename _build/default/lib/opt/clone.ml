@@ -1,0 +1,79 @@
+(** Block-set cloning with register/label remapping — the shared mechanism
+    behind inlining, loop unswitching and loop peeling.
+
+    Every register {e defined} inside the cloned set gets a fresh id; uses of
+    registers defined outside the set either stay unchanged (loop cloning:
+    they are allocas, valid in both copies) or are resolved through [vmap]
+    (inlining: parameter registers become argument values). *)
+
+module Ir = Overify_ir.Ir
+
+type result = {
+  blocks : Ir.block list;
+  label_map : (int, int) Hashtbl.t;  (** old bid -> new bid *)
+  reg_map : (int, int) Hashtbl.t;    (** old def -> new def *)
+}
+
+(** Clone [blocks], drawing fresh ids from [fresh].
+    [vmap]: substitution for uses of registers not defined in the set. *)
+let clone_blocks ~(fresh : Ir.Fresh.t) ?(vmap = fun (_ : int) -> None)
+    (blocks : Ir.block list) : result =
+  let label_map = Hashtbl.create 16 in
+  let reg_map = Hashtbl.create 32 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace label_map b.bid (Ir.Fresh.take fresh);
+      List.iter
+        (fun i ->
+          match Ir.def_of_inst i with
+          | Some d -> Hashtbl.replace reg_map d (Ir.Fresh.take fresh)
+          | None -> ())
+        b.insts)
+    blocks;
+  let map_use r =
+    match Hashtbl.find_opt reg_map r with
+    | Some r' -> Ir.Reg r'
+    | None -> (
+        match vmap r with Some v -> v | None -> Ir.Reg r)
+  in
+  let map_def d =
+    match Hashtbl.find_opt reg_map d with Some d' -> d' | None -> d
+  in
+  let map_label l =
+    match Hashtbl.find_opt label_map l with Some l' -> l' | None -> l
+  in
+  let clone_inst i =
+    let i = Ir.map_inst_values map_use i in
+    match i with
+    | Ir.Bin (d, op, ty, a, b) -> Ir.Bin (map_def d, op, ty, a, b)
+    | Ir.Cmp (d, op, ty, a, b) -> Ir.Cmp (map_def d, op, ty, a, b)
+    | Ir.Select (d, ty, c, a, b) -> Ir.Select (map_def d, ty, c, a, b)
+    | Ir.Cast (d, op, to_ty, v, from_ty) ->
+        Ir.Cast (map_def d, op, to_ty, v, from_ty)
+    | Ir.Alloca (d, ty, n) -> Ir.Alloca (map_def d, ty, n)
+    | Ir.Load (d, ty, p) -> Ir.Load (map_def d, ty, p)
+    | Ir.Store (ty, v, p) -> Ir.Store (ty, v, p)
+    | Ir.Gep (d, base, scale, idx) -> Ir.Gep (map_def d, base, scale, idx)
+    | Ir.Call (d, ty, fn, args) -> Ir.Call (Option.map map_def d, ty, fn, args)
+    | Ir.Phi (d, ty, incoming) ->
+        Ir.Phi
+          (map_def d, ty, List.map (fun (p, v) -> (map_label p, v)) incoming)
+  in
+  let clone_term t =
+    let t = Ir.map_term_values map_use t in
+    match t with
+    | Ir.Br l -> Ir.Br (map_label l)
+    | Ir.Cbr (c, a, b) -> Ir.Cbr (c, map_label a, map_label b)
+    | (Ir.Ret _ | Ir.Unreachable) as t -> t
+  in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) ->
+        {
+          Ir.bid = map_label b.bid;
+          insts = List.map clone_inst b.insts;
+          term = clone_term b.term;
+        })
+      blocks
+  in
+  { blocks; label_map; reg_map }

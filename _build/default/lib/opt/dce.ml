@@ -1,0 +1,89 @@
+(** Dead-code elimination: removes pure instructions whose results are never
+    (transitively) needed by a side effect or terminator, and stack slots
+    that are only ever stored to. *)
+
+module Ir = Overify_ir.Ir
+module IntSet = Overify_ir.Cfg.IntSet
+
+(** Registers that feed side effects or control flow, transitively. *)
+let live_regs (fn : Ir.func) : IntSet.t =
+  let users : (int, Ir.value list) Hashtbl.t = Hashtbl.create 64 in
+  Ir.iter_insts
+    (fun _ i ->
+      match Ir.def_of_inst i with
+      | Some d -> Hashtbl.replace users d (Ir.uses_of_inst i)
+      | None -> ())
+    fn;
+  let live = ref IntSet.empty in
+  let rec mark v =
+    match v with
+    | Ir.Reg r when not (IntSet.mem r !live) ->
+        live := IntSet.add r !live;
+        (match Hashtbl.find_opt users r with
+        | Some uses -> List.iter mark uses
+        | None -> ())
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun i ->
+          if not (Ir.is_pure i) then List.iter mark (Ir.uses_of_inst i))
+        b.insts;
+      List.iter mark (Ir.uses_of_term b.term))
+    fn.blocks;
+  !live
+
+(** Allocas whose only uses are as the pointer operand of stores (never
+    loaded, never escaping): the alloca and the stores are dead. *)
+let write_only_allocas (fn : Ir.func) : IntSet.t =
+  let allocas = ref IntSet.empty in
+  let disqualified = ref IntSet.empty in
+  Ir.iter_insts
+    (fun _ i ->
+      match i with
+      | Ir.Alloca (d, _, _) -> allocas := IntSet.add d !allocas
+      | _ -> ())
+    fn;
+  let dq v =
+    match v with Ir.Reg r -> disqualified := IntSet.add r !disqualified | _ -> ()
+  in
+  Ir.iter_insts
+    (fun _ i ->
+      match i with
+      | Ir.Alloca _ -> ()
+      | Ir.Store (_, v, _ptr) -> dq v  (* storing the address escapes it *)
+      | _ -> List.iter dq (Ir.uses_of_inst i))
+    fn;
+  List.iter
+    (fun (b : Ir.block) -> List.iter dq (Ir.uses_of_term b.term))
+    fn.blocks;
+  IntSet.diff !allocas !disqualified
+
+let run (fn : Ir.func) : Ir.func * bool =
+  let live = live_regs fn in
+  let dead_slots = write_only_allocas fn in
+  let changed = ref false in
+  let keep (i : Ir.inst) =
+    match i with
+    | Ir.Store (_, _, Ir.Reg p) when IntSet.mem p dead_slots ->
+        changed := true;
+        false
+    | Ir.Alloca (d, _, _) when IntSet.mem d dead_slots ->
+        changed := true;
+        false
+    | _ -> (
+        if not (Ir.is_pure i) then true
+        else
+          match Ir.def_of_inst i with
+          | Some d when not (IntSet.mem d live) ->
+              changed := true;
+              false
+          | _ -> true)
+  in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) -> { b with Ir.insts = List.filter keep b.insts })
+      fn.blocks
+  in
+  if !changed then ({ fn with blocks }, true) else (fn, false)

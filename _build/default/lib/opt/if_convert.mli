@@ -1,0 +1,7 @@
+(** If-conversion: speculation of side-effect-free acyclic regions into
+    predicated straight-line code with selects (SSA form).  The cost model's
+    [branch_cost] bounds the speculated instruction count; under [-OVERIFY]
+    whole short-circuit DAGs flatten — the paper's Listing 2. *)
+
+val run :
+  Costmodel.t -> Stats.t -> Overify_ir.Ir.func -> Overify_ir.Ir.func * bool

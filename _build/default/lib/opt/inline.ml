@@ -1,0 +1,162 @@
+(** Function inlining on memory-form IR.
+
+    Precondition (guaranteed by the frontend's lowering and preserved by the
+    memory-form passes): callers contain no phis and callee parameter
+    registers are only used in the callee's entry block, so cloning the body
+    with parameters substituted by argument values is sound.
+
+    The cost model decides how far to go: [-O2/-O3] inline small callees to
+    save call overhead; [-OVERIFY] inlines almost everything, because every
+    inlined call specializes the body and unlocks folding and if-conversion
+    (paper §4, "aggressively inlines functions in order to benefit from
+    simplifications due to function specialization"). *)
+
+module Ir = Overify_ir.Ir
+module Callgraph = Overify_ir.Callgraph
+
+let params_confined_to_entry (fn : Ir.func) =
+  let params = List.map fst fn.params in
+  let entry_bid = (Ir.entry fn).bid in
+  let ok = ref true in
+  List.iter
+    (fun (b : Ir.block) ->
+      let check v =
+        match v with
+        | Ir.Reg r when List.mem r params && b.Ir.bid <> entry_bid -> ok := false
+        | _ -> ()
+      in
+      List.iter (fun i -> List.iter check (Ir.uses_of_inst i)) b.Ir.insts;
+      List.iter check (Ir.uses_of_term b.Ir.term))
+    fn.blocks;
+  !ok
+
+let has_phis (fn : Ir.func) =
+  let p = ref false in
+  Ir.iter_insts (fun _ i -> if Ir.is_phi i then p := true) fn;
+  !p
+
+(** Inline one call site: the call to [callee] at position [idx] in block
+    [bid] of [caller]. *)
+let inline_site (caller : Ir.func) (callee : Ir.func) ~bid ~idx : Ir.func =
+  let fresh = Ir.Fresh.of_func caller in
+  let blk = Ir.find_block caller bid in
+  let before = List.filteri (fun i _ -> i < idx) blk.Ir.insts in
+  let after = List.filteri (fun i _ -> i > idx) blk.Ir.insts in
+  let (dst, ret_ty, args) =
+    match List.nth blk.Ir.insts idx with
+    | Ir.Call (dst, ret_ty, _, args) -> (dst, ret_ty, args)
+    | _ -> invalid_arg "inline_site: not a call"
+  in
+  let param_map =
+    List.map2 (fun (p, _) a -> (p, a)) callee.Ir.params args
+  in
+  let vmap r = List.assoc_opt r param_map in
+  let cloned = Clone.clone_blocks ~fresh ~vmap callee.Ir.blocks in
+  let cont_bid = Ir.Fresh.take fresh in
+  (* a slot communicates the return value across the (possibly many) rets *)
+  let ret_slot =
+    if ret_ty = Ir.Void || dst = None then None
+    else Some (Ir.Fresh.take fresh)
+  in
+  let body =
+    List.map
+      (fun (b : Ir.block) ->
+        match b.Ir.term with
+        | Ir.Ret (Some v) ->
+            let insts =
+              match ret_slot with
+              | Some slot -> b.Ir.insts @ [ Ir.Store (ret_ty, v, Ir.Reg slot) ]
+              | None -> b.Ir.insts
+            in
+            { b with Ir.insts = insts; term = Ir.Br cont_bid }
+        | Ir.Ret None -> { b with Ir.term = Ir.Br cont_bid }
+        | _ -> b)
+      cloned.Clone.blocks
+  in
+  let entry_clone_bid =
+    Hashtbl.find cloned.Clone.label_map (Ir.entry callee).Ir.bid
+  in
+  let slot_alloca =
+    match ret_slot with
+    | Some slot -> [ Ir.Alloca (slot, ret_ty, 1) ]
+    | None -> []
+  in
+  let head =
+    { blk with Ir.insts = before @ slot_alloca; term = Ir.Br entry_clone_bid }
+  in
+  let load_ret =
+    match (dst, ret_slot) with
+    | (Some d, Some slot) -> [ Ir.Load (d, ret_ty, Ir.Reg slot) ]
+    | _ -> []
+  in
+  let cont =
+    { Ir.bid = cont_bid; insts = load_ret @ after; term = blk.Ir.term }
+  in
+  let blocks =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        if b.Ir.bid = bid then (head :: body) @ [ cont ] else [ b ])
+      caller.Ir.blocks
+  in
+  Ir.Fresh.commit fresh { caller with Ir.blocks }
+
+(** Find the first eligible call site in [fn]; returns (bid, idx, callee). *)
+let find_site (cm : Costmodel.t) (m : Ir.modul) cyclic (fn : Ir.func) =
+  let found = ref None in
+  List.iter
+    (fun (b : Ir.block) ->
+      if !found = None then
+        List.iteri
+          (fun idx i ->
+            if !found = None then
+              match i with
+              | Ir.Call (_, _, callee_name, _)
+                when callee_name <> fn.Ir.fname
+                     && not (Ir.is_intrinsic callee_name) -> (
+                  match Ir.find_func m callee_name with
+                  | Some callee
+                    when Ir.func_size callee <= cm.Costmodel.inline_threshold
+                         && (not (List.mem callee_name cyclic))
+                         && params_confined_to_entry callee
+                         && not (has_phis callee) ->
+                      found := Some (b.Ir.bid, idx, callee)
+                  | _ -> ())
+              | _ -> ())
+          b.Ir.insts)
+    fn.blocks;
+  !found
+
+(** Module-level inlining driven by the cost model. *)
+let run (cm : Costmodel.t) (stats : Stats.t) (m : Ir.modul) : Ir.modul =
+  if cm.Costmodel.inline_threshold <= 0 then m
+  else begin
+    let cyclic =
+      List.filter_map
+        (fun (f : Ir.func) ->
+          if Callgraph.in_cycle m f.Ir.fname then Some f.Ir.fname else None)
+        m.Ir.funcs
+    in
+    let m = ref m in
+    List.iter
+      (fun name ->
+        match Ir.find_func !m name with
+        | None -> ()
+        | Some fn when has_phis fn -> ()
+        | Some fn ->
+            let budget = Ir.func_size fn * cm.Costmodel.inline_growth + 512 in
+            let fn = ref fn in
+            let continue_ = ref true in
+            while !continue_ do
+              if Ir.func_size !fn > budget then continue_ := false
+              else
+                match find_site cm !m cyclic !fn with
+                | Some (bid, idx, callee) ->
+                    fn := inline_site !fn callee ~bid ~idx;
+                    stats.Stats.functions_inlined <-
+                      stats.Stats.functions_inlined + 1
+                | None -> continue_ := false
+            done;
+            m := Ir.update_func !m !fn)
+      (Callgraph.bottom_up_order !m);
+    !m
+  end

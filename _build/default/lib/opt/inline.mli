@@ -1,0 +1,4 @@
+(** Function inlining on memory-form IR, bottom-up over the call graph,
+    bounded by the cost model's [inline_threshold] and [inline_growth]. *)
+
+val run : Costmodel.t -> Stats.t -> Overify_ir.Ir.modul -> Overify_ir.Ir.modul

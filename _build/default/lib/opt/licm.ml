@@ -1,0 +1,186 @@
+(** Loop-invariant code motion (SSA form): speculatable instructions whose
+    operands dominate the loop preheader are hoisted into it.
+
+    For compile-time sanity on heavily peeled functions, each round ensures
+    all preheaders first (the only CFG changes), then shares a single
+    dominator tree and definition map across every loop's hoisting. *)
+
+module Ir = Overify_ir.Ir
+module Cfg = Overify_ir.Cfg
+module Dom = Overify_ir.Dom
+module Loop = Overify_ir.Loop
+
+(** Create (or find) a preheader for [l]: a block that is the unique
+    out-of-loop predecessor of the header and branches only to it.
+    Returns [None] when the header is the function entry. *)
+let ensure_preheader (fn : Ir.func) (l : Loop.t) : (Ir.func * int) option =
+  match l.Loop.preheader with
+  | Some p -> Some (fn, p)
+  | None ->
+      let entry_bid = (Ir.entry fn).Ir.bid in
+      if l.Loop.header = entry_bid then None
+      else begin
+        let preds = Cfg.preds fn in
+        let outside =
+          List.filter (fun p -> not (Loop.mem l p))
+            (Cfg.preds_of preds l.Loop.header)
+        in
+        if outside = [] then None
+        else begin
+          let fresh = Ir.Fresh.of_func fn in
+          let pre_bid = Ir.Fresh.take fresh in
+          (* split header phis: out-of-loop entries move into the preheader *)
+          let header_blk = Ir.find_block fn l.Loop.header in
+          let pre_phis = ref [] in
+          let new_header_insts =
+            List.map
+              (fun i ->
+                match i with
+                | Ir.Phi (d, ty, incoming) ->
+                    let outs, ins =
+                      List.partition (fun (p, _) -> List.mem p outside) incoming
+                    in
+                    let pre_val =
+                      match outs with
+                      | [ (_, v) ] -> v
+                      | _ ->
+                          let pd = Ir.Fresh.take fresh in
+                          pre_phis := Ir.Phi (pd, ty, outs) :: !pre_phis;
+                          Ir.Reg pd
+                    in
+                    Ir.Phi (d, ty, (pre_bid, pre_val) :: ins)
+                | i -> i)
+              header_blk.Ir.insts
+          in
+          let pre_blk =
+            {
+              Ir.bid = pre_bid;
+              insts = List.rev !pre_phis;
+              term = Ir.Br l.Loop.header;
+            }
+          in
+          let blocks =
+            List.concat_map
+              (fun (b : Ir.block) ->
+                if b.Ir.bid = l.Loop.header then
+                  [ pre_blk; { b with Ir.insts = new_header_insts } ]
+                else if List.mem b.Ir.bid outside then
+                  [ { b with
+                      Ir.term =
+                        Cfg.redirect_term l.Loop.header pre_bid b.Ir.term } ]
+                else [ b ])
+              fn.Ir.blocks
+          in
+          Some (Ir.Fresh.commit fresh { fn with Ir.blocks }, pre_bid)
+        end
+      end
+
+(** One hoisting round over all loops, sharing [dom]/[def_block]/[btbl];
+    instruction motion does not change the CFG, so they stay valid. *)
+let hoist_round (stats : Stats.t) (fn : Ir.func)
+    (loops_with_pre : (Loop.t * int) list) : Ir.func * bool =
+  let dom = Dom.compute fn in
+  let def_block = Hashtbl.create 256 in
+  List.iter
+    (fun (r, _) -> Hashtbl.replace def_block r (Ir.entry fn).Ir.bid)
+    fn.Ir.params;
+  Ir.iter_insts
+    (fun b i ->
+      match Ir.def_of_inst i with
+      | Some d -> Hashtbl.replace def_block d b.Ir.bid
+      | None -> ())
+    fn;
+  let btbl = Ir.block_tbl fn in
+  let any = ref false in
+  List.iter
+    (fun (l, pre) ->
+      let available_at_pre v =
+        match v with
+        | Ir.Imm _ | Ir.Glob _ -> true
+        | Ir.Reg r -> (
+            match Hashtbl.find_opt def_block r with
+            | Some db -> Dom.dominates dom db pre
+            | None -> false)
+      in
+      let hoisted = ref [] in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Cfg.IntSet.iter
+          (fun bid ->
+            match Hashtbl.find_opt btbl bid with
+            | None -> ()
+            | Some b ->
+                let keep, moved =
+                  List.partition
+                    (fun i ->
+                      not
+                        (Ir.is_speculatable i
+                        && List.for_all available_at_pre (Ir.uses_of_inst i)))
+                    b.Ir.insts
+                in
+                if moved <> [] then begin
+                  changed := true;
+                  any := true;
+                  List.iter
+                    (fun i ->
+                      (match Ir.def_of_inst i with
+                      | Some d -> Hashtbl.replace def_block d pre
+                      | None -> ());
+                      hoisted := i :: !hoisted;
+                      stats.Stats.insts_hoisted <- stats.Stats.insts_hoisted + 1)
+                    moved;
+                  Hashtbl.replace btbl bid { b with Ir.insts = keep }
+                end)
+          l.Loop.blocks
+      done;
+      if !hoisted <> [] then begin
+        let pre_blk = Hashtbl.find btbl pre in
+        Hashtbl.replace btbl pre
+          { pre_blk with Ir.insts = pre_blk.Ir.insts @ List.rev !hoisted }
+      end)
+    loops_with_pre;
+  if not !any then (fn, false)
+  else
+    ( { fn with
+        Ir.blocks =
+          List.map (fun (b : Ir.block) -> Hashtbl.find btbl b.Ir.bid) fn.Ir.blocks
+      },
+      true )
+
+let run (stats : Stats.t) (fn : Ir.func) : Ir.func * bool =
+  let rec go fn budget any =
+    if budget = 0 then (fn, any)
+    else begin
+      (* phase 1: make sure every loop has a preheader (CFG changes) *)
+      let fn = ref fn in
+      List.iter
+        (fun (l0 : Loop.t) ->
+          if l0.Loop.preheader = None then
+            (* re-find by header: earlier insertions may have shifted ids *)
+            match
+              List.find_opt
+                (fun l -> l.Loop.header = l0.Loop.header)
+                (Loop.find !fn)
+            with
+            | Some l -> (
+                match ensure_preheader !fn l with
+                | Some (fn', _) -> fn := fn'
+                | None -> ())
+            | None -> ())
+        (Loop.find !fn);
+      let fn = !fn in
+      (* phase 2: hoist across all loops with one dominator tree *)
+      let loops_with_pre =
+        List.filter_map
+          (fun (l : Loop.t) ->
+            match l.Loop.preheader with
+            | Some p -> Some (l, p)
+            | None -> None)
+          (Loop.find fn)
+      in
+      let (fn, changed) = hoist_round stats fn loops_with_pre in
+      if changed then go fn (budget - 1) true else (fn, any)
+    end
+  in
+  go fn 4 false

@@ -1,0 +1,185 @@
+(** Redundant-load elimination with store-to-load forwarding, as a forward
+    {e must}-dataflow over available memory facts (SSA form).
+
+    A fact [(ty, ptr) -> value] means: on every path reaching this point, the
+    last access to [ptr] (a load or a store) produced/stored [value].  Facts
+    meet by intersection; stores kill may-aliasing facts, where aliasing is
+    judged by provenance (pointers based on distinct allocas/globals cannot
+    alias).  Intrinsic calls ([__output] etc.) do not write program-visible
+    memory and kill nothing; unknown calls kill everything.
+
+    This pass is what lets if-conversion see the branch arms of the paper's
+    motivating example as pure: the repeated loads of the scanned character
+    collapse to the one dominating load. *)
+
+module Ir = Overify_ir.Ir
+module Cfg = Overify_ir.Cfg
+
+module Key = struct
+  type t = Ir.ty * Ir.value
+  let compare = compare
+end
+
+module KMap = Map.Make (Key)
+
+type state = Top | Facts of Ir.value KMap.t
+
+type base = Balloca of int | Bglobal of string | Bunknown
+
+let base_of deftbl (v : Ir.value) : base =
+  let rec go v fuel =
+    if fuel = 0 then Bunknown
+    else
+      match v with
+      | Ir.Glob g -> Bglobal g
+      | Ir.Imm _ -> Bunknown
+      | Ir.Reg r -> (
+          match Hashtbl.find_opt deftbl r with
+          | Some (Ir.Alloca _) -> Balloca r
+          | Some (Ir.Gep (_, b, _, _)) -> go b (fuel - 1)
+          | _ -> Bunknown)
+  in
+  go v 32
+
+let may_alias b1 b2 =
+  match (b1, b2) with
+  | (Bunknown, _) | (_, Bunknown) -> true
+  | (Balloca a, Balloca b) -> a = b
+  | (Bglobal a, Bglobal b) -> a = b
+  | (Balloca _, Bglobal _) | (Bglobal _, Balloca _) -> false
+
+(** Transfer function; when [rewrite] is given, redundant loads are recorded
+    as substitutions. *)
+let transfer deftbl ?rewrite (facts : Ir.value KMap.t) (insts : Ir.inst list) :
+    Ir.value KMap.t =
+  List.fold_left
+    (fun facts i ->
+      match i with
+      | Ir.Load (d, ty, p) -> (
+          match KMap.find_opt (ty, p) facts with
+          | Some v when v <> Ir.Reg d ->
+              (match rewrite with
+              | Some tbl -> Hashtbl.replace tbl d v
+              | None -> ());
+              facts
+          | Some _ -> facts
+          | None -> KMap.add (ty, p) (Ir.Reg d) facts)
+      | Ir.Store (ty, v, p) ->
+          let pb = base_of deftbl p in
+          let facts =
+            KMap.filter
+              (fun (_, q) _ -> not (may_alias pb (base_of deftbl q)))
+              facts
+          in
+          KMap.add (ty, p) v facts
+      | Ir.Call (_, _, name, _) when Ir.is_intrinsic name -> facts
+      | Ir.Call _ -> KMap.empty
+      | _ -> facts)
+    facts insts
+
+let meet a b =
+  match (a, b) with
+  | (Top, x) | (x, Top) -> x
+  | (Facts fa, Facts fb) ->
+      Facts
+        (KMap.merge
+           (fun _ va vb ->
+             match (va, vb) with
+             | (Some x, Some y) when x = y -> Some x
+             | _ -> None)
+           fa fb)
+
+let state_equal a b =
+  match (a, b) with
+  | (Top, Top) -> true
+  | (Facts x, Facts y) -> KMap.equal ( = ) x y
+  | _ -> false
+
+let run (fn : Ir.func) : Ir.func * bool =
+  (* unreachable predecessors would stay Top and corrupt the meet *)
+  let (fn, _) = Cfg.remove_unreachable fn in
+  let deftbl = Hashtbl.create 64 in
+  Ir.iter_insts
+    (fun _ i ->
+      match Ir.def_of_inst i with
+      | Some d -> Hashtbl.replace deftbl d i
+      | None -> ())
+    fn;
+  let preds = Cfg.preds fn in
+  let order = Cfg.rpo fn in
+  let btbl = Ir.block_tbl fn in
+  let out : (int, state) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun bid -> Hashtbl.replace out bid Top) order;
+  let entry_bid = (Ir.entry fn).Ir.bid in
+  let in_of bid =
+    if bid = entry_bid then Facts KMap.empty
+    else
+      match Cfg.preds_of preds bid with
+      | [] -> Facts KMap.empty
+      | ps ->
+          List.fold_left
+            (fun acc p ->
+              meet acc
+                (match Hashtbl.find_opt out p with Some s -> s | None -> Top))
+            Top ps
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun bid ->
+        let b = Hashtbl.find btbl bid in
+        let s =
+          match in_of bid with
+          | Top -> Top
+          | Facts f -> Facts (transfer deftbl f b.Ir.insts)
+        in
+        if not (state_equal s (Hashtbl.find out bid)) then begin
+          Hashtbl.replace out bid s;
+          changed := true
+        end)
+      order
+  done;
+  (* rewrite pass *)
+  let subst : (int, Ir.value) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      let b = Hashtbl.find btbl bid in
+      match in_of bid with
+      | Top -> ()
+      | Facts f -> ignore (transfer deftbl ~rewrite:subst f b.Ir.insts))
+    order;
+  if Hashtbl.length subst = 0 then (fn, false)
+  else begin
+    let rec resolve v =
+      match v with
+      | Ir.Reg r -> (
+          match Hashtbl.find_opt subst r with
+          | Some v' when v' <> v -> resolve v'
+          | Some v' -> v'
+          | None -> v)
+      | _ -> v
+    in
+    let f r = resolve (Ir.Reg r) in
+    let blocks =
+      List.map
+        (fun (b : Ir.block) ->
+          let insts =
+            List.filter
+              (fun i ->
+                match Ir.def_of_inst i with
+                | Some d -> not (Hashtbl.mem subst d)
+                | None -> true)
+              b.Ir.insts
+          in
+          {
+            b with
+            Ir.insts = List.map (Ir.map_inst_values f) insts;
+            term = Ir.map_term_values f b.Ir.term;
+          })
+        fn.Ir.blocks
+    in
+    ({ fn with Ir.blocks }, true)
+  end

@@ -1,0 +1,6 @@
+(** Redundant-load elimination with store-to-load forwarding: a forward
+    must-dataflow over (type, pointer) -> value facts, killed by may-alias
+    stores (provenance-based) and unknown calls.  This is what makes the
+    motivating example's branch arms pure enough to if-convert. *)
+
+val run : Overify_ir.Ir.func -> Overify_ir.Ir.func * bool

@@ -1,0 +1,216 @@
+(** Promotion of scalar stack slots to SSA registers — the classic mem2reg
+    construction with iterated dominance frontiers (Cytron et al.).
+
+    This is the paper's "remove/split memory accesses" row in Table 2: every
+    promoted slot removes loads and stores the verifier would otherwise have
+    to reason about through its memory model, and exposes the value flow to
+    the scalar simplifications. *)
+
+module Ir = Overify_ir.Ir
+module Cfg = Overify_ir.Cfg
+module Dom = Overify_ir.Dom
+module IntSet = Cfg.IntSet
+
+(** A slot is promotable when it is a single scalar whose address never
+    escapes: every use is a [Load] from it or a [Store] to it of its element
+    type. *)
+let promotable_slots (fn : Ir.func) : (int, Ir.ty) Hashtbl.t =
+  let cands = Hashtbl.create 16 in
+  Ir.iter_insts
+    (fun _ i ->
+      match i with
+      | Ir.Alloca (d, ty, 1) when Ir.is_int_ty ty || ty = Ir.Ptr ->
+          Hashtbl.replace cands d ty
+      | _ -> ())
+    fn;
+  let disqualify r = Hashtbl.remove cands r in
+  let check_use i =
+    let scan v =
+      match v with
+      | Ir.Reg r when Hashtbl.mem cands r -> disqualify r
+      | _ -> ()
+    in
+    match i with
+    | Ir.Load (_, ty, Ir.Reg p) when Hashtbl.mem cands p ->
+        if Hashtbl.find cands p <> ty then disqualify p
+    | Ir.Store (ty, v, Ir.Reg p) ->
+        (* the stored value must not be the slot's own address *)
+        scan v;
+        if Hashtbl.mem cands p && Hashtbl.find cands p <> ty then disqualify p
+    | Ir.Alloca _ -> ()
+    | i -> List.iter scan (Ir.uses_of_inst i)
+  in
+  Ir.iter_insts (fun _ i -> check_use i) fn;
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun v ->
+          match v with
+          | Ir.Reg r when Hashtbl.mem cands r -> disqualify r
+          | _ -> ())
+        (Ir.uses_of_term b.term))
+    fn.blocks;
+  cands
+
+let run (stats : Stats.t) (fn : Ir.func) : Ir.func * bool =
+  (* the renaming walk only visits reachable blocks; drop the rest first *)
+  let (fn, _) = Cfg.remove_unreachable fn in
+  let slots = promotable_slots fn in
+  if Hashtbl.length slots = 0 then (fn, false)
+  else begin
+    let dom = Dom.compute fn in
+    let df = Dom.frontiers fn dom in
+    let reachable = Cfg.reachable fn in
+    (* blocks containing a store to each slot *)
+    let def_blocks : (int, IntSet.t) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter (fun s _ -> Hashtbl.replace def_blocks s IntSet.empty) slots;
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.Store (_, _, Ir.Reg p) when Hashtbl.mem slots p ->
+                Hashtbl.replace def_blocks p
+                  (IntSet.add b.bid (Hashtbl.find def_blocks p))
+            | _ -> ())
+          b.insts)
+      fn.blocks;
+    (* phi placement via iterated dominance frontier *)
+    let fresh = Ir.Fresh.of_func fn in
+    (* (block, slot) -> phi reg *)
+    let phi_at : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun slot defs ->
+        let work = ref (IntSet.elements defs) in
+        let placed = ref IntSet.empty in
+        while !work <> [] do
+          match !work with
+          | [] -> ()
+          | b :: rest ->
+              work := rest;
+              IntSet.iter
+                (fun f ->
+                  if IntSet.mem f reachable && not (IntSet.mem f !placed) then begin
+                    placed := IntSet.add f !placed;
+                    Hashtbl.replace phi_at (f, slot) (Ir.Fresh.take fresh);
+                    work := f :: !work
+                  end)
+                (Dom.frontier_of df b)
+        done)
+      def_blocks;
+    (* renaming walk over the dominator tree *)
+    let preds = Cfg.preds fn in
+    let btbl = Hashtbl.create 16 in
+    List.iter (fun (b : Ir.block) -> Hashtbl.replace btbl b.bid b) fn.blocks;
+    let new_insts : (int, Ir.inst list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Ir.block) -> Hashtbl.replace new_insts b.bid (ref []))
+      fn.blocks;
+    (* phi incoming accumulators: (block, slot) -> (pred, value) list *)
+    let phi_incoming : (int * int, (int * Ir.value) list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    Hashtbl.iter
+      (fun key _ -> Hashtbl.replace phi_incoming key (ref []))
+      phi_at;
+    let subst : (int, Ir.value) Hashtbl.t = Hashtbl.create 32 in
+    let rec resolve v =
+      match v with
+      | Ir.Reg r -> (
+          match Hashtbl.find_opt subst r with
+          | Some v' when v' <> v -> resolve v'
+          | Some v' -> v'
+          | None -> v)
+      | _ -> v
+    in
+    let rec walk bid (cur : (int, Ir.value) Hashtbl.t) =
+      let b = Hashtbl.find btbl bid in
+      let cur = Hashtbl.copy cur in
+      (* phis for slots at this block define new current values *)
+      Hashtbl.iter
+        (fun slot _ ->
+          match Hashtbl.find_opt phi_at (bid, slot) with
+          | Some phi_reg -> Hashtbl.replace cur slot (Ir.Reg phi_reg)
+          | None -> ())
+        slots;
+      let out = Hashtbl.find new_insts bid in
+      List.iter
+        (fun i ->
+          match i with
+          | Ir.Alloca (d, _, _) when Hashtbl.mem slots d -> ()
+          | Ir.Load (d, ty, Ir.Reg p) when Hashtbl.mem slots p ->
+              let v =
+                match Hashtbl.find_opt cur p with
+                | Some v -> v
+                | None -> Ir.zero ty  (* slots start zero-initialized *)
+              in
+              Hashtbl.replace subst d v
+          | Ir.Store (_, v, Ir.Reg p) when Hashtbl.mem slots p ->
+              Hashtbl.replace cur p v
+          | i -> out := i :: !out)
+        b.insts;
+      (* feed successors' phis *)
+      List.iter
+        (fun s ->
+          Hashtbl.iter
+            (fun slot ty ->
+              match Hashtbl.find_opt phi_at (s, slot) with
+              | Some _ ->
+                  let v =
+                    match Hashtbl.find_opt cur slot with
+                    | Some v -> v
+                    | None -> Ir.zero ty
+                  in
+                  let acc = Hashtbl.find phi_incoming (s, slot) in
+                  acc := (bid, v) :: !acc
+              | None -> ())
+            slots)
+        (Cfg.succs b);
+      List.iter (fun child -> walk child cur) (Dom.children dom bid)
+    in
+    walk (Ir.entry fn).bid (Hashtbl.create 8);
+    (* assemble blocks: phis first, then surviving instructions, with the
+       load substitution applied *)
+    let f r = resolve (Ir.Reg r) in
+    let blocks =
+      List.map
+        (fun (b : Ir.block) ->
+          let phis =
+            Hashtbl.fold
+              (fun slot ty acc ->
+                match Hashtbl.find_opt phi_at (b.Ir.bid, slot) with
+                | Some phi_reg ->
+                    let incoming =
+                      match Hashtbl.find_opt phi_incoming (b.Ir.bid, slot) with
+                      | Some l -> !l
+                      | None -> []
+                    in
+                    (* every CFG predecessor must appear; blocks only visited
+                       via the dominator tree of reachable code, so fill any
+                       missing pred (unreachable edge) with zero *)
+                    let incoming =
+                      List.map
+                        (fun p ->
+                          match List.assoc_opt p incoming with
+                          | Some v -> (p, resolve v)
+                          | None -> (p, Ir.zero ty))
+                        (Cfg.preds_of preds b.Ir.bid)
+                    in
+                    Ir.Phi (phi_reg, ty, incoming) :: acc
+                | None -> acc)
+              slots []
+          in
+          let rest =
+            List.rev_map (Ir.map_inst_values f) !(Hashtbl.find new_insts b.Ir.bid)
+          in
+          {
+            b with
+            Ir.insts = phis @ rest;
+            term = Ir.map_term_values f b.Ir.term;
+          })
+        fn.blocks
+    in
+    stats.Stats.allocas_promoted <-
+      stats.Stats.allocas_promoted + Hashtbl.length slots;
+    (Ir.Fresh.commit fresh { fn with blocks }, true)
+  end

@@ -1,0 +1,8 @@
+(** Promotion of scalar stack slots to SSA registers (Cytron et al., via
+    iterated dominance frontiers).  Reads of never-written slots become 0,
+    matching the interpreter's zero-initialized stack. *)
+
+val promotable_slots : Overify_ir.Ir.func -> (int, Overify_ir.Ir.ty) Hashtbl.t
+(** Single scalar allocas whose address never escapes. *)
+
+val run : Stats.t -> Overify_ir.Ir.func -> Overify_ir.Ir.func * bool

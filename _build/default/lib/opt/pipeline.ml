@@ -1,0 +1,134 @@
+(** Pass pipelines implementing [-O0], [-O2], [-O3] and [-OVERIFY].
+
+    Phase structure (see DESIGN.md §5):
+    1. memory form: inlining, loop unswitching, loop peeling — structural
+       transforms where block cloning is trivially sound;
+    2. [mem2reg] builds SSA;
+    3. scalar fixpoint: folding, GVN, CFG simplification, jump threading,
+       if-conversion, DCE;
+    4. CPU-oriented scheduling ([-O2]/[-O3] only) or annotations and the
+       optional runtime checks ([-OVERIFY]). *)
+
+module Ir = Overify_ir.Ir
+module Verify = Overify_ir.Verify
+
+type result = {
+  modul : Ir.modul;
+  stats : Stats.t;
+  level : Costmodel.t;
+}
+
+(** When true (tests), every pass is followed by an IR verification. *)
+let paranoid = ref false
+
+let check_fn what fn =
+  if !paranoid then
+    match Verify.check fn with
+    | Ok () -> ()
+    | Error errs ->
+        failwith
+          (Printf.sprintf "pipeline: IR broken after %s in %s:\n%s\n%s" what
+             fn.Ir.fname
+             (String.concat "\n" errs)
+             (Overify_ir.Printer.func_to_string fn))
+
+let trace_passes =
+  match Sys.getenv_opt "OVERIFY_PASS_TIMES" with Some _ -> true | None -> false
+
+let apply_fn what (f : Ir.func -> Ir.func * bool) (fn : Ir.func) : Ir.func * bool
+    =
+  let t0 = if trace_passes then Unix.gettimeofday () else 0.0 in
+  let (fn', changed) = f fn in
+  if trace_passes then begin
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt > 0.05 then
+      Printf.eprintf "[pass] %-16s %-20s %6.2fs size=%d
+%!" what fn.Ir.fname dt
+        (Ir.func_size fn')
+  end;
+  if changed then check_fn what fn';
+  (fn', changed)
+
+(** Apply a pass unless the cost model's ablation list disables it. *)
+let apply_fn_cm (cm : Costmodel.t) what f fn =
+  if List.mem what cm.Costmodel.disabled_passes then (fn, false)
+  else apply_fn what f fn
+
+(** The scalar-optimization fixpoint on one SSA function. *)
+let scalar_fixpoint (cm : Costmodel.t) (stats : Stats.t) (fn : Ir.func) :
+    Ir.func =
+  let rec go fn round =
+    if round = 0 then fn
+    else begin
+      let (fn, c1) = apply_fn_cm cm "constfold" (Constfold.run stats) fn in
+      let (fn, c2) = apply_fn_cm cm "gvn" Gvn.run fn in
+      let (fn, c2b) = apply_fn_cm cm "loadelim" Loadelim.run fn in
+      let c2 = c2 || c2b in
+      let (fn, c3) = apply_fn_cm cm "simplify_cfg" Simplify_cfg.run fn in
+      let (fn, c4) =
+        if cm.Costmodel.jump_threading then
+          apply_fn_cm cm "jump_threading" (Jump_threading.run stats) fn
+        else (fn, false)
+      in
+      let (fn, c5) = apply_fn_cm cm "if_convert" (If_convert.run cm stats) fn in
+      let (fn, c6) =
+        if cm.Costmodel.licm then apply_fn_cm cm "licm" (Licm.run stats) fn
+        else (fn, false)
+      in
+      let (fn, c6b) =
+        let (fn, ch) = apply_fn_cm cm "loop_delete" Loop_delete.run fn in
+        if ch then stats.Stats.loops_deleted <- stats.Stats.loops_deleted + 1;
+        (fn, ch)
+      in
+      let c6 = c6 || c6b in
+      let (fn, c7) = apply_fn_cm cm "dce" Dce.run fn in
+      if c1 || c2 || c3 || c4 || c5 || c6 || c7 then go fn (round - 1) else fn
+    end
+  in
+  go fn 6
+
+let optimize_function (cm : Costmodel.t) (stats : Stats.t) (fn : Ir.func) :
+    Ir.func =
+  if not cm.Costmodel.scalar_opts then fn
+  else begin
+    (* memory-form loop transforms *)
+    let (fn, _) = apply_fn_cm cm "unswitch" (Loop_unswitch.run cm stats) fn in
+    let (fn, _) = apply_fn_cm cm "unroll" (Loop_unroll.run cm stats) fn in
+    (* SSA construction and scalar work *)
+    let (fn, _) = apply_fn_cm cm "sroa" (Sroa.run stats) fn in
+    let (fn, _) = apply_fn_cm cm "mem2reg" (Mem2reg.run stats) fn in
+    let fn = scalar_fixpoint cm stats fn in
+    let fn =
+      if cm.Costmodel.cpu_opts then fst (apply_fn_cm cm "schedule" Schedule.run fn)
+      else fn
+    in
+    let fn =
+      if cm.Costmodel.annotations then
+        fst (apply_fn "annotate" (Annotate.run cm stats) fn)
+      else fn
+    in
+    fn
+  end
+
+(** Compile a memory-form module at the given optimization level. *)
+let optimize (cm : Costmodel.t) (m : Ir.modul) : result =
+  let stats = Stats.create () in
+  let m =
+    if cm.Costmodel.runtime_checks then
+      {
+        m with
+        Ir.funcs =
+          List.map (fun f -> fst (Runtime_checks.run stats f)) m.Ir.funcs;
+      }
+    else m
+  in
+  let m =
+    if cm.Costmodel.inline_threshold > 0
+       && not (List.mem "inline" cm.Costmodel.disabled_passes)
+    then Inline.run cm stats m
+    else m
+  in
+  let m =
+    { m with Ir.funcs = List.map (optimize_function cm stats) m.Ir.funcs }
+  in
+  { modul = m; stats; level = cm }

@@ -1,0 +1,18 @@
+(** Pass pipelines implementing [-O0], [-O2], [-O3] and [-OVERIFY].
+
+    Phase structure: structural transforms on memory form (inlining,
+    unswitching, peeling) where block cloning is trivially sound, then
+    [mem2reg], then the scalar fixpoint on SSA, then CPU-oriented or
+    verification-oriented finishing passes. *)
+
+type result = {
+  modul : Overify_ir.Ir.modul;
+  stats : Stats.t;         (** transformation counters (Table 3) *)
+  level : Costmodel.t;
+}
+
+val paranoid : bool ref
+(** When true (tests), every pass is followed by an IR verification. *)
+
+val optimize : Costmodel.t -> Overify_ir.Ir.modul -> result
+(** Compile a memory-form module at the given optimization level. *)

@@ -1,0 +1,102 @@
+(** Insertion of explicit runtime checks (paper §3, "runtime checks" row of
+    Table 2): division-by-zero guards, null-pointer guards before memory
+    accesses through unknown pointers, and bounds checks for address
+    computations into stack arrays of known extent.  Every failing check
+    branches to a single block calling [__abort], so a verification tool only
+    needs to look for one kind of failure — crashes.
+
+    Runs on memory-form or SSA IR alike (no phis are introduced in the block
+    interiors being split; blocks with phis keep them in the head block). *)
+
+module Ir = Overify_ir.Ir
+
+let run (stats : Stats.t) (fn : Ir.func) : Ir.func * bool =
+  let extents = Hashtbl.create 8 in
+  Ir.iter_insts
+    (fun _ i ->
+      match i with
+      | Ir.Alloca (d, ty, n) -> Hashtbl.replace extents d (Ir.size_of_ty ty * n)
+      | _ -> ())
+    fn;
+  let fresh = Ir.Fresh.of_func fn in
+  let abort_bid = Ir.Fresh.take fresh in
+  let inserted = ref 0 in
+  (* what guard does instruction [i] need?  (check insts, i1 guard reg) *)
+  let needs_check (i : Ir.inst) : (Ir.inst list * int) option =
+    match i with
+    | Ir.Bin (_, (Ir.Sdiv | Ir.Udiv | Ir.Srem | Ir.Urem), ty, _, (Ir.Reg _ as b)) ->
+        let c = Ir.Fresh.take fresh in
+        Some ([ Ir.Cmp (c, Ir.Ne, ty, b, Ir.zero ty) ], c)
+    | Ir.Gep (_, Ir.Reg base, scale, (Ir.Reg _ as idx))
+      when Hashtbl.mem extents base && scale > 0 ->
+        let size = Hashtbl.find extents base in
+        let limit = Int64.of_int (size / scale) in
+        let c = Ir.Fresh.take fresh in
+        Some ([ Ir.Cmp (c, Ir.Ult, Ir.I64, idx, Ir.imm Ir.I64 limit) ], c)
+    | Ir.Load (_, _, (Ir.Reg r as p)) | Ir.Store (_, _, (Ir.Reg r as p))
+      when not (Hashtbl.mem extents r) ->
+        let c = Ir.Fresh.take fresh in
+        Some ([ Ir.Cmp (c, Ir.Ne, Ir.Ptr, p, Ir.Imm (0L, Ir.Ptr)) ], c)
+    | _ -> None
+  in
+  (* when a block is split, its outgoing edges come from the last sub-block;
+     successors' phi labels must be retargeted accordingly *)
+  let last_sub : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let split_block (blk : Ir.block) : Ir.block list =
+    let out = ref [] in
+    let cur_bid = ref blk.Ir.bid in
+    let cur_rev = ref [] in
+    List.iter
+      (fun i ->
+        match needs_check i with
+        | Some (checks, guard) ->
+            incr inserted;
+            let cont_bid = Ir.Fresh.take fresh in
+            out :=
+              {
+                Ir.bid = !cur_bid;
+                insts = List.rev_append !cur_rev checks;
+                term = Ir.Cbr (Ir.Reg guard, cont_bid, abort_bid);
+              }
+              :: !out;
+            cur_bid := cont_bid;
+            cur_rev := [ i ]
+        | None -> cur_rev := i :: !cur_rev)
+      blk.Ir.insts;
+    if !cur_bid <> blk.Ir.bid then Hashtbl.replace last_sub blk.Ir.bid !cur_bid;
+    List.rev
+      ({ Ir.bid = !cur_bid; insts = List.rev !cur_rev; term = blk.Ir.term }
+      :: !out)
+  in
+  let blocks = List.concat_map split_block fn.Ir.blocks in
+  let blocks =
+    List.map
+      (fun (b : Ir.block) ->
+        let fix = function
+          | Ir.Phi (d, ty, incoming) ->
+              Ir.Phi
+                ( d,
+                  ty,
+                  List.map
+                    (fun (p, v) ->
+                      match Hashtbl.find_opt last_sub p with
+                      | Some p' -> (p', v)
+                      | None -> (p, v))
+                    incoming )
+          | i -> i
+        in
+        { b with Ir.insts = List.map fix b.Ir.insts })
+      blocks
+  in
+  if !inserted = 0 then (fn, false)
+  else begin
+    let abort_blk =
+      {
+        Ir.bid = abort_bid;
+        insts = [ Ir.Call (None, Ir.Void, "__abort", []) ];
+        term = Ir.Unreachable;
+      }
+    in
+    stats.Stats.checks_inserted <- stats.Stats.checks_inserted + !inserted;
+    (Ir.Fresh.commit fresh { fn with Ir.blocks = blocks @ [ abort_blk ] }, true)
+  end

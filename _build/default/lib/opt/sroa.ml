@@ -1,0 +1,145 @@
+(** Scalar replacement of aggregates: an array alloca whose every use is a
+    load or store through a [Gep] with a constant in-bounds index is split
+    into independent scalar allocas, which mem2reg can then promote.
+
+    Table 2's "remove/split memory accesses" row: fewer aliasing
+    opportunities means the verifier's memory reasoning gets cheaper. *)
+
+module Ir = Overify_ir.Ir
+
+type agg = {
+  elem_ty : Ir.ty;
+  count : int;
+  mutable geps : (int * int) list;  (* gep reg -> element index *)
+  mutable ok : bool;
+}
+
+let run (stats : Stats.t) (fn : Ir.func) : Ir.func * bool =
+  let aggs : (int, agg) Hashtbl.t = Hashtbl.create 8 in
+  Ir.iter_insts
+    (fun _ i ->
+      match i with
+      | Ir.Alloca (d, ty, n)
+        when n > 1 && n <= 256 && (Ir.is_int_ty ty || ty = Ir.Ptr) ->
+          Hashtbl.replace aggs d { elem_ty = ty; count = n; geps = []; ok = true }
+      | _ -> ())
+    fn;
+  if Hashtbl.length aggs = 0 then (fn, false)
+  else begin
+    (* classify uses *)
+    let gep_owner : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    Ir.iter_insts
+      (fun _ i ->
+        let disqualify v =
+          match v with
+          | Ir.Reg r -> (
+              (match Hashtbl.find_opt aggs r with
+              | Some a -> a.ok <- false
+              | None -> ());
+              match Hashtbl.find_opt gep_owner r with
+              | Some owner -> (Hashtbl.find aggs owner).ok <- false
+              | None -> ())
+          | _ -> ()
+        in
+        match i with
+        | Ir.Gep (d, Ir.Reg base, scale, idx) when Hashtbl.mem aggs base -> (
+            let a = Hashtbl.find aggs base in
+            match idx with
+            | Ir.Imm (iv, _)
+              when scale = Ir.size_of_ty a.elem_ty
+                   && Ir.signed_of Ir.I64 iv >= 0L
+                   && Ir.signed_of Ir.I64 iv < Int64.of_int a.count ->
+                let e = Int64.to_int (Ir.signed_of Ir.I64 iv) in
+                a.geps <- (d, e) :: a.geps;
+                Hashtbl.replace gep_owner d base
+            | _ -> a.ok <- false)
+        | Ir.Load (_, ty, Ir.Reg p) -> (
+            (* loading directly from the aggregate base = element 0 only if
+               types match; treat as a zero-index gep would — keep simple and
+               require geps *)
+            match Hashtbl.find_opt aggs p with
+            | Some a -> a.ok <- false
+            | None -> (
+                match Hashtbl.find_opt gep_owner p with
+                | Some owner ->
+                    let a = Hashtbl.find aggs owner in
+                    if ty <> a.elem_ty then a.ok <- false
+                | None -> ()))
+        | Ir.Store (ty, v, Ir.Reg p) -> (
+            disqualify v;
+            match Hashtbl.find_opt aggs p with
+            | Some a -> a.ok <- false
+            | None -> (
+                match Hashtbl.find_opt gep_owner p with
+                | Some owner ->
+                    let a = Hashtbl.find aggs owner in
+                    if ty <> a.elem_ty then a.ok <- false
+                | None -> ()))
+        | Ir.Store (_, v, p) ->
+            disqualify v;
+            disqualify p
+        | i -> List.iter disqualify (Ir.uses_of_inst i))
+      fn;
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun v ->
+            match v with
+            | Ir.Reg r -> (
+                (match Hashtbl.find_opt aggs r with
+                | Some a -> a.ok <- false
+                | None -> ());
+                match Hashtbl.find_opt gep_owner r with
+                | Some owner -> (Hashtbl.find aggs owner).ok <- false
+                | None -> ())
+            | _ -> ())
+          (Ir.uses_of_term b.Ir.term))
+      fn.blocks;
+    let victims =
+      Hashtbl.fold (fun d a acc -> if a.ok then (d, a) :: acc else acc) aggs []
+    in
+    if victims = [] then (fn, false)
+    else begin
+      let fresh = Ir.Fresh.of_func fn in
+      (* element slot registers *)
+      let slot_of : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+      List.iter
+        (fun (d, a) ->
+          for e = 0 to a.count - 1 do
+            Hashtbl.replace slot_of (d, e) (Ir.Fresh.take fresh)
+          done)
+        victims;
+      let gep_slot : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      List.iter
+        (fun (d, a) ->
+          List.iter
+            (fun (g, e) -> Hashtbl.replace gep_slot g (Hashtbl.find slot_of (d, e)))
+            a.geps)
+        victims;
+      let blocks =
+        List.map
+          (fun (b : Ir.block) ->
+            let insts =
+              List.concat_map
+                (fun i ->
+                  match i with
+                  | Ir.Alloca (d, _, _) when List.mem_assoc d victims ->
+                      let a = List.assoc d victims in
+                      List.init a.count (fun e ->
+                          Ir.Alloca (Hashtbl.find slot_of (d, e), a.elem_ty, 1))
+                  | Ir.Gep (d, _, _, _) when Hashtbl.mem gep_slot d -> []
+                  | Ir.Load (d, ty, Ir.Reg p) when Hashtbl.mem gep_slot p ->
+                      [ Ir.Load (d, ty, Ir.Reg (Hashtbl.find gep_slot p)) ]
+                  | Ir.Store (ty, v, Ir.Reg p) when Hashtbl.mem gep_slot p ->
+                      [ Ir.Store (ty, v, Ir.Reg (Hashtbl.find gep_slot p)) ]
+                  | i -> [ i ])
+                b.Ir.insts
+            in
+            { b with Ir.insts = insts })
+          fn.blocks
+      in
+      stats.Stats.aggregates_split <-
+        stats.Stats.aggregates_split + List.length victims;
+      (Ir.Fresh.commit fresh { fn with blocks }, true)
+    end
+  end

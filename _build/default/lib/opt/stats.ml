@@ -1,0 +1,58 @@
+(** Per-compilation transformation counters — the quantities reported in the
+    paper's Table 3. *)
+
+type t = {
+  mutable functions_inlined : int;
+  mutable loops_unswitched : int;
+  mutable loops_unrolled : int;
+  mutable loops_deleted : int;
+  mutable branches_converted : int;  (** branches removed by if-conversion *)
+  mutable jumps_threaded : int;
+  mutable allocas_promoted : int;
+  mutable aggregates_split : int;
+  mutable insts_folded : int;
+  mutable insts_hoisted : int;
+  mutable checks_inserted : int;
+  mutable annotations_added : int;
+}
+
+let create () =
+  {
+    functions_inlined = 0;
+    loops_unswitched = 0;
+    loops_unrolled = 0;
+    loops_deleted = 0;
+    branches_converted = 0;
+    jumps_threaded = 0;
+    allocas_promoted = 0;
+    aggregates_split = 0;
+    insts_folded = 0;
+    insts_hoisted = 0;
+    checks_inserted = 0;
+    annotations_added = 0;
+  }
+
+let add a b =
+  {
+    functions_inlined = a.functions_inlined + b.functions_inlined;
+    loops_unswitched = a.loops_unswitched + b.loops_unswitched;
+    loops_unrolled = a.loops_unrolled + b.loops_unrolled;
+    loops_deleted = a.loops_deleted + b.loops_deleted;
+    branches_converted = a.branches_converted + b.branches_converted;
+    jumps_threaded = a.jumps_threaded + b.jumps_threaded;
+    allocas_promoted = a.allocas_promoted + b.allocas_promoted;
+    aggregates_split = a.aggregates_split + b.aggregates_split;
+    insts_folded = a.insts_folded + b.insts_folded;
+    insts_hoisted = a.insts_hoisted + b.insts_hoisted;
+    checks_inserted = a.checks_inserted + b.checks_inserted;
+    annotations_added = a.annotations_added + b.annotations_added;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "inlined=%d unswitched=%d unrolled=%d deleted=%d branches-converted=%d threaded=%d \
+     promoted=%d sroa=%d folded=%d hoisted=%d checks=%d annotations=%d"
+    t.functions_inlined t.loops_unswitched t.loops_unrolled t.loops_deleted
+    t.branches_converted t.jumps_threaded t.allocas_promoted
+    t.aggregates_split t.insts_folded t.insts_hoisted t.checks_inserted
+    t.annotations_added

@@ -1,0 +1,21 @@
+(** Per-compilation transformation counters — the quantities reported in the
+    paper's Table 3. *)
+
+type t = {
+  mutable functions_inlined : int;
+  mutable loops_unswitched : int;
+  mutable loops_unrolled : int;    (** fully peeled counted loops *)
+  mutable loops_deleted : int;     (** residual loops proven never to run *)
+  mutable branches_converted : int;(** removed by region if-conversion *)
+  mutable jumps_threaded : int;
+  mutable allocas_promoted : int;  (** mem2reg promotions *)
+  mutable aggregates_split : int;  (** SROA victims *)
+  mutable insts_folded : int;
+  mutable insts_hoisted : int;     (** LICM *)
+  mutable checks_inserted : int;   (** runtime checks *)
+  mutable annotations_added : int;
+}
+
+val create : unit -> t
+val add : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/solver/blast.ml: Array Bv Hashtbl Int64 Sat Unix

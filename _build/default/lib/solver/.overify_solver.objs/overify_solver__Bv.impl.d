@@ -1,0 +1,1 @@
+lib/solver/bv.ml: Format Hashtbl Int64 Option

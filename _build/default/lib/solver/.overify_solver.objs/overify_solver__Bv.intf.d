@@ -1,0 +1,1 @@
+lib/solver/bv.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/solver/sat.ml: Array List Unix

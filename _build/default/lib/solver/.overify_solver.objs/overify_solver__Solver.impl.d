@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Blast Bv Hashtbl List Sat Unix

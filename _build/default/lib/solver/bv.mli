@@ -1,0 +1,82 @@
+(** Hash-consed bitvector terms — the symbolic-expression language shared by
+    the symbolic executor and the solver (the role STP's expressions play
+    for KLEE).  Widths are 1..64 bits; constants are stored normalized
+    (zero-extended into the [int64]).  Smart constructors simplify locally
+    so the executor's common patterns never reach the SAT solver. *)
+
+type binop =
+  | Add | Sub | Mul
+  | Sdiv | Udiv | Srem | Urem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+
+type cmpop = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+type t = private { id : int; node : node; width : int }
+
+and node =
+  | Const of int64
+  | Var of int          (** symbolic variable (input byte); id is global *)
+  | Bin of binop * t * t
+  | Cmp of cmpop * t * t   (** width 1 *)
+  | Ite of t * t * t
+  | Concat of t * t     (** high bits, low bits *)
+  | Extract of int * int * t  (** [hi..lo] inclusive *)
+
+val width : t -> int
+val mask : int -> int64
+val norm : int -> int64 -> int64
+val to_signed : int -> int64 -> int64
+
+val live_terms : unit -> int
+(** Number of live hash-consed terms (stats). *)
+
+val reset : unit -> unit
+(** Drop all hash-consed terms.  Only safe when no term values are retained
+    by the caller; each engine run calls this to bound GC pressure. *)
+
+(** {2 Constructors (simplifying)} *)
+
+val const : int -> int64 -> t
+
+val var : int -> int -> t
+(** [var width id]. *)
+
+val tt : t
+val ff : t
+val bool_ : bool -> t
+val is_const : t -> bool
+val const_val : t -> int64 option
+
+val binop : binop -> t -> t -> t
+(** Folds constants; identity/absorption laws; power-of-two division and
+    multiplication become shifts/masks (keeps divider circuits out of the
+    CNF). *)
+
+val cmp : cmpop -> t -> t -> t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val ite : t -> t -> t -> t
+val extract : hi:int -> lo:int -> t -> t
+val concat : t -> t -> t
+(** [concat hi lo]. *)
+
+val zext : int -> t -> t
+val sext : int -> t -> t
+val trunc : int -> t -> t
+
+(** {2 Evaluation and queries} *)
+
+val eval_binop : binop -> int -> int64 -> int64 -> int64 option
+val eval_cmp : cmpop -> int -> int64 -> int64 -> bool
+
+val eval : (int -> int64) -> t -> int64
+(** Evaluate under a variable assignment (memoized over the DAG); division
+    by zero yields 0, matching the blasted circuit. *)
+
+val vars : t -> (int, int) Hashtbl.t
+(** Variables occurring in a term: id -> width. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

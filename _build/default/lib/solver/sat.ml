@@ -1,0 +1,451 @@
+(** CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+    learning with non-chronological backjumping, EVSIDS variable activities
+    with a binary heap, phase saving, and Luby restarts — a compact MiniSat.
+
+    Literal encoding: variable [v] (0-based) has positive literal [2v] and
+    negative literal [2v+1]. *)
+
+type clause = { lits : int array; mutable act : float }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause list;
+  mutable watches : clause list array;   (* indexed by literal *)
+  mutable assigns : int array;           (* var -> -1 unassigned / 0 / 1 *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable phase : bool array;            (* saved phase *)
+  mutable heap : int array;              (* binary max-heap of vars *)
+  mutable heap_pos : int array;          (* var -> index in heap, -1 absent *)
+  mutable heap_size : int;
+  mutable trail : int array;             (* literals, in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;         (* decision level boundaries *)
+  mutable trail_lim_size : int;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable ok : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = [];
+    watches = Array.make 16 [];
+    assigns = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 None;
+    activity = Array.make 8 0.0;
+    phase = Array.make 8 false;
+    heap = Array.make 8 0;
+    heap_pos = Array.make 8 (-1);
+    heap_size = 0;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    trail_lim = Array.make 8 0;
+    trail_lim_size = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let grow_array a n default =
+  if Array.length a >= n then a
+  else begin
+    let a' = Array.make (max n (2 * Array.length a)) default in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+(* ---------------- activity heap ---------------- *)
+
+let heap_less s v w = s.activity.(v) > s.activity.(w)
+
+let rec sift_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(p) then begin
+      let tmp = s.heap.(i) in
+      s.heap.(i) <- s.heap.(p);
+      s.heap.(p) <- tmp;
+      s.heap_pos.(s.heap.(i)) <- i;
+      s.heap_pos.(s.heap.(p)) <- p;
+      sift_up s p
+    end
+  end
+
+let rec sift_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    let tmp = s.heap.(i) in
+    s.heap.(i) <- s.heap.(!best);
+    s.heap.(!best) <- tmp;
+    s.heap_pos.(s.heap.(i)) <- i;
+    s.heap_pos.(s.heap.(!best)) <- !best;
+    sift_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap <- grow_array s.heap (s.heap_size + 1) 0;
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    sift_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap.(0) <- s.heap.(s.heap_size);
+  s.heap_pos.(s.heap.(0)) <- 0;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then sift_down s 0;
+  v
+
+(* ---------------- variables and clauses ---------------- *)
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns <- grow_array s.assigns s.nvars (-1);
+  s.level <- grow_array s.level s.nvars 0;
+  s.reason <- grow_array s.reason s.nvars None;
+  s.activity <- grow_array s.activity s.nvars 0.0;
+  s.phase <- grow_array s.phase s.nvars false;
+  s.heap_pos <- grow_array s.heap_pos s.nvars (-1);
+  s.watches <- grow_array s.watches (2 * s.nvars) [];
+  s.trail <- grow_array s.trail s.nvars 0;
+  s.trail_lim <- grow_array s.trail_lim (s.nvars + 1) 0;
+  s.assigns.(v) <- -1;
+  s.reason.(v) <- None;
+  s.heap_pos.(v) <- -1;
+  heap_insert s v;
+  v
+
+let lit_of_var v positive = (2 * v) + if positive then 0 else 1
+let var_of l = l lsr 1
+let lit_sign l = l land 1 = 0  (* true = positive *)
+let neg l = l lxor 1
+
+(** Value of a literal: -1 unassigned, 1 true, 0 false. *)
+let lit_value s l =
+  let a = s.assigns.(var_of l) in
+  if a < 0 then -1 else if lit_sign l then a else 1 - a
+
+let decision_level s = s.trail_lim_size
+
+let enqueue s l reason =
+  let v = var_of l in
+  s.assigns.(v) <- (if lit_sign l then 1 else 0);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- lit_sign l;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do s.activity.(i) <- s.activity.(i) *. 1e-100 done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then sift_up s s.heap_pos.(v)
+
+let decay s = s.var_inc <- s.var_inc /. 0.95
+
+let watch s l c = s.watches.(l) <- c :: s.watches.(l)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = var_of s.trail.(i) in
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.trail_lim_size <- lvl
+  end
+
+(** Add a clause (raw literal list). *)
+let add_clause s (lits : int list) =
+  (* clause addition reasons about root-level truth only: drop any
+     assignment left over from a previous solve *)
+  if decision_level s > 0 then cancel_until s 0;
+  if s.ok then begin
+    (* remove duplicates and detect tautologies / satisfied-at-level-0 *)
+    let lits = List.sort_uniq compare lits in
+    let taut = List.exists (fun l -> List.mem (neg l) lits) lits in
+    if not taut then begin
+      let lits =
+        List.filter (fun l -> lit_value s l <> 0 || s.level.(var_of l) > 0) lits
+      in
+      let sat_already =
+        List.exists (fun l -> lit_value s l = 1 && s.level.(var_of l) = 0) lits
+      in
+      if not sat_already then
+        match lits with
+        | [] -> s.ok <- false
+        | [ l ] ->
+            if lit_value s l = 0 then s.ok <- false
+            else if lit_value s l < 0 then enqueue s l None
+        | _ ->
+            let c = { lits = Array.of_list lits; act = 0.0 } in
+            s.clauses <- c :: s.clauses;
+            watch s (neg c.lits.(0)) c;
+            watch s (neg c.lits.(1)) c
+    end
+  end
+
+(* ---------------- propagation ---------------- *)
+
+exception Conflict of clause
+
+let propagate s : clause option =
+  let confl = ref None in
+  (try
+     while s.qhead < s.trail_size do
+       let l = s.trail.(s.qhead) in
+       s.qhead <- s.qhead + 1;
+       s.propagations <- s.propagations + 1;
+       (* literal l became true; visit clauses watching ~l i.e. watches.(l) *)
+       let ws = s.watches.(l) in
+       s.watches.(l) <- [];
+       let rec go = function
+         | [] -> ()
+         | c :: rest -> (
+             (* make sure the false literal is at position 1 *)
+             let falsel = neg l in
+             if c.lits.(0) = falsel then begin
+               c.lits.(0) <- c.lits.(1);
+               c.lits.(1) <- falsel
+             end;
+             if lit_value s c.lits.(0) = 1 then begin
+               (* already satisfied; keep watching *)
+               watch s l c;
+               go rest
+             end
+             else begin
+               (* find a new watch *)
+               let found = ref false in
+               (try
+                  for i = 2 to Array.length c.lits - 1 do
+                    if lit_value s c.lits.(i) <> 0 then begin
+                      let w = c.lits.(i) in
+                      c.lits.(i) <- c.lits.(1);
+                      c.lits.(1) <- w;
+                      watch s (neg w) c;
+                      found := true;
+                      raise Exit
+                    end
+                  done
+                with Exit -> ());
+               if !found then go rest
+               else begin
+                 (* unit or conflict *)
+                 watch s l c;
+                 if lit_value s c.lits.(0) = 0 then begin
+                   (* conflict: restore remaining watches and bail *)
+                   List.iter (fun c' -> watch s l c') rest;
+                   s.qhead <- s.trail_size;
+                   raise (Conflict c)
+                 end
+                 else begin
+                   enqueue s c.lits.(0) (Some c);
+                   go rest
+                 end
+               end
+             end)
+       in
+       go ws
+     done
+   with Conflict c -> confl := Some c);
+  !confl
+
+(* ---------------- conflict analysis (first UIP) ---------------- *)
+
+let analyze s (confl : clause) : int list * int =
+  let seen = Array.make s.nvars false in
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let idx = ref (s.trail_size - 1) in
+  let continue_ = ref true in
+  while !continue_ do
+    (match !confl with
+    | Some c ->
+        Array.iter
+          (fun q ->
+            if !p = -1 || q <> !p then begin
+              let v = var_of q in
+              if (not seen.(v)) && s.level.(v) > 0 then begin
+                seen.(v) <- true;
+                bump s v;
+                if s.level.(v) >= decision_level s then incr counter
+                else learnt := q :: !learnt
+              end
+            end)
+          c.lits
+    | None -> ());
+    (* pick next literal from trail *)
+    while not seen.(var_of s.trail.(!idx)) do decr idx done;
+    let l = s.trail.(!idx) in
+    decr idx;
+    let v = var_of l in
+    seen.(v) <- false;
+    confl := s.reason.(v);
+    p := l;
+    decr counter;
+    if !counter <= 0 then continue_ := false
+  done;
+  let uip = neg !p in
+  let learnt = uip :: !learnt in
+  (* backjump level: second highest level in the clause *)
+  let bl =
+    List.fold_left
+      (fun acc l -> if l <> uip then max acc s.level.(var_of l) else acc)
+      0 learnt
+  in
+  (learnt, bl)
+
+(* ---------------- main search ---------------- *)
+
+let luby i =
+  (* the Luby restart sequence *)
+  let rec go k sz seq =
+    if sz >= i + 1 then
+      if sz = i + 1 && seq >= 0 then k
+      else go (k / 2) ((sz - 1) / 2) (seq - 1)
+    else k
+  in
+  let k = ref 1 and sz = ref 1 in
+  while !sz < i + 1 do
+    sz := (2 * !sz) + 1;
+    k := !k * 2
+  done;
+  go !k !sz (i - (!sz / 2))
+
+let rec pick_branch s =
+  if s.heap_size = 0 then -1
+  else begin
+    let v = heap_pop s in
+    if s.assigns.(v) < 0 then v else pick_branch s
+  end
+
+exception Sat_found
+exception Unsat_found
+
+(** Raised when [solve] exceeds its wall-clock deadline. *)
+exception Timeout
+
+let solve ?(assumptions = []) ?deadline (s : t) : bool =
+  if decision_level s > 0 then cancel_until s 0;
+  if not s.ok then false
+  else begin
+    let check_deadline () =
+      match deadline with
+      | Some d when s.conflicts land 255 = 0 && Unix.gettimeofday () > d ->
+          raise Timeout
+      | _ -> ()
+    in
+    let restarts = ref 0 in
+    let result = ref false in
+    (try
+       (match propagate s with
+       | Some _ -> raise Unsat_found
+       | None -> ());
+       while true do
+         let budget = 64 * luby !restarts in
+         let conflicts_here = ref 0 in
+         (* restart loop *)
+         (try
+            while true do
+              match propagate s with
+              | Some confl ->
+                  s.conflicts <- s.conflicts + 1;
+                  incr conflicts_here;
+                  check_deadline ();
+                  if decision_level s <= List.length assumptions then
+                    (* conflict under assumptions (or at root) *)
+                    raise Unsat_found;
+                  let (learnt, bl) = analyze s confl in
+                  let bl = max bl (List.length assumptions) in
+                  cancel_until s bl;
+                  (match learnt with
+                  | [ l ] ->
+                      cancel_until s (List.length assumptions);
+                      if lit_value s l = 0 then raise Unsat_found
+                      else if lit_value s l < 0 then enqueue s l None
+                  | l :: _ ->
+                      let c = { lits = Array.of_list learnt; act = 0.0 } in
+                      (* ensure watch order: lits.(0)=uip, lits.(1)=highest level *)
+                      let arr = c.lits in
+                      let best = ref 1 in
+                      for i = 2 to Array.length arr - 1 do
+                        if s.level.(var_of arr.(i)) > s.level.(var_of arr.(!best))
+                        then best := i
+                      done;
+                      let tmp = arr.(1) in
+                      arr.(1) <- arr.(!best);
+                      arr.(!best) <- tmp;
+                      s.clauses <- c :: s.clauses;
+                      watch s (neg arr.(0)) c;
+                      watch s (neg arr.(1)) c;
+                      if lit_value s l < 0 then enqueue s l (Some c)
+                  | [] -> raise Unsat_found);
+                  decay s;
+                  if !conflicts_here > budget then begin
+                    cancel_until s (List.length assumptions);
+                    raise Exit
+                  end
+              | None ->
+                  (* extend assignment: assumptions first, then decide *)
+                  let dl = decision_level s in
+                  if dl < List.length assumptions then begin
+                    let a = List.nth assumptions dl in
+                    match lit_value s a with
+                    | 1 ->
+                        (* already true: open an empty decision level *)
+                        s.trail_lim.(s.trail_lim_size) <- s.trail_size;
+                        s.trail_lim_size <- s.trail_lim_size + 1
+                    | 0 -> raise Unsat_found
+                    | _ ->
+                        s.trail_lim.(s.trail_lim_size) <- s.trail_size;
+                        s.trail_lim_size <- s.trail_lim_size + 1;
+                        enqueue s a None
+                  end
+                  else begin
+                    let v = pick_branch s in
+                    if v < 0 then raise Sat_found;
+                    s.decisions <- s.decisions + 1;
+                    s.trail_lim.(s.trail_lim_size) <- s.trail_size;
+                    s.trail_lim_size <- s.trail_lim_size + 1;
+                    enqueue s (lit_of_var v s.phase.(v)) None
+                  end
+            done
+          with Exit -> ());
+         incr restarts
+       done
+     with
+    | Sat_found -> result := true
+    | Unsat_found -> result := false);
+    if not !result then cancel_until s 0;
+    !result
+  end
+
+(** Model value of a variable after a SAT answer. *)
+let model_value s v = s.assigns.(v) = 1

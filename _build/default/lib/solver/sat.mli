@@ -1,0 +1,38 @@
+(** CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+    learning with non-chronological backjumping, EVSIDS activities, phase
+    saving and Luby restarts — a compact MiniSat.
+
+    Literal encoding: variable [v] (0-based) has positive literal [2v] and
+    negative literal [2v+1]. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its index. *)
+
+val lit_of_var : int -> bool -> int
+(** [lit_of_var v positive] is the literal for [v] with the given polarity. *)
+
+val var_of : int -> int
+
+val lit_sign : int -> bool
+(** [true] = positive. *)
+
+val neg : int -> int
+
+val add_clause : t -> int list -> unit
+(** Add a clause (list of literals).  May be called between [solve]s;
+    resets any leftover non-root assignment first.  An empty or root-falsified
+    clause makes the instance permanently unsatisfiable. *)
+
+exception Timeout
+(** Raised by {!solve} when the wall-clock [deadline] passes. *)
+
+val solve : ?assumptions:int list -> ?deadline:float -> t -> bool
+(** Decide satisfiability under the given assumption literals.  Learned
+    clauses persist across calls (incremental use). *)
+
+val model_value : t -> int -> bool
+(** Value of a variable after a [true] answer from {!solve}. *)

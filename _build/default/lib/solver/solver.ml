@@ -1,0 +1,117 @@
+(** Query interface over bit-blasting + CDCL, with a query cache and the
+    counters the benchmark harness reports (KLEE's counterpart is its solver
+    chain: simplification, caching, then STP). *)
+
+type result =
+  | Unsat
+  | Sat of (int * int64) list  (** satisfying assignment: (var id, value) *)
+
+(** Wall-clock deadline honoured by [check]; long-running blasting/SAT work
+    raises {!Sat.Timeout} past it.  Set by the symbolic-execution engine so
+    that one pathological query cannot blow the experiment budget. *)
+let deadline : float option ref = ref None
+
+exception Timeout = Sat.Timeout
+
+type stats = {
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable sat_answers : int;
+  mutable unsat_answers : int;
+  mutable solver_time : float;  (** seconds spent in blasting + SAT *)
+}
+
+let stats = {
+  queries = 0;
+  cache_hits = 0;
+  sat_answers = 0;
+  unsat_answers = 0;
+  solver_time = 0.0;
+}
+
+let reset_stats () =
+  stats.queries <- 0;
+  stats.cache_hits <- 0;
+  stats.sat_answers <- 0;
+  stats.unsat_answers <- 0;
+  stats.solver_time <- 0.0
+
+(* query cache: sorted term-id list -> result *)
+let cache : (int list, result) Hashtbl.t = Hashtbl.create 1024
+
+let clear_cache () = Hashtbl.reset cache
+
+(** Check satisfiability of the conjunction of width-1 terms. *)
+let check (assertions : Bv.t list) : result =
+  stats.queries <- stats.queries + 1;
+  (* constant-prune: smart constructors already folded constants *)
+  let assertions =
+    List.filter (fun (t : Bv.t) -> t.Bv.node <> Bv.Const 1L) assertions
+  in
+  if List.exists (fun (t : Bv.t) -> t.Bv.node = Bv.Const 0L) assertions then begin
+    stats.unsat_answers <- stats.unsat_answers + 1;
+    Unsat
+  end
+  else if assertions = [] then begin
+    stats.sat_answers <- stats.sat_answers + 1;
+    Sat []
+  end
+  else begin
+    let key =
+      List.sort_uniq compare (List.map (fun (t : Bv.t) -> t.Bv.id) assertions)
+    in
+    match Hashtbl.find_opt cache key with
+    | Some r ->
+        stats.cache_hits <- stats.cache_hits + 1;
+        (match r with
+        | Sat _ -> stats.sat_answers <- stats.sat_answers + 1
+        | Unsat -> stats.unsat_answers <- stats.unsat_answers + 1);
+        r
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        (match !deadline with
+        | Some d when t0 > d -> raise Timeout
+        | _ -> ());
+        let ctx = Blast.create ?deadline:!deadline () in
+        List.iter (Blast.assert_true ctx) assertions;
+        let sat =
+          try Sat.solve ?deadline:!deadline ctx.Blast.sat
+          with Timeout ->
+            stats.solver_time <- stats.solver_time +. (Unix.gettimeofday () -. t0);
+            raise Timeout
+        in
+        let r =
+          if not sat then Unsat
+          else begin
+            (* extract values for every variable mentioned *)
+            let vars = Hashtbl.create 16 in
+            List.iter
+              (fun t ->
+                Hashtbl.iter (fun id w -> Hashtbl.replace vars id w) (Bv.vars t))
+              assertions;
+            let model =
+              Hashtbl.fold
+                (fun id _w acc ->
+                  match Blast.model_of_var ctx id with
+                  | Some v -> (id, v) :: acc
+                  | None -> (id, 0L) :: acc)
+                vars []
+            in
+            Sat model
+          end
+        in
+        stats.solver_time <- stats.solver_time +. (Unix.gettimeofday () -. t0);
+        (match r with
+        | Sat _ -> stats.sat_answers <- stats.sat_answers + 1
+        | Unsat -> stats.unsat_answers <- stats.unsat_answers + 1);
+        Hashtbl.replace cache key r;
+        r
+  end
+
+(** Convenience: is the conjunction satisfiable? *)
+let is_sat assertions = match check assertions with Sat _ -> true | Unsat -> false
+
+(** Model lookup with default 0 (unconstrained variables may take any value;
+    0 is what the model extraction produces for absent bits). *)
+let model_value model id =
+  match List.assoc_opt id model with Some v -> v | None -> 0L

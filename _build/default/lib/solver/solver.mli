@@ -1,0 +1,37 @@
+(** Query interface over bit-blasting + CDCL, with a query cache and
+    counters — the role KLEE's solver chain (simplify, cache, STP) plays. *)
+
+type result =
+  | Unsat
+  | Sat of (int * int64) list
+      (** satisfying assignment as (variable id, value) pairs *)
+
+val deadline : float option ref
+(** Wall-clock deadline honoured by {!check}; long-running blasting or SAT
+    work raises {!Timeout} past it.  Set by the symbolic-execution engine so
+    one pathological query cannot blow an experiment budget. *)
+
+exception Timeout
+
+type stats = {
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable sat_answers : int;
+  mutable unsat_answers : int;
+  mutable solver_time : float;  (** seconds spent in blasting + SAT *)
+}
+
+val stats : stats
+val reset_stats : unit -> unit
+
+val clear_cache : unit -> unit
+(** Drop cached query results (call between independent experiments). *)
+
+val check : Bv.t list -> result
+(** Satisfiability of the conjunction of width-1 terms.  Results are cached
+    by the hash-consed term-id set. *)
+
+val is_sat : Bv.t list -> bool
+
+val model_value : (int * int64) list -> int -> int64
+(** Look up a variable in a model; unconstrained variables read as 0. *)

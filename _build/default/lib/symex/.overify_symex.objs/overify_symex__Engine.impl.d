@@ -1,0 +1,1 @@
+lib/symex/engine.ml: Array Char Executor Hashtbl Int64 List Memory Overify_ir Overify_solver Queue State String Unix

@@ -1,0 +1,1 @@
+lib/symex/executor.ml: Array Hashtbl Int64 List Memory Option Overify_ir Overify_solver Printf State Sval

@@ -1,0 +1,1 @@
+lib/symex/memory.ml: Array Char Int Int64 Map Overify_solver Printf String

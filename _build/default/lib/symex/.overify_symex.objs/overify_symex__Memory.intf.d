@@ -1,0 +1,1 @@
+lib/symex/memory.mli: Overify_solver

@@ -1,0 +1,1 @@
+lib/symex/state.ml: Int List Map Memory Overify_ir Overify_solver Printf Sval

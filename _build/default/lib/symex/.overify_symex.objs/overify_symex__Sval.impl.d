@@ -1,0 +1,1 @@
+lib/symex/sval.ml: Overify_solver Printf

@@ -1,0 +1,1 @@
+lib/symex/sval.mli: Overify_solver

@@ -1,0 +1,262 @@
+(** Top-level symbolic-execution engine: explores all paths of a module's
+    [main] for a given symbolic input size, under time/path budgets, and
+    reports the statistics the paper's evaluation uses (t_verify, number of
+    paths, number of interpreted instructions, solver counters). *)
+
+module Ir = Overify_ir.Ir
+module Bv = Overify_solver.Bv
+module Solver = Overify_solver.Solver
+
+type config = {
+  input_size : int;
+  max_paths : int;       (** stop after completing this many paths *)
+  max_insts : int;       (** total dynamic instruction budget *)
+  timeout : float;       (** wall-clock seconds *)
+  check_bounds : bool;   (** fork out-of-bounds bug paths *)
+  searcher : [ `Dfs | `Bfs ];
+}
+
+let default_config =
+  {
+    input_size = 4;
+    max_paths = 1_000_000;
+    max_insts = 200_000_000;
+    timeout = 60.0;
+    check_bounds = true;
+    searcher = `Dfs;
+  }
+
+type bug = {
+  kind : string;
+  input : string;        (** concrete input reproducing the bug *)
+  at_function : string;
+}
+
+type result = {
+  paths : int;                  (** completed (exited) paths *)
+  bugs : bug list;
+  instructions : int;           (** dynamic instructions over all paths *)
+  forks : int;
+  queries : int;
+  cache_hits : int;
+  solver_time : float;
+  time : float;                 (** total verification wall time *)
+  complete : bool;              (** false if a budget was exhausted *)
+  exit_codes : (string * int64) list;
+      (** per completed path: concrete witness input and its exit code *)
+  blocks_covered : int;  (** basic blocks reached on some explored path *)
+  blocks_total : int;    (** blocks of the functions reachable from main *)
+}
+
+(** Extract a concrete input string from a state's model. *)
+let input_of_model (input_vars : int array) model =
+  String.init (Array.length input_vars) (fun i ->
+      let v =
+        match List.assoc_opt input_vars.(i) model with
+        | Some v -> Int64.to_int (Int64.logand v 0xFFL)
+        | None -> 0
+      in
+      Char.chr v)
+
+let run ?(config = default_config) (m : Ir.modul) : result =
+  (* each run is self-contained: drop cached queries and hash-consed terms *)
+  Solver.clear_cache ();
+  Bv.reset ();
+  let q0 = Solver.stats.Solver.queries
+  and h0 = Solver.stats.Solver.cache_hits
+  and st0 = Solver.stats.Solver.solver_time in
+  let t_start = Unix.gettimeofday () in
+  (* globals *)
+  let mem = ref Memory.empty in
+  let globals =
+    List.map
+      (fun (g : Ir.global) ->
+        let (m', obj) =
+          Memory.alloc_bytes ~writable:(not g.Ir.gconst) !mem g.Ir.ginit
+            ~size:g.Ir.gsize
+        in
+        mem := m';
+        (g.Ir.gname, obj))
+      m.Ir.globals
+  in
+  (* fresh symbolic variables for the input bytes *)
+  let input_vars =
+    Array.init config.input_size (fun i -> 1_000_000 + (config.input_size * 7919) + i)
+  in
+  let gctx =
+    {
+      Executor.modul = m;
+      block_tbls = Hashtbl.create 16;
+      globals;
+      input_vars;
+      check_bounds = config.check_bounds;
+      insts_executed = 0;
+      forks = 0;
+      covered = Hashtbl.create 64;
+    }
+  in
+  let main =
+    match Ir.find_func m "main" with
+    | Some f -> f
+    | None -> invalid_arg "Engine.run: module has no main"
+  in
+  let entry = Ir.entry main in
+  Hashtbl.replace gctx.Executor.covered (main.Ir.fname, entry.Ir.bid) ();
+  let init_state =
+    {
+      State.frames =
+        [
+          {
+            State.fn = main;
+            regs = State.IMap.empty;
+            cur_block = entry.Ir.bid;
+            prev_block = -1;
+            insts = entry.Ir.insts;
+            ret_dst = None;
+            frame_objs = [];
+          };
+        ];
+      mem = !mem;
+      path = [];
+      model = [];
+      out_rev = [];
+      steps = 0;
+    }
+  in
+  (* worklist *)
+  let stack = ref [] in
+  let queue = Queue.create () in
+  let push st =
+    match config.searcher with
+    | `Dfs -> stack := st :: !stack
+    | `Bfs -> Queue.add st queue
+  in
+  let pop () =
+    match config.searcher with
+    | `Dfs -> (
+        match !stack with
+        | st :: rest ->
+            stack := rest;
+            Some st
+        | [] -> None)
+    | `Bfs -> ( try Some (Queue.pop queue) with Queue.Empty -> None)
+  in
+  push init_state;
+  let paths = ref 0 in
+  let bugs : bug list ref = ref [] in
+  let bug_kinds = Hashtbl.create 8 in
+  let exit_codes = ref [] in
+  let complete = ref true in
+  let deadline = t_start +. config.timeout in
+  Solver.deadline := Some deadline;
+  let out_of_budget () =
+    !paths >= config.max_paths
+    || gctx.Executor.insts_executed >= config.max_insts
+    || Unix.gettimeofday () > deadline
+  in
+  let check_counter = ref 0 in
+  (try
+     let rec loop () =
+       match pop () with
+       | None -> ()
+       | Some st ->
+           (* run this state until it forks or finishes *)
+           let rec advance st =
+             incr check_counter;
+             if !check_counter land 2047 = 0 && out_of_budget () then begin
+               complete := false;
+               raise Exit
+             end;
+             match Executor.step gctx st with
+             | [ Executor.T_cont st' ] -> advance st'
+             | transitions ->
+                 List.iter
+                   (fun tr ->
+                     match tr with
+                     | Executor.T_cont st' -> push st'
+                     | Executor.T_exit (st', code) ->
+                         incr paths;
+                         let witness =
+                           input_of_model input_vars st'.State.model
+                         in
+                         let code_v =
+                           match code with
+                           | Some t ->
+                               Bv.to_signed 32
+                                 (Bv.eval
+                                    (fun id ->
+                                      match
+                                        List.assoc_opt id st'.State.model
+                                      with
+                                      | Some v -> v
+                                      | None -> 0L)
+                                    t)
+                           | None -> 0L
+                         in
+                         exit_codes := (witness, code_v) :: !exit_codes;
+                         if out_of_budget () then begin
+                           complete := false;
+                           raise Exit
+                         end
+                     | Executor.T_drop (_, _) -> complete := false
+                     | Executor.T_bug (st', kind) ->
+                         let fname = (State.top st').State.fn.Ir.fname in
+                         let key = (kind, fname) in
+                         if not (Hashtbl.mem bug_kinds key) then begin
+                           Hashtbl.replace bug_kinds key ();
+                           bugs :=
+                             {
+                               kind;
+                               input = input_of_model input_vars st'.State.model;
+                               at_function = fname;
+                             }
+                             :: !bugs
+                         end)
+                   transitions
+           in
+           advance st;
+           loop ()
+     in
+     loop ()
+   with
+  | Exit -> ()
+  | Solver.Timeout -> complete := false
+  | Executor.Symex_error msg ->
+      complete := false;
+      bugs :=
+        { kind = "executor error: " ^ msg; input = ""; at_function = "?" }
+        :: !bugs);
+  Solver.deadline := None;
+  (* anything left on the worklist means incompleteness *)
+  (match config.searcher with
+  | `Dfs -> if !stack <> [] then complete := false
+  | `Bfs -> if not (Queue.is_empty queue) then complete := false);
+  {
+    paths = !paths;
+    bugs = List.rev !bugs;
+    instructions = gctx.Executor.insts_executed;
+    forks = gctx.Executor.forks;
+    queries = Solver.stats.Solver.queries - q0;
+    cache_hits = Solver.stats.Solver.cache_hits - h0;
+    solver_time = Solver.stats.Solver.solver_time -. st0;
+    time = Unix.gettimeofday () -. t_start;
+    complete = !complete;
+    exit_codes = List.rev !exit_codes;
+    blocks_covered = Hashtbl.length gctx.Executor.covered;
+    blocks_total =
+      (let reach = Hashtbl.create 16 in
+       let rec visit name =
+         if not (Hashtbl.mem reach name) then begin
+           Hashtbl.replace reach name ();
+           match Ir.find_func m name with
+           | Some fn ->
+               List.iter visit (Overify_ir.Callgraph.callees m fn)
+           | None -> ()
+         end
+       in
+       visit "main";
+       List.fold_left
+         (fun acc (f : Ir.func) ->
+           if Hashtbl.mem reach f.Ir.fname then acc + Ir.num_blocks f else acc)
+         0 m.Ir.funcs);
+  }

@@ -1,0 +1,39 @@
+(** Top-level symbolic-execution engine: explores all paths of a module's
+    [main] for a given symbolic input size, under time/path budgets, and
+    reports the statistics the paper's evaluation uses. *)
+
+type config = {
+  input_size : int;      (** number of symbolic input bytes *)
+  max_paths : int;       (** stop after completing this many paths *)
+  max_insts : int;       (** total dynamic instruction budget *)
+  timeout : float;       (** wall-clock seconds (also bounds solver work) *)
+  check_bounds : bool;   (** fork out-of-bounds bug paths *)
+  searcher : [ `Dfs | `Bfs ];
+}
+
+val default_config : config
+
+type bug = {
+  kind : string;         (** e.g. "division by zero" *)
+  input : string;        (** concrete input reproducing the bug *)
+  at_function : string;
+}
+
+type result = {
+  paths : int;           (** completed (exited) paths *)
+  bugs : bug list;       (** deduplicated by (kind, function) *)
+  instructions : int;    (** dynamic instructions over all paths *)
+  forks : int;
+  queries : int;         (** solver queries issued *)
+  cache_hits : int;
+  solver_time : float;   (** seconds in blasting + SAT *)
+  time : float;          (** total verification wall time *)
+  complete : bool;       (** false if any budget was exhausted *)
+  exit_codes : (string * int64) list;
+      (** per completed path: a concrete witness input and its exit code *)
+  blocks_covered : int;  (** basic blocks reached on some explored path *)
+  blocks_total : int;    (** blocks of the functions reachable from main *)
+}
+
+val run : ?config:config -> Overify_ir.Ir.modul -> result
+(** Symbolically execute [main].  Fresh solver state per run. *)

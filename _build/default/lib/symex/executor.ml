@@ -1,0 +1,538 @@
+(** The symbolic-execution step function: KLEE-style per-path interpretation
+    of the IR, forking at feasible branches.
+
+    Feasibility uses a counterexample-model fast path: every state carries a
+    concrete assignment satisfying its path condition; the branch side that
+    assignment takes is feasible for free, so typically {e one} solver query
+    is spent per symbolic branch. *)
+
+module Ir = Overify_ir.Ir
+module Bv = Overify_solver.Bv
+module Solver = Overify_solver.Solver
+module IMap = State.IMap
+
+type gctx = {
+  modul : Ir.modul;
+  block_tbls : (string, (int, Ir.block) Hashtbl.t) Hashtbl.t;
+  globals : (string * int) list;   (** global name -> memory object *)
+  input_vars : int array;          (** symbolic variable id per input byte *)
+  check_bounds : bool;             (** hunt for memory-safety bugs *)
+  mutable insts_executed : int;    (** dynamic total over all paths *)
+  mutable forks : int;
+  covered : (string * int, unit) Hashtbl.t;
+      (** basic blocks reached on some path (KLEE-style coverage) *)
+}
+
+type transition =
+  | T_cont of State.t
+  | T_exit of State.t * Bv.t option   (** normal return from main *)
+  | T_bug of State.t * string
+  | T_drop of State.t * string
+      (** path abandoned for an engine limitation (e.g. a symbolic offset
+          over a very large object); makes the exploration incomplete *)
+
+exception Symex_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Symex_error s)) fmt
+
+let block_tbl gctx (fn : Ir.func) =
+  match Hashtbl.find_opt gctx.block_tbls fn.Ir.fname with
+  | Some t -> t
+  | None ->
+      let t = Ir.block_tbl fn in
+      Hashtbl.replace gctx.block_tbls fn.Ir.fname t;
+      t
+
+let width_of_ty ty = Ir.bits_of_ty ty
+
+(* ---------------- feasibility ---------------- *)
+
+type feas = Feasible of (int * int64) list | Infeasible
+
+(** Is [path /\ c] satisfiable?  Fast path: the state's model. *)
+let feasible (st : State.t) (c : Bv.t) : feas =
+  match c.Bv.node with
+  | Bv.Const 1L -> Feasible st.State.model
+  | Bv.Const 0L -> Infeasible
+  | _ ->
+      if State.model_eval st c then Feasible st.State.model
+      else begin
+        match Solver.check (c :: st.State.path) with
+        | Solver.Sat m -> Feasible m
+        | Solver.Unsat -> Infeasible
+      end
+
+let constrain (st : State.t) c model =
+  { st with State.path = c :: st.State.path; model }
+
+(* ---------------- value evaluation ---------------- *)
+
+let eval_value gctx (st : State.t) (v : Ir.value) : Sval.t =
+  match v with
+  | Ir.Imm (x, Ir.Ptr) ->
+      if x = 0L then Sval.null else err "non-null pointer constant"
+  | Ir.Imm (x, ty) -> Sval.SInt (Bv.const (width_of_ty ty) x)
+  | Ir.Reg r -> State.get_reg st r
+  | Ir.Glob g -> (
+      match List.assoc_opt g gctx.globals with
+      | Some obj -> Sval.SPtr (obj, Bv.const 64 0L)
+      | None -> err "unknown global %s" g)
+
+let as_int_exn what v =
+  match Sval.as_int v with
+  | Some t -> t
+  | None -> err "%s: pointer where integer expected" what
+
+let as_ptr_exn what v =
+  match Sval.as_ptr v with
+  | Some p -> p
+  | None -> err "%s: integer where pointer expected" what
+
+let bv_binop (op : Ir.binop) : Bv.binop =
+  match op with
+  | Ir.Add -> Bv.Add | Ir.Sub -> Bv.Sub | Ir.Mul -> Bv.Mul
+  | Ir.Sdiv -> Bv.Sdiv | Ir.Udiv -> Bv.Udiv
+  | Ir.Srem -> Bv.Srem | Ir.Urem -> Bv.Urem
+  | Ir.And -> Bv.And | Ir.Or -> Bv.Or | Ir.Xor -> Bv.Xor
+  | Ir.Shl -> Bv.Shl | Ir.Lshr -> Bv.Lshr | Ir.Ashr -> Bv.Ashr
+
+let bv_cmp (op : Ir.cmp) : Bv.cmpop =
+  match op with
+  | Ir.Eq -> Bv.Eq | Ir.Ne -> Bv.Ne
+  | Ir.Slt -> Bv.Slt | Ir.Sle -> Bv.Sle | Ir.Sgt -> Bv.Sgt | Ir.Sge -> Bv.Sge
+  | Ir.Ult -> Bv.Ult | Ir.Ule -> Bv.Ule | Ir.Ugt -> Bv.Ugt | Ir.Uge -> Bv.Uge
+
+(* pointers stored in memory: (obj << 32) | (offset + 1); null = 0 *)
+let encode_ptr obj (off : Bv.t) : Bv.t =
+  match off.Bv.node with
+  | Bv.Const c ->
+      if obj = 0 && c = 0L then Bv.const 64 0L
+      else
+        Bv.const 64
+          (Int64.logor (Int64.shift_left (Int64.of_int obj) 32) (Int64.add c 1L))
+  | _ -> err "storing a pointer with symbolic offset"
+
+let decode_raw raw : Sval.t =
+  if raw = 0L then Sval.null
+  else
+    Sval.SPtr
+      ( Int64.to_int (Int64.shift_right_logical raw 32),
+        Bv.const 64 (Int64.sub (Int64.logand raw 0xFFFFFFFFL) 1L) )
+
+let decode_ptr (t : Bv.t) : Sval.t =
+  match t.Bv.node with
+  | Bv.Const raw -> decode_raw raw
+  | _ -> err "loading a symbolic pointer"
+
+(** A pointer loaded through a symbolic index is an ITE tree over constant
+    raw encodings; enumerate the alternatives with their guards so the
+    caller can fork (KLEE's pointer resolution). *)
+let decode_ptr_alternatives (t : Bv.t) : (Bv.t * int64) list option =
+  let alts = ref [] in
+  let ok = ref true in
+  let rec go (t : Bv.t) guard =
+    if !ok && List.length !alts <= 64 then
+      match t.Bv.node with
+      | Bv.Const raw -> alts := (guard, raw) :: !alts
+      | Bv.Ite (c, a, b) ->
+          go a (Bv.and_ guard c);
+          go b (Bv.and_ guard (Bv.not_ c))
+      | _ -> ok := false
+  in
+  go t Bv.tt;
+  if !ok && List.length !alts <= 64 then Some !alts else None
+
+(* ---------------- block transfer ---------------- *)
+
+(** Enter [target]; evaluates phis in parallel. *)
+let enter_block gctx (st : State.t) target : State.t =
+  let fr = State.top st in
+  Hashtbl.replace gctx.covered (fr.State.fn.Ir.fname, target) ();
+  let tbl = block_tbl gctx fr.State.fn in
+  let blk =
+    match Hashtbl.find_opt tbl target with
+    | Some b -> b
+    | None -> err "branch to missing block L%d" target
+  in
+  let prev = fr.State.cur_block in
+  let phis, rest =
+    let rec split acc = function
+      | (Ir.Phi _ as p) :: tl -> split (p :: acc) tl
+      | tl -> (List.rev acc, tl)
+    in
+    split [] blk.Ir.insts
+  in
+  let phi_vals =
+    List.map
+      (fun p ->
+        match p with
+        | Ir.Phi (d, _, incoming) -> (
+            match List.assoc_opt prev incoming with
+            | Some v -> (d, eval_value gctx st v)
+            | None -> err "phi without entry for predecessor L%d" prev)
+        | _ -> assert false)
+      phis
+  in
+  gctx.insts_executed <- gctx.insts_executed + List.length phis;
+  let st = { st with State.steps = st.State.steps + List.length phis } in
+  State.with_top
+    (List.fold_left
+       (fun st (d, v) -> State.set_reg st d v)
+       st phi_vals)
+    (fun fr ->
+      { fr with State.cur_block = target; prev_block = prev; insts = rest })
+
+(* ---------------- memory access with bug forking ---------------- *)
+
+(** Produce transitions for an access at [SPtr (obj, off)] of [width] bytes:
+    a possible out-of-bounds bug branch plus the in-bounds continuation
+    (through [k]). *)
+let with_bounds gctx (st : State.t) ~what ~obj ~(off : Bv.t) ~width
+    (k : State.t -> transition list) : transition list =
+  if obj = 0 then [ T_bug (st, "null pointer dereference") ]
+  else
+    match Memory.find st.State.mem obj with
+    | None -> [ T_bug (st, "dangling object") ]
+    | Some o ->
+        if not o.Memory.live then [ T_bug (st, what ^ ": use after scope exit") ]
+        else begin
+          match off.Bv.node with
+          | Bv.Const c ->
+              let c64 = Int64.to_int c in
+              if c64 < 0 || c64 + width > o.Memory.size then
+                [ T_bug
+                    ( st,
+                      Printf.sprintf
+                        "%s: out-of-bounds (%d bytes at %d of %d-byte object)"
+                        what width c64 o.Memory.size ) ]
+              else k st
+          | _ ->
+              let limit = Int64.of_int (o.Memory.size - width) in
+              if limit < 0L then
+                [ T_bug (st, what ^ ": access wider than object") ]
+              else begin
+                let in_b = Bv.cmp Bv.Ule off (Bv.const 64 limit) in
+                let oob = Bv.not_ in_b in
+                let bugs =
+                  if gctx.check_bounds then
+                    match feasible st oob with
+                    | Feasible m ->
+                        [ T_bug
+                            ( constrain st oob m,
+                              what ^ ": out-of-bounds (symbolic offset)" ) ]
+                    | Infeasible -> []
+                  else []
+                in
+                let conts =
+                  match feasible st in_b with
+                  | Feasible m -> k (constrain st in_b m)
+                  | Infeasible -> []
+                in
+                bugs @ conts
+              end
+        end
+
+(* ---------------- intrinsic calls ---------------- *)
+
+let input_byte gctx (st : State.t) (idx : Bv.t) : Bv.t =
+  let n = Array.length gctx.input_vars in
+  match idx.Bv.node with
+  | Bv.Const c ->
+      let i = Int64.to_int (Bv.to_signed 32 c) in
+      if i >= 0 && i < n then Bv.zext 32 (Bv.var 8 gctx.input_vars.(i))
+      else Bv.const 32 0L
+  | _ ->
+      let acc = ref (Bv.const 32 0L) in
+      for i = n - 1 downto 0 do
+        acc :=
+          Bv.ite
+            (Bv.cmp Bv.Eq idx (Bv.const 32 (Int64.of_int i)))
+            (Bv.zext 32 (Bv.var 8 gctx.input_vars.(i)))
+            !acc
+      done;
+      ignore st;
+      !acc
+
+(* ---------------- the step function ---------------- *)
+
+let charge gctx st =
+  gctx.insts_executed <- gctx.insts_executed + 1;
+  { st with State.steps = st.State.steps + 1 }
+
+(** Execute one instruction or terminator of [st]. *)
+let rec step gctx (st : State.t) : transition list =
+  let fr = State.top st in
+  match fr.State.insts with
+  | inst :: rest -> (
+      let st = charge gctx st in
+      let st = State.with_top st (fun fr -> { fr with State.insts = rest }) in
+      let ev v = eval_value gctx st v in
+      match inst with
+      | Ir.Bin (d, op, ty, a, b) -> (
+          let w = width_of_ty ty in
+          let ta = as_int_exn "binop" (ev a) and tb = as_int_exn "binop" (ev b) in
+          assert (ta.Bv.width = w && tb.Bv.width = w);
+          match op with
+          | Ir.Sdiv | Ir.Udiv | Ir.Srem | Ir.Urem -> (
+              let zero = Bv.const w 0L in
+              let is_zero = Bv.cmp Bv.Eq tb zero in
+              match is_zero.Bv.node with
+              | Bv.Const 0L ->
+                  [ T_cont (State.set_reg st d (Sval.SInt (Bv.binop (bv_binop op) ta tb))) ]
+              | Bv.Const 1L -> [ T_bug (st, "division by zero") ]
+              | _ ->
+                  let bugs =
+                    match feasible st is_zero with
+                    | Feasible m ->
+                        [ T_bug (constrain st is_zero m, "division by zero") ]
+                    | Infeasible -> []
+                  in
+                  let nz = Bv.not_ is_zero in
+                  let conts =
+                    match feasible st nz with
+                    | Feasible m ->
+                        let st = constrain st nz m in
+                        [ T_cont
+                            (State.set_reg st d
+                               (Sval.SInt (Bv.binop (bv_binop op) ta tb))) ]
+                    | Infeasible -> []
+                  in
+                  bugs @ conts)
+          | _ ->
+              [ T_cont (State.set_reg st d (Sval.SInt (Bv.binop (bv_binop op) ta tb))) ])
+      | Ir.Cmp (d, op, ty, a, b) ->
+          let res =
+            if ty = Ir.Ptr then begin
+              let (o1, off1) = as_ptr_exn "cmp" (ev a) in
+              let (o2, off2) = as_ptr_exn "cmp" (ev b) in
+              if o1 = o2 then Bv.cmp (bv_cmp op) off1 off2
+              else
+                match op with
+                | Ir.Eq -> Bv.ff
+                | Ir.Ne -> Bv.tt
+                | _ -> err "ordered comparison of unrelated pointers"
+            end
+            else
+              Bv.cmp (bv_cmp op)
+                (as_int_exn "cmp" (ev a))
+                (as_int_exn "cmp" (ev b))
+          in
+          [ T_cont (State.set_reg st d (Sval.SInt res)) ]
+      | Ir.Select (d, _ty, c, a, b) -> (
+          let tc = as_int_exn "select" (ev c) in
+          let va = ev a and vb = ev b in
+          match (tc.Bv.node, va, vb) with
+          | (Bv.Const 1L, _, _) -> [ T_cont (State.set_reg st d va) ]
+          | (Bv.Const 0L, _, _) -> [ T_cont (State.set_reg st d vb) ]
+          | (_, Sval.SInt ta, Sval.SInt tb) ->
+              [ T_cont (State.set_reg st d (Sval.SInt (Bv.ite tc ta tb))) ]
+          | (_, Sval.SPtr (o1, off1), Sval.SPtr (o2, off2)) when o1 = o2 ->
+              [ T_cont (State.set_reg st d (Sval.SPtr (o1, Bv.ite tc off1 off2))) ]
+          | (_, _, _) ->
+              (* select over distinct objects: fork on the condition *)
+              gctx.forks <- gctx.forks + 1;
+              let tside =
+                match feasible st tc with
+                | Feasible m ->
+                    [ T_cont (State.set_reg (constrain st tc m) d va) ]
+                | Infeasible -> []
+              in
+              let nc = Bv.not_ tc in
+              let fside =
+                match feasible st nc with
+                | Feasible m ->
+                    [ T_cont (State.set_reg (constrain st nc m) d vb) ]
+                | Infeasible -> []
+              in
+              tside @ fside)
+      | Ir.Cast (d, op, to_ty, v, from_ty) ->
+          let t = as_int_exn "cast" (ev v) in
+          let wf = width_of_ty from_ty and wt = width_of_ty to_ty in
+          assert (t.Bv.width = wf);
+          let res =
+            match op with
+            | Ir.Zext -> Bv.zext wt t
+            | Ir.Sext -> Bv.sext wt t
+            | Ir.Trunc -> Bv.trunc wt t
+          in
+          [ T_cont (State.set_reg st d (Sval.SInt res)) ]
+      | Ir.Alloca (d, ty, n) ->
+          let (mem, obj) = Memory.alloc st.State.mem ~size:(Ir.size_of_ty ty * n) in
+          let st = { st with State.mem = mem } in
+          let st =
+            State.with_top st (fun fr ->
+                { fr with State.frame_objs = obj :: fr.State.frame_objs })
+          in
+          [ T_cont (State.set_reg st d (Sval.SPtr (obj, Bv.const 64 0L))) ]
+      | Ir.Load (d, ty, p) ->
+          let (obj, off) = as_ptr_exn "load" (ev p) in
+          let width = Ir.size_of_ty ty in
+          with_bounds gctx st ~what:"load" ~obj ~off ~width (fun st ->
+              match Memory.read st.State.mem ~obj ~off ~width with
+              | Ok t when ty <> Ir.Ptr ->
+                  [ T_cont
+                      (State.set_reg st d
+                         (Sval.SInt (Bv.trunc (width_of_ty ty) (pad_to_width t width)))) ]
+              | Ok t -> (
+                  (* pointer load: a symbolic result is an ITE over constant
+                     raw encodings — fork per feasible alternative *)
+                  match t.Bv.node with
+                  | Bv.Const raw -> [ T_cont (State.set_reg st d (decode_raw raw)) ]
+                  | _ -> (
+                      match decode_ptr_alternatives t with
+                      | None -> [ T_drop (st, "unsupported symbolic pointer") ]
+                      | Some alts ->
+                          if List.length alts > 1 then
+                            gctx.forks <- gctx.forks + 1;
+                          List.concat_map
+                            (fun (guard, raw) ->
+                              match feasible st guard with
+                              | Feasible m ->
+                                  [ T_cont
+                                      (State.set_reg (constrain st guard m) d
+                                         (decode_raw raw)) ]
+                              | Infeasible -> [])
+                            alts))
+              | Error Memory.Too_wide_ite ->
+                  [ T_drop (st, "symbolic offset over too-large object") ]
+              | Error e -> [ T_bug (st, Memory.string_of_error e) ])
+      | Ir.Store (ty, v, p) ->
+          let (obj, off) = as_ptr_exn "store" (ev p) in
+          let width = Ir.size_of_ty ty in
+          let tv =
+            if ty = Ir.Ptr then
+              match ev v with
+              | Sval.SPtr (o, po) -> encode_ptr o po
+              | Sval.SInt t when t.Bv.node = Bv.Const 0L -> Bv.const 64 0L
+              | Sval.SInt _ -> err "storing integer as pointer"
+            else Bv.zext (8 * width) (as_int_exn "store" (ev v))
+          in
+          with_bounds gctx st ~what:"store" ~obj ~off ~width (fun st ->
+              match Memory.write st.State.mem ~obj ~off ~width ~v:tv with
+              | Ok mem -> [ T_cont { st with State.mem = mem } ]
+              | Error Memory.Too_wide_ite ->
+                  [ T_drop (st, "symbolic offset over too-large object") ]
+              | Error e -> [ T_bug (st, Memory.string_of_error e) ])
+      | Ir.Gep (d, base, scale, idx) ->
+          let (obj, off) = as_ptr_exn "gep" (ev base) in
+          let ti = as_int_exn "gep" (ev idx) in
+          let ti64 = if ti.Bv.width = 64 then ti else Bv.sext 64 ti in
+          let off' =
+            Bv.binop Bv.Add off
+              (Bv.binop Bv.Mul ti64 (Bv.const 64 (Int64.of_int scale)))
+          in
+          [ T_cont (State.set_reg st d (Sval.SPtr (obj, off'))) ]
+      | Ir.Call (d, _ty, name, args) -> exec_call gctx st d name (List.map ev args)
+      | Ir.Phi _ -> err "phi in the middle of a block")
+  | [] -> (
+      (* terminator *)
+      let st = charge gctx st in
+      let blk =
+        Hashtbl.find (block_tbl gctx fr.State.fn) fr.State.cur_block
+      in
+      match blk.Ir.term with
+      | Ir.Br l -> [ T_cont (enter_block gctx st l) ]
+      | Ir.Cbr (c, t, e) -> (
+          let tc = as_int_exn "cbr" (eval_value gctx st c) in
+          match tc.Bv.node with
+          | Bv.Const 1L -> [ T_cont (enter_block gctx st t) ]
+          | Bv.Const 0L -> [ T_cont (enter_block gctx st e) ]
+          | _ ->
+              let nc = Bv.not_ tc in
+              let tf = feasible st tc and ff_ = feasible st nc in
+              (match (tf, ff_) with
+              | (Feasible mt, Feasible mf) ->
+                  gctx.forks <- gctx.forks + 1;
+                  [ T_cont (enter_block gctx (constrain st tc mt) t);
+                    T_cont (enter_block gctx (constrain st nc mf) e) ]
+              | (Feasible _, Infeasible) -> [ T_cont (enter_block gctx st t) ]
+              | (Infeasible, Feasible _) -> [ T_cont (enter_block gctx st e) ]
+              | (Infeasible, Infeasible) ->
+                  (* the path condition itself became unsatisfiable *)
+                  []))
+      | Ir.Ret v -> (
+          let rv = Option.map (eval_value gctx st) v in
+          (* free this frame's allocas *)
+          let mem =
+            List.fold_left Memory.kill st.State.mem (State.top st).State.frame_objs
+          in
+          let st = { st with State.mem = mem } in
+          match st.State.frames with
+          | [ _ ] ->
+              let code = match rv with Some (Sval.SInt t) -> Some t | _ -> None in
+              [ T_exit (st, code) ]
+          | frame :: caller :: rest ->
+              let st = { st with State.frames = caller :: rest } in
+              let st =
+                match (frame.State.ret_dst, rv) with
+                | (Some d, Some v) -> State.set_reg st d v
+                | (Some d, None) ->
+                    State.set_reg st d (Sval.SInt (Bv.const 32 0L))
+                | (None, _) -> st
+              in
+              [ T_cont st ]
+          | [] -> err "return with no frame")
+      | Ir.Unreachable -> [ T_bug (st, "reached unreachable code") ])
+
+and pad_to_width (t : Bv.t) width =
+  if t.Bv.width = 8 * width then t else Bv.zext (8 * width) t
+
+and exec_call gctx (st : State.t) dst name (args : Sval.t list) :
+    transition list =
+  let set v = match dst with Some d -> State.set_reg st d v | None -> st in
+  match name with
+  | "__input" ->
+      let idx = as_int_exn "__input" (List.nth args 0) in
+      [ T_cont (set (Sval.SInt (input_byte gctx st idx))) ]
+  | "__input_size" ->
+      [ T_cont
+          (set (Sval.SInt (Bv.const 32 (Int64.of_int (Array.length gctx.input_vars))))) ]
+  | "__output" ->
+      let c = as_int_exn "__output" (List.nth args 0) in
+      [ T_cont { st with State.out_rev = Bv.trunc 8 c :: st.State.out_rev } ]
+  | "__abort" -> [ T_bug (st, "abort called") ]
+  | "__assert" -> (
+      let c = as_int_exn "__assert" (List.nth args 0) in
+      let fail = Bv.cmp Bv.Eq c (Bv.const c.Bv.width 0L) in
+      match fail.Bv.node with
+      | Bv.Const 1L -> [ T_bug (st, "assertion failure") ]
+      | Bv.Const 0L -> [ T_cont st ]
+      | _ ->
+          let bugs =
+            match feasible st fail with
+            | Feasible m -> [ T_bug (constrain st fail m, "assertion failure") ]
+            | Infeasible -> []
+          in
+          let ok = Bv.not_ fail in
+          let conts =
+            match feasible st ok with
+            | Feasible m -> [ T_cont (constrain st ok m) ]
+            | Infeasible -> []
+          in
+          bugs @ conts)
+  | _ -> (
+      match Ir.find_func gctx.modul name with
+      | None -> err "call to unknown function %s" name
+      | Some fn ->
+          let params = fn.Ir.params in
+          if List.length params <> List.length args then
+            err "arity mismatch calling %s" name;
+          let regs =
+            List.fold_left2
+              (fun m (r, _) v -> IMap.add r v m)
+              IMap.empty params args
+          in
+          let entry = Ir.entry fn in
+          Hashtbl.replace gctx.covered (fn.Ir.fname, entry.Ir.bid) ();
+          let frame =
+            {
+              State.fn;
+              regs;
+              cur_block = entry.Ir.bid;
+              prev_block = -1;
+              insts = entry.Ir.insts;
+              ret_dst = dst;
+              frame_objs = [];
+            }
+          in
+          [ T_cont { st with State.frames = frame :: st.State.frames } ])

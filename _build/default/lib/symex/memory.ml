@@ -1,0 +1,168 @@
+(** Symbolic byte-granular memory with copy-on-write objects.
+
+    Each object is an array of 8-bit terms.  Reads and writes at concrete
+    offsets touch the exact cells; symbolic offsets build ITE chains over
+    every in-bounds position (KLEE's array selects, materialized eagerly).
+    States share objects structurally; every write replaces the object's
+    cell array, so forked states never observe each other's writes. *)
+
+module Bv = Overify_solver.Bv
+module IMap = Map.Make (Int)
+
+type obj = {
+  size : int;
+  cells : Bv.t array;
+  writable : bool;
+  live : bool;
+}
+
+type t = {
+  objs : obj IMap.t;
+  next_obj : int;
+}
+
+type access_error =
+  | Out_of_bounds of { size : int; offset : string; width : int }
+  | Dead_object
+  | Read_only
+  | Too_wide_ite  (** symbolic offset over an object above the ITE cap *)
+
+let ite_cap = 1200
+
+let empty = { objs = IMap.empty; next_obj = 1 }
+
+let alloc ?(writable = true) (m : t) ~size : t * int =
+  let id = m.next_obj in
+  let o =
+    { size; cells = Array.make (max size 1) (Bv.const 8 0L); writable; live = true }
+  in
+  ({ objs = IMap.add id o m.objs; next_obj = id + 1 }, id)
+
+(** Allocate and initialize from a byte string (globals). *)
+let alloc_bytes ?(writable = true) (m : t) (img : string) ~size : t * int =
+  let (m, id) = alloc ~writable m ~size in
+  let o = IMap.find id m.objs in
+  String.iteri
+    (fun i c ->
+      if i < size then o.cells.(i) <- Bv.const 8 (Int64.of_int (Char.code c)))
+    img;
+  (m, id)
+
+(** Install symbolic bytes (the program input). *)
+let alloc_symbolic (m : t) ~(vars : int array) : t * int =
+  let (m, id) = alloc m ~size:(Array.length vars) in
+  let o = IMap.find id m.objs in
+  Array.iteri (fun i v -> o.cells.(i) <- Bv.var 8 v) vars;
+  (m, id)
+
+let find (m : t) id = IMap.find_opt id m.objs
+
+let kill (m : t) id =
+  match IMap.find_opt id m.objs with
+  | Some o -> { m with objs = IMap.add id { o with live = false } m.objs }
+  | None -> m
+
+(* assemble [width] bytes starting at concrete offset, little-endian *)
+let read_concrete (o : obj) off width : Bv.t =
+  let v = ref o.cells.(off) in
+  for i = 1 to width - 1 do
+    v := Bv.concat o.cells.(off + i) !v
+  done;
+  !v
+
+let write_concrete (o : obj) off width (v : Bv.t) : obj =
+  let cells = Array.copy o.cells in
+  for i = 0 to width - 1 do
+    cells.(off + i) <- Bv.extract ~hi:((8 * i) + 7) ~lo:(8 * i) v
+  done;
+  { o with cells }
+
+(** Read [width] bytes at [off] (a 64-bit term). *)
+let read (m : t) ~obj ~(off : Bv.t) ~width : (Bv.t, access_error) result =
+  match IMap.find_opt obj m.objs with
+  | None -> Error Dead_object
+  | Some o ->
+      if not o.live then Error Dead_object
+      else begin
+        match off.Bv.node with
+        | Bv.Const c ->
+            let c = Int64.to_int c in
+            if c < 0 || c + width > o.size then
+              Error
+                (Out_of_bounds
+                   { size = o.size; offset = string_of_int c; width })
+            else Ok (read_concrete o c width)
+        | _ ->
+            (* symbolic offset: ITE chain over in-bounds positions; the
+               caller has already constrained the offset to be in bounds *)
+            let span = o.size - width in
+            if span < 0 then
+              Error
+                (Out_of_bounds
+                   { size = o.size; offset = Bv.to_string off; width })
+            else if span > ite_cap then Error Too_wide_ite
+            else begin
+              let acc = ref (read_concrete o span width) in
+              for s = span - 1 downto 0 do
+                acc :=
+                  Bv.ite
+                    (Bv.cmp Bv.Eq off (Bv.const 64 (Int64.of_int s)))
+                    (read_concrete o s width)
+                    !acc
+              done;
+              Ok !acc
+            end
+      end
+
+(** Write [width] bytes of [v] at [off]. *)
+let write (m : t) ~obj ~(off : Bv.t) ~width ~(v : Bv.t) :
+    (t, access_error) result =
+  match IMap.find_opt obj m.objs with
+  | None -> Error Dead_object
+  | Some o ->
+      if not o.live then Error Dead_object
+      else if not o.writable then Error Read_only
+      else begin
+        match off.Bv.node with
+        | Bv.Const c ->
+            let c = Int64.to_int c in
+            if c < 0 || c + width > o.size then
+              Error
+                (Out_of_bounds
+                   { size = o.size; offset = string_of_int c; width })
+            else
+              Ok { m with objs = IMap.add obj (write_concrete o c width v) m.objs }
+        | _ ->
+            let span = o.size - width in
+            if span < 0 then
+              Error
+                (Out_of_bounds
+                   { size = o.size; offset = Bv.to_string off; width })
+            else if span > ite_cap then Error Too_wide_ite
+            else begin
+              let cells = Array.copy o.cells in
+              (* cell i gets byte (i - s) of v when off = s, for any valid s *)
+              for i = 0 to o.size - 1 do
+                let acc = ref cells.(i) in
+                for j = width - 1 downto 0 do
+                  let s = i - j in
+                  if s >= 0 && s <= span then
+                    acc :=
+                      Bv.ite
+                        (Bv.cmp Bv.Eq off (Bv.const 64 (Int64.of_int s)))
+                        (Bv.extract ~hi:((8 * j) + 7) ~lo:(8 * j) v)
+                        !acc
+                done;
+                cells.(i) <- !acc
+              done;
+              Ok { m with objs = IMap.add obj { o with cells } m.objs }
+            end
+      end
+
+let string_of_error = function
+  | Out_of_bounds { size; offset; width } ->
+      Printf.sprintf "out-of-bounds access (%d bytes at %s of %d-byte object)"
+        width offset size
+  | Dead_object -> "use of dead object"
+  | Read_only -> "write to read-only memory"
+  | Too_wide_ite -> "symbolic offset over too-large object"

@@ -1,0 +1,40 @@
+(** Symbolic byte-granular memory with copy-on-write objects.
+
+    Reads and writes at concrete offsets touch the exact cells; symbolic
+    offsets build ITE chains over every in-bounds position (KLEE's array
+    selects, materialized eagerly).  States share objects structurally;
+    every write replaces the object's cell array. *)
+
+module Bv = Overify_solver.Bv
+
+type obj = {
+  size : int;
+  cells : Bv.t array;  (** one 8-bit term per byte *)
+  writable : bool;
+  live : bool;
+}
+
+type t
+
+type access_error =
+  | Out_of_bounds of { size : int; offset : string; width : int }
+  | Dead_object
+  | Read_only
+  | Too_wide_ite  (** symbolic offset over an object above the ITE cap *)
+
+val empty : t
+val alloc : ?writable:bool -> t -> size:int -> t * int
+val alloc_bytes : ?writable:bool -> t -> string -> size:int -> t * int
+val alloc_symbolic : t -> vars:int array -> t * int
+val find : t -> int -> obj option
+val kill : t -> int -> t
+(** Mark an object dead (scope exit); later access reports [Dead_object]. *)
+
+val read : t -> obj:int -> off:Bv.t -> width:int -> (Bv.t, access_error) result
+(** Little-endian assembly of [width] bytes.  For symbolic offsets the
+    caller must already have constrained the offset in bounds. *)
+
+val write :
+  t -> obj:int -> off:Bv.t -> width:int -> v:Bv.t -> (t, access_error) result
+
+val string_of_error : access_error -> string

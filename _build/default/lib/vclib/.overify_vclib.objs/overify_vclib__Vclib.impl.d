@@ -1,0 +1,1 @@
+lib/vclib/vclib.ml: Overify_opt

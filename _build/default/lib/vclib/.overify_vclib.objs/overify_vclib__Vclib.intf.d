@@ -1,0 +1,1 @@
+lib/vclib/vclib.mli: Overify_opt

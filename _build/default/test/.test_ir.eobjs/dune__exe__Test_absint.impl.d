@@ -1,0 +1,1 @@
+test/test_absint.ml: Alcotest Char Hashtbl Int64 List Option Overify_absint Overify_corpus Overify_harness Overify_interp Overify_ir Overify_minic Overify_opt Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Char List Overify_interp Overify_ir Overify_minic Overify_opt Overify_symex Printf QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Option Overify_corpus Overify_harness Overify_opt Overify_symex

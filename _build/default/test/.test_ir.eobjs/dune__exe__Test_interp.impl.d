@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Int64 Overify_interp Overify_ir Overify_minic Printf

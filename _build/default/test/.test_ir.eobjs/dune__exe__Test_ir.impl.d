@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Callgraph Cfg Dom Hashtbl Int32 Int64 Ir List Loop Option Overify_ir Printer String Typing Verify

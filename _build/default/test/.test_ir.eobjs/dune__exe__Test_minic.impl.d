@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Hashtbl Int64 List Overify_corpus Overify_interp Overify_ir Overify_minic Overify_vclib Printf

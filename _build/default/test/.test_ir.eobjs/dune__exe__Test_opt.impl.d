@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Char Int64 List Option Overify_corpus Overify_interp Overify_ir Overify_minic Overify_opt Overify_symex Overify_vclib Printf QCheck2 QCheck_alcotest String

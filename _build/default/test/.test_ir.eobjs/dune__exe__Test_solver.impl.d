@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Hashtbl Int64 List Overify_solver QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Char Int64 List Overify_interp Overify_ir Overify_minic Overify_opt Overify_solver Overify_symex Printf String

@@ -1,0 +1,248 @@
+(** Abstract-interpretation tests: the interval domain's algebra, the
+    analysis' soundness on concrete runs (QCheck), and the §2.1 precision
+    experiment's direction. *)
+
+module I = Overify_ir.Ir
+module Interval = Overify_absint.Interval
+module Analysis = Overify_absint.Analysis
+module Precision = Overify_absint.Precision
+module Frontend = Overify_minic.Frontend
+module Interp = Overify_interp.Interp
+module Costmodel = Overify_opt.Costmodel
+module Pipeline = Overify_opt.Pipeline
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let rng n = Interval.Range (Int64.of_int (fst n), Int64.of_int (snd n))
+
+(* ------------- domain algebra ------------- *)
+
+let test_join_meet () =
+  check bool "join" true
+    (Interval.equal (Interval.join (rng (0, 5)) (rng (3, 9))) (rng (0, 9)));
+  check bool "meet" true
+    (Interval.equal (Interval.meet (rng (0, 5)) (rng (3, 9))) (rng (3, 5)));
+  check bool "disjoint meet is bot" true
+    (Interval.is_bot (Interval.meet (rng (0, 2)) (rng (5, 9))));
+  check bool "bot join" true
+    (Interval.equal (Interval.join Interval.Bot (rng (1, 2))) (rng (1, 2)))
+
+let test_leq () =
+  check bool "subset" true (Interval.leq (rng (2, 3)) (rng (0, 5)));
+  check bool "not subset" false (Interval.leq (rng (2, 9)) (rng (0, 5)));
+  check bool "bot leq all" true (Interval.leq Interval.Bot (rng (0, 0)))
+
+let test_widen_terminates () =
+  let w = Interval.widen ~bits:32 (rng (0, 5)) (rng (0, 6)) in
+  (* unstable upper bound jumps to the type max *)
+  match w with
+  | Interval.Range (0L, hi) -> check bool "widened" true (hi >= 0x7FFFFFFFL)
+  | _ -> Alcotest.fail "unexpected widening"
+
+(* abstract ops over-approximate the concrete ones (QCheck) *)
+let prop_sound_ops =
+  let gen =
+    QCheck2.Gen.(
+      tup4 (int_range (-1000) 1000) (int_range 0 1000) (int_range (-1000) 1000)
+        (int_range 0 1000))
+  in
+  QCheck2.Test.make ~name:"interval ops over-approximate" ~count:200 gen
+    (fun (l1, d1, l2, d2) ->
+      let a = rng (l1, l1 + d1) and b = rng (l2, l2 + d2) in
+      (* sample concrete points *)
+      let points r =
+        match r with
+        | Interval.Range (lo, hi) -> [ lo; Int64.div (Int64.add lo hi) 2L; hi ]
+        | Interval.Bot -> []
+      in
+      List.for_all
+        (fun (name, abs_op, conc_op) ->
+          let res = abs_op ~bits:32 a b in
+          List.for_all
+            (fun x ->
+              List.for_all
+                (fun y ->
+                  match conc_op x y with
+                  | None -> true
+                  | Some v ->
+                      let inside =
+                        match res with
+                        | Interval.Range (lo, hi) -> v >= lo && v <= hi
+                        | Interval.Bot -> false
+                      in
+                      if not inside then
+                        QCheck2.Test.fail_reportf
+                          "%s: %Ld op %Ld = %Ld outside %s" name x y v
+                          (Interval.to_string res)
+                      else true)
+                (points b))
+            (points a))
+        [
+          ("add", Interval.add, fun x y -> Some (Int64.add x y));
+          ("sub", Interval.sub, fun x y -> Some (Int64.sub x y));
+          ("mul", Interval.mul, fun x y -> Some (Int64.mul x y));
+          ( "div", Interval.div,
+            fun x y -> if y = 0L then None else Some (Int64.div x y) );
+          ( "rem", Interval.rem,
+            fun x y -> if y = 0L then None else Some (Int64.rem x y) );
+          ("and", Interval.band, fun x y -> Some (Int64.logand x y));
+          ("or", Interval.bor, fun x y -> Some (Int64.logor x y));
+        ])
+
+(* ------------- analysis on real programs ------------- *)
+
+let analyze_main ?(level = Costmodel.o3) src =
+  let m = (Pipeline.optimize level (Frontend.compile_source src)).Pipeline.modul in
+  let fn = I.find_func_exn m "main" in
+  (fn, Analysis.analyze fn)
+
+let test_input_range () =
+  let (fn, r) = analyze_main "int main(void) { return __input(0); }" in
+  (* the returned register's range must include [0,255] and stay sane *)
+  let ret_reg =
+    List.find_map
+      (fun (b : I.block) ->
+        match b.I.term with I.Ret (Some (I.Reg x)) -> Some x | _ -> None)
+      fn.I.blocks
+  in
+  match ret_reg with
+  | Some x -> (
+      match Analysis.IMap.find_opt x r.Analysis.reg_out with
+      | Some (Interval.Range (lo, hi)) ->
+          check bool "within [0,255]" true (lo >= 0L && hi <= 255L)
+      | _ -> Alcotest.fail "no range for return value")
+  | None -> ()  (* folded to a constant return: fine *)
+
+let test_mask_bounds () =
+  let (fn, r) = analyze_main
+    "int main(void) { int a[8]; int i = __input(0) & 7; a[i] = 1; return a[i]; }"
+  in
+  (* every gep index must be provably in [0,7] somewhere in the analysis *)
+  let ok = ref false in
+  List.iter
+    (fun (b : I.block) ->
+      match Hashtbl.find_opt r.Analysis.block_in b.I.bid with
+      | None -> ()
+      | Some env0 ->
+          let env = ref env0 in
+          List.iter
+            (fun i ->
+              (match i with
+              | I.Gep (_, _, _, idx) -> (
+                  match Analysis.value_range !env idx with
+                  | Interval.Range (lo, hi) when lo >= 0L && hi <= 7L ->
+                      ok := true
+                  | _ -> ())
+              | _ -> ());
+              match i with
+              | I.Phi _ -> ()
+              | i -> env := Analysis.transfer_inst ~deftbl:r.Analysis.deftbl !env i)
+            b.I.insts)
+    fn.I.blocks;
+  check bool "masked index bounded" true !ok
+
+let test_precision_counts_mask_program () =
+  let src =
+    "int main(void) { int a[8]; a[__input(0) & 7] = 1; return a[__input(1) & 7]; }"
+  in
+  let m = (Pipeline.optimize Costmodel.o3 (Frontend.compile_source src)).Pipeline.modul in
+  let c = Precision.of_module m in
+  check bool "accesses seen" true (c.Precision.geps >= 2);
+  check int "all proved" c.Precision.geps c.Precision.geps_proved
+
+let test_loop_bound_via_reg_comparison () =
+  (* i < n with n <= 15: mem2reg + refinement should bound the index *)
+  let src = {|
+int main(void) {
+  char buf[16];
+  int n = __input_size();
+  if (n > 15) n = 15;
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    buf[i] = (char)__input(i);
+    sum += buf[i];
+  }
+  return sum & 0xff;
+}
+|} in
+  let m = (Pipeline.optimize Costmodel.o3 (Frontend.compile_source src)).Pipeline.modul in
+  let c = Precision.of_module m in
+  check bool "at least one access proved in-bounds" true
+    (c.Precision.geps_proved >= 1)
+
+(* soundness vs concrete runs: the decided-branch claim must agree with the
+   interpreter on random inputs *)
+let prop_decided_branches_sound =
+  QCheck2.Test.make ~name:"analysis never contradicts a concrete run"
+    ~count:25
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 6))
+    (fun input ->
+      let src = {|
+int main(void) {
+  int c = __input(0);
+  int masked = c & 15;
+  int r = 0;
+  if (masked < 16) r += 1;       /* always true: should be decided */
+  if (masked > 20) r += 100;     /* always false */
+  if (c > 128) r += 2;           /* genuinely input-dependent */
+  return r;
+}
+|} in
+      let m =
+        (Pipeline.optimize Costmodel.o3 (Frontend.compile_source src)).Pipeline.modul
+      in
+      let res = Interp.run m ~input in
+      (* r must be 1 or 3; the +100 arm must never fire *)
+      let code = Int64.to_int res.Interp.exit_code in
+      code = 1 || code = 3)
+
+(* ------------- the experiment's direction ------------- *)
+
+let test_precision_improves_with_optimization () =
+  (* over a few corpus programs, the optimized builds must let the analysis
+     prove at least as high a fraction of accesses as -O0 *)
+  let progs = [ "tr"; "rev"; "sum" ] in
+  let counts level =
+    List.fold_left
+      (fun acc name ->
+        let p = Option.get (Overify_corpus.Programs.find name) in
+        let c = Overify_harness.Experiment.compile level p in
+        Precision.add acc (Precision.of_module c.Overify_harness.Experiment.modul))
+      Precision.zero progs
+  in
+  let c0 = counts Costmodel.o0 in
+  let c3 = counts Costmodel.o3 in
+  let r0 = Precision.ratio c0.Precision.geps_proved c0.Precision.geps in
+  let r3 = Precision.ratio c3.Precision.geps_proved c3.Precision.geps in
+  check bool
+    (Printf.sprintf "in-bounds ratio improves (%.2f -> %.2f)" r0 r3)
+    true (r3 >= r0)
+
+let () =
+  Alcotest.run "absint"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "join/meet" `Quick test_join_meet;
+          Alcotest.test_case "leq" `Quick test_leq;
+          Alcotest.test_case "widening" `Quick test_widen_terminates;
+          QCheck_alcotest.to_alcotest prop_sound_ops;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "input range" `Quick test_input_range;
+          Alcotest.test_case "mask bounds" `Quick test_mask_bounds;
+          Alcotest.test_case "precision on masks" `Quick
+            test_precision_counts_mask_program;
+          Alcotest.test_case "loop bound via register compare" `Quick
+            test_loop_bound_via_reg_comparison;
+          QCheck_alcotest.to_alcotest prop_decided_branches_sound;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "precision direction" `Quick
+            test_precision_improves_with_optimization;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+(** Corpus tests: every bundled utility compiles at all levels, behaves
+    correctly on golden inputs, and is explorable by the engine; plus tests
+    of both libc variants against each other and of the workload
+    generator. *)
+
+module I = Overify_ir.Ir
+module Frontend = Overify_minic.Frontend
+module Interp = Overify_interp.Interp
+module Costmodel = Overify_opt.Costmodel
+module Pipeline = Overify_opt.Pipeline
+module Programs = Overify_corpus.Programs
+module Workload = Overify_corpus.Workload
+module Vclib = Overify_vclib.Vclib
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let compile ?(level = Costmodel.o0) (p : Programs.t) =
+  (Pipeline.optimize level
+     (Frontend.compile_sources [ Vclib.for_cost_model level; p.Programs.source ]))
+    .Pipeline.modul
+
+let find name = Option.get (Programs.find name)
+
+let run ?level name ~input =
+  Interp.run (compile ?level (find name)) ~input
+
+(* ------------- compilation at all levels ------------- *)
+
+let test_all_compile_all_levels () =
+  List.iter
+    (fun (p : Programs.t) ->
+      List.iter
+        (fun level ->
+          let m = compile ~level p in
+          check bool
+            (Printf.sprintf "%s has main at %s" p.Programs.name
+               level.Costmodel.name)
+            true
+            (I.find_func m "main" <> None))
+        Costmodel.all)
+    Programs.programs
+
+(* ------------- golden behaviours ------------- *)
+
+let golden_tests =
+  let cases =
+    [
+      ("wc", "one two three", 3, None);
+      ("wc", "  spaced   out  ", 2, None);
+      ("wc", "", 0, None);
+      ("echo", "hi", 0, Some "hi\n");
+      ("echo", "a\\nb", 0, Some "a\nb\n");
+      ("cat", "plain", 0, Some "plain");
+      ("true", "", 0, None);
+      ("false", "", 1, None);
+      ("basename", "usr/bin/tool", 0, Some "tool\n");
+      ("basename", "plain", 0, Some "plain\n");
+      ("dirname", "usr/bin/tool", 0, Some "usr/bin\n");
+      ("dirname", "plain", 0, Some ".\n");
+      ("tail", "a\nbb\nccc", 0, Some "ccc");
+      ("tr", "ab_a_a_", 0, Some "_b_b_");
+      ("cut", "k:value:rest", 0, Some "value");
+      ("seq", "3", 0, Some "1\n2\n3\n");
+      ("rev", "abc", 0, Some "cba\n");
+      ("sort", "dcba", 0, Some "abcd");
+      ("grep", "xhay\nxs\nno", 0, Some "xs\n");
+      ("test", "3<5", 0, None);
+      ("test", "5<3", 1, None);
+      ("test", "7=7", 0, None);
+      ("factor", "15", 0, Some "3\n");
+      ("factor", "13", 0, Some "13\n");
+      ("base64", "abc", 0, Some "YWJj");
+      ("base64", "a", 0, Some "YQ==");
+      ("paste", "a\nb\nc", 0, Some "a\tb\tc\n");
+      ("printf", "n=%d!", 0, Some "n=42!");
+      ("uniq", "aa\naa\nbb", 0, Some "aa\nbb\n");
+      ("comm", "abc;abc", 0, Some "same\n");
+      ("nl", "x\ny", 0, Some "1 x\n2 y");
+      ("expand", "\tz", 0, Some "    z");
+      ("fold", "abcdefghij", 0, Some "abcdefgh\nij");
+      ("tac", "a\nbb\nc", 0, Some "c\nbb\na\n");
+      ("wcfull", "one two\nthree\n", 0, Some "2 3 14\n");
+      ("cmp", "abc;abc", 0, None);
+      ("cmp", "abc;abd", 1, Some "differ: 3\n");
+      ("cmp", "ab;abc", 1, Some "eof\n");
+      ("strings", "ab\001hello\002x", 0, Some "hello\n");
+      ("lcase", "MiXeD", 0, Some "mixed");
+      ("rot13", "Hello", 0, Some "Uryyb");
+      ("hexdump", "AB", 0, Some "41 42\n");
+      ("sysvsum", "abc", 0, Some "294\n");
+      ("look", "k2;k1=v1;k2=v2", 0, Some "v2\n");
+      ("look", "zz;k1=v1", 1, None);
+      ("expr", "12+5", 0, Some "17\n");
+      ("expr", "9*9", 0, Some "81\n");
+      ("expr", "7-9", 0, Some "-2\n");
+      ("join", "usr:bin:rest", 0, Some "usr-bin\n");
+      ("caesar", "\003abz", 0, Some "dec");
+      ("csplit", "keep%drop", 0, Some "keep");
+      ("split", "\000abcd", 0, Some "ab");
+      ("split", "\001abcd", 0, Some "cd");
+      ("dd", "\001\002XabcdY", 0, Some "abc3\n");
+    ]
+  in
+  List.map
+    (fun (name, input, code, out) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s %S" name input)
+        `Quick
+        (fun () ->
+          let r = run name ~input in
+          (match r.Interp.trap with
+          | None -> ()
+          | Some t -> Alcotest.failf "trap: %s" (Interp.string_of_trap t));
+          check int "exit code" code (Int64.to_int r.Interp.exit_code);
+          match out with
+          | Some expected -> check string "output" expected r.Interp.output
+          | None -> ()))
+    cases
+
+(* golden behaviours must hold at -OVERIFY too *)
+let test_golden_at_overify () =
+  List.iter
+    (fun (name, input, expected_out) ->
+      let r = run ~level:Costmodel.overify name ~input in
+      check string (name ^ " output at -OVERIFY") expected_out r.Interp.output)
+    [
+      ("echo", "hey", "hey\n");
+      ("tr", "ab_a_a_", "_b_b_");
+      ("seq", "4", "1\n2\n3\n4\n");
+      ("base64", "abc", "YWJj");
+    ]
+
+(* ------------- the two libc variants agree ------------- *)
+
+let libc_test_harness = {|
+int main(void) {
+  char buf[16];
+  int n = read_input(buf, 16);
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    int c = (int)(unsigned char)buf[i];
+    acc += isspace(c) + 2 * isalpha(c) + 4 * isdigit(c) + 8 * isalnum(c)
+         + 16 * isupper(c) + 32 * islower(c) + 64 * isprint(c);
+    acc += toupper(c) - tolower(c);
+  }
+  acc += strlen(buf);
+  char tmp[16];
+  strcpy(tmp, buf);
+  acc += 100 * (strcmp(tmp, buf) == 0);
+  acc += strncmp(buf, tmp, 5);
+  if (n > 0) {
+    char *c1 = strchr(buf, buf[0]);
+    acc += c1 != 0;
+    char *c2 = strrchr(buf, buf[n - 1]);
+    acc += c2 != 0;
+  }
+  acc += memcmp(buf, tmp, n) == 0;
+  memset(tmp, 'x', 3);
+  acc += tmp[2] == 'x';
+  acc += atoi(buf);
+  return acc & 0xff;
+}
+|}
+
+let test_libc_variants_agree () =
+  let m_exec =
+    Frontend.compile_sources [ Vclib.source Vclib.Exec; libc_test_harness ]
+  in
+  let m_verify =
+    Frontend.compile_sources [ Vclib.source Vclib.Verify; libc_test_harness ]
+  in
+  let inputs =
+    [ ""; "a"; "Z9 ~"; "  42abc"; "-17"; "+3x"; "hello world"; "\tA Z\n";
+      "0"; "abcabc"; String.init 12 (fun i -> Char.chr (i * 21)) ]
+  in
+  List.iter
+    (fun input ->
+      let r1 = Interp.run m_exec ~input in
+      let r2 = Interp.run m_verify ~input in
+      if r1.Interp.exit_code <> r2.Interp.exit_code then
+        Alcotest.failf "libc variants disagree on %S: %Ld vs %Ld" input
+          r1.Interp.exit_code r2.Interp.exit_code)
+    inputs
+
+(* the verification-oriented libc reduces path counts even at -O0: its
+   branch-free predicates replace short-circuit control flow (paper 3,
+   "library-level changes") *)
+let test_verify_libc_reduces_paths () =
+  let harness = {|
+int main(void) {
+  char buf[8];
+  int n = read_input(buf, 8);
+  int cls = 0;
+  for (int i = 0; i < n; i++)
+    cls += isspace((int)(unsigned char)buf[i])
+         + isalpha((int)(unsigned char)buf[i]);
+  return cls;
+}
+|} in
+  let paths variant =
+    let m = Frontend.compile_sources [ Vclib.source variant; harness ] in
+    (Overify_symex.Engine.run
+       ~config:
+         { Overify_symex.Engine.default_config with input_size = 3; timeout = 30.0 }
+       m)
+      .Overify_symex.Engine.paths
+  in
+  let exec_paths = paths Vclib.Exec in
+  let verify_paths = paths Vclib.Verify in
+  check bool
+    (Printf.sprintf "verify libc forks less (%d vs %d)" verify_paths exec_paths)
+    true
+    (verify_paths * 4 <= exec_paths)
+
+(* precondition checks fire in the verify variant *)
+let test_verify_libc_preconditions () =
+  let src = {|
+int main(void) {
+  char *nullp = 0;
+  return strlen(nullp);
+}
+|} in
+  let m = Frontend.compile_sources [ Vclib.source Vclib.Verify; src ] in
+  let r = Interp.run m ~input:"" in
+  check bool "assert fired" true
+    (r.Interp.trap = Some Interp.Assert_failure)
+
+(* ------------- symbolic exploration sanity ------------- *)
+
+let test_every_program_explorable () =
+  List.iter
+    (fun (p : Programs.t) ->
+      let m = compile ~level:Costmodel.overify p in
+      let r =
+        Overify_symex.Engine.run
+          ~config:
+            { Overify_symex.Engine.default_config with
+              input_size = 2; timeout = 20.0 }
+          m
+      in
+      check bool
+        (Printf.sprintf "%s explores at least one path" p.Programs.name)
+        true
+        (r.Overify_symex.Engine.paths >= 1);
+      (* the corpus itself is bug-free *)
+      if r.Overify_symex.Engine.bugs <> [] then
+        Alcotest.failf "%s reported bugs: %s" p.Programs.name
+          (String.concat ", "
+             (List.map
+                (fun (b : Overify_symex.Engine.bug) -> b.Overify_symex.Engine.kind)
+                r.Overify_symex.Engine.bugs)))
+    Programs.programs
+
+(* ------------- workload generator ------------- *)
+
+let test_workload_deterministic () =
+  check string "same seed same data"
+    (Workload.text ~seed:7 ~size:32)
+    (Workload.text ~seed:7 ~size:32);
+  check bool "different seeds differ" true
+    (Workload.text ~seed:7 ~size:32 <> Workload.text ~seed:8 ~size:32)
+
+let test_workload_text_no_nul () =
+  let s = Workload.text ~seed:3 ~size:256 in
+  check bool "no NUL bytes" true (not (String.contains s '\000'));
+  check int "right size" 256 (String.length s)
+
+let test_workload_batch () =
+  let b = Workload.batch ~seed:1 ~size:8 ~count:5 in
+  check int "count" 5 (List.length b);
+  check bool "all sized" true (List.for_all (fun s -> String.length s = 8) b)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "compilation",
+        [ Alcotest.test_case "all programs, all levels" `Quick
+            test_all_compile_all_levels ] );
+      ("golden", golden_tests);
+      ( "golden at -OVERIFY",
+        [ Alcotest.test_case "spot checks" `Quick test_golden_at_overify ] );
+      ( "libc",
+        [
+          Alcotest.test_case "variants agree" `Quick test_libc_variants_agree;
+          Alcotest.test_case "verify variant forks less" `Quick
+            test_verify_libc_reduces_paths;
+          Alcotest.test_case "verify preconditions" `Quick
+            test_verify_libc_preconditions;
+        ] );
+      ( "symbolic",
+        [ Alcotest.test_case "every program explorable" `Slow
+            test_every_program_explorable ] );
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "text shape" `Quick test_workload_text_no_nul;
+          Alcotest.test_case "batch" `Quick test_workload_batch;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+(** Interpreter tests: trap detection, the cycle cost model, and I/O. *)
+
+module I = Overify_ir.Ir
+module Frontend = Overify_minic.Frontend
+module Interp = Overify_interp.Interp
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let run ?input:(inp = "") ?fuel src =
+  Interp.run ?fuel (Frontend.compile_source src) ~input:inp
+
+let expect_trap name pred src =
+  match (run src).Interp.trap with
+  | Some t when pred t -> ()
+  | Some t -> Alcotest.failf "%s: wrong trap %s" name (Interp.string_of_trap t)
+  | None -> Alcotest.failf "%s: expected a trap" name
+
+(* ------------- traps ------------- *)
+
+let test_oob_read () =
+  expect_trap "oob read"
+    (function Interp.Out_of_bounds _ -> true | _ -> false)
+    "int main(void) { int a[4]; return a[5]; }"
+
+let test_oob_write () =
+  expect_trap "oob write"
+    (function Interp.Out_of_bounds _ -> true | _ -> false)
+    "int main(void) { int a[4]; a[-1] = 3; return 0; }"
+
+let test_div_zero () =
+  expect_trap "sdiv 0"
+    (( = ) Interp.Div_by_zero)
+    "int main(void) { int z = 0; return 5 / z; }";
+  expect_trap "srem 0"
+    (( = ) Interp.Div_by_zero)
+    "int main(void) { int z = 0; return 5 % z; }"
+
+let test_null_deref () =
+  expect_trap "null"
+    (( = ) Interp.Null_deref)
+    "int main(void) { int *q = 0; return *q; }"
+
+let test_assert_abort () =
+  expect_trap "assert"
+    (( = ) Interp.Assert_failure)
+    "int main(void) { __assert(1 == 2); return 0; }";
+  expect_trap "abort"
+    (( = ) Interp.Abort_called)
+    "int main(void) { __abort(); return 0; }"
+
+let test_fuel () =
+  let r = run ~fuel:1000 "int main(void) { while (1) {} return 0; }" in
+  check bool "ran out of fuel" true (r.Interp.trap = Some Interp.Out_of_fuel)
+
+let test_no_false_traps () =
+  let r = run "int main(void) { int a[4]; a[3] = 7; return a[3] / 1; }" in
+  check bool "clean" true (r.Interp.trap = None);
+  check int "value" 7 (Int64.to_int r.Interp.exit_code)
+
+(* ------------- cost model ------------- *)
+
+let test_cost_charges () =
+  let r = run "int main(void) { return 1 + 2; }" in
+  check bool "cycles positive" true (r.Interp.cycles > 0);
+  check bool "insts positive" true (r.Interp.insts > 0)
+
+let test_division_expensive () =
+  let cheap = run "int main(void) { int x = 3; return x + x; }" in
+  let costly = run "int main(void) { int x = 3; return 100 / x; }" in
+  check bool "div costs more" true (costly.Interp.cycles > cheap.Interp.cycles)
+
+let test_loop_cost_scales () =
+  let cost n =
+    (run (Printf.sprintf
+            "int main(void) { int s = 0; for (int i = 0; i < %d; i++) s += i; return 0; }"
+            n)).Interp.cycles
+  in
+  check bool "10x loop costs more" true (cost 100 > 5 * cost 10)
+
+(* ------------- memory model ------------- *)
+
+let test_pointer_roundtrip_memory () =
+  let src = {|
+int main(void) {
+  int x = 5;
+  int *slot[2];
+  slot[0] = &x;
+  slot[1] = 0;
+  *slot[0] = 9;
+  if (slot[1] != 0) return 1;
+  return x;
+}
+|} in
+  let r = run src in
+  check bool "no trap" true (r.Interp.trap = None);
+  check int "through stored pointer" 9 (Int64.to_int r.Interp.exit_code)
+
+let test_use_after_scope () =
+  let src = {|
+int *evil(void) { int local = 3; return &local; }
+int main(void) { int *q = evil(); return *q; }
+|} in
+  expect_trap "dangling" (( = ) Interp.Use_after_free) src
+
+let test_global_mutation_persists () =
+  let src = {|
+int g = 1;
+void bump(void) { g++; }
+int main(void) { bump(); bump(); bump(); return g; }
+|} in
+  check int "g = 4" 4 (Int64.to_int (run src).Interp.exit_code)
+
+let test_read_only_global () =
+  let src = {|
+int main(void) {
+  char *s = "abc";
+  s[0] = 'x';
+  return 0;
+}
+|} in
+  expect_trap "read-only"
+    (function Interp.Out_of_bounds _ -> true | _ -> false)
+    src
+
+(* ------------- I/O ------------- *)
+
+let test_input_boundaries () =
+  let src = {|
+int main(void) {
+  /* out-of-range reads return 0, like KLEE's input model */
+  return __input(-1) + __input(100) + __input(0);
+}
+|} in
+  let r = Interp.run (Frontend.compile_source src) ~input:"A" in
+  check int "only in-range byte" 65 (Int64.to_int r.Interp.exit_code)
+
+let test_output_bytes () =
+  let r = run "int main(void) { for (int i = 65; i < 70; i++) __output(i); return 0; }" in
+  check Alcotest.string "ABCDE" "ABCDE" r.Interp.output
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "traps",
+        [
+          Alcotest.test_case "oob read" `Quick test_oob_read;
+          Alcotest.test_case "oob write" `Quick test_oob_write;
+          Alcotest.test_case "division by zero" `Quick test_div_zero;
+          Alcotest.test_case "null deref" `Quick test_null_deref;
+          Alcotest.test_case "assert/abort" `Quick test_assert_abort;
+          Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "no false traps" `Quick test_no_false_traps;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "charges" `Quick test_cost_charges;
+          Alcotest.test_case "division expensive" `Quick test_division_expensive;
+          Alcotest.test_case "loop scaling" `Quick test_loop_cost_scales;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "pointer round-trip" `Quick
+            test_pointer_roundtrip_memory;
+          Alcotest.test_case "use after scope" `Quick test_use_after_scope;
+          Alcotest.test_case "global mutation" `Quick
+            test_global_mutation_persists;
+          Alcotest.test_case "read-only globals" `Quick test_read_only_global;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "input boundaries" `Quick test_input_boundaries;
+          Alcotest.test_case "output bytes" `Quick test_output_bytes;
+        ] );
+    ]

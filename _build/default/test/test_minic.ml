@@ -1,0 +1,492 @@
+(** Frontend tests: lexer, parser, type checker, and lowering — mostly
+    end-to-end, by compiling small programs and interpreting them at -O0
+    (the identity pipeline), which checks the whole frontend chain. *)
+
+module I = Overify_ir.Ir
+module Frontend = Overify_minic.Frontend
+module Interp = Overify_interp.Interp
+module Lexer = Overify_minic.Lexer
+module Token = Overify_minic.Token
+module Parser = Overify_minic.Parser
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* ------------- helpers ------------- *)
+
+(** Compile a source, verify the memory-form invariants, interpret. *)
+let run ?(input = "") src : Interp.result =
+  let m = Frontend.compile_source src in
+  List.iter (Overify_ir.Verify.check_exn ~memform:true) m.I.funcs;
+  Interp.run m ~input
+
+let exit_of ?input src =
+  let r = run ?input src in
+  (match r.Interp.trap with
+  | None -> ()
+  | Some t -> Alcotest.failf "unexpected trap: %s" (Interp.string_of_trap t));
+  Int64.to_int r.Interp.exit_code
+
+let output_of ?input src = (run ?input src).Interp.output
+
+let expect_compile_error src =
+  match Frontend.compile_source src with
+  | exception Frontend.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected a compile error"
+
+(* ------------- lexer ------------- *)
+
+let toks src = List.map (fun (l : Lexer.lexed) -> l.Lexer.tok) (Lexer.tokenize src)
+
+let test_lexer_basic () =
+  check int "count" 6 (List.length (toks "int x = 42;"));
+  (match toks "int x = 42;" with
+  | [ Token.KW_INT; Token.IDENT "x"; Token.ASSIGN; Token.INT_LIT 42L;
+      Token.SEMI; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "wrong tokens")
+
+let test_lexer_operators () =
+  match toks "a <<= b >>= c << >> <= >= == != && || ++ --" with
+  | [ Token.IDENT "a"; Token.LSHIFT_ASSIGN; Token.IDENT "b";
+      Token.RSHIFT_ASSIGN; Token.IDENT "c"; Token.LSHIFT; Token.RSHIFT;
+      Token.LE; Token.GE; Token.EQEQ; Token.NEQ; Token.AMPAMP;
+      Token.PIPEPIPE; Token.PLUSPLUS; Token.MINUSMINUS; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "operator tokens wrong"
+
+let test_lexer_literals () =
+  (match toks "0x10 10u 10UL '\\n' '\\x41' 'a'" with
+  | [ Token.INT_LIT 16L; Token.INT_LIT 10L; Token.LONG_LIT 10L;
+      Token.CHAR_LIT '\n'; Token.CHAR_LIT 'A'; Token.CHAR_LIT 'a';
+      Token.EOF ] -> ()
+  | _ -> Alcotest.fail "literal tokens wrong");
+  match toks {|"a\tb\"c"|} with
+  | [ Token.STR_LIT "a\tb\"c"; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "string literal wrong"
+
+let test_lexer_comments () =
+  check int "comments skipped" 2
+    (List.length (toks "// line\n/* block\n * more */ x"))
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "\"unterminated" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lex error");
+  match Lexer.tokenize "`" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lex error on backquote"
+
+(* ------------- parser ------------- *)
+
+let test_parser_errors () =
+  let bad = [ "int main(void) { return 1 }"; "int f("; "int = 3;";
+              "int main(void) { if }" ] in
+  List.iter
+    (fun src ->
+      match Parser.parse_program src with
+      | exception Parser.Error _ -> ()
+      | exception Lexer.Error _ -> ()
+      | _ -> Alcotest.failf "parser accepted %S" src)
+    bad
+
+let test_parser_top_level () =
+  let prog =
+    Parser.parse_program
+      "int g = 3; int f(int x); int f(int x) { return x; } char s[4];"
+  in
+  check int "4 top-level items" 4 (List.length prog)
+
+(* ------------- expression semantics (via -O0 interpretation) ------------- *)
+
+let expr_test name expr expected =
+  Alcotest.test_case name `Quick (fun () ->
+      check int name expected
+        (exit_of (Printf.sprintf "int main(void) { return %s; }" expr)))
+
+let expr_tests =
+  [
+    expr_test "precedence mul over add" "2 + 3 * 4" 14;
+    expr_test "parens" "(2 + 3) * 4" 20;
+    expr_test "unary minus" "-5 + 8" 3;
+    expr_test "division truncates" "7 / 2" 3;
+    expr_test "negative division" "-7 / 2" (-3);
+    expr_test "modulo" "17 % 5" 2;
+    expr_test "negative modulo" "-17 % 5" (-2);
+    expr_test "shift" "1 << 6" 64;
+    expr_test "arith shift right" "-8 >> 1" (-4);
+    expr_test "bitwise" "(12 & 10) | (1 ^ 3)" 10;
+    expr_test "bitnot" "~0 + 1" 0;
+    expr_test "comparison chain" "(1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 5)" 2;
+    expr_test "equality" "(1 == 1) + (1 != 1)" 1;
+    expr_test "logical and" "1 && 2" 1;
+    expr_test "logical or" "0 || 3" 1;
+    expr_test "logical not" "!0 + !7" 1;
+    expr_test "ternary" "1 ? 10 : 20" 10;
+    expr_test "nested ternary" "0 ? 1 : 1 ? 2 : 3" 2;
+    expr_test "comma" "(1, 2, 3)" 3;
+    expr_test "sizeof int" "(int)sizeof(int)" 4;
+    expr_test "sizeof ptr" "(int)sizeof(char*)" 8;
+    expr_test "char literal" "'A'" 65;
+    expr_test "hex literal" "0xff" 255;
+    expr_test "unsigned division" "(int)((unsigned int)-2 / 2u)" 0x7FFFFFFF;
+    expr_test "unsigned compare" "(unsigned int)-1 > 1u" 1;
+    expr_test "char wraps" "(int)(char)200" (-56);
+    expr_test "uchar no wrap" "(int)(unsigned char)200" 200;
+    expr_test "short truncation" "(int)(short)70000" 4464;
+    expr_test "long arithmetic" "(int)(2147483647L + 1L > 0L)" 1;
+  ]
+
+(* short-circuit side effects *)
+let test_short_circuit_effects () =
+  let src = {|
+int calls = 0;
+int bump(int v) { calls++; return v; }
+int main(void) {
+  int a = bump(0) && bump(1);
+  int b = bump(1) || bump(1);
+  return calls * 10 + a + b;
+}
+|} in
+  check int "calls=2, a=0, b=1" 21 (exit_of src)
+
+let test_assignment_ops () =
+  let src = {|
+int main(void) {
+  int x = 10;
+  x += 5; x -= 3; x *= 2; x /= 3; x %= 5;
+  int y = 6;
+  y <<= 2; y >>= 1; y |= 1; y &= 7; y ^= 2;
+  return x * 100 + y;
+}
+|} in
+  check int "compound ops" 307 (exit_of src)
+
+let test_incdec () =
+  let src = {|
+int main(void) {
+  int i = 5;
+  int a = i++;
+  int b = ++i;
+  int c = i--;
+  int d = --i;
+  return a * 1000 + b * 100 + c * 10 + d;
+}
+|} in
+  check int "5,7,7,5" 5775 (exit_of src)
+
+let test_ptr_incdec () =
+  let src = {|
+int main(void) {
+  int arr[4] = {10, 20, 30, 40};
+  int *q = arr;
+  q++;
+  int a = *q;
+  q += 2;
+  int b = *q;
+  q--;
+  return a + b + *q;
+}
+|} in
+  check int "20+40+30" 90 (exit_of src)
+
+(* ------------- statements ------------- *)
+
+let test_control_flow () =
+  let src = {|
+int main(void) {
+  int sum = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i == 3) continue;
+    if (i == 8) break;
+    sum += i;
+  }
+  int j = 0;
+  while (j < 5) j++;
+  int k = 0;
+  do { k++; } while (k < 3);
+  return sum * 100 + j * 10 + k;
+}
+|} in
+  check int "loops" 2553 (exit_of src)
+
+let test_nested_loops_break () =
+  let src = {|
+int main(void) {
+  int hits = 0;
+  for (int i = 0; i < 4; i++) {
+    for (int j = 0; j < 4; j++) {
+      if (j > i) break;
+      hits++;
+    }
+  }
+  return hits;
+}
+|} in
+  check int "1+2+3+4" 10 (exit_of src)
+
+let test_scoping () =
+  let src = {|
+int x = 100;
+int main(void) {
+  int x = 1;
+  { int x = 2; { int x = 3; } x = x + 10; }
+  return x;
+}
+|} in
+  check int "shadowing" 1 (exit_of src)
+
+let test_global_access () =
+  let src = {|
+int counter = 5;
+int table[4] = {1, 2, 3};
+int main(void) {
+  counter += table[1];
+  return counter * 10 + table[3];
+}
+|} in
+  check int "globals" 70 (exit_of src)
+
+let test_dead_code_after_return () =
+  check int "code after return ignored" 1
+    (exit_of "int main(void) { return 1; return 2; }")
+
+(* ------------- functions ------------- *)
+
+let test_recursion () =
+  let src = {|
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) { return fact(5) + fib(10); }
+|} in
+  check int "120 + 55" 175 (exit_of src)
+
+let test_mutual_recursion () =
+  let src = {|
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main(void) { return is_even(10) * 10 + is_odd(7); }
+|} in
+  check int "mutual" 11 (exit_of src)
+
+let test_void_function () =
+  let src = {|
+int acc = 0;
+void add(int v) { acc += v; if (acc > 100) return; acc += 1; }
+int main(void) { add(3); add(200); return acc; }
+|} in
+  check int "void with early return" 204 (exit_of src)
+
+let test_params_are_copies () =
+  let src = {|
+int clobber(int x) { x = 999; return x; }
+int main(void) { int v = 7; clobber(v); return v; }
+|} in
+  check int "by value" 7 (exit_of src)
+
+(* ------------- pointers, arrays, strings ------------- *)
+
+let test_pointer_write_through () =
+  let src = {|
+void set(int *q, int v) { *q = v; }
+int main(void) { int x = 1; set(&x, 42); return x; }
+|} in
+  check int "write through pointer" 42 (exit_of src)
+
+let test_array_2d () =
+  let src = {|
+int main(void) {
+  int g[3][4];
+  for (int i = 0; i < 3; i++)
+    for (int j = 0; j < 4; j++)
+      g[i][j] = i * 10 + j;
+  return g[2][3] + g[1][0];
+}
+|} in
+  check int "2d indexing" 33 (exit_of src)
+
+let test_string_literal () =
+  let src = {|
+int main(void) {
+  const char *s = "hi\n";
+  int sum = 0;
+  for (int i = 0; s[i]; i++) sum += s[i];
+  return sum;
+}
+|} in
+  check int "h+i+newline" 219 (exit_of src)
+
+let test_local_array_init () =
+  let src = {|
+int main(void) {
+  char word[8] = "abc";
+  int n = 0;
+  while (word[n]) n++;
+  return n * 100 + word[5];
+}
+|} in
+  check int "string init" 300 (exit_of src)
+
+let test_null_checks () =
+  let src = {|
+int main(void) {
+  int *q = 0;
+  if (q == 0) return 1;
+  return 0;
+}
+|} in
+  check int "null compare" 1 (exit_of src)
+
+(* ------------- intrinsics & output ------------- *)
+
+let test_io () =
+  let src = {|
+int main(void) {
+  int n = __input_size();
+  for (int i = n - 1; i >= 0; i--) __output(__input(i));
+  return n;
+}
+|} in
+  let r = run ~input:"abc" src in
+  check string "reversed" "cba" r.Interp.output;
+  check int "exit" 3 (Int64.to_int r.Interp.exit_code)
+
+let test_output_example () =
+  check string "chars out" "ok"
+    (output_of "int main(void) { __output('o'); __output('k'); return 0; }")
+
+(* ------------- semantic errors ------------- *)
+
+let sema_error_tests =
+  let cases =
+    [
+      ("unknown variable", "int main(void) { return nope; }");
+      ("unknown function", "int main(void) { return f(1); }");
+      ("arity mismatch", "int f(int a) { return a; } int main(void) { return f(); }");
+      ("void variable", "int main(void) { void v; return 0; }");
+      ("deref int", "int main(void) { int x = 1; return *x; }");
+      ("assign to rvalue", "int main(void) { 3 = 4; return 0; }");
+      ("redeclaration", "int main(void) { int x = 1; int x = 2; return x; }");
+      ("return value in void fn", "void f(void) { return 3; } int main(void) { return 0; }");
+      ("missing return value", "int main(void) { return; }");
+      ("pointer difference", "int main(void) { char a[2]; char *p = a; char *q = a; return (int)(p - q); }");
+      ("conflicting redefinition", "int f(void) { return 1; } int f(void) { return 2; } int main(void) { return 0; }");
+    ]
+  in
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case name `Quick (fun () -> expect_compile_error src))
+    cases
+
+(* ------------- memory-form invariant (property) ------------- *)
+
+(** In memory form, registers used outside their defining block must be
+    allocas (or parameters, used only in the entry). *)
+let memform_invariant (fn : I.func) =
+  let alloca_defs = Hashtbl.create 16 in
+  let def_block = Hashtbl.create 64 in
+  List.iter
+    (fun (b : I.block) ->
+      List.iter
+        (fun i ->
+          (match i with
+          | I.Alloca (d, _, _) -> Hashtbl.replace alloca_defs d ()
+          | _ -> ());
+          match I.def_of_inst i with
+          | Some d -> Hashtbl.replace def_block d b.I.bid
+          | None -> ())
+        b.I.insts)
+    fn.I.blocks;
+  let params = List.map fst fn.I.params in
+  List.for_all
+    (fun (b : I.block) ->
+      let check_v v =
+        match v with
+        | I.Reg r ->
+            List.mem r params
+            || Hashtbl.mem alloca_defs r
+            || Hashtbl.find_opt def_block r = Some b.I.bid
+        | _ -> true
+      in
+      List.for_all
+        (fun i -> List.for_all check_v (I.uses_of_inst i))
+        b.I.insts
+      && List.for_all check_v (I.uses_of_term b.I.term))
+    fn.I.blocks
+
+let test_memform_invariant_corpus () =
+  List.iter
+    (fun (p : Overify_corpus.Programs.t) ->
+      let m =
+        Frontend.compile_sources
+          [ Overify_vclib.Vclib.source Overify_vclib.Vclib.Exec;
+            p.Overify_corpus.Programs.source ]
+      in
+      List.iter
+        (fun fn ->
+          if not (memform_invariant fn) then
+            Alcotest.failf "memory-form invariant broken in %s of %s"
+              fn.I.fname p.Overify_corpus.Programs.name)
+        m.I.funcs)
+    Overify_corpus.Programs.programs
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "literals" `Quick test_lexer_literals;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "rejects bad input" `Quick test_parser_errors;
+          Alcotest.test_case "top-level items" `Quick test_parser_top_level;
+        ] );
+      ("expressions", expr_tests);
+      ( "side effects",
+        [
+          Alcotest.test_case "short-circuit" `Quick test_short_circuit_effects;
+          Alcotest.test_case "compound assignment" `Quick test_assignment_ops;
+          Alcotest.test_case "inc/dec" `Quick test_incdec;
+          Alcotest.test_case "pointer inc/dec" `Quick test_ptr_incdec;
+        ] );
+      ( "statements",
+        [
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "nested break" `Quick test_nested_loops_break;
+          Alcotest.test_case "scoping" `Quick test_scoping;
+          Alcotest.test_case "globals" `Quick test_global_access;
+          Alcotest.test_case "dead code after return" `Quick
+            test_dead_code_after_return;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "void + early return" `Quick test_void_function;
+          Alcotest.test_case "params by value" `Quick test_params_are_copies;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "pointer write" `Quick test_pointer_write_through;
+          Alcotest.test_case "2d arrays" `Quick test_array_2d;
+          Alcotest.test_case "string literals" `Quick test_string_literal;
+          Alcotest.test_case "local array init" `Quick test_local_array_init;
+          Alcotest.test_case "null compare" `Quick test_null_checks;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "input/output" `Quick test_io;
+          Alcotest.test_case "output" `Quick test_output_example;
+        ] );
+      ("sema errors", sema_error_tests);
+      ( "invariants",
+        [
+          Alcotest.test_case "memory form over corpus" `Quick
+            test_memform_invariant_corpus;
+        ] );
+    ]

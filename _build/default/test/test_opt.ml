@@ -1,0 +1,617 @@
+(** Optimizer tests: per-pass unit tests, pipeline invariants, and the
+    central QCheck property — every corpus program behaves identically at
+    every optimization level on random inputs (differential testing against
+    the -O0 oracle). *)
+
+module I = Overify_ir.Ir
+module Frontend = Overify_minic.Frontend
+module Interp = Overify_interp.Interp
+module Costmodel = Overify_opt.Costmodel
+module Pipeline = Overify_opt.Pipeline
+module Stats = Overify_opt.Stats
+module Programs = Overify_corpus.Programs
+module Vclib = Overify_vclib.Vclib
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let () = Pipeline.paranoid := true
+
+let compile_at level src =
+  (Pipeline.optimize level (Frontend.compile_source src)).Pipeline.modul
+
+let compile_fn level src =
+  I.find_func_exn (compile_at level src) "main"
+
+let static_size m =
+  List.fold_left (fun a f -> a + I.func_size f) 0 m.I.funcs
+
+let count_insts pred (fn : I.func) =
+  let n = ref 0 in
+  I.iter_insts (fun _ i -> if pred i then incr n) fn;
+  !n
+
+let count_branches fn =
+  List.length
+    (List.filter
+       (fun (b : I.block) ->
+         match b.I.term with I.Cbr (_, t, e) -> t <> e | _ -> false)
+       fn.I.blocks)
+
+let run_all_levels ?(input = "") src =
+  List.map
+    (fun level ->
+      let m = compile_at level src in
+      List.iter (Overify_ir.Verify.check_exn) m.I.funcs;
+      (level.Costmodel.name, Interp.run m ~input))
+    Costmodel.all
+
+let same_behaviour ?input src =
+  match run_all_levels ?input src with
+  | [] -> ()
+  | (name0, r0) :: rest ->
+      List.iter
+        (fun (name, (r : Interp.result)) ->
+          if
+            r.Interp.exit_code <> r0.Interp.exit_code
+            || r.Interp.output <> r0.Interp.output
+          then
+            Alcotest.failf "%s and %s disagree: exit %Ld/%Ld output %S/%S"
+              name0 name r0.Interp.exit_code r.Interp.exit_code
+              r0.Interp.output r.Interp.output)
+        rest
+
+(* ------------- constant folding ------------- *)
+
+let test_constfold_folds () =
+  let src = "int main(void) { int x = 2 + 3 * 4; return x - 14; }" in
+  let fn = compile_fn Costmodel.o2 src in
+  check int "everything folded away" 0
+    (count_insts (function I.Bin _ -> true | _ -> false) fn)
+
+let test_constfold_preserves_div_by_zero () =
+  (* 1/0 must not be folded away into a constant: the trap is observable *)
+  let src = "int main(void) { int z = 0; return 1 / z; }" in
+  List.iter
+    (fun level ->
+      let m = compile_at level src in
+      let r = Interp.run m ~input:"" in
+      check bool
+        (Printf.sprintf "%s keeps the trap" level.Costmodel.name)
+        true
+        (r.Interp.trap = Some Interp.Div_by_zero))
+    Costmodel.all
+
+let test_strength_reduction () =
+  let src = "int main(void) { int n = __input_size(); return n * 8 + n / 1; }" in
+  let fn = compile_fn Costmodel.o2 src in
+  check int "mul by 8 became shift" 0
+    (count_insts (function I.Bin (_, I.Mul, _, _, _) -> true | _ -> false) fn)
+
+(* ------------- mem2reg ------------- *)
+
+let test_mem2reg_promotes () =
+  let src = {|
+int main(void) {
+  int a = 1;
+  int b = 2;
+  for (int i = 0; i < 3; i++) a += b;
+  return a;
+}
+|} in
+  let fn = compile_fn Costmodel.o2 src in
+  check int "no allocas left" 0
+    (count_insts (function I.Alloca _ -> true | _ -> false) fn)
+
+(* regression: a do-while loop's induction variable must get a header phi *)
+let test_mem2reg_do_while () =
+  let src = {|
+int main(void) {
+  int col = 0;
+  do { col++; } while (col % 4 != 0);
+  return col;
+}
+|} in
+  List.iter
+    (fun level ->
+      let r = Interp.run ~fuel:100_000 (compile_at level src) ~input:"" in
+      check bool
+        (Printf.sprintf "%s terminates" level.Costmodel.name)
+        true (r.Interp.trap = None);
+      check int
+        (Printf.sprintf "%s returns 4" level.Costmodel.name)
+        4
+        (Int64.to_int r.Interp.exit_code))
+    Costmodel.all
+
+let test_mem2reg_respects_escapes () =
+  (* a variable whose address escapes must not be promoted *)
+  let src = {|
+void set(int *q) { *q = 9; }
+int main(void) { int x = 1; set(&x); return x; }
+|} in
+  same_behaviour src
+
+(* ------------- SROA ------------- *)
+
+let test_sroa_splits () =
+  let src = {|
+int main(void) {
+  int pair[2];
+  pair[0] = 3;
+  pair[1] = 4;
+  return pair[0] * 10 + pair[1];
+}
+|} in
+  let m0 = Frontend.compile_source src in
+  let r = Pipeline.optimize Costmodel.o2 m0 in
+  check bool "sroa fired" true (r.Pipeline.stats.Stats.aggregates_split >= 1);
+  let res = Interp.run r.Pipeline.modul ~input:"" in
+  check int "34" 34 (Int64.to_int res.Interp.exit_code)
+
+(* ------------- DCE ------------- *)
+
+let test_dce_removes_dead_code () =
+  let src = {|
+int main(void) {
+  int unused = 5 * 5;
+  int dead_store;
+  dead_store = unused + 1;
+  return 2;
+}
+|} in
+  let fn = compile_fn Costmodel.o2 src in
+  check int "body reduced to ret" 0 (count_insts (fun _ -> true) fn)
+
+(* ------------- if-conversion ------------- *)
+
+let test_if_convert_removes_branches () =
+  let src = {|
+int main(void) {
+  int c = __input(0);
+  int r;
+  if (c > 64) r = c - 64; else r = c;
+  return r;
+}
+|} in
+  let fn = compile_fn Costmodel.overify src in
+  check int "no conditional branches" 0 (count_branches fn);
+  check bool "has a select" true
+    (count_insts (function I.Select _ -> true | _ -> false) fn >= 1);
+  same_behaviour ~input:"Z" src
+
+let test_if_convert_flattens_shortcircuit () =
+  let src = {|
+int main(void) {
+  int c = __input(0);
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+|} in
+  let fn = compile_fn Costmodel.overify src in
+  check int "fully flattened" 0 (count_branches fn);
+  List.iter (fun i -> same_behaviour ~input:(String.make 1 (Char.chr i)) src)
+    [ 0; 64; 65; 90; 95; 97; 122; 200 ]
+
+let test_if_convert_keeps_side_effects_guarded () =
+  (* an arm with a call must NOT be speculated *)
+  let src = {|
+int main(void) {
+  if (__input(0) == 'x') __output('!');
+  return 0;
+}
+|} in
+  let fn = compile_fn Costmodel.overify src in
+  check bool "branch survives" true (count_branches fn >= 1);
+  same_behaviour ~input:"x" src;
+  same_behaviour ~input:"y" src
+
+let test_if_convert_respects_cpu_budget () =
+  (* a big arm is speculated under -OVERIFY but not under -O3 *)
+  let src = {|
+int main(void) {
+  int c = __input(0);
+  int r = 0;
+  if (c > 10) {
+    r = c * 3 + (c << 2) - (c ^ 5) + (c & 3) + (c | 7) + c / 3
+        + c * 5 + (c << 1) - (c ^ 9) + (c & 1);
+  }
+  return r;
+}
+|} in
+  let ov = compile_fn Costmodel.overify src in
+  let o3 = compile_fn Costmodel.o3 src in
+  check bool "o3 keeps more branches" true
+    (count_branches o3 >= count_branches ov)
+
+(* ------------- loop unswitching ------------- *)
+
+let test_unswitch_fires_and_preserves () =
+  let src = {|
+int work(int flag) {
+  int total = 0;
+  for (int i = 0; i < __input_size(); i++) {
+    if (flag) total += __input(i);
+    else total -= __input(i);
+  }
+  return total;
+}
+int main(void) { return work(__input(0) & 1) & 0xff; }
+|} in
+  let m0 = Frontend.compile_source src in
+  let r = Pipeline.optimize { Costmodel.o3 with Costmodel.inline_threshold = 0 } m0 in
+  check bool "unswitched" true (r.Pipeline.stats.Stats.loops_unswitched >= 1);
+  List.iter
+    (fun input -> same_behaviour ~input src)
+    [ "a"; "bcd"; "\001xyz"; "" ]
+
+(* ------------- loop unrolling (peeling) ------------- *)
+
+let test_unroll_constant_loop () =
+  let src = {|
+int main(void) {
+  int sum = 0;
+  for (int i = 0; i < 6; i++) sum += i * i;
+  return sum;
+}
+|} in
+  let m0 = Frontend.compile_source src in
+  let r = Pipeline.optimize Costmodel.overify m0 in
+  check bool "unrolled" true (r.Pipeline.stats.Stats.loops_unrolled >= 1);
+  let fn = I.find_func_exn r.Pipeline.modul "main" in
+  (* the loop should be gone entirely: straight-line constant return *)
+  check int "no loops left" 0 (List.length (Overify_ir.Loop.find fn));
+  check int "55" 55
+    (Int64.to_int (Interp.run r.Pipeline.modul ~input:"").Interp.exit_code)
+
+let test_unroll_respects_trip_limit () =
+  let src = {|
+int main(void) {
+  int sum = 0;
+  for (int i = 0; i < 100000; i++) sum += 1;
+  return sum > 0;
+}
+|} in
+  let m0 = Frontend.compile_source src in
+  let r = Pipeline.optimize Costmodel.overify m0 in
+  check int "not unrolled" 0 r.Pipeline.stats.Stats.loops_unrolled
+
+let test_unroll_downward_loop () =
+  let src = {|
+int main(void) {
+  int sum = 0;
+  for (int i = 10; i > 0; i -= 2) sum += i;
+  return sum;
+}
+|} in
+  let m0 = Frontend.compile_source src in
+  let r = Pipeline.optimize Costmodel.overify m0 in
+  check bool "unrolled downward" true (r.Pipeline.stats.Stats.loops_unrolled >= 1);
+  check int "30" 30
+    (Int64.to_int (Interp.run r.Pipeline.modul ~input:"").Interp.exit_code)
+
+(* ------------- inlining ------------- *)
+
+let test_inline_specializes () =
+  let src = {|
+int twice(int x) { return x + x; }
+int main(void) { return twice(21); }
+|} in
+  let fn = compile_fn Costmodel.overify src in
+  check int "no calls left" 0
+    (count_insts (function I.Call _ -> true | _ -> false) fn);
+  (* and specialization folds everything *)
+  check bool "folded to constant return" true (I.func_size fn <= 2)
+
+let test_inline_skips_recursion () =
+  let src = {|
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+int main(void) { return fact(5); }
+|} in
+  let m = compile_at Costmodel.overify src in
+  check bool "fact still exists" true (I.find_func m "fact" <> None);
+  check int "120" 120 (Int64.to_int (Interp.run m ~input:"").Interp.exit_code)
+
+let test_inline_threshold () =
+  let src = {|
+int helper(int x) { return x * 2 + 1; }
+int main(void) { return helper(3); }
+|} in
+  let m_o0 = compile_at Costmodel.o0 src in
+  let fn = I.find_func_exn m_o0 "main" in
+  check bool "o0 keeps the call" true
+    (count_insts (function I.Call _ -> true | _ -> false) fn >= 1)
+
+(* ------------- jump threading ------------- *)
+
+let test_jump_threading_same_condition () =
+  (* the paper's 3 example: a branch jumping to a block that re-tests the
+     same condition gets threaded through *)
+  let src = {|
+int main(void) {
+  int c = __input(0);
+  int r = 0;
+  if (c > 10) { __output('a'); }
+  if (c > 10) { __output('b'); }   /* same condition: correlated */
+  else r = 1;
+  return r;
+}
+|} in
+  (* verify semantics at every level and that -O3 threading is counted when
+     the shapes line up; the structural claim is checked via path counts *)
+  same_behaviour ~input:" " src;
+  same_behaviour ~input:"Z" src;
+  let m0 = Frontend.compile_source src in
+  let o3 = Pipeline.optimize Costmodel.o3 m0 in
+  let r =
+    Overify_symex.Engine.run
+      ~config:{ Overify_symex.Engine.default_config with input_size = 1 }
+      o3.Pipeline.modul
+  in
+  (* only two behaviours exist; an un-threaded exploration would fork the
+     second test again *)
+  check int "two paths after optimization" 2 r.Overify_symex.Engine.paths
+
+(* ------------- dead-loop deletion ------------- *)
+
+let test_loop_delete_zero_trip () =
+  let src = {|
+int main(void) {
+  int sum = 7;
+  for (int i = 10; i < 3; i++) sum += i;   /* never runs */
+  return sum;
+}
+|} in
+  let fn = compile_fn Costmodel.overify src in
+  check int "no loops left" 0 (List.length (Overify_ir.Loop.find fn));
+  check int "returns 7" 7
+    (Int64.to_int
+       (Interp.run (compile_at Costmodel.overify src) ~input:"").Interp.exit_code)
+
+let test_loop_delete_keeps_live_loops () =
+  let src = {|
+int main(void) {
+  int sum = 0;
+  for (int i = 0; i < __input_size(); i++) sum += __input(i);
+  return sum & 0xff;
+}
+|} in
+  let fn = compile_fn Costmodel.overify src in
+  check bool "input-bounded loop survives" true
+    (List.length (Overify_ir.Loop.find fn) >= 1);
+  same_behaviour ~input:"xyz" src
+
+(* ------------- runtime checks ------------- *)
+
+let test_runtime_checks_insert_and_catch () =
+  let src = {|
+int main(void) {
+  int a[4];
+  int i = __input(0);
+  a[i & 7] = 1;        /* can be out of bounds */
+  return 0;
+}
+|} in
+  let level = { Costmodel.o0 with Costmodel.runtime_checks = true } in
+  let m0 = Frontend.compile_source src in
+  let r = Pipeline.optimize level m0 in
+  check bool "checks inserted" true (r.Pipeline.stats.Stats.checks_inserted > 0);
+  (* in-bounds run unaffected *)
+  let ok = Interp.run r.Pipeline.modul ~input:"\002" in
+  check bool "in-bounds clean" true (ok.Interp.trap = None);
+  (* out-of-bounds becomes an abort (crash), the paper's uniform failure *)
+  let bad = Interp.run r.Pipeline.modul ~input:"\007" in
+  check bool "oob aborts" true (bad.Interp.trap = Some Interp.Abort_called)
+
+(* ------------- schedule ------------- *)
+
+let test_schedule_preserves_semantics () =
+  let src = {|
+int main(void) {
+  int a = __input(0);
+  int b = a * 3;
+  int c = __input(1);
+  int d = c * 5;
+  int e = b + d;
+  return e + a + c;
+}
+|} in
+  same_behaviour ~input:"AB" src
+
+let test_schedule_reduces_stalls () =
+  (* scheduling is a -O2/-O3 pass; on dependency-heavy straight-line code it
+     should not make execution slower *)
+  let src = {|
+int main(void) {
+  int s = 0;
+  int a = __input(0);
+  int b = __input(1);
+  for (int i = 0; i < 50; i++) {
+    int x = a * 3;
+    int y = b * 5;
+    s += x + y;
+  }
+  return s & 0xff;
+}
+|} in
+  let with_sched = compile_at Costmodel.o3 src in
+  let without =
+    compile_at { Costmodel.o3 with Costmodel.disabled_passes = [ "schedule" ] } src
+  in
+  let c1 = (Interp.run with_sched ~input:"AB").Interp.cycles in
+  let c2 = (Interp.run without ~input:"AB").Interp.cycles in
+  check bool "scheduling does not hurt" true (c1 <= c2)
+
+(* ------------- annotations ------------- *)
+
+let test_annotations_present () =
+  let src = {|
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < __input_size(); i++) s += __input(i);
+  return s & 0xff;
+}
+|} in
+  let fn = compile_fn Costmodel.overify src in
+  check bool "has metadata" true (fn.I.fmeta <> []);
+  check bool "records loops" true (List.mem_assoc "loops" fn.I.fmeta)
+
+(* ------------- whole-pipeline properties ------------- *)
+
+let test_code_growth_direction () =
+  (* -OVERIFY may grow code (paper: "even if this increases program size") *)
+  let p = Option.get (Programs.find "wc") in
+  let compile level =
+    Pipeline.optimize level
+      (Frontend.compile_sources [ Vclib.for_cost_model level; p.Programs.source ])
+  in
+  let o0 = static_size (compile Costmodel.o0).Pipeline.modul in
+  let ov = static_size (compile Costmodel.overify).Pipeline.modul in
+  check bool "sizes positive" true (o0 > 0 && ov > 0)
+
+let test_levels_verify_over_corpus () =
+  List.iter
+    (fun (p : Programs.t) ->
+      List.iter
+        (fun level ->
+          let m =
+            Pipeline.optimize level
+              (Frontend.compile_sources
+                 [ Vclib.for_cost_model level; p.Programs.source ])
+          in
+          List.iter Overify_ir.Verify.check_exn m.Pipeline.modul.I.funcs)
+        Costmodel.all)
+    Programs.programs
+
+(* ------------- the big differential property ------------- *)
+
+let text_gen =
+  QCheck2.Gen.(
+    let interesting =
+      oneofl
+        [ 'a'; 'b'; 'z'; 'A'; 'Z'; ' '; '\t'; '\n'; '/'; ':'; ';'; '%'; '\\';
+          '0'; '9'; '#'; '='; '<'; '-'; '+'; '.'; '\000'; '\255' ]
+    in
+    let any = map Char.chr (int_range 0 255) in
+    string_size ~gen:(frequency [ (4, interesting); (1, any) ]) (int_range 0 12))
+
+let differential_tests =
+  List.map
+    (fun (p : Programs.t) ->
+      let compiled =
+        List.map
+          (fun level ->
+            ( level.Costmodel.name,
+              (Pipeline.optimize level
+                 (Frontend.compile_sources
+                    [ Vclib.for_cost_model level; p.Programs.source ]))
+                .Pipeline.modul ))
+          Costmodel.all
+      in
+      QCheck_alcotest.to_alcotest
+        (QCheck2.Test.make
+           ~name:(Printf.sprintf "%s agrees across levels" p.Programs.name)
+           ~count:25 text_gen (fun input ->
+             match compiled with
+             | [] -> true
+             | (_, m0) :: rest ->
+                 let r0 = Interp.run m0 ~input in
+                 List.for_all
+                   (fun (name, m) ->
+                     let r = Interp.run m ~input in
+                     let ok =
+                       r.Interp.exit_code = r0.Interp.exit_code
+                       && r.Interp.output = r0.Interp.output
+                       && (r.Interp.trap = None) = (r0.Interp.trap = None)
+                     in
+                     if not ok then
+                       QCheck2.Test.fail_reportf
+                         "%s disagrees with -O0 on %S: exit %Ld vs %Ld, \
+                          output %S vs %S, trap %s vs %s"
+                         name input r0.Interp.exit_code r.Interp.exit_code
+                         r0.Interp.output r.Interp.output
+                         (match r0.Interp.trap with
+                         | None -> "-"
+                         | Some t -> Interp.string_of_trap t)
+                         (match r.Interp.trap with
+                         | None -> "-"
+                         | Some t -> Interp.string_of_trap t)
+                     else ok)
+                   rest)))
+    Programs.programs
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "constfold",
+        [
+          Alcotest.test_case "folds" `Quick test_constfold_folds;
+          Alcotest.test_case "preserves div-by-zero" `Quick
+            test_constfold_preserves_div_by_zero;
+          Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+        ] );
+      ( "mem2reg",
+        [
+          Alcotest.test_case "promotes" `Quick test_mem2reg_promotes;
+          Alcotest.test_case "do-while phi (regression)" `Quick
+            test_mem2reg_do_while;
+          Alcotest.test_case "respects escapes" `Quick
+            test_mem2reg_respects_escapes;
+        ] );
+      ("sroa", [ Alcotest.test_case "splits arrays" `Quick test_sroa_splits ]);
+      ("dce", [ Alcotest.test_case "removes dead code" `Quick test_dce_removes_dead_code ]);
+      ( "if-conversion",
+        [
+          Alcotest.test_case "removes branches" `Quick
+            test_if_convert_removes_branches;
+          Alcotest.test_case "flattens short-circuit DAG" `Quick
+            test_if_convert_flattens_shortcircuit;
+          Alcotest.test_case "keeps side effects guarded" `Quick
+            test_if_convert_keeps_side_effects_guarded;
+          Alcotest.test_case "respects CPU budget" `Quick
+            test_if_convert_respects_cpu_budget;
+        ] );
+      ( "unswitch",
+        [ Alcotest.test_case "fires and preserves" `Quick
+            test_unswitch_fires_and_preserves ] );
+      ( "unroll",
+        [
+          Alcotest.test_case "constant loop" `Quick test_unroll_constant_loop;
+          Alcotest.test_case "trip limit" `Quick test_unroll_respects_trip_limit;
+          Alcotest.test_case "downward loop" `Quick test_unroll_downward_loop;
+        ] );
+      ( "inline",
+        [
+          Alcotest.test_case "specializes" `Quick test_inline_specializes;
+          Alcotest.test_case "skips recursion" `Quick test_inline_skips_recursion;
+          Alcotest.test_case "threshold" `Quick test_inline_threshold;
+        ] );
+      ( "jump threading",
+        [ Alcotest.test_case "correlated conditions" `Quick
+            test_jump_threading_same_condition ] );
+      ( "loop deletion",
+        [
+          Alcotest.test_case "zero-trip loop removed" `Quick
+            test_loop_delete_zero_trip;
+          Alcotest.test_case "live loops kept" `Quick
+            test_loop_delete_keeps_live_loops;
+        ] );
+      ( "runtime checks",
+        [ Alcotest.test_case "insert and catch" `Quick
+            test_runtime_checks_insert_and_catch ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "preserves semantics" `Quick
+            test_schedule_preserves_semantics;
+          Alcotest.test_case "reduces stalls" `Quick test_schedule_reduces_stalls;
+        ] );
+      ( "annotations",
+        [ Alcotest.test_case "present" `Quick test_annotations_present ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "code size sanity" `Quick test_code_growth_direction;
+          Alcotest.test_case "IR verifies over corpus at all levels" `Slow
+            test_levels_verify_over_corpus;
+        ] );
+      ("differential (qcheck)", differential_tests);
+    ]

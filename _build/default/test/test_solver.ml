@@ -1,0 +1,329 @@
+(** Solver tests: term simplification, the CDCL SAT core, bit-blasting
+    correctness (QCheck against brute force and against [Bv.eval]), and the
+    query cache. *)
+
+module Bv = Overify_solver.Bv
+module Sat = Overify_solver.Sat
+module Solver = Overify_solver.Solver
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ------------- term constructors ------------- *)
+
+let test_hash_consing () =
+  let x = Bv.var 8 1 in
+  let a = Bv.binop Bv.Add x (Bv.const 8 3L) in
+  let b = Bv.binop Bv.Add x (Bv.const 8 3L) in
+  check bool "same id" true (a.Bv.id = b.Bv.id)
+
+let test_const_fold () =
+  check bool "add folds" true
+    (Bv.binop Bv.Add (Bv.const 8 200L) (Bv.const 8 100L) = Bv.const 8 44L);
+  check bool "cmp folds" true
+    (Bv.cmp Bv.Slt (Bv.const 8 0xFFL) (Bv.const 8 1L) = Bv.tt)
+
+let test_identities () =
+  let x = Bv.var 32 7 in
+  check bool "x+0" true (Bv.binop Bv.Add x (Bv.const 32 0L) = x);
+  check bool "x*1" true (Bv.binop Bv.Mul x (Bv.const 32 1L) = x);
+  check bool "x-x" true (Bv.binop Bv.Sub x x = Bv.const 32 0L);
+  check bool "x^x" true (Bv.binop Bv.Xor x x = Bv.const 32 0L);
+  check bool "x&x" true (Bv.binop Bv.And x x = x);
+  check bool "x==x" true (Bv.cmp Bv.Eq x x = Bv.tt);
+  check bool "x<x" true (Bv.cmp Bv.Slt x x = Bv.ff);
+  check bool "not not" true (Bv.not_ (Bv.not_ (Bv.cmp Bv.Ne x (Bv.const 32 0L)))
+                             = Bv.cmp Bv.Ne x (Bv.const 32 0L))
+
+let test_pow2_strength_reduction () =
+  let x = Bv.var 32 8 in
+  (match (Bv.binop Bv.Udiv x (Bv.const 32 8L)).Bv.node with
+  | Bv.Bin (Bv.Lshr, _, _) -> ()
+  | _ -> Alcotest.fail "udiv by 8 should become lshr");
+  match (Bv.binop Bv.Urem x (Bv.const 32 8L)).Bv.node with
+  | Bv.Bin (Bv.And, _, _) -> ()
+  | _ -> Alcotest.fail "urem by 8 should become and"
+
+let test_ite_simplify () =
+  let c = Bv.cmp Bv.Eq (Bv.var 8 9) (Bv.const 8 1L) in
+  check bool "ite c 1 0 = c" true (Bv.ite c Bv.tt Bv.ff = c);
+  check bool "ite c x x = x" true
+    (let x = Bv.var 8 10 in Bv.ite c x x = x);
+  (* (ite c 5 9) == 5  ==>  c *)
+  let t = Bv.cmp Bv.Eq (Bv.ite c (Bv.const 8 5L) (Bv.const 8 9L)) (Bv.const 8 5L) in
+  check bool "ite-eq reduces" true (t = c)
+
+let test_extract_concat () =
+  let hi = Bv.var 8 11 and lo = Bv.var 8 12 in
+  let cc = Bv.concat hi lo in
+  check bool "extract low" true (Bv.extract ~hi:7 ~lo:0 cc = lo);
+  check bool "extract high" true (Bv.extract ~hi:15 ~lo:8 cc = hi);
+  check bool "zext const" true (Bv.zext 32 (Bv.const 8 0xFFL) = Bv.const 32 0xFFL);
+  check bool "sext const" true
+    (Bv.sext 32 (Bv.const 8 0xFFL) = Bv.const 32 0xFFFFFFFFL);
+  check bool "trunc of zext" true (Bv.trunc 8 (Bv.zext 32 lo) = lo)
+
+let test_eval () =
+  let x = Bv.var 8 1 and y = Bv.var 8 2 in
+  let t = Bv.ite (Bv.cmp Bv.Ult x y) (Bv.binop Bv.Add x y) (Bv.binop Bv.Sub x y) in
+  let lookup = function 1 -> 3L | 2 -> 10L | _ -> 0L in
+  check Alcotest.int64 "ite-add" 13L (Bv.eval lookup t);
+  let lookup2 = function 1 -> 10L | 2 -> 3L | _ -> 0L in
+  check Alcotest.int64 "ite-sub" 7L (Bv.eval lookup2 t)
+
+let test_vars () =
+  let x = Bv.var 8 1 and y = Bv.var 16 2 in
+  let t = Bv.cmp Bv.Eq (Bv.zext 16 x) y in
+  let vs = Bv.vars t in
+  check int "two vars" 2 (Hashtbl.length vs);
+  check (Alcotest.option int) "x width" (Some 8) (Hashtbl.find_opt vs 1)
+
+(* ------------- SAT core ------------- *)
+
+let lit = Sat.lit_of_var
+
+let test_sat_trivial () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ lit a true ];
+  check bool "sat" true (Sat.solve s);
+  check bool "a true" true (Sat.model_value s a)
+
+let test_sat_unsat () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ lit a true ];
+  Sat.add_clause s [ lit a false ];
+  check bool "unsat" false (Sat.solve s)
+
+let test_sat_chain () =
+  (* implication chain a -> b -> c -> d with a forced *)
+  let s = Sat.create () in
+  let v = Array.init 4 (fun _ -> Sat.new_var s) in
+  Sat.add_clause s [ lit v.(0) true ];
+  for i = 0 to 2 do
+    Sat.add_clause s [ lit v.(i) false; lit v.(i + 1) true ]
+  done;
+  check bool "sat" true (Sat.solve s);
+  Array.iter (fun x -> check bool "forced true" true (Sat.model_value s x)) v
+
+let test_sat_pigeonhole () =
+  (* 3 pigeons, 2 holes: unsat; classic resolution stress *)
+  let s = Sat.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Sat.new_var s)) in
+  (* each pigeon in some hole *)
+  Array.iter (fun row -> Sat.add_clause s [ lit row.(0) true; lit row.(1) true ]) p;
+  (* no two pigeons share a hole *)
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Sat.add_clause s [ lit p.(i).(h) false; lit p.(j).(h) false ]
+      done
+    done
+  done;
+  check bool "pigeonhole unsat" false (Sat.solve s)
+
+let test_sat_assumptions () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ lit a false; lit b true ];   (* a -> b *)
+  check bool "sat under a" true (Sat.solve ~assumptions:[ lit a true ] s);
+  Sat.add_clause s [ lit b false ];
+  check bool "unsat under a" false (Sat.solve ~assumptions:[ lit a true ] s);
+  check bool "still sat without" true (Sat.solve s)
+
+(* random 3-SAT instances cross-checked against brute force *)
+let test_sat_random_vs_bruteforce () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  for _ = 1 to 120 do
+    let nvars = 1 + Random.State.int rng 8 in
+    let nclauses = 1 + Random.State.int rng 24 in
+    let clauses =
+      List.init nclauses (fun _ ->
+          List.init
+            (1 + Random.State.int rng 3)
+            (fun _ -> (Random.State.int rng nvars, Random.State.bool rng)))
+    in
+    (* brute force *)
+    let bf = ref false in
+    for m = 0 to (1 lsl nvars) - 1 do
+      if
+        List.for_all
+          (List.exists (fun (v, pos) -> (m lsr v) land 1 = if pos then 1 else 0))
+          clauses
+      then bf := true
+    done;
+    let s = Sat.create () in
+    let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+    List.iter
+      (fun c -> Sat.add_clause s (List.map (fun (v, pos) -> lit vars.(v) pos) c))
+      clauses;
+    let got = Sat.solve s in
+    if got <> !bf then
+      Alcotest.failf "SAT solver disagrees with brute force (expected %b)" !bf;
+    (* model check *)
+    if got then begin
+      let ok =
+        List.for_all
+          (List.exists (fun (v, pos) -> Sat.model_value s vars.(v) = pos))
+          clauses
+      in
+      check bool "model satisfies" true ok
+    end
+  done
+
+(* ------------- blasting: QCheck properties ------------- *)
+
+let ops = [| Bv.Add; Bv.Sub; Bv.Mul; Bv.Sdiv; Bv.Udiv; Bv.Srem; Bv.Urem;
+             Bv.And; Bv.Or; Bv.Xor; Bv.Shl; Bv.Lshr; Bv.Ashr |]
+let cmps = [| Bv.Eq; Bv.Ne; Bv.Slt; Bv.Sle; Bv.Sgt; Bv.Sge; Bv.Ult; Bv.Ule;
+              Bv.Ugt; Bv.Uge |]
+
+let gen_case =
+  QCheck2.Gen.(
+    tup4 (int_range 0 (Array.length ops - 1))
+      (int_range 0 (Array.length cmps - 1))
+      (map Int64.of_int (int_range 0 255))
+      (map Int64.of_int (int_range 0 255)))
+
+(* solver vs brute force at 8 bits (both SAT answers and model soundness) *)
+let prop_solver_vs_bruteforce =
+  QCheck2.Test.make ~name:"8-bit solver matches brute force" ~count:120
+    gen_case (fun (oi, ci, c1, c2) ->
+      let x = Bv.var 8 1 and y = Bv.var 8 2 in
+      let t = Bv.cmp cmps.(ci) (Bv.binop ops.(oi) x y) (Bv.const 8 c1) in
+      let t2 = Bv.cmp Bv.Ult x (Bv.const 8 c2) in
+      let bf = ref false in
+      (try
+         for xv = 0 to 255 do
+           for yv = 0 to 255 do
+             let lookup id = if id = 1 then Int64.of_int xv else Int64.of_int yv in
+             if Bv.eval lookup t = 1L && Bv.eval lookup t2 = 1L then begin
+               bf := true;
+               raise Exit
+             end
+           done
+         done
+       with Exit -> ());
+      Solver.clear_cache ();
+      match Solver.check [ t; t2 ] with
+      | Solver.Sat model ->
+          if not !bf then
+            QCheck2.Test.fail_reportf "solver SAT, brute force UNSAT: %s"
+              (Bv.to_string t)
+          else begin
+            let lookup id = Solver.model_value model id in
+            Bv.eval lookup t = 1L && Bv.eval lookup t2 = 1L
+          end
+      | Solver.Unsat ->
+          if !bf then
+            QCheck2.Test.fail_reportf "solver UNSAT, brute force SAT: %s"
+              (Bv.to_string t)
+          else true)
+
+(* model soundness at 32 bits (brute force impossible; check the model) *)
+let prop_model_sound_32 =
+  QCheck2.Test.make ~name:"32-bit models satisfy their query" ~count:40
+    gen_case (fun (oi, ci, c1, c2) ->
+      let x = Bv.var 32 1 and y = Bv.var 32 2 in
+      let t =
+        Bv.cmp cmps.(ci) (Bv.binop ops.(oi) x y)
+          (Bv.const 32 (Int64.mul c1 1234567L))
+      in
+      let t2 = Bv.cmp Bv.Ugt y (Bv.const 32 c2) in
+      Solver.clear_cache ();
+      match Solver.check [ t; t2 ] with
+      | Solver.Sat model ->
+          let lookup id = Solver.model_value model id in
+          Bv.eval lookup t = 1L && Bv.eval lookup t2 = 1L
+      | Solver.Unsat -> true)
+
+(* blast/eval agreement: pin variables with equality constraints and check
+   the solver agrees with direct evaluation *)
+let prop_blast_matches_eval =
+  QCheck2.Test.make ~name:"blasting agrees with Bv.eval on pinned vars"
+    ~count:80
+    QCheck2.Gen.(
+      tup4 (int_range 0 (Array.length ops - 1))
+        (map Int64.of_int (int_range 0 255))
+        (map Int64.of_int (int_range 0 255))
+        (oneofl [ 8; 16; 32; 64 ]))
+    (fun (oi, xv, yv, w) ->
+      let x = Bv.var w 1 and y = Bv.var w 2 in
+      let expr = Bv.binop ops.(oi) x y in
+      let expected =
+        Bv.eval (function 1 -> xv | 2 -> yv | _ -> 0L) expr
+      in
+      let pin =
+        [ Bv.cmp Bv.Eq x (Bv.const w xv); Bv.cmp Bv.Eq y (Bv.const w yv);
+          Bv.cmp Bv.Eq expr (Bv.const w expected) ]
+      in
+      Solver.clear_cache ();
+      match Solver.check pin with
+      | Solver.Sat _ -> true
+      | Solver.Unsat ->
+          QCheck2.Test.fail_reportf
+            "circuit disagrees with eval: op %d width %d x=%Ld y=%Ld \
+             expected %Ld"
+            oi w xv yv expected)
+
+(* ------------- solver interface ------------- *)
+
+let test_trivial_queries_no_sat () =
+  Solver.clear_cache ();
+  let q0 = Solver.stats.Solver.queries in
+  (match Solver.check [ Bv.tt ] with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "true is sat");
+  (match Solver.check [ Bv.ff ] with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "false is unsat");
+  check int "2 queries counted" (q0 + 2) Solver.stats.Solver.queries
+
+let test_cache_hits () =
+  Solver.clear_cache ();
+  let x = Bv.var 8 77 in
+  let q = [ Bv.cmp Bv.Ugt x (Bv.const 8 100L) ] in
+  let h0 = Solver.stats.Solver.cache_hits in
+  ignore (Solver.check q);
+  ignore (Solver.check q);
+  check int "second hit cached" (h0 + 1) Solver.stats.Solver.cache_hits
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "terms",
+        [
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "constant folding" `Quick test_const_fold;
+          Alcotest.test_case "identities" `Quick test_identities;
+          Alcotest.test_case "pow2 strength reduction" `Quick
+            test_pow2_strength_reduction;
+          Alcotest.test_case "ite" `Quick test_ite_simplify;
+          Alcotest.test_case "extract/concat" `Quick test_extract_concat;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "vars" `Quick test_vars;
+        ] );
+      ( "sat",
+        [
+          Alcotest.test_case "trivial" `Quick test_sat_trivial;
+          Alcotest.test_case "unsat" `Quick test_sat_unsat;
+          Alcotest.test_case "implication chain" `Quick test_sat_chain;
+          Alcotest.test_case "pigeonhole" `Quick test_sat_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_sat_assumptions;
+          Alcotest.test_case "random vs brute force" `Quick
+            test_sat_random_vs_bruteforce;
+        ] );
+      ( "blasting (qcheck)",
+        [
+          QCheck_alcotest.to_alcotest prop_solver_vs_bruteforce;
+          QCheck_alcotest.to_alcotest prop_model_sound_32;
+          QCheck_alcotest.to_alcotest prop_blast_matches_eval;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "trivial queries" `Quick test_trivial_queries_no_sat;
+          Alcotest.test_case "cache" `Quick test_cache_hits;
+        ] );
+    ]
