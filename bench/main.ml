@@ -7,6 +7,7 @@
       dune exec bench/main.exe -- table3
       dune exec bench/main.exe -- figure4 [-n N] [-t SECONDS]
       dune exec bench/main.exe -- precision    # the 2.1 precision experiment
+      dune exec bench/main.exe -- parallel [-n N] [-t SECONDS] [-j JOBS]
       dune exec bench/main.exe -- bechamel     # micro-benchmarks
 
     Absolute numbers will differ from the paper (our substrate is a
@@ -26,6 +27,14 @@ let parse_flags args =
   in
   go args;
   (!n, !t)
+
+let parse_jobs args =
+  let rec go = function
+    | "-j" :: v :: rest -> (match int_of_string_opt v with Some j -> Some j | None -> go rest)
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go args
 
 let run_table1 args =
   let (n, t) = parse_flags args in
@@ -69,6 +78,75 @@ let run_figure4 args =
        ())
 
 let run_precision _args = ignore (H.Precision.print ())
+
+(* ---- seq-vs-parallel symbolic-execution benchmark ----
+
+   For every corpus program (compiled at OVERIFY), explore once with the
+   sequential DFS searcher and once with [`Parallel jobs], report the
+   wall-clock speedup, and check the determinism contract (identical paths,
+   exit codes, bugs and coverage for complete runs).  Rows are also written
+   to BENCH_symex_parallel.json for machine consumption. *)
+
+let run_parallel args =
+  let (n, t) = parse_flags args in
+  let input_size = Option.value n ~default:4 in
+  let timeout = Option.value t ~default:30.0 in
+  let jobs = Option.value (parse_jobs args) ~default:4 in
+  H.Report.section
+    (Printf.sprintf
+       "Symbolic execution: sequential vs %d worker domains (n=%d bytes)" jobs
+       input_size);
+  let level = Overify_opt.Costmodel.overify in
+  let measurements =
+    List.map
+      (fun (p : Overify_corpus.Programs.t) ->
+        let c = H.Experiment.compile level p in
+        let m = H.Experiment.measure_parallel ~input_size ~timeout ~jobs c in
+        (p.Overify_corpus.Programs.name, m))
+      Overify_corpus.Programs.programs
+  in
+  let rows =
+    [
+      "program"; "paths"; "t_seq (ms)"; "t_par (ms)"; "speedup";
+      "deterministic"; "complete";
+    ]
+    :: List.map
+         (fun (name, (m : H.Experiment.parallel_measurement)) ->
+           [
+             name;
+             string_of_int m.H.Experiment.seq.Overify_symex.Engine.paths;
+             H.Report.ms m.H.Experiment.seq.Overify_symex.Engine.time;
+             H.Report.ms m.H.Experiment.par.Overify_symex.Engine.time;
+             Printf.sprintf "%.2fx" m.H.Experiment.speedup;
+             string_of_bool m.H.Experiment.deterministic;
+             string_of_bool
+               (m.H.Experiment.seq.Overify_symex.Engine.complete
+               && m.H.Experiment.par.Overify_symex.Engine.complete);
+           ])
+         measurements
+  in
+  H.Report.table rows;
+  Printf.printf
+    "(speedup = t_seq / t_par at %d domains; this host exposes %d core(s))\n"
+    jobs (Domain.recommended_domain_count ());
+  let json_row (name, (m : H.Experiment.parallel_measurement)) =
+    Printf.sprintf
+      "  {\"program\": %S, \"jobs\": %d, \"t_seq_s\": %.6f, \"t_par_s\": \
+       %.6f, \"speedup\": %.3f, \"paths\": %d, \"deterministic\": %b, \
+       \"complete\": %b}"
+      name m.H.Experiment.jobs
+      m.H.Experiment.seq.Overify_symex.Engine.time
+      m.H.Experiment.par.Overify_symex.Engine.time m.H.Experiment.speedup
+      m.H.Experiment.seq.Overify_symex.Engine.paths
+      m.H.Experiment.deterministic
+      (m.H.Experiment.seq.Overify_symex.Engine.complete
+      && m.H.Experiment.par.Overify_symex.Engine.complete)
+  in
+  let path = "BENCH_symex_parallel.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "[\n%s\n]\n"
+        (String.concat ",\n" (List.map json_row measurements)));
+  Printf.printf "wrote %s\n" path
 
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure driver,
    at miniature settings so each iteration is sub-second ---- *)
@@ -137,6 +215,7 @@ let () =
   | _ :: "table3" :: rest -> run_table3 rest
   | _ :: "figure4" :: rest -> run_figure4 rest
   | _ :: "precision" :: rest -> run_precision rest
+  | _ :: "parallel" :: rest -> run_parallel rest
   | _ :: "bechamel" :: _ -> bechamel ()
   | _ ->
       (* default: regenerate everything at quick settings *)

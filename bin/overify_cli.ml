@@ -113,17 +113,26 @@ let verify_cmd =
           ~doc:"Print a generated test input (and its exit code) per path, \
                 like KLEE's ktest files.")
   in
-  let run level no_libc path size timeout tests =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Explore paths on $(docv) parallel worker domains. Results are \
+             identical to the sequential searcher for complete runs.")
+  in
+  let run level no_libc path size timeout tests jobs =
     let m = compile_to_module level no_libc path in
-    let r = O.verify ~input_size:size ~timeout m in
+    let r = O.verify ~input_size:size ~timeout ~jobs m in
     Printf.printf
       "paths=%d instructions=%d queries=%d cache_hits=%d solver=%.1fms \
-       total=%.1fms coverage=%d/%d blocks complete=%b\n"
+       total=%.1fms coverage=%d/%d blocks jobs=%d complete=%b\n"
       r.O.Engine.paths r.O.Engine.instructions r.O.Engine.queries
       r.O.Engine.cache_hits
       (r.O.Engine.solver_time *. 1000.)
       (r.O.Engine.time *. 1000.)
-      r.O.Engine.blocks_covered r.O.Engine.blocks_total r.O.Engine.complete;
+      r.O.Engine.blocks_covered r.O.Engine.blocks_total r.O.Engine.jobs
+      r.O.Engine.complete;
     if tests then
       List.iteri
         (fun i (input, code) ->
@@ -140,7 +149,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Compile and symbolically execute all paths (KLEE-style).")
     Term.(const run $ level $ no_libc $ source_file $ size $ timeout
-          $ tests_flag)
+          $ tests_flag $ jobs)
 
 (* ---- analyze subcommand ---- *)
 

@@ -44,10 +44,14 @@ let compile_with_stats ?(level = Costmodel.overify) ?(link_libc = true) src =
   (r.Pipeline.modul, r.Pipeline.stats)
 
 (** Symbolically execute a module's [main] over [input_size] symbolic
-    bytes. *)
-let verify ?(input_size = 4) ?(timeout = 30.0) (m : Ir.modul) : Engine.result =
+    bytes.  [jobs > 1] runs the parallel multi-domain searcher; results are
+    identical to the sequential ones for complete runs. *)
+let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) (m : Ir.modul) :
+    Engine.result =
+  let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
   Engine.run
-    ~config:{ Engine.default_config with Engine.input_size; timeout }
+    ~config:
+      { Engine.default_config with Engine.input_size; timeout; searcher }
     m
 
 (** Concretely execute a module's [main] on [input]. *)

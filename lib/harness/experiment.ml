@@ -42,13 +42,52 @@ let compile (level : Costmodel.t) (program : Programs.t) : compiled =
         0 r.Pipeline.modul.Ir.funcs;
   }
 
-(** Symbolically execute a compiled program. *)
+(** Symbolically execute a compiled program.  [jobs > 1] explores on that
+    many domains ([`Parallel jobs]); the default is the sequential DFS
+    searcher. *)
 let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
-    (c : compiled) : Engine.result =
+    ?(jobs = 1) (c : compiled) : Engine.result =
+  let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
   Engine.run
     ~config:
-      { Engine.default_config with input_size; timeout; check_bounds }
+      {
+        Engine.default_config with
+        input_size;
+        timeout;
+        check_bounds;
+        searcher;
+      }
     c.modul
+
+(** Sequential-vs-parallel comparison of one compiled program: runs the same
+    exploration with [`Dfs] and with [`Parallel jobs] and reports both
+    results plus the wall-clock speedup.  Used by the parallel benchmark and
+    recorded in experiment rows (worker count and speedup). *)
+type parallel_measurement = {
+  seq : Engine.result;
+  par : Engine.result;
+  jobs : int;
+  speedup : float;          (** t_seq / t_par *)
+  deterministic : bool;
+      (** both runs complete and agree on paths, exit codes, bugs and
+          coverage — the engine's determinism contract holding in practice *)
+}
+
+let measure_parallel ?(input_size = 4) ?(timeout = 30.0)
+    ?(check_bounds = true) ~jobs (c : compiled) : parallel_measurement =
+  let seq = verify ~input_size ~timeout ~check_bounds ~jobs:1 c in
+  let par = verify ~input_size ~timeout ~check_bounds ~jobs c in
+  let deterministic =
+    seq.Engine.complete && par.Engine.complete
+    && seq.Engine.paths = par.Engine.paths
+    && seq.Engine.exit_codes = par.Engine.exit_codes
+    && seq.Engine.bugs = par.Engine.bugs
+    && seq.Engine.blocks_covered = par.Engine.blocks_covered
+  in
+  let speedup =
+    if par.Engine.time > 0.0 then seq.Engine.time /. par.Engine.time else 1.0
+  in
+  { seq; par; jobs; speedup; deterministic }
 
 (** Concrete run on one input. *)
 let run_concrete (c : compiled) ~input : Interp.result =

@@ -74,17 +74,27 @@ end)
 let table : t NTbl.t = NTbl.create 4096
 let counter = ref 0
 
+(* The hash-cons table is the one piece of term state shared by every
+   domain: parallel exploration workers build terms concurrently, so all
+   table accesses go through this lock.  Everything downstream (blasting,
+   SAT) is per-context and needs no synchronization.  Term [id]s depend on
+   allocation order and therefore on scheduling, but ids are only names:
+   structurally equal terms get the same id within a run, and nothing
+   user-visible depends on the numeric values. *)
+let lock = Mutex.create ()
+
 let mk node width =
-  match NTbl.find_opt table (node, width) with
-  | Some t -> t
-  | None ->
-      incr counter;
-      let t = { id = !counter; node; width } in
-      NTbl.replace table (node, width) t;
-      t
+  Mutex.protect lock (fun () ->
+      match NTbl.find_opt table (node, width) with
+      | Some t -> t
+      | None ->
+          incr counter;
+          let t = { id = !counter; node; width } in
+          NTbl.replace table (node, width) t;
+          t)
 
 (** Number of live hash-consed terms (for stats). *)
-let live_terms () = NTbl.length table
+let live_terms () = Mutex.protect lock (fun () -> NTbl.length table)
 
 (* ---------------- constructors with simplification ---------------- *)
 
@@ -98,11 +108,12 @@ let ff = const 1 0L
     sessions from accumulating GC pressure.  The persistent boolean
     constants keep their identities. *)
 let reset () =
-  NTbl.reset table;
-  counter := 0;
-  NTbl.replace table (tt.node, tt.width) tt;
-  NTbl.replace table (ff.node, ff.width) ff;
-  counter := max tt.id ff.id
+  Mutex.protect lock (fun () ->
+      NTbl.reset table;
+      counter := 0;
+      NTbl.replace table (tt.node, tt.width) tt;
+      NTbl.replace table (ff.node, ff.width) ff;
+      counter := max tt.id ff.id)
 let bool_ b = if b then tt else ff
 
 let is_const t = match t.node with Const _ -> true | _ -> false

@@ -33,7 +33,12 @@ val live_terms : unit -> int
 
 val reset : unit -> unit
 (** Drop all hash-consed terms.  Only safe when no term values are retained
-    by the caller; each engine run calls this to bound GC pressure. *)
+    by the caller and no other domain is constructing terms; each engine run
+    calls this (before spawning workers) to bound GC pressure.
+
+    Term construction itself is thread-safe: the hash-cons table is guarded
+    by a lock, so parallel exploration workers may build terms
+    concurrently. *)
 
 (** {2 Constructors (simplifying)} *)
 

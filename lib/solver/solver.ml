@@ -1,15 +1,23 @@
 (** Query interface over bit-blasting + CDCL, with a query cache and the
     counters the benchmark harness reports (KLEE's counterpart is its solver
-    chain: simplification, caching, then STP). *)
+    chain: simplification, caching, then STP).
+
+    All mutable solver state — the query cache, the stats counters and the
+    wall-clock deadline — lives in an explicit {!ctx} record.  Contexts are
+    cheap to create and deliberately {e not} thread-safe: the parallel
+    exploration engine gives every worker domain its own context, so no
+    solver-level synchronization is needed.
+
+    Determinism contract: the answer to a query (including the satisfying
+    model) is a pure function of the assertion list itself, never of cache
+    history.  The cache key is the ordered list of term ids, so a hit can
+    only return exactly what a fresh solve of the same list would have
+    produced — which is what makes parallel and sequential exploration agree
+    byte-for-byte on path witnesses. *)
 
 type result =
   | Unsat
   | Sat of (int * int64) list  (** satisfying assignment: (var id, value) *)
-
-(** Wall-clock deadline honoured by [check]; long-running blasting/SAT work
-    raises {!Sat.Timeout} past it.  Set by the symbolic-execution engine so
-    that one pathological query cannot blow the experiment budget. *)
-let deadline : float option ref = ref None
 
 exception Timeout = Sat.Timeout
 
@@ -21,28 +29,46 @@ type stats = {
   mutable solver_time : float;  (** seconds spent in blasting + SAT *)
 }
 
-let stats = {
-  queries = 0;
-  cache_hits = 0;
-  sat_answers = 0;
-  unsat_answers = 0;
-  solver_time = 0.0;
+type ctx = {
+  stats : stats;
+  cache : (int list, result) Hashtbl.t;
+      (** query cache: ordered term-id list -> result *)
+  mutable deadline : float option;
+      (** wall-clock deadline honoured by [check]; long-running
+          blasting/SAT work raises {!Timeout} past it *)
 }
 
-let reset_stats () =
-  stats.queries <- 0;
-  stats.cache_hits <- 0;
-  stats.sat_answers <- 0;
-  stats.unsat_answers <- 0;
-  stats.solver_time <- 0.0
+let create ?deadline () =
+  {
+    stats =
+      {
+        queries = 0;
+        cache_hits = 0;
+        sat_answers = 0;
+        unsat_answers = 0;
+        solver_time = 0.0;
+      };
+    cache = Hashtbl.create 1024;
+    deadline;
+  }
 
-(* query cache: sorted term-id list -> result *)
-let cache : (int list, result) Hashtbl.t = Hashtbl.create 1024
+let stats ctx = ctx.stats
 
-let clear_cache () = Hashtbl.reset cache
+let reset_stats ctx =
+  let s = ctx.stats in
+  s.queries <- 0;
+  s.cache_hits <- 0;
+  s.sat_answers <- 0;
+  s.unsat_answers <- 0;
+  s.solver_time <- 0.0
+
+let clear_cache ctx = Hashtbl.reset ctx.cache
+
+let set_deadline ctx d = ctx.deadline <- d
 
 (** Check satisfiability of the conjunction of width-1 terms. *)
-let check (assertions : Bv.t list) : result =
+let check (ctx : ctx) (assertions : Bv.t list) : result =
+  let stats = ctx.stats in
   stats.queries <- stats.queries + 1;
   (* constant-prune: smart constructors already folded constants *)
   let assertions =
@@ -57,10 +83,12 @@ let check (assertions : Bv.t list) : result =
     Sat []
   end
   else begin
-    let key =
-      List.sort_uniq compare (List.map (fun (t : Bv.t) -> t.Bv.id) assertions)
-    in
-    match Hashtbl.find_opt cache key with
+    (* the key preserves assertion order: queries with the same term set but
+       a different order may blast to different CNF variable numberings and
+       hence different (equally valid) models — caching across them would
+       make the reported model depend on exploration history *)
+    let key = List.map (fun (t : Bv.t) -> t.Bv.id) assertions in
+    match Hashtbl.find_opt ctx.cache key with
     | Some r ->
         stats.cache_hits <- stats.cache_hits + 1;
         (match r with
@@ -69,13 +97,13 @@ let check (assertions : Bv.t list) : result =
         r
     | None ->
         let t0 = Unix.gettimeofday () in
-        (match !deadline with
+        (match ctx.deadline with
         | Some d when t0 > d -> raise Timeout
         | _ -> ());
-        let ctx = Blast.create ?deadline:!deadline () in
-        List.iter (Blast.assert_true ctx) assertions;
+        let bctx = Blast.create ?deadline:ctx.deadline () in
+        List.iter (Blast.assert_true bctx) assertions;
         let sat =
-          try Sat.solve ?deadline:!deadline ctx.Blast.sat
+          try Sat.solve ?deadline:ctx.deadline bctx.Blast.sat
           with Timeout ->
             stats.solver_time <- stats.solver_time +. (Unix.gettimeofday () -. t0);
             raise Timeout
@@ -92,7 +120,7 @@ let check (assertions : Bv.t list) : result =
             let model =
               Hashtbl.fold
                 (fun id _w acc ->
-                  match Blast.model_of_var ctx id with
+                  match Blast.model_of_var bctx id with
                   | Some v -> (id, v) :: acc
                   | None -> (id, 0L) :: acc)
                 vars []
@@ -104,12 +132,13 @@ let check (assertions : Bv.t list) : result =
         (match r with
         | Sat _ -> stats.sat_answers <- stats.sat_answers + 1
         | Unsat -> stats.unsat_answers <- stats.unsat_answers + 1);
-        Hashtbl.replace cache key r;
+        Hashtbl.replace ctx.cache key r;
         r
   end
 
 (** Convenience: is the conjunction satisfiable? *)
-let is_sat assertions = match check assertions with Sat _ -> true | Unsat -> false
+let is_sat ctx assertions =
+  match check ctx assertions with Sat _ -> true | Unsat -> false
 
 (** Model lookup with default 0 (unconstrained variables may take any value;
     0 is what the model extraction produces for absent bits). *)

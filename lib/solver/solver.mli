@@ -1,15 +1,17 @@
 (** Query interface over bit-blasting + CDCL, with a query cache and
-    counters — the role KLEE's solver chain (simplify, cache, STP) plays. *)
+    counters — the role KLEE's solver chain (simplify, cache, STP) plays.
+
+    All mutable solver state lives in an explicit {!ctx} threaded through
+    {!check}.  A context is {e not} thread-safe; concurrent callers (the
+    parallel exploration workers) each own one.  Query answers — including
+    the satisfying model — are a pure function of the assertion list, never
+    of cache history, which is what lets parallel and sequential exploration
+    agree exactly on path witnesses. *)
 
 type result =
   | Unsat
   | Sat of (int * int64) list
       (** satisfying assignment as (variable id, value) pairs *)
-
-val deadline : float option ref
-(** Wall-clock deadline honoured by {!check}; long-running blasting or SAT
-    work raises {!Timeout} past it.  Set by the symbolic-execution engine so
-    one pathological query cannot blow an experiment budget. *)
 
 exception Timeout
 
@@ -21,17 +23,29 @@ type stats = {
   mutable solver_time : float;  (** seconds spent in blasting + SAT *)
 }
 
-val stats : stats
-val reset_stats : unit -> unit
+type ctx
+(** Query cache + stats counters + wall-clock deadline. *)
 
-val clear_cache : unit -> unit
-(** Drop cached query results (call between independent experiments). *)
+val create : ?deadline:float -> unit -> ctx
+(** Fresh context with empty cache and zeroed counters.  [deadline] is an
+    absolute [Unix.gettimeofday] instant past which blasting or SAT work
+    raises {!Timeout} — set by the symbolic-execution engine so one
+    pathological query cannot blow an experiment budget. *)
 
-val check : Bv.t list -> result
+val stats : ctx -> stats
+val reset_stats : ctx -> unit
+
+val clear_cache : ctx -> unit
+(** Drop this context's cached query results (other contexts are
+    unaffected). *)
+
+val set_deadline : ctx -> float option -> unit
+
+val check : ctx -> Bv.t list -> result
 (** Satisfiability of the conjunction of width-1 terms.  Results are cached
-    by the hash-consed term-id set. *)
+    by the ordered hash-consed term-id list. *)
 
-val is_sat : Bv.t list -> bool
+val is_sat : ctx -> Bv.t list -> bool
 
 val model_value : (int * int64) list -> int -> int64
 (** Look up a variable in a model; unconstrained variables read as 0. *)

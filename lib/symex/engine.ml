@@ -1,7 +1,16 @@
 (** Top-level symbolic-execution engine: explores all paths of a module's
     [main] for a given symbolic input size, under time/path budgets, and
     reports the statistics the paper's evaluation uses (t_verify, number of
-    paths, number of interpreted instructions, solver counters). *)
+    paths, number of interpreted instructions, solver counters).
+
+    Exploration runs either sequentially ([`Dfs]/[`Bfs]) or on [n] OCaml
+    domains ([`Parallel n]) with a work-sharing scheduler: a lock-protected
+    shared frontier of states, each worker owning a private solver/blast
+    context, and global budgets enforced through atomics.  Results are
+    deterministic modulo scheduling — for a run that completes exploration,
+    [paths], [exit_codes], [bugs] and [blocks_covered] are canonically
+    sorted/merged so that every searcher (and every worker count) reports
+    byte-identical values. *)
 
 module Ir = Overify_ir.Ir
 module Bv = Overify_solver.Bv
@@ -13,7 +22,7 @@ type config = {
   max_insts : int;       (** total dynamic instruction budget *)
   timeout : float;       (** wall-clock seconds *)
   check_bounds : bool;   (** fork out-of-bounds bug paths *)
-  searcher : [ `Dfs | `Bfs ];
+  searcher : [ `Dfs | `Bfs | `Parallel of int ];
 }
 
 let default_config =
@@ -46,6 +55,7 @@ type result = {
       (** per completed path: concrete witness input and its exit code *)
   blocks_covered : int;  (** basic blocks reached on some explored path *)
   blocks_total : int;    (** blocks of the functions reachable from main *)
+  jobs : int;            (** worker domains used (1 for `Dfs/`Bfs) *)
 }
 
 (** Extract a concrete input string from a state's model. *)
@@ -58,97 +68,79 @@ let input_of_model (input_vars : int array) model =
       in
       Char.chr v)
 
-let run ?(config = default_config) (m : Ir.modul) : result =
-  (* each run is self-contained: drop cached queries and hash-consed terms *)
-  Solver.clear_cache ();
-  Bv.reset ();
-  let q0 = Solver.stats.Solver.queries
-  and h0 = Solver.stats.Solver.cache_hits
-  and st0 = Solver.stats.Solver.solver_time in
-  let t_start = Unix.gettimeofday () in
-  (* globals *)
-  let mem = ref Memory.empty in
-  let globals =
-    List.map
-      (fun (g : Ir.global) ->
-        let (m', obj) =
-          Memory.alloc_bytes ~writable:(not g.Ir.gconst) !mem g.Ir.ginit
-            ~size:g.Ir.gsize
-        in
-        mem := m';
-        (g.Ir.gname, obj))
-      m.Ir.globals
+(* ---------------- per-worker accumulation ---------------- *)
+
+(** Everything one worker (or the single sequential explorer) accumulates.
+    Workers never share mutable state: the executor context (with its solver
+    context, coverage table and counters) and the result lists are private,
+    merged deterministically after the join. *)
+type worker = {
+  gctx : Executor.gctx;
+  mutable exits : (string * int64) list;   (** (witness, exit code), unordered *)
+  bug_tbl : (string * string, string) Hashtbl.t;
+      (** (kind, function) -> smallest witness input seen *)
+  mutable dropped : bool;    (** some path was abandoned (T_drop) *)
+  mutable errored : bool;
+}
+
+let record_exit w input_vars (st : State.t) code =
+  let witness = input_of_model input_vars st.State.model in
+  let code_v =
+    match code with
+    | Some t ->
+        Bv.to_signed 32
+          (Bv.eval
+             (fun id ->
+               match List.assoc_opt id st.State.model with
+               | Some v -> v
+               | None -> 0L)
+             t)
+    | None -> 0L
   in
-  (* fresh symbolic variables for the input bytes *)
-  let input_vars =
-    Array.init config.input_size (fun i -> 1_000_000 + (config.input_size * 7919) + i)
-  in
-  let gctx =
-    {
-      Executor.modul = m;
-      block_tbls = Hashtbl.create 16;
-      globals;
-      input_vars;
-      check_bounds = config.check_bounds;
-      insts_executed = 0;
-      forks = 0;
-      covered = Hashtbl.create 64;
-    }
-  in
-  let main =
-    match Ir.find_func m "main" with
-    | Some f -> f
-    | None -> invalid_arg "Engine.run: module has no main"
-  in
-  let entry = Ir.entry main in
-  Hashtbl.replace gctx.Executor.covered (main.Ir.fname, entry.Ir.bid) ();
-  let init_state =
-    {
-      State.frames =
-        [
-          {
-            State.fn = main;
-            regs = State.IMap.empty;
-            cur_block = entry.Ir.bid;
-            prev_block = -1;
-            insts = entry.Ir.insts;
-            ret_dst = None;
-            frame_objs = [];
-          };
-        ];
-      mem = !mem;
-      path = [];
-      model = [];
-      out_rev = [];
-      steps = 0;
-    }
-  in
-  (* worklist *)
+  w.exits <- (witness, code_v) :: w.exits
+
+(** Deduplicate by (kind, function) but keep the lexicographically smallest
+    witness: every occurrence of a bug is still enumerated, so the kept
+    witness is independent of exploration order — the determinism contract
+    extends to [bugs]. *)
+let record_bug w input_vars (st : State.t) kind =
+  let fname = (State.top st).State.fn.Ir.fname in
+  let witness = input_of_model input_vars st.State.model in
+  match Hashtbl.find_opt w.bug_tbl (kind, fname) with
+  | Some old when old <= witness -> ()
+  | _ -> Hashtbl.replace w.bug_tbl (kind, fname) witness
+
+let record_error w msg =
+  w.errored <- true;
+  Hashtbl.replace w.bug_tbl ("executor error: " ^ msg, "?") ""
+
+(* ---------------- sequential exploration ---------------- *)
+
+(** Classic single-worklist loop, DFS (stack) or BFS (queue).
+    Returns (completed paths, complete?). *)
+let run_sequential config (w : worker) init_state deadline input_vars :
+    int * bool =
+  let gctx = w.gctx in
   let stack = ref [] in
   let queue = Queue.create () in
   let push st =
     match config.searcher with
-    | `Dfs -> stack := st :: !stack
     | `Bfs -> Queue.add st queue
+    | _ -> stack := st :: !stack
   in
   let pop () =
     match config.searcher with
-    | `Dfs -> (
+    | `Bfs -> Queue.take_opt queue
+    | _ -> (
         match !stack with
         | st :: rest ->
             stack := rest;
             Some st
         | [] -> None)
-    | `Bfs -> ( try Some (Queue.pop queue) with Queue.Empty -> None)
   in
   push init_state;
   let paths = ref 0 in
-  let bugs : bug list ref = ref [] in
-  let bug_kinds = Hashtbl.create 8 in
-  let exit_codes = ref [] in
   let complete = ref true in
-  let deadline = t_start +. config.timeout in
-  Solver.deadline := Some deadline;
   let out_of_budget () =
     !paths >= config.max_paths
     || gctx.Executor.insts_executed >= config.max_insts
@@ -176,42 +168,16 @@ let run ?(config = default_config) (m : Ir.modul) : result =
                      | Executor.T_cont st' -> push st'
                      | Executor.T_exit (st', code) ->
                          incr paths;
-                         let witness =
-                           input_of_model input_vars st'.State.model
-                         in
-                         let code_v =
-                           match code with
-                           | Some t ->
-                               Bv.to_signed 32
-                                 (Bv.eval
-                                    (fun id ->
-                                      match
-                                        List.assoc_opt id st'.State.model
-                                      with
-                                      | Some v -> v
-                                      | None -> 0L)
-                                    t)
-                           | None -> 0L
-                         in
-                         exit_codes := (witness, code_v) :: !exit_codes;
+                         record_exit w input_vars st' code;
                          if out_of_budget () then begin
                            complete := false;
                            raise Exit
                          end
-                     | Executor.T_drop (_, _) -> complete := false
+                     | Executor.T_drop (_, _) ->
+                         w.dropped <- true;
+                         complete := false
                      | Executor.T_bug (st', kind) ->
-                         let fname = (State.top st').State.fn.Ir.fname in
-                         let key = (kind, fname) in
-                         if not (Hashtbl.mem bug_kinds key) then begin
-                           Hashtbl.replace bug_kinds key ();
-                           bugs :=
-                             {
-                               kind;
-                               input = input_of_model input_vars st'.State.model;
-                               at_function = fname;
-                             }
-                             :: !bugs
-                         end)
+                         record_bug w input_vars st' kind)
                    transitions
            in
            advance st;
@@ -223,26 +189,304 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   | Solver.Timeout -> complete := false
   | Executor.Symex_error msg ->
       complete := false;
-      bugs :=
-        { kind = "executor error: " ^ msg; input = ""; at_function = "?" }
-        :: !bugs);
-  Solver.deadline := None;
+      record_error w msg);
   (* anything left on the worklist means incompleteness *)
   (match config.searcher with
-  | `Dfs -> if !stack <> [] then complete := false
-  | `Bfs -> if not (Queue.is_empty queue) then complete := false);
+  | `Bfs -> if not (Queue.is_empty queue) then complete := false
+  | _ -> if !stack <> [] then complete := false);
+  (!paths, !complete)
+
+(* ---------------- parallel exploration ---------------- *)
+
+exception Halt
+(** Raised inside a worker to abandon its current state chain after a global
+    stop (budget exhausted or another worker failed). *)
+
+(** Work-sharing scheduler over [n] domains.  The frontier is a shared
+    queue under one mutex; a worker drives each popped state depth-first,
+    keeps the first continuation of every fork for itself and publishes the
+    rest.  [active] counts workers currently driving a state, so the
+    termination condition (empty frontier and nobody active) is detected
+    without polling.  Budgets are global: completed paths and executed
+    instructions are aggregated in atomics, and any worker tripping a limit
+    sets [stop] for everyone. *)
+let run_parallel config n (workers : worker list) init_state deadline
+    input_vars : int * bool =
+  let mutex = Mutex.create () in
+  let wakeup = Condition.create () in
+  let frontier = Queue.create () in
+  let active = ref 0 in
+  let stop = Atomic.make false in
+  let paths = Atomic.make 0 in
+  let insts = Atomic.make 0 in
+  Queue.add init_state frontier;
+  let halt () =
+    Atomic.set stop true;
+    Mutex.lock mutex;
+    Condition.broadcast wakeup;
+    Mutex.unlock mutex
+  in
+  let out_of_budget () =
+    Atomic.get paths >= config.max_paths
+    || Atomic.get insts >= config.max_insts
+    || Unix.gettimeofday () > deadline
+  in
+  let worker_loop (w : worker) =
+    let gctx = w.gctx in
+    (* instruction counts are flushed to the shared atomic in batches so the
+       global budget is enforced without per-step contention *)
+    let flushed = ref 0 in
+    let flush_insts () =
+      let d = gctx.Executor.insts_executed - !flushed in
+      if d > 0 then begin
+        ignore (Atomic.fetch_and_add insts d);
+        flushed := gctx.Executor.insts_executed
+      end
+    in
+    let check_counter = ref 0 in
+    let pop () =
+      Mutex.lock mutex;
+      let rec go () =
+        if Atomic.get stop then None
+        else
+          match Queue.take_opt frontier with
+          | Some st ->
+              incr active;
+              Some st
+          | None ->
+              if !active = 0 then begin
+                (* global quiescence: every path fully explored *)
+                Condition.broadcast wakeup;
+                None
+              end
+              else begin
+                Condition.wait wakeup mutex;
+                go ()
+              end
+      in
+      let r = go () in
+      Mutex.unlock mutex;
+      r
+    in
+    let publish sts =
+      if sts <> [] then begin
+        Mutex.lock mutex;
+        List.iter (fun st -> Queue.add st frontier) sts;
+        Condition.broadcast wakeup;
+        Mutex.unlock mutex
+      end
+    in
+    let retire () =
+      Mutex.lock mutex;
+      decr active;
+      if !active = 0 && Queue.is_empty frontier then Condition.broadcast wakeup;
+      Mutex.unlock mutex
+    in
+    let rec advance st =
+      incr check_counter;
+      if !check_counter land 255 = 0 then begin
+        flush_insts ();
+        if Atomic.get stop then raise Halt;
+        if out_of_budget () then begin
+          halt ();
+          raise Halt
+        end
+      end;
+      match Executor.step gctx st with
+      | [ Executor.T_cont st' ] -> advance st'
+      | transitions ->
+          let conts = ref [] in
+          List.iter
+            (fun tr ->
+              match tr with
+              | Executor.T_cont st' -> conts := st' :: !conts
+              | Executor.T_exit (st', code) ->
+                  ignore (Atomic.fetch_and_add paths 1);
+                  record_exit w input_vars st' code;
+                  if out_of_budget () then begin
+                    halt ();
+                    raise Halt
+                  end
+              | Executor.T_drop (_, _) -> w.dropped <- true
+              | Executor.T_bug (st', kind) -> record_bug w input_vars st' kind)
+            transitions;
+          (* continue with the first fork child; share the rest *)
+          (match List.rev !conts with
+          | [] -> ()
+          | first :: rest ->
+              publish rest;
+              advance first)
+    in
+    let rec work () =
+      match pop () with
+      | None -> ()
+      | Some st ->
+          (try advance st with
+          | Halt -> ()
+          | Solver.Timeout -> halt ()
+          | Executor.Symex_error msg ->
+              record_error w msg;
+              halt ());
+          flush_insts ();
+          retire ();
+          work ()
+    in
+    work ()
+  in
+  let spawned =
+    List.map (fun w -> Domain.spawn (fun () -> worker_loop w)) (List.tl workers)
+  in
+  worker_loop (List.hd workers);
+  List.iter Domain.join spawned;
+  let complete =
+    (not (Atomic.get stop))
+    && Queue.is_empty frontier
+    && not (List.exists (fun w -> w.dropped || w.errored) workers)
+  in
+  ignore n;
+  (Atomic.get paths, complete)
+
+(* ---------------- driver ---------------- *)
+
+let run ?(config = default_config) (m : Ir.modul) : result =
+  (* each run is self-contained: drop hash-consed terms; solver caches are
+     per-worker and freshly created below *)
+  Bv.reset ();
+  let t_start = Unix.gettimeofday () in
+  let deadline = t_start +. config.timeout in
+  (* globals *)
+  let mem = ref Memory.empty in
+  let globals =
+    List.map
+      (fun (g : Ir.global) ->
+        let (m', obj) =
+          Memory.alloc_bytes ~writable:(not g.Ir.gconst) !mem g.Ir.ginit
+            ~size:g.Ir.gsize
+        in
+        mem := m';
+        (g.Ir.gname, obj))
+      m.Ir.globals
+  in
+  (* fresh symbolic variables for the input bytes *)
+  let input_vars =
+    Array.init config.input_size (fun i -> 1_000_000 + (config.input_size * 7919) + i)
+  in
+  let main =
+    match Ir.find_func m "main" with
+    | Some f -> f
+    | None -> invalid_arg "Engine.run: module has no main"
+  in
+  let entry = Ir.entry main in
+  let init_state =
+    {
+      State.frames =
+        [
+          {
+            State.fn = main;
+            regs = State.IMap.empty;
+            cur_block = entry.Ir.bid;
+            prev_block = -1;
+            insts = entry.Ir.insts;
+            ret_dst = None;
+            frame_objs = [];
+          };
+        ];
+      mem = !mem;
+      path = [];
+      model = [];
+      out_rev = [];
+      steps = 0;
+    }
+  in
+  let njobs =
+    match config.searcher with
+    | `Parallel j ->
+        if j < 1 then invalid_arg "Engine.run: `Parallel needs >= 1 worker";
+        j
+    | `Dfs | `Bfs -> 1
+  in
+  let make_worker () =
+    let solver = Solver.create ~deadline () in
+    let gctx =
+      {
+        Executor.modul = m;
+        block_tbls = Hashtbl.create 16;
+        globals;
+        input_vars;
+        check_bounds = config.check_bounds;
+        solver;
+        insts_executed = 0;
+        forks = 0;
+        covered = Hashtbl.create 64;
+      }
+    in
+    Hashtbl.replace gctx.Executor.covered (main.Ir.fname, entry.Ir.bid) ();
+    {
+      gctx;
+      exits = [];
+      bug_tbl = Hashtbl.create 8;
+      dropped = false;
+      errored = false;
+    }
+  in
+  let workers = List.init njobs (fun _ -> make_worker ()) in
+  let (paths, complete) =
+    match config.searcher with
+    | `Dfs | `Bfs ->
+        run_sequential config (List.hd workers) init_state deadline input_vars
+    | `Parallel j ->
+        run_parallel config j workers init_state deadline input_vars
+  in
+  (* ---- deterministic merge: canonical order for everything a completed
+     exploration reports, so `Dfs, `Bfs and `Parallel n agree exactly ---- *)
+  let exit_codes =
+    List.sort compare (List.concat_map (fun w -> w.exits) workers)
+  in
+  let merged_bugs = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      Hashtbl.iter
+        (fun key witness ->
+          match Hashtbl.find_opt merged_bugs key with
+          | Some old when old <= witness -> ()
+          | _ -> Hashtbl.replace merged_bugs key witness)
+        w.bug_tbl)
+    workers;
+  let bugs =
+    Hashtbl.fold
+      (fun (kind, fname) input acc ->
+        { kind; input; at_function = fname } :: acc)
+      merged_bugs []
+    |> List.sort (fun a b ->
+           match compare a.kind b.kind with
+           | 0 -> (
+               match compare a.at_function b.at_function with
+               | 0 -> compare a.input b.input
+               | c -> c)
+           | c -> c)
+  in
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun w ->
+      Hashtbl.iter
+        (fun k () -> Hashtbl.replace covered k ())
+        w.gctx.Executor.covered)
+    workers;
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 workers in
+  let sumf f = List.fold_left (fun acc w -> acc +. f w) 0.0 workers in
+  let solver_stats w = Solver.stats w.gctx.Executor.solver in
   {
-    paths = !paths;
-    bugs = List.rev !bugs;
-    instructions = gctx.Executor.insts_executed;
-    forks = gctx.Executor.forks;
-    queries = Solver.stats.Solver.queries - q0;
-    cache_hits = Solver.stats.Solver.cache_hits - h0;
-    solver_time = Solver.stats.Solver.solver_time -. st0;
+    paths;
+    bugs;
+    instructions = sum (fun w -> w.gctx.Executor.insts_executed);
+    forks = sum (fun w -> w.gctx.Executor.forks);
+    queries = sum (fun w -> (solver_stats w).Solver.queries);
+    cache_hits = sum (fun w -> (solver_stats w).Solver.cache_hits);
+    solver_time = sumf (fun w -> (solver_stats w).Solver.solver_time);
     time = Unix.gettimeofday () -. t_start;
-    complete = !complete;
-    exit_codes = List.rev !exit_codes;
-    blocks_covered = Hashtbl.length gctx.Executor.covered;
+    complete;
+    exit_codes;
+    blocks_covered = Hashtbl.length covered;
     blocks_total =
       (let reach = Hashtbl.create 16 in
        let rec visit name =
@@ -259,4 +503,5 @@ let run ?(config = default_config) (m : Ir.modul) : result =
          (fun acc (f : Ir.func) ->
            if Hashtbl.mem reach f.Ir.fname then acc + Ir.num_blocks f else acc)
          0 m.Ir.funcs);
+    jobs = njobs;
   }

@@ -8,7 +8,11 @@ type config = {
   max_insts : int;       (** total dynamic instruction budget *)
   timeout : float;       (** wall-clock seconds (also bounds solver work) *)
   check_bounds : bool;   (** fork out-of-bounds bug paths *)
-  searcher : [ `Dfs | `Bfs ];
+  searcher : [ `Dfs | `Bfs | `Parallel of int ];
+      (** [`Parallel n] explores on [n] OCaml domains with a work-sharing
+          scheduler; each worker owns a private solver context and budgets
+          are enforced globally.  [`Parallel 1] is the work-sharing
+          scheduler on a single domain. *)
 }
 
 val default_config : config
@@ -21,7 +25,8 @@ type bug = {
 
 type result = {
   paths : int;           (** completed (exited) paths *)
-  bugs : bug list;       (** deduplicated by (kind, function) *)
+  bugs : bug list;
+      (** deduplicated by (kind, function), smallest witness kept, sorted *)
   instructions : int;    (** dynamic instructions over all paths *)
   forks : int;
   queries : int;         (** solver queries issued *)
@@ -30,10 +35,18 @@ type result = {
   time : float;          (** total verification wall time *)
   complete : bool;       (** false if any budget was exhausted *)
   exit_codes : (string * int64) list;
-      (** per completed path: a concrete witness input and its exit code *)
+      (** per completed path: a concrete witness input and its exit code,
+          sorted canonically *)
   blocks_covered : int;  (** basic blocks reached on some explored path *)
   blocks_total : int;    (** blocks of the functions reachable from main *)
+  jobs : int;            (** worker domains used (1 for [`Dfs]/[`Bfs]) *)
 }
 
 val run : ?config:config -> Overify_ir.Ir.modul -> result
-(** Symbolically execute [main].  Fresh solver state per run. *)
+(** Symbolically execute [main].  Fresh solver state per run.
+
+    Determinism contract: for a run with [complete = true], the values of
+    [paths], [bugs], [exit_codes] and [blocks_covered] do not depend on the
+    searcher or the number of workers — [`Dfs], [`Bfs] and [`Parallel n]
+    agree exactly.  (Counters such as [queries] and [cache_hits] do vary,
+    since each worker caches independently.) *)

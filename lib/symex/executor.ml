@@ -17,6 +17,7 @@ type gctx = {
   globals : (string * int) list;   (** global name -> memory object *)
   input_vars : int array;          (** symbolic variable id per input byte *)
   check_bounds : bool;             (** hunt for memory-safety bugs *)
+  solver : Solver.ctx;             (** this worker's private solver context *)
   mutable insts_executed : int;    (** dynamic total over all paths *)
   mutable forks : int;
   covered : (string * int, unit) Hashtbl.t;
@@ -50,14 +51,14 @@ let width_of_ty ty = Ir.bits_of_ty ty
 type feas = Feasible of (int * int64) list | Infeasible
 
 (** Is [path /\ c] satisfiable?  Fast path: the state's model. *)
-let feasible (st : State.t) (c : Bv.t) : feas =
+let feasible gctx (st : State.t) (c : Bv.t) : feas =
   match c.Bv.node with
   | Bv.Const 1L -> Feasible st.State.model
   | Bv.Const 0L -> Infeasible
   | _ ->
       if State.model_eval st c then Feasible st.State.model
       else begin
-        match Solver.check (c :: st.State.path) with
+        match Solver.check gctx.solver (c :: st.State.path) with
         | Solver.Sat m -> Feasible m
         | Solver.Unsat -> Infeasible
       end
@@ -215,7 +216,7 @@ let with_bounds gctx (st : State.t) ~what ~obj ~(off : Bv.t) ~width
                 let oob = Bv.not_ in_b in
                 let bugs =
                   if gctx.check_bounds then
-                    match feasible st oob with
+                    match feasible gctx st oob with
                     | Feasible m ->
                         [ T_bug
                             ( constrain st oob m,
@@ -224,7 +225,7 @@ let with_bounds gctx (st : State.t) ~what ~obj ~(off : Bv.t) ~width
                   else []
                 in
                 let conts =
-                  match feasible st in_b with
+                  match feasible gctx st in_b with
                   | Feasible m -> k (constrain st in_b m)
                   | Infeasible -> []
                 in
@@ -282,14 +283,14 @@ let rec step gctx (st : State.t) : transition list =
               | Bv.Const 1L -> [ T_bug (st, "division by zero") ]
               | _ ->
                   let bugs =
-                    match feasible st is_zero with
+                    match feasible gctx st is_zero with
                     | Feasible m ->
                         [ T_bug (constrain st is_zero m, "division by zero") ]
                     | Infeasible -> []
                   in
                   let nz = Bv.not_ is_zero in
                   let conts =
-                    match feasible st nz with
+                    match feasible gctx st nz with
                     | Feasible m ->
                         let st = constrain st nz m in
                         [ T_cont
@@ -332,14 +333,14 @@ let rec step gctx (st : State.t) : transition list =
               (* select over distinct objects: fork on the condition *)
               gctx.forks <- gctx.forks + 1;
               let tside =
-                match feasible st tc with
+                match feasible gctx st tc with
                 | Feasible m ->
                     [ T_cont (State.set_reg (constrain st tc m) d va) ]
                 | Infeasible -> []
               in
               let nc = Bv.not_ tc in
               let fside =
-                match feasible st nc with
+                match feasible gctx st nc with
                 | Feasible m ->
                     [ T_cont (State.set_reg (constrain st nc m) d vb) ]
                 | Infeasible -> []
@@ -386,7 +387,7 @@ let rec step gctx (st : State.t) : transition list =
                             gctx.forks <- gctx.forks + 1;
                           List.concat_map
                             (fun (guard, raw) ->
-                              match feasible st guard with
+                              match feasible gctx st guard with
                               | Feasible m ->
                                   [ T_cont
                                       (State.set_reg (constrain st guard m) d
@@ -439,7 +440,7 @@ let rec step gctx (st : State.t) : transition list =
           | Bv.Const 0L -> [ T_cont (enter_block gctx st e) ]
           | _ ->
               let nc = Bv.not_ tc in
-              let tf = feasible st tc and ff_ = feasible st nc in
+              let tf = feasible gctx st tc and ff_ = feasible gctx st nc in
               (match (tf, ff_) with
               | (Feasible mt, Feasible mf) ->
                   gctx.forks <- gctx.forks + 1;
@@ -499,13 +500,13 @@ and exec_call gctx (st : State.t) dst name (args : Sval.t list) :
       | Bv.Const 0L -> [ T_cont st ]
       | _ ->
           let bugs =
-            match feasible st fail with
+            match feasible gctx st fail with
             | Feasible m -> [ T_bug (constrain st fail m, "assertion failure") ]
             | Infeasible -> []
           in
           let ok = Bv.not_ fail in
           let conts =
-            match feasible st ok with
+            match feasible gctx st ok with
             | Feasible m -> [ T_cont (constrain st ok m) ]
             | Infeasible -> []
           in

@@ -296,6 +296,56 @@ let fuzz_symex_soundness =
           else true)
         r.Overify_symex.Engine.exit_codes)
 
+(* symex differential mode: a generated (trap-free) program is explored
+   sequentially and in parallel; for complete runs the two must agree
+   exactly, and every witness from either exploration must replay through
+   the concrete interpreter with the predicted exit code — symbolic
+   execution checked against the interpreter as an oracle *)
+let fuzz_symex_differential =
+  QCheck2.Test.make ~name:"random programs: dfs = parallel, witnesses replay"
+    ~count:10
+    QCheck2.Gen.(int_range 100_001 200_000)
+    (fun seed ->
+      let src = gen_program seed in
+      let m0 = Frontend.compile_source src in
+      let m = (Pipeline.optimize Costmodel.overify m0).Pipeline.modul in
+      let explore searcher =
+        Overify_symex.Engine.run
+          ~config:
+            { Overify_symex.Engine.default_config with
+              input_size = 2; timeout = 10.0; max_paths = 300; searcher }
+          m
+      in
+      let seq = explore `Dfs in
+      let par = explore (`Parallel 2) in
+      let open Overify_symex.Engine in
+      if seq.complete && par.complete then begin
+        if seq.paths <> par.paths then
+          QCheck2.Test.fail_reportf
+            "seed %d: dfs found %d paths, parallel %d\n%s" seed seq.paths
+            par.paths src;
+        if seq.exit_codes <> par.exit_codes then
+          QCheck2.Test.fail_reportf
+            "seed %d: dfs and parallel disagree on exit codes\n%s" seed src;
+        if seq.bugs <> par.bugs then
+          QCheck2.Test.fail_reportf
+            "seed %d: dfs and parallel disagree on bugs\n%s" seed src;
+        if seq.blocks_covered <> par.blocks_covered then
+          QCheck2.Test.fail_reportf
+            "seed %d: dfs covered %d blocks, parallel %d\n%s" seed
+            seq.blocks_covered par.blocks_covered src
+      end;
+      List.for_all
+        (fun (input, code) ->
+          let rr = Interp.run ~fuel:2_000_000 m ~input in
+          if rr.Interp.trap = None && rr.Interp.exit_code <> code then
+            QCheck2.Test.fail_reportf
+              "seed %d: parallel witness %S predicted exit %Ld, concrete \
+               run gave %Ld\n%s"
+              seed input code rr.Interp.exit_code src
+          else true)
+        (seq.exit_codes @ par.exit_codes))
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -303,4 +353,6 @@ let () =
         [ QCheck_alcotest.to_alcotest fuzz_differential ] );
       ( "symex soundness",
         [ QCheck_alcotest.to_alcotest fuzz_symex_soundness ] );
+      ( "symex differential",
+        [ QCheck_alcotest.to_alcotest fuzz_symex_differential ] );
     ]

@@ -206,8 +206,7 @@ let prop_solver_vs_bruteforce =
            done
          done
        with Exit -> ());
-      Solver.clear_cache ();
-      match Solver.check [ t; t2 ] with
+      match Solver.check (Solver.create ()) [ t; t2 ] with
       | Solver.Sat model ->
           if not !bf then
             QCheck2.Test.fail_reportf "solver SAT, brute force UNSAT: %s"
@@ -232,8 +231,7 @@ let prop_model_sound_32 =
           (Bv.const 32 (Int64.mul c1 1234567L))
       in
       let t2 = Bv.cmp Bv.Ugt y (Bv.const 32 c2) in
-      Solver.clear_cache ();
-      match Solver.check [ t; t2 ] with
+      match Solver.check (Solver.create ()) [ t; t2 ] with
       | Solver.Sat model ->
           let lookup id = Solver.model_value model id in
           Bv.eval lookup t = 1L && Bv.eval lookup t2 = 1L
@@ -259,8 +257,7 @@ let prop_blast_matches_eval =
         [ Bv.cmp Bv.Eq x (Bv.const w xv); Bv.cmp Bv.Eq y (Bv.const w yv);
           Bv.cmp Bv.Eq expr (Bv.const w expected) ]
       in
-      Solver.clear_cache ();
-      match Solver.check pin with
+      match Solver.check (Solver.create ()) pin with
       | Solver.Sat _ -> true
       | Solver.Unsat ->
           QCheck2.Test.fail_reportf
@@ -268,27 +265,80 @@ let prop_blast_matches_eval =
              expected %Ld"
             oi w xv yv expected)
 
-(* ------------- solver interface ------------- *)
+(* ------------- solver interface (explicit contexts) ------------- *)
 
 let test_trivial_queries_no_sat () =
-  Solver.clear_cache ();
-  let q0 = Solver.stats.Solver.queries in
-  (match Solver.check [ Bv.tt ] with
+  let ctx = Solver.create () in
+  (match Solver.check ctx [ Bv.tt ] with
   | Solver.Sat _ -> ()
   | Solver.Unsat -> Alcotest.fail "true is sat");
-  (match Solver.check [ Bv.ff ] with
+  (match Solver.check ctx [ Bv.ff ] with
   | Solver.Unsat -> ()
   | Solver.Sat _ -> Alcotest.fail "false is unsat");
-  check int "2 queries counted" (q0 + 2) Solver.stats.Solver.queries
+  check int "2 queries counted" 2 (Solver.stats ctx).Solver.queries;
+  check int "1 sat answer" 1 (Solver.stats ctx).Solver.sat_answers;
+  check int "1 unsat answer" 1 (Solver.stats ctx).Solver.unsat_answers
 
 let test_cache_hits () =
-  Solver.clear_cache ();
+  let ctx = Solver.create () in
   let x = Bv.var 8 77 in
   let q = [ Bv.cmp Bv.Ugt x (Bv.const 8 100L) ] in
-  let h0 = Solver.stats.Solver.cache_hits in
-  ignore (Solver.check q);
-  ignore (Solver.check q);
-  check int "second hit cached" (h0 + 1) Solver.stats.Solver.cache_hits
+  ignore (Solver.check ctx q);
+  ignore (Solver.check ctx q);
+  check int "second hit cached" 1 (Solver.stats ctx).Solver.cache_hits
+
+(* two contexts share nothing: a query cached in one is a miss in the
+   other, and counters advance independently *)
+let test_ctx_isolation () =
+  let c1 = Solver.create () and c2 = Solver.create () in
+  let x = Bv.var 8 78 in
+  let q = [ Bv.cmp Bv.Ult x (Bv.const 8 10L) ] in
+  ignore (Solver.check c1 q);
+  ignore (Solver.check c1 q);
+  check int "c1 hit" 1 (Solver.stats c1).Solver.cache_hits;
+  check int "c2 untouched" 0 (Solver.stats c2).Solver.queries;
+  ignore (Solver.check c2 q);
+  check int "c2 miss despite c1's cache" 0 (Solver.stats c2).Solver.cache_hits;
+  check int "c1 unaffected by c2" 2 (Solver.stats c1).Solver.queries
+
+let test_ctx_clear_cache () =
+  let c1 = Solver.create () and c2 = Solver.create () in
+  let x = Bv.var 8 79 in
+  let q = [ Bv.cmp Bv.Eq x (Bv.const 8 42L) ] in
+  ignore (Solver.check c1 q);
+  ignore (Solver.check c2 q);
+  Solver.clear_cache c1;
+  ignore (Solver.check c1 q);
+  check int "c1 re-solved after clear" 0 (Solver.stats c1).Solver.cache_hits;
+  ignore (Solver.check c2 q);
+  check int "c2 cache survived c1's clear" 1
+    (Solver.stats c2).Solver.cache_hits;
+  Solver.reset_stats c1;
+  check int "reset_stats zeroes" 0 (Solver.stats c1).Solver.queries
+
+(* each of two domains hammers its own context (on distinct variables, with
+   terms built inside the domain to also exercise the hash-cons lock);
+   counters must come out exact, proving no cross-context interference *)
+let test_ctx_concurrent_domains () =
+  let n = 40 in
+  let work var_base () =
+    let ctx = Solver.create () in
+    for i = 0 to n - 1 do
+      let x = Bv.var 8 (var_base + i) in
+      let q = [ Bv.cmp Bv.Ugt x (Bv.const 8 (Int64.of_int (i mod 200))) ] in
+      ignore (Solver.check ctx q);
+      ignore (Solver.check ctx q)
+    done;
+    Solver.stats ctx
+  in
+  let d = Domain.spawn (work 2_000) in
+  let s1 = work 3_000 () in
+  let s2 = Domain.join d in
+  check int "domain1 queries" (2 * n) s1.Solver.queries;
+  check int "domain2 queries" (2 * n) s2.Solver.queries;
+  check int "domain1 hits" n s1.Solver.cache_hits;
+  check int "domain2 hits" n s2.Solver.cache_hits;
+  check int "summed queries" (4 * n) (s1.Solver.queries + s2.Solver.queries)
 
 let () =
   Alcotest.run "solver"
@@ -325,5 +375,10 @@ let () =
         [
           Alcotest.test_case "trivial queries" `Quick test_trivial_queries_no_sat;
           Alcotest.test_case "cache" `Quick test_cache_hits;
+          Alcotest.test_case "context isolation" `Quick test_ctx_isolation;
+          Alcotest.test_case "per-context clear_cache" `Quick
+            test_ctx_clear_cache;
+          Alcotest.test_case "concurrent contexts on 2 domains" `Quick
+            test_ctx_concurrent_domains;
         ] );
     ]
