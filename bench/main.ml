@@ -8,6 +8,7 @@
       dune exec bench/main.exe -- figure4 [-n N] [-t SECONDS]
       dune exec bench/main.exe -- precision    # the 2.1 precision experiment
       dune exec bench/main.exe -- parallel [-n N] [-t SECONDS] [-j JOBS]
+      dune exec bench/main.exe -- validate [-n N] [-t SECONDS]
       dune exec bench/main.exe -- bechamel     # micro-benchmarks
 
     Absolute numbers will differ from the paper (our substrate is a
@@ -148,6 +149,23 @@ let run_parallel args =
         (String.concat ",\n" (List.map json_row measurements)));
   Printf.printf "wrote %s\n" path
 
+(* ---- translation-validated corpus sweep: every pass application on every
+   corpus program at every level is checked with the symbolic engine; the
+   expected result is zero counterexamples (exit 1 otherwise) ---- *)
+
+let run_validate args =
+  let (n, t) = parse_flags args in
+  let b = Overify_tv.Tv.default_budget in
+  let budget =
+    {
+      b with
+      Overify_tv.Tv.input_size = Option.value n ~default:b.Overify_tv.Tv.input_size;
+      timeout = Option.value t ~default:b.Overify_tv.Tv.timeout;
+    }
+  in
+  let cex = H.Validation.run ~budget () in
+  if cex > 0 then exit 1
+
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure driver,
    at miniature settings so each iteration is sub-second ---- *)
 
@@ -216,6 +234,7 @@ let () =
   | _ :: "figure4" :: rest -> run_figure4 rest
   | _ :: "precision" :: rest -> run_precision rest
   | _ :: "parallel" :: rest -> run_parallel rest
+  | _ :: "validate" :: rest -> run_validate rest
   | _ :: "bechamel" :: _ -> bechamel ()
   | _ ->
       (* default: regenerate everything at quick settings *)

@@ -54,21 +54,54 @@ let compile_to_module level no_libc path =
 (* ---- compile subcommand ---- *)
 
 let compile_cmd =
-  let run level no_libc path stats =
-    let (m, s) =
-      O.compile_with_stats ~level ~link_libc:(not no_libc) (read_source path)
-    in
-    print_string (O.Printer.modul_to_string m);
-    if stats then
-      Format.printf "@.; transformations: %a@." Overify_opt.Stats.pp s;
-    0
+  let run level no_libc path stats validate =
+    if validate then begin
+      let (r, report) =
+        O.compile_validated ~level ~link_libc:(not no_libc) (read_source path)
+      in
+      print_string (O.Printer.modul_to_string r.O.Pipeline.modul);
+      if stats then
+        Format.printf "@.; transformations: %a@." Overify_opt.Stats.pp
+          r.O.Pipeline.stats;
+      let cex = O.Tv.counterexamples report in
+      Printf.eprintf
+        "; translation validation: %d pass applications, %d counterexamples, \
+         %d inconclusive\n"
+        (List.length report.O.Tv.records)
+        (List.length cex)
+        (List.length (O.Tv.inconclusives report));
+      (match O.Tv.first_offender report with
+      | Some o ->
+          Printf.eprintf "; FIRST OFFENDING PASS: %s (in %s): %s\n" o.O.Tv.pass
+            o.O.Tv.fn
+            (O.Tv.string_of_verdict o.O.Tv.outcome.O.Tv.verdict)
+      | None -> ());
+      if cex = [] then 0 else 1
+    end
+    else begin
+      let (m, s) =
+        O.compile_with_stats ~level ~link_libc:(not no_libc) (read_source path)
+      in
+      print_string (O.Printer.modul_to_string m);
+      if stats then
+        Format.printf "@.; transformations: %a@." Overify_opt.Stats.pp s;
+      0
+    end
   in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print transformation counters.")
   in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Translation-validate every optimization pass application while \
+             compiling (see the tv subcommand); exit 1 on a counterexample.")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile MiniC and print the IR.")
-    Term.(const run $ level $ no_libc $ source_file $ stats)
+    Term.(const run $ level $ no_libc $ source_file $ stats $ validate)
 
 (* ---- run subcommand ---- *)
 
@@ -191,6 +224,80 @@ let analyze_cmd =
           verification tool') and report what it can prove.")
     Term.(const run $ level $ no_libc $ source_file)
 
+(* ---- tv subcommand ---- *)
+
+let tv_cmd =
+  let size =
+    Arg.(
+      value & opt int 3
+      & info [ "size"; "n" ] ~docv:"N"
+          ~doc:"Symbolic input bytes per pass-application check.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 3.0
+      & info [ "timeout"; "t" ] ~docv:"SECONDS"
+          ~doc:"Symbolic budget per pass-application check.")
+  in
+  let all_levels =
+    Arg.(
+      value & flag
+      & info [ "all-levels" ]
+          ~doc:"Validate at every level (O0, O2, O3, OVERIFY), not just -O.")
+  in
+  let json =
+    Arg.(
+      value & opt string ""
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable per-pass report to $(docv).")
+  in
+  let run level no_libc path size timeout all_levels json =
+    let src = read_source path in
+    let budget =
+      { O.Tv.default_budget with O.Tv.input_size = size; timeout }
+    in
+    let levels = if all_levels then O.Costmodel.all else [ level ] in
+    let reports =
+      List.map
+        (fun (cm : O.Costmodel.t) ->
+          let (_, report) =
+            O.compile_validated ~level:cm ~link_libc:(not no_libc) ~budget src
+          in
+          Printf.printf "== %s: %d pass applications validated in %.1fs ==\n"
+            cm.O.Costmodel.name
+            (List.length report.O.Tv.records)
+            report.O.Tv.time;
+          List.iter
+            (fun (r : O.Tv.record) ->
+              Printf.printf "  %-16s %-16s %s\n" r.O.Tv.pass r.O.Tv.fn
+                (O.Tv.string_of_verdict r.O.Tv.outcome.O.Tv.verdict))
+            report.O.Tv.records;
+          (match O.Tv.first_offender report with
+          | Some o ->
+              Printf.printf "  FIRST OFFENDING PASS: %s (in %s)\n" o.O.Tv.pass
+                o.O.Tv.fn
+          | None -> ());
+          report)
+        levels
+    in
+    if json <> "" then
+      Out_channel.with_open_text json (fun oc ->
+          Printf.fprintf oc "[\n%s\n]\n"
+            (String.concat ",\n" (List.map O.Tv.report_to_json reports)));
+    if List.for_all (fun r -> O.Tv.counterexamples r = []) reports then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "tv"
+       ~doc:
+         "Translation-validate the optimizer on a program: prove every pass \
+          application observably equivalent with the symbolic engine \
+          (product-program construction), or report a counterexample naming \
+          the offending pass.")
+    Term.(
+      const run $ level $ no_libc $ source_file $ size $ timeout $ all_levels
+      $ json)
+
 (* ---- corpus subcommand ---- *)
 
 let corpus_cmd =
@@ -211,6 +318,6 @@ let main_cmd =
        ~doc:
          "Compiler + symbolic-execution toolchain reproducing '-OVERIFY: \
           Optimizing Programs for Fast Verification' (HotOS 2013).")
-    [ compile_cmd; run_cmd; verify_cmd; analyze_cmd; corpus_cmd ]
+    [ compile_cmd; run_cmd; verify_cmd; analyze_cmd; tv_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

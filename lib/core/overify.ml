@@ -17,6 +17,8 @@ module Opt_stats = Overify_opt.Stats
 module Engine = Overify_symex.Engine
 module Interp = Overify_interp.Interp
 module Vclib = Overify_vclib.Vclib
+module Tv = Overify_tv.Tv
+module Tv_product = Overify_tv.Product
 module Programs = Overify_corpus.Programs
 module Workload = Overify_corpus.Workload
 module Interval = Overify_absint.Interval
@@ -42,6 +44,20 @@ let compile_with_stats ?(level = Costmodel.overify) ?(link_libc = true) src =
   let m = Frontend.compile_sources sources in
   let r = Pipeline.optimize level m in
   (r.Pipeline.modul, r.Pipeline.stats)
+
+(** Compile like {!compile}, but translation-validate every optimization
+    pass application along the way: each (before, after) module pair the
+    pipeline reports is checked for observable equivalence with the
+    symbolic engine (see [lib/tv]).  Returns the compiled result together
+    with the per-pass validation report; a [Tv.Counterexample] record names
+    the offending pass. *)
+let compile_validated ?(level = Costmodel.overify) ?(link_libc = true) ?budget
+    (src : string) : Pipeline.result * Tv.report =
+  let sources =
+    if link_libc then [ Vclib.for_cost_model level; src ] else [ src ]
+  in
+  let m = Frontend.compile_sources sources in
+  Tv.validate ?budget level m
 
 (** Symbolically execute a module's [main] over [input_size] symbolic
     bytes.  [jobs > 1] runs the parallel multi-domain searcher; results are

@@ -7,7 +7,15 @@
     3. scalar fixpoint: folding, GVN, CFG simplification, jump threading,
        if-conversion, DCE;
     4. CPU-oriented scheduling ([-O2]/[-O3] only) or annotations and the
-       optional runtime checks ([-OVERIFY]). *)
+       optional runtime checks ([-OVERIFY]).
+
+    The pipeline is organized as a stream of {e pass applications}: every
+    time a pass changes a function (or, for [inline], the module), an
+    observer can receive the module just before and just after that one
+    application.  The translation-validation subsystem ([lib/tv]) consumes
+    this stream to prove each application sound — the chain of observed
+    (before, after) pairs composes to the whole compilation, so the first
+    failing pair names the offending pass. *)
 
 module Ir = Overify_ir.Ir
 module Verify = Overify_ir.Verify
@@ -18,8 +26,24 @@ type result = {
   level : Costmodel.t;
 }
 
-(** When true (tests), every pass is followed by an IR verification. *)
-let paranoid = ref false
+type observer =
+  pass:string -> fn:string -> before:Ir.modul -> after:Ir.modul -> unit
+
+(** When true, every pass is followed by an IR verification.  Defaults to
+    the [OVERIFY_PARANOID] environment variable, which the test profile sets
+    (test/dune) — test_opt asserts it is on, so silently losing the paranoid
+    re-verification from [dune runtest] fails the suite. *)
+let paranoid =
+  ref
+    (match Sys.getenv_opt "OVERIFY_PARANOID" with
+    | Some ("1" | "true") -> true
+    | _ -> false)
+
+(** Test-only fault injection: [Some (pass, corrupt)] applies [corrupt] to
+    the result of every application of [pass].  Used to check that
+    translation validation detects a miscompilation and that pass bisection
+    names exactly the corrupted pass.  Never set outside tests. *)
+let sabotage : (string * (Ir.func -> Ir.func)) option ref = ref None
 
 let check_fn what fn =
   if !paranoid then
@@ -35,100 +59,141 @@ let check_fn what fn =
 let trace_passes =
   match Sys.getenv_opt "OVERIFY_PASS_TIMES" with Some _ -> true | None -> false
 
-let apply_fn what (f : Ir.func -> Ir.func * bool) (fn : Ir.func) : Ir.func * bool
-    =
+(** Everything one compilation threads through the pass applications.  [cur]
+    tracks the whole module between applications, but only when an observer
+    is attached — the plain compile path pays nothing for the stream. *)
+type ctx = {
+  cm : Costmodel.t;
+  stats : Stats.t;
+  observe : observer option;
+  mutable cur : Ir.modul;
+}
+
+let emit ctx ~pass ~fn ~before ~after =
+  match ctx.observe with
+  | Some f -> f ~pass ~fn ~before ~after
+  | None -> ()
+
+(** Apply one function pass, feeding the observer on change. *)
+let apply_fn ctx what (f : Ir.func -> Ir.func * bool) (fn : Ir.func) :
+    Ir.func * bool =
   let t0 = if trace_passes then Unix.gettimeofday () else 0.0 in
   let (fn', changed) = f fn in
+  let (fn', changed) =
+    match !sabotage with
+    | Some (p, corrupt) when p = what ->
+        let fn'' = corrupt fn' in
+        (fn'', changed || fn'' <> fn')
+    | _ -> (fn', changed)
+  in
   if trace_passes then begin
     let dt = Unix.gettimeofday () -. t0 in
     if dt > 0.05 then
-      Printf.eprintf "[pass] %-16s %-20s %6.2fs size=%d
-%!" what fn.Ir.fname dt
-        (Ir.func_size fn')
+      Printf.eprintf "[pass] %-16s %-20s %6.2fs size=%d\n%!" what fn.Ir.fname
+        dt (Ir.func_size fn')
   end;
-  if changed then check_fn what fn';
+  if changed then begin
+    check_fn what fn';
+    if ctx.observe <> None then begin
+      let before = ctx.cur in
+      ctx.cur <- Ir.update_func ctx.cur fn';
+      emit ctx ~pass:what ~fn:fn.Ir.fname ~before ~after:ctx.cur
+    end
+  end;
   (fn', changed)
 
 (** Apply a pass unless the cost model's ablation list disables it. *)
-let apply_fn_cm (cm : Costmodel.t) what f fn =
-  if List.mem what cm.Costmodel.disabled_passes then (fn, false)
-  else apply_fn what f fn
+let apply_fn_cm ctx what f fn =
+  if List.mem what ctx.cm.Costmodel.disabled_passes then (fn, false)
+  else apply_fn ctx what f fn
 
 (** The scalar-optimization fixpoint on one SSA function. *)
-let scalar_fixpoint (cm : Costmodel.t) (stats : Stats.t) (fn : Ir.func) :
-    Ir.func =
+let scalar_fixpoint ctx (fn : Ir.func) : Ir.func =
+  let cm = ctx.cm and stats = ctx.stats in
   let rec go fn round =
     if round = 0 then fn
     else begin
-      let (fn, c1) = apply_fn_cm cm "constfold" (Constfold.run stats) fn in
-      let (fn, c2) = apply_fn_cm cm "gvn" Gvn.run fn in
-      let (fn, c2b) = apply_fn_cm cm "loadelim" Loadelim.run fn in
+      let (fn, c1) = apply_fn_cm ctx "constfold" (Constfold.run stats) fn in
+      let (fn, c2) = apply_fn_cm ctx "gvn" Gvn.run fn in
+      let (fn, c2b) = apply_fn_cm ctx "loadelim" Loadelim.run fn in
       let c2 = c2 || c2b in
-      let (fn, c3) = apply_fn_cm cm "simplify_cfg" Simplify_cfg.run fn in
+      let (fn, c3) = apply_fn_cm ctx "simplify_cfg" Simplify_cfg.run fn in
       let (fn, c4) =
         if cm.Costmodel.jump_threading then
-          apply_fn_cm cm "jump_threading" (Jump_threading.run stats) fn
+          apply_fn_cm ctx "jump_threading" (Jump_threading.run stats) fn
         else (fn, false)
       in
-      let (fn, c5) = apply_fn_cm cm "if_convert" (If_convert.run cm stats) fn in
+      let (fn, c5) = apply_fn_cm ctx "if_convert" (If_convert.run cm stats) fn in
       let (fn, c6) =
-        if cm.Costmodel.licm then apply_fn_cm cm "licm" (Licm.run stats) fn
+        if cm.Costmodel.licm then apply_fn_cm ctx "licm" (Licm.run stats) fn
         else (fn, false)
       in
       let (fn, c6b) =
-        let (fn, ch) = apply_fn_cm cm "loop_delete" Loop_delete.run fn in
+        let (fn, ch) = apply_fn_cm ctx "loop_delete" Loop_delete.run fn in
         if ch then stats.Stats.loops_deleted <- stats.Stats.loops_deleted + 1;
         (fn, ch)
       in
       let c6 = c6 || c6b in
-      let (fn, c7) = apply_fn_cm cm "dce" Dce.run fn in
+      let (fn, c7) = apply_fn_cm ctx "dce" Dce.run fn in
       if c1 || c2 || c3 || c4 || c5 || c6 || c7 then go fn (round - 1) else fn
     end
   in
   go fn 6
 
-let optimize_function (cm : Costmodel.t) (stats : Stats.t) (fn : Ir.func) :
-    Ir.func =
+let optimize_function ctx (fn : Ir.func) : Ir.func =
+  let cm = ctx.cm and stats = ctx.stats in
   if not cm.Costmodel.scalar_opts then fn
   else begin
     (* memory-form loop transforms *)
-    let (fn, _) = apply_fn_cm cm "unswitch" (Loop_unswitch.run cm stats) fn in
-    let (fn, _) = apply_fn_cm cm "unroll" (Loop_unroll.run cm stats) fn in
+    let (fn, _) = apply_fn_cm ctx "unswitch" (Loop_unswitch.run cm stats) fn in
+    let (fn, _) = apply_fn_cm ctx "unroll" (Loop_unroll.run cm stats) fn in
     (* SSA construction and scalar work *)
-    let (fn, _) = apply_fn_cm cm "sroa" (Sroa.run stats) fn in
-    let (fn, _) = apply_fn_cm cm "mem2reg" (Mem2reg.run stats) fn in
-    let fn = scalar_fixpoint cm stats fn in
+    let (fn, _) = apply_fn_cm ctx "sroa" (Sroa.run stats) fn in
+    let (fn, _) = apply_fn_cm ctx "mem2reg" (Mem2reg.run stats) fn in
+    let fn = scalar_fixpoint ctx fn in
     let fn =
-      if cm.Costmodel.cpu_opts then fst (apply_fn_cm cm "schedule" Schedule.run fn)
+      if cm.Costmodel.cpu_opts then
+        fst (apply_fn_cm ctx "schedule" Schedule.run fn)
       else fn
     in
     let fn =
       if cm.Costmodel.annotations then
-        fst (apply_fn "annotate" (Annotate.run cm stats) fn)
+        fst (apply_fn ctx "annotate" (Annotate.run cm stats) fn)
       else fn
     in
     fn
   end
 
-(** Compile a memory-form module at the given optimization level. *)
-let optimize (cm : Costmodel.t) (m : Ir.modul) : result =
+(** Compile a memory-form module at the given optimization level.  With
+    [observe], every pass application that changes code is reported as a
+    (before, after) module pair, in application order. *)
+let optimize ?observe (cm : Costmodel.t) (m : Ir.modul) : result =
   let stats = Stats.create () in
+  let ctx = { cm; stats; observe; cur = m } in
   let m =
     if cm.Costmodel.runtime_checks then
       {
         m with
         Ir.funcs =
-          List.map (fun f -> fst (Runtime_checks.run stats f)) m.Ir.funcs;
+          List.map
+            (fun f -> fst (apply_fn ctx "runtime_checks" (Runtime_checks.run stats) f))
+            m.Ir.funcs;
       }
     else m
   in
   let m =
     if cm.Costmodel.inline_threshold > 0
        && not (List.mem "inline" cm.Costmodel.disabled_passes)
-    then Inline.run cm stats m
+    then begin
+      let before = ctx.cur in
+      let m' = Inline.run cm stats m in
+      if ctx.observe <> None && m' <> m then begin
+        ctx.cur <- m';
+        emit ctx ~pass:"inline" ~fn:"*" ~before ~after:m'
+      end;
+      m'
+    end
     else m
   in
-  let m =
-    { m with Ir.funcs = List.map (optimize_function cm stats) m.Ir.funcs }
-  in
+  let m = { m with Ir.funcs = List.map (optimize_function ctx) m.Ir.funcs } in
   { modul = m; stats; level = cm }

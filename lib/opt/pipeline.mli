@@ -11,8 +11,29 @@ type result = {
   level : Costmodel.t;
 }
 
-val paranoid : bool ref
-(** When true (tests), every pass is followed by an IR verification. *)
+type observer =
+  pass:string ->
+  fn:string ->
+  before:Overify_ir.Ir.modul ->
+  after:Overify_ir.Ir.modul ->
+  unit
+(** Called once per pass application that changed code, with the whole
+    module just before and just after that one application.  [fn] is the
+    function the pass ran on, or ["*"] for module-level passes (inlining).
+    Applications are reported in order, so consecutive [after]/[before]
+    modules coincide and the chain composes to the whole compilation. *)
 
-val optimize : Costmodel.t -> Overify_ir.Ir.modul -> result
-(** Compile a memory-form module at the given optimization level. *)
+val paranoid : bool ref
+(** When true, every pass is followed by an IR verification.  Initialized
+    from the [OVERIFY_PARANOID] environment variable (set by the test
+    profile in [test/dune]). *)
+
+val sabotage : (string * (Overify_ir.Ir.func -> Overify_ir.Ir.func)) option ref
+(** Test-only fault injection: [Some (pass, corrupt)] corrupts the output
+    of every application of [pass].  Used to prove that translation
+    validation catches miscompilations.  Never set outside tests. *)
+
+val optimize : ?observe:observer -> Costmodel.t -> Overify_ir.Ir.modul -> result
+(** Compile a memory-form module at the given optimization level.
+    [observe] taps the stream of pass applications; without it the
+    compilation path is unchanged. *)

@@ -1,0 +1,171 @@
+(** Product-program construction: see product.mli and DESIGN.md. *)
+
+module Ir = Overify_ir.Ir
+module Builder = Overify_ir.Builder
+
+let out_cap = 512
+let a_prefix = "__tvA_"
+let b_prefix = "__tvB_"
+let len_a = "__tv_lenA"
+let len_b = "__tv_lenB"
+let out_a = "__tv_outA"
+let out_b = "__tv_outB"
+let emit_a = "__tv_emitA"
+let emit_b = "__tv_emitB"
+
+(** Rename one version into its own namespace: every defined function and
+    every global gets [prefix]; calls to [__output] are redirected to the
+    side's capture function [emit].  Intrinsics other than [__output] are
+    shared — in particular [__input], whose indexed reads make the symbolic
+    input common to both sides by construction. *)
+let rename_side ~(prefix : string) ~(emit : string) (m : Ir.modul) :
+    Ir.global list * Ir.func list =
+  let fnames = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace fnames f.Ir.fname ()) m.Ir.funcs;
+  let ren_call name =
+    if name = "__output" then emit
+    else if Hashtbl.mem fnames name then prefix ^ name
+    else name
+  in
+  let mv = function Ir.Glob g -> Ir.Glob (prefix ^ g) | v -> v in
+  let map_inst = function
+    | Ir.Bin (d, op, ty, a, b) -> Ir.Bin (d, op, ty, mv a, mv b)
+    | Ir.Cmp (d, c, ty, a, b) -> Ir.Cmp (d, c, ty, mv a, mv b)
+    | Ir.Select (d, ty, c, a, b) -> Ir.Select (d, ty, mv c, mv a, mv b)
+    | Ir.Cast (d, op, t1, v, t2) -> Ir.Cast (d, op, t1, mv v, t2)
+    | Ir.Alloca _ as i -> i
+    | Ir.Load (d, ty, p) -> Ir.Load (d, ty, mv p)
+    | Ir.Store (ty, v, p) -> Ir.Store (ty, mv v, mv p)
+    | Ir.Gep (d, base, s, i) -> Ir.Gep (d, mv base, s, mv i)
+    | Ir.Call (d, ty, name, args) ->
+        Ir.Call (d, ty, ren_call name, List.map mv args)
+    | Ir.Phi (d, ty, incs) ->
+        Ir.Phi (d, ty, List.map (fun (l, v) -> (l, mv v)) incs)
+  in
+  let map_term = function
+    | Ir.Cbr (c, a, b) -> Ir.Cbr (mv c, a, b)
+    | Ir.Ret (Some v) -> Ir.Ret (Some (mv v))
+    | t -> t
+  in
+  let globals =
+    List.map
+      (fun (g : Ir.global) -> { g with Ir.gname = prefix ^ g.Ir.gname })
+      m.Ir.globals
+  in
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        {
+          f with
+          Ir.fname = prefix ^ f.Ir.fname;
+          Ir.blocks =
+            List.map
+              (fun (bl : Ir.block) ->
+                {
+                  bl with
+                  Ir.insts = List.map map_inst bl.Ir.insts;
+                  Ir.term = map_term bl.Ir.term;
+                })
+              f.Ir.blocks;
+        })
+      m.Ir.funcs
+  in
+  (globals, funcs)
+
+let i32 v = Ir.imm Ir.I32 (Int64.of_int v)
+
+(** [emit(c)]: append the low byte of [c] to the side's capture buffer.
+    The store is guarded by [len < out_cap] so the product itself never
+    faults; the length counter keeps counting past the cap so a pure
+    length difference beyond the cap is still caught. *)
+let build_emit ~(name : string) ~(len_glob : string) ~(out_glob : string) :
+    Ir.func =
+  let b = Builder.create ~name ~params:[ Ir.I32 ] ~ret:Ir.Void in
+  let c =
+    match Builder.param_regs b with [ r ] -> Ir.Reg r | _ -> assert false
+  in
+  let store_blk = Builder.new_block b in
+  let bump = Builder.new_block b in
+  let len = Builder.load b Ir.I32 (Ir.Glob len_glob) in
+  let inb = Builder.cmp b Ir.Ult Ir.I32 len (i32 out_cap) in
+  Builder.term b (Ir.Cbr (inb, store_blk, bump));
+  Builder.switch_to b store_blk;
+  let p = Builder.gep b (Ir.Glob out_glob) 1 len in
+  let c8 = Builder.cast b Ir.Trunc Ir.I8 c Ir.I32 in
+  Builder.store b Ir.I8 c8 p;
+  Builder.term b (Ir.Br bump);
+  Builder.switch_to b bump;
+  let len' = Builder.bin b Ir.Add Ir.I32 len (i32 1) in
+  Builder.store b Ir.I32 len' (Ir.Glob len_glob);
+  Builder.term b (Ir.Ret None);
+  Builder.finish b
+
+(** The product [main]: run A, run B, assert equal results and equal
+    captured traces, return A's exit code. *)
+let build_main ~(main_ret : Ir.ty) : Ir.func =
+  let b = Builder.create ~name:"main" ~params:[] ~ret:Ir.I32 in
+  let assert_i1 v =
+    let v32 = Builder.cast b Ir.Zext Ir.I32 v Ir.I1 in
+    ignore (Builder.call b Ir.Void "__assert" [ v32 ])
+  in
+  let ip = Builder.entry_alloca b Ir.I32 1 in
+  let ra = Builder.call b main_ret (a_prefix ^ "main") [] in
+  let rb = Builder.call b main_ret (b_prefix ^ "main") [] in
+  (match (ra, rb) with
+  | (Some va, Some vb) when Ir.is_int_ty main_ret ->
+      assert_i1 (Builder.cmp b Ir.Eq main_ret va vb)
+  | _ -> ());
+  let la = Builder.load b Ir.I32 (Ir.Glob len_a) in
+  let lb = Builder.load b Ir.I32 (Ir.Glob len_b) in
+  assert_i1 (Builder.cmp b Ir.Eq Ir.I32 la lb);
+  (* compare byte-for-byte up to min(len, cap) *)
+  let small = Builder.cmp b Ir.Ult Ir.I32 la (i32 out_cap) in
+  let n = Builder.select b Ir.I32 small la (i32 out_cap) in
+  Builder.store b Ir.I32 (i32 0) ip;
+  let head = Builder.new_block b in
+  let body = Builder.new_block b in
+  let fin = Builder.new_block b in
+  Builder.term b (Ir.Br head);
+  Builder.switch_to b head;
+  let i = Builder.load b Ir.I32 ip in
+  let cont = Builder.cmp b Ir.Ult Ir.I32 i n in
+  Builder.term b (Ir.Cbr (cont, body, fin));
+  Builder.switch_to b body;
+  let pa = Builder.gep b (Ir.Glob out_a) 1 i in
+  let pb = Builder.gep b (Ir.Glob out_b) 1 i in
+  let ba = Builder.load b Ir.I8 pa in
+  let bb = Builder.load b Ir.I8 pb in
+  assert_i1 (Builder.cmp b Ir.Eq Ir.I8 ba bb);
+  let i' = Builder.bin b Ir.Add Ir.I32 i (i32 1) in
+  Builder.store b Ir.I32 i' ip;
+  Builder.term b (Ir.Br head);
+  Builder.switch_to b fin;
+  let ret_val =
+    match ra with Some v when main_ret = Ir.I32 -> v | _ -> i32 0
+  in
+  Builder.term b (Ir.Ret (Some ret_val));
+  Builder.finish b
+
+let build ~(pre : Ir.modul) ~(post : Ir.modul) : Ir.modul =
+  let (ga, fa) = rename_side ~prefix:a_prefix ~emit:emit_a pre in
+  let (gb, fb) = rename_side ~prefix:b_prefix ~emit:emit_b post in
+  let mk_glob name size =
+    { Ir.gname = name; gsize = size; ginit = String.make size '\000';
+      gconst = false }
+  in
+  let main_ret =
+    match Ir.find_func pre "main" with Some f -> f.Ir.ret | None -> Ir.I32
+  in
+  {
+    Ir.globals =
+      ga @ gb
+      @ [ mk_glob len_a 4; mk_glob len_b 4; mk_glob out_a out_cap;
+          mk_glob out_b out_cap ];
+    funcs =
+      fa @ fb
+      @ [
+          build_emit ~name:emit_a ~len_glob:len_a ~out_glob:out_a;
+          build_emit ~name:emit_b ~len_glob:len_b ~out_glob:out_b;
+          build_main ~main_ret;
+        ];
+  }

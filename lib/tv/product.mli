@@ -1,0 +1,38 @@
+(** Product-program construction for translation validation.
+
+    Given the module before ([pre]) and after ([post]) one pass
+    application, [build] produces a single module whose [main]:
+
+    + runs the renamed pre-version [__tvA_main] to completion,
+    + runs the renamed post-version [__tvB_main],
+    + asserts that the return values and the captured [__output] traces
+      agree byte for byte.
+
+    Both sides read the {e same} symbolic [__input] bytes ([__input] is a
+    pure indexed read in this IR, so no redirection is needed), while
+    globals are duplicated per side and [__output] is redirected to a
+    per-side capture buffer.  Exploring the product's [main] with the symex
+    engine therefore checks observable equivalence on every path it covers.
+
+    Because A runs to completion before B starts, any path on which A traps
+    ends before B executes: pre-trapping executions are {e excused}, and any
+    trap reported inside a [__tvB_]-prefixed function is a trap the pass
+    {e introduced} — a counterexample (see DESIGN.md, "Translation
+    validation"). *)
+
+val out_cap : int
+(** Capture-buffer capacity in bytes; traces are compared up to this many
+    bytes (lengths are compared exactly regardless). *)
+
+val a_prefix : string  (** ["__tvA_"] — pre-version namespace *)
+
+val b_prefix : string  (** ["__tvB_"] — post-version namespace *)
+
+val emit_a : string
+val emit_b : string
+(** Names of the generated per-side output-capture functions. *)
+
+val build :
+  pre:Overify_ir.Ir.modul -> post:Overify_ir.Ir.modul -> Overify_ir.Ir.modul
+(** Build the product module.  Requires both versions to contain a [main];
+    the caller checks this. *)

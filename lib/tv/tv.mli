@@ -1,0 +1,134 @@
+(** Translation validation: prove each optimization-pass application sound
+    with the in-tree symbolic engine (see DESIGN.md, "Translation
+    validation").
+
+    For one (pre, post) module pair, {!check_modules} builds the product
+    program ({!Product.build}), explores its [main] symbolically under a
+    {!budget}, and classifies the result:
+
+    - {e Proved}: exploration was complete and no equivalence assertion can
+      fail — every non-trapping pre-execution within the input bound is
+      reproduced exactly by the post-version (asymmetric refinement: paths
+      on which the {e pre}-version traps are excused).
+    - {e Counterexample}: a concrete input on which the two versions
+      observably disagree (exit code, output trace, or a trap the pass
+      introduced), replayed through the concrete interpreter.
+    - {e Inconclusive}: the symbolic budget ran out.  The checker then
+      falls back to bounded differential interpretation on concrete inputs
+      (path witnesses from the partial exploration plus deterministic
+      pseudo-random inputs); disagreement still yields a counterexample,
+      agreement yields [Inconclusive] with an explicit budget-exhausted
+      reason.
+
+    {!validate} taps {!Overify_opt.Pipeline.optimize}'s observer stream and
+    checks {e every} pass application of a compilation, producing a
+    machine-readable per-pass report; since the observed (before, after)
+    chain composes to the whole compilation, the first counterexample names
+    the offending pass ({!first_offender}) — automatic pass bisection. *)
+
+module Ir = Overify_ir.Ir
+
+(** Exploration budget for one pass-application check. *)
+type budget = {
+  input_size : int;      (** symbolic input bytes *)
+  max_paths : int;
+  max_insts : int;
+  timeout : float;       (** seconds of symbolic exploration *)
+  fallback_runs : int;   (** differential interpretations when inconclusive *)
+  fuel : int;            (** interpreter instruction budget per run *)
+}
+
+val default_budget : budget
+
+(** Observable behavior of one version on one concrete input. *)
+type behavior = {
+  exit_code : int64;
+  output : string;
+  trap : string option;
+}
+
+(** A concrete input on which pre and post observably disagree. *)
+type witness = {
+  input : string;
+  pre_behavior : behavior;
+  post_behavior : behavior;
+  detail : string;  (** what disagrees, e.g. ["introduced trap: division by zero in f"] *)
+}
+
+type proof_kind =
+  | Syntactic   (** modules identical up to [fmeta] — no exploration needed *)
+  | Exhaustive  (** complete symbolic exploration of the product *)
+
+type verdict =
+  | Proved of proof_kind
+  | Counterexample of witness
+  | Inconclusive of string  (** always contains the budget-exhausted reason *)
+
+type outcome = {
+  verdict : verdict;
+  paths : int;             (** product paths completed *)
+  queries : int;           (** solver queries issued *)
+  solver_time : float;
+  time : float;            (** total check time, seconds *)
+  excused_pre_traps : int; (** bug reports excused because the pre-version trapped first *)
+  fallback_runs : int;     (** differential interpretations performed *)
+}
+
+val check_modules : ?budget:budget -> Ir.modul -> Ir.modul -> outcome
+(** [check_modules pre post] checks that [post] refines [pre] on the
+    product program. *)
+
+(** {2 Whole-compilation validation} *)
+
+(** One validated pass application, in application order. *)
+type record = {
+  pass : string;
+  fn : string;  (** function transformed, ["*"] for module-level passes *)
+  outcome : outcome;
+}
+
+type report = {
+  level : string;         (** cost-model name, e.g. ["overify"] *)
+  records : record list;  (** in application order *)
+  time : float;
+}
+
+val validate :
+  ?budget:budget ->
+  Overify_opt.Costmodel.t ->
+  Ir.modul ->
+  Overify_opt.Pipeline.result * report
+(** Optimize [m] at the given level while translation-validating every pass
+    application.  The compiled result is the same module an unobserved
+    [Pipeline.optimize] produces. *)
+
+val first_offender : report -> record option
+(** First pass application with a [Counterexample] verdict — the pass the
+    bisection blames. *)
+
+val counterexamples : report -> record list
+val inconclusives : report -> record list
+
+(** Aggregated per-pass rollup of a report. *)
+type pass_summary = {
+  ps_pass : string;
+  ps_applications : int;
+  ps_proved : int;
+  ps_refuted : int;
+  ps_inconclusive : int;
+  ps_queries : int;
+  ps_time : float;
+}
+
+val summarize : report -> pass_summary list
+(** One row per pass name, in first-application order. *)
+
+val verdict_name : verdict -> string
+(** ["proved"], ["counterexample"] or ["inconclusive"]. *)
+
+val string_of_verdict : verdict -> string
+(** Human-readable one-liner, with witness/reason detail. *)
+
+val report_to_json : report -> string
+(** Machine-readable report: level, per-record pass/fn/verdict with solver
+    statistics, and the per-pass rollup. *)

@@ -16,7 +16,10 @@ let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
 
-let () = Pipeline.paranoid := true
+(* paranoid mode (IR verification after every pass) comes from the
+   OVERIFY_PARANOID environment variable, which test/dune sets for the whole
+   suite; test_paranoid_profile_on below fails the run if that wiring is
+   ever lost *)
 
 let compile_at level src =
   (Pipeline.optimize level (Frontend.compile_source src)).Pipeline.modul
@@ -224,6 +227,76 @@ int main(void) {
   check bool "o3 keeps more branches" true
     (count_branches o3 >= count_branches ov)
 
+(* ------------- if-conversion: direct IR-level safety tests ------------- *)
+
+module Builder = Overify_ir.Builder
+module If_convert = Overify_opt.If_convert
+module Loop_unswitch = Overify_opt.Loop_unswitch
+
+(** A hand-built SSA diamond: [x = __input(0); if (x > 0) y = <arm>; return
+    phi(y, x)].  The arm instruction decides whether speculation is legal. *)
+let build_diamond arm : I.func =
+  let b = Builder.create ~name:"main" ~params:[] ~ret:I.I32 in
+  let entry_bid = Builder.current b in
+  let slot = Builder.entry_alloca b I.I32 1 in
+  Builder.store b I.I32 (I.imm I.I32 7L) slot;
+  let x = Option.get (Builder.call b I.I32 "__input" [ I.imm I.I32 0L ]) in
+  let then_b = Builder.new_block b in
+  let merge = Builder.new_block b in
+  let cond = Builder.cmp b I.Sgt I.I32 x (I.imm I.I32 0L) in
+  Builder.term b (I.Cbr (cond, then_b, merge));
+  Builder.switch_to b then_b;
+  let y =
+    match arm with
+    | `Add -> Builder.bin b I.Add I.I32 x (I.imm I.I32 1L)
+    | `Div -> Builder.bin b I.Sdiv I.I32 (I.imm I.I32 100L) x
+    | `Load -> Builder.load b I.I32 slot
+  in
+  Builder.term b (I.Br merge);
+  Builder.switch_to b merge;
+  let d = Builder.fresh b in
+  Builder.add_inst b (I.Phi (d, I.I32, [ (then_b, y); (entry_bid, x) ]));
+  Builder.term b (I.Ret (Some (I.Reg d)));
+  Builder.finish b
+
+let diamond_behaviours (fn : I.func) =
+  let m = { I.globals = []; funcs = [ fn ] } in
+  List.map
+    (fun input ->
+      let r = Interp.run m ~input in
+      (r.Interp.exit_code, r.Interp.trap))
+    [ "\000"; "\001"; "\005"; "\255" ]
+
+let test_if_convert_ir_safe_arm_converts () =
+  let fn = build_diamond `Add in
+  let before = diamond_behaviours fn in
+  let (fn', changed) = If_convert.run Costmodel.overify (Stats.create ()) fn in
+  Overify_ir.Verify.check_exn fn';
+  check bool "converted" true changed;
+  check int "no conditional branches left" 0 (count_branches fn');
+  check bool "select materialized" true
+    (count_insts (function I.Select _ -> true | _ -> false) fn' >= 1);
+  check bool "behaviour preserved" true (before = diamond_behaviours fn')
+
+let test_if_convert_ir_division_arm_blocked () =
+  (* speculating 100 / x would introduce a division-by-zero trap on the
+     x = 0 path: the arm must stay guarded *)
+  let fn = build_diamond `Div in
+  let (fn', changed) = If_convert.run Costmodel.overify (Stats.create ()) fn in
+  check bool "not converted" false changed;
+  check bool "branch survives" true (count_branches fn' >= 1);
+  let m = { I.globals = []; funcs = [ fn' ] } in
+  check bool "x = 0 still takes the safe path" true
+    ((Interp.run m ~input:"\000").Interp.trap = None)
+
+let test_if_convert_ir_load_arm_blocked () =
+  (* loads may fault and are not speculatable in this IR: the arm must stay
+     guarded even though this particular load happens to be safe *)
+  let fn = build_diamond `Load in
+  let (fn', changed) = If_convert.run Costmodel.overify (Stats.create ()) fn in
+  check bool "not converted" false changed;
+  check bool "branch survives" true (count_branches fn' >= 1)
+
 (* ------------- loop unswitching ------------- *)
 
 let test_unswitch_fires_and_preserves () =
@@ -244,6 +317,83 @@ int main(void) { return work(__input(0) & 1) & 0xff; }
   List.iter
     (fun input -> same_behaviour ~input src)
     [ "a"; "bcd"; "\001xyz"; "" ]
+
+(* direct IR-level unswitch tests: run the pass on the frontend's memory-form
+   output, bypassing the pipeline, so rejections can't be masked by an
+   earlier pass rewriting the loop *)
+
+let main_fn (m : I.modul) =
+  List.find (fun (f : I.func) -> f.I.fname = "main") m.I.funcs
+
+(** Run [Loop_unswitch.run] directly on [main]; returns the rewritten module,
+    whether the pass changed anything, and how many loops it unswitched. *)
+let unswitch_direct src =
+  let m = Frontend.compile_source src in
+  let stats = Stats.create () in
+  let (fn', changed) = Loop_unswitch.run Costmodel.o3 stats (main_fn m) in
+  Overify_ir.Verify.check_exn fn';
+  (I.update_func m fn', changed, stats.Stats.loops_unswitched)
+
+let test_unswitch_ir_nested_invariant () =
+  let src = {|
+int main(void) {
+  int flag = __input(0) & 1;
+  int total = 0;
+  for (int i = 0; i < 3; i++) {
+    for (int j = 0; j < __input_size(); j++) {
+      if (flag) total += __input(j);
+      else total -= __input(j);
+    }
+  }
+  return total & 0xff;
+}
+|} in
+  let (m', changed, n) = unswitch_direct src in
+  check bool "changed" true changed;
+  check bool "unswitched at least one loop" true (n >= 1);
+  let m0 = Frontend.compile_source src in
+  List.iter
+    (fun input ->
+      let a = Interp.run m0 ~input and b = Interp.run m' ~input in
+      check bool ("same behaviour on " ^ String.escaped input) true
+        (a.Interp.exit_code = b.Interp.exit_code
+        && a.Interp.output = b.Interp.output
+        && a.Interp.trap = b.Interp.trap))
+    [ ""; "\001"; "\002abc"; "\003\255\254\253" ]
+
+let test_unswitch_ir_loop_written_condition_blocked () =
+  (* the condition slot is stored inside the loop: not invariant, so hoisting
+     its test out of the loop would freeze the first iteration's value *)
+  let src = {|
+int main(void) {
+  int flag = __input(0) & 1;
+  int total = 0;
+  for (int i = 0; i < __input_size(); i++) {
+    if (flag) total += 1;
+    flag = total & 1;
+  }
+  return total;
+}
+|} in
+  let (_, changed, n) = unswitch_direct src in
+  check bool "not changed" false changed;
+  check int "no loop unswitched" 0 n
+
+let test_unswitch_ir_call_condition_blocked () =
+  (* the condition is recomputed from a call every iteration: calls are
+     never part of a hoistable condition chain *)
+  let src = {|
+int main(void) {
+  int total = 0;
+  for (int i = 0; i < 4; i++) {
+    if (__input(0) & 1) total += 3;
+  }
+  return total;
+}
+|} in
+  let (_, changed, n) = unswitch_direct src in
+  check bool "not changed" false changed;
+  check int "no loop unswitched" 0 n
 
 (* ------------- loop unrolling (peeling) ------------- *)
 
@@ -458,6 +608,13 @@ int main(void) {
 
 (* ------------- whole-pipeline properties ------------- *)
 
+let test_paranoid_profile_on () =
+  (* test/dune wraps every test in (setenv OVERIFY_PARANOID 1 ...); if that
+     wiring is lost the pipeline silently stops verifying IR after each pass,
+     so fail the run loudly *)
+  check bool "test profile runs the pipeline in paranoid mode" true
+    !Pipeline.paranoid
+
 let test_code_growth_direction () =
   (* -OVERIFY may grow code (paper: "even if this increases program size") *)
   let p = Option.get (Programs.find "wc") in
@@ -570,10 +727,24 @@ let () =
             test_if_convert_keeps_side_effects_guarded;
           Alcotest.test_case "respects CPU budget" `Quick
             test_if_convert_respects_cpu_budget;
+          Alcotest.test_case "IR: safe arm converts" `Quick
+            test_if_convert_ir_safe_arm_converts;
+          Alcotest.test_case "IR: division arm blocked" `Quick
+            test_if_convert_ir_division_arm_blocked;
+          Alcotest.test_case "IR: load arm blocked" `Quick
+            test_if_convert_ir_load_arm_blocked;
         ] );
       ( "unswitch",
-        [ Alcotest.test_case "fires and preserves" `Quick
-            test_unswitch_fires_and_preserves ] );
+        [
+          Alcotest.test_case "fires and preserves" `Quick
+            test_unswitch_fires_and_preserves;
+          Alcotest.test_case "IR: nested invariant condition" `Quick
+            test_unswitch_ir_nested_invariant;
+          Alcotest.test_case "IR: loop-written condition blocked" `Quick
+            test_unswitch_ir_loop_written_condition_blocked;
+          Alcotest.test_case "IR: call condition blocked" `Quick
+            test_unswitch_ir_call_condition_blocked;
+        ] );
       ( "unroll",
         [
           Alcotest.test_case "constant loop" `Quick test_unroll_constant_loop;
@@ -609,6 +780,7 @@ let () =
         [ Alcotest.test_case "present" `Quick test_annotations_present ] );
       ( "pipeline",
         [
+          Alcotest.test_case "paranoid profile on" `Quick test_paranoid_profile_on;
           Alcotest.test_case "code size sanity" `Quick test_code_growth_direction;
           Alcotest.test_case "IR verifies over corpus at all levels" `Slow
             test_levels_verify_over_corpus;
