@@ -9,6 +9,7 @@
       dune exec bench/main.exe -- precision    # the 2.1 precision experiment
       dune exec bench/main.exe -- parallel [-n N] [-t SECONDS] [-j JOBS]
       dune exec bench/main.exe -- validate [-n N] [-t SECONDS]
+      dune exec bench/main.exe -- profile [-n N] [-t SECONDS]
       dune exec bench/main.exe -- bechamel     # micro-benchmarks
 
     Absolute numbers will differ from the paper (our substrate is a
@@ -149,6 +150,63 @@ let run_parallel args =
         (String.concat ",\n" (List.map json_row measurements)));
   Printf.printf "wrote %s\n" path
 
+(* ---- verification-profile sweep: profile every corpus program at -O0 and
+   -OVERIFY with cost attribution on and report each program's hottest
+   function at both levels — the per-function view of Table 1's speedups.
+   Full reports go to BENCH_profile.json. ---- *)
+
+let run_profile args =
+  let (n, t) = parse_flags args in
+  let input_size = Option.value n ~default:3 in
+  let timeout = Option.value t ~default:30.0 in
+  H.Report.section
+    (Printf.sprintf
+       "Verification profile: hottest function at -O0 vs -OVERIFY (n=%d \
+        bytes)" input_size);
+  let levels = [ Overify_opt.Costmodel.o0; Overify_opt.Costmodel.overify ] in
+  let profiles =
+    List.map
+      (fun (p : Overify_corpus.Programs.t) ->
+        List.map
+          (fun level ->
+            H.Profile.profile ~program:p.Overify_corpus.Programs.name ~level
+              ~input_size ~timeout p.Overify_corpus.Programs.source)
+          levels)
+      Overify_corpus.Programs.programs
+  in
+  let hot (pr : H.Profile.t) =
+    match pr.H.Profile.funcs with
+    | f :: _ ->
+        Printf.sprintf "%s (%d queries, %s insts)" f.H.Profile.fr_fn
+          f.H.Profile.fr_queries
+          (H.Report.fmt_int f.H.Profile.fr_insts)
+    | [] -> "-"
+  in
+  let rows =
+    [ "program"; "hottest @ -O0"; "hottest @ -OVERIFY"; "solver -O0 (ms)";
+      "solver -OVERIFY (ms)" ]
+    :: List.map
+         (fun prs ->
+           match prs with
+           | [ p0; pv ] ->
+               [
+                 p0.H.Profile.program;
+                 hot p0;
+                 hot pv;
+                 H.Report.ms p0.H.Profile.result.Overify_symex.Engine.solver_time;
+                 H.Report.ms pv.H.Profile.result.Overify_symex.Engine.solver_time;
+               ]
+           | _ -> assert false)
+         profiles
+  in
+  H.Report.table rows;
+  let path = "BENCH_profile.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "[\n%s\n]\n"
+        (String.concat ",\n"
+           (List.map (fun p -> H.Profile.to_json p) (List.concat profiles))));
+  Printf.printf "wrote %s (full per-function/per-block reports)\n" path
+
 (* ---- translation-validated corpus sweep: every pass application on every
    corpus program at every level is checked with the symbolic engine; the
    expected result is zero counterexamples (exit 1 otherwise) ---- *)
@@ -235,6 +293,7 @@ let () =
   | _ :: "precision" :: rest -> run_precision rest
   | _ :: "parallel" :: rest -> run_parallel rest
   | _ :: "validate" :: rest -> run_validate rest
+  | _ :: "profile" :: rest -> run_profile rest
   | _ :: "bechamel" :: _ -> bechamel ()
   | _ ->
       (* default: regenerate everything at quick settings *)

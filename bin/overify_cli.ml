@@ -51,10 +51,45 @@ let read_source path =
 let compile_to_module level no_libc path =
   O.compile ~level ~link_libc:(not no_libc) (read_source path)
 
+let program_name path =
+  if String.length path > 7 && String.sub path 0 7 = "corpus:" then
+    String.sub path 7 (String.length path - 7)
+  else Filename.remove_extension (Filename.basename path)
+
+(* ---- structured tracing (any subcommand) ---- *)
+
+let trace_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace_event timeline of the whole invocation \
+           (solver checks, pass applications, engine runs, TV obligations) \
+           and write it to $(docv) on exit.  Load the file in \
+           chrome://tracing or Perfetto; a .jsonl suffix selects one JSON \
+           event per line.")
+
+(** Run [f] with the trace sink collecting; write the trace on the way out
+    (even if [f] raises). *)
+let with_trace trace f =
+  if trace = "" then f ()
+  else begin
+    O.Obs.Trace.clear ();
+    O.Obs.Trace.start ();
+    Fun.protect
+      ~finally:(fun () ->
+        O.Obs.Trace.stop ();
+        O.Obs.Trace.write trace;
+        Printf.eprintf "; trace written to %s (load in chrome://tracing)\n"
+          trace)
+      f
+  end
+
 (* ---- compile subcommand ---- *)
 
 let compile_cmd =
-  let run level no_libc path stats validate =
+  let run level no_libc path stats validate trace =
+    with_trace trace @@ fun () ->
     if validate then begin
       let (r, report) =
         O.compile_validated ~level ~link_libc:(not no_libc) (read_source path)
@@ -101,7 +136,8 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile MiniC and print the IR.")
-    Term.(const run $ level $ no_libc $ source_file $ stats $ validate)
+    Term.(const run $ level $ no_libc $ source_file $ stats $ validate
+          $ trace_arg)
 
 (* ---- run subcommand ---- *)
 
@@ -111,7 +147,8 @@ let run_cmd =
       value & opt string ""
       & info [ "input"; "i" ] ~docv:"BYTES" ~doc:"Program input bytes.")
   in
-  let run level no_libc path input =
+  let run level no_libc path input trace =
+    with_trace trace @@ fun () ->
     let m = compile_to_module level no_libc path in
     let r = O.run m ~input in
     print_string r.O.Interp.output;
@@ -124,7 +161,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute concretely (prints t_run data).")
-    Term.(const run $ level $ no_libc $ source_file $ input)
+    Term.(const run $ level $ no_libc $ source_file $ input $ trace_arg)
 
 (* ---- verify subcommand ---- *)
 
@@ -154,7 +191,8 @@ let verify_cmd =
             "Explore paths on $(docv) parallel worker domains. Results are \
              identical to the sequential searcher for complete runs.")
   in
-  let run level no_libc path size timeout tests jobs =
+  let run level no_libc path size timeout tests jobs trace =
+    with_trace trace @@ fun () ->
     let m = compile_to_module level no_libc path in
     let r = O.verify ~input_size:size ~timeout ~jobs m in
     Printf.printf
@@ -182,7 +220,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Compile and symbolically execute all paths (KLEE-style).")
     Term.(const run $ level $ no_libc $ source_file $ size $ timeout
-          $ tests_flag $ jobs)
+          $ tests_flag $ jobs $ trace_arg)
 
 (* ---- analyze subcommand ---- *)
 
@@ -251,7 +289,8 @@ let tv_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable per-pass report to $(docv).")
   in
-  let run level no_libc path size timeout all_levels json =
+  let run level no_libc path size timeout all_levels json trace =
+    with_trace trace @@ fun () ->
     let src = read_source path in
     let budget =
       { O.Tv.default_budget with O.Tv.input_size = size; timeout }
@@ -296,7 +335,95 @@ let tv_cmd =
           the offending pass.")
     Term.(
       const run $ level $ no_libc $ source_file $ size $ timeout $ all_levels
-      $ json)
+      $ json $ trace_arg)
+
+(* ---- profile subcommand ---- *)
+
+let profile_cmd =
+  let module P = Overify_harness.Profile in
+  let size =
+    Arg.(
+      value & opt int 4
+      & info [ "size"; "n" ] ~docv:"N" ~doc:"Number of symbolic input bytes.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 60.0
+      & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"Verification budget.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Explore paths on $(docv) parallel worker domains.")
+  in
+  let diff =
+    Arg.(
+      value & opt (some level_arg) None
+      & info [ "diff" ] ~docv:"LEVEL"
+          ~doc:
+            "Also profile at $(docv) and print a side-by-side per-function \
+             comparison — which hot-spot did the level remove?")
+  in
+  let json =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Emit the machine-readable report (to stdout, or to $(docv) if \
+             given).")
+  in
+  let top =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Number of hottest basic blocks to list.")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Zero all wall-clock fields and omit the latency histogram in \
+             the JSON report, leaving only deterministic attribution (for \
+             golden tests and cross-run diffing).")
+  in
+  let run level no_libc path size timeout jobs diff json top deterministic
+      trace =
+    with_trace trace @@ fun () ->
+    let src = read_source path in
+    let program = program_name path in
+    let prof lvl =
+      P.profile ~program ~level:lvl ~input_size:size ~timeout ~jobs
+        ~link_libc:(not no_libc) src
+    in
+    let p = prof level in
+    (match diff with
+    | Some lvl2 -> P.print_diff p (prof lvl2)
+    | None -> (
+        match json with
+        | None -> P.print ~top p
+        | Some "-" -> print_endline (P.to_json ~times:(not deterministic) p)
+        | Some file ->
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc (P.to_json ~times:(not deterministic) p);
+                output_char oc '\n');
+            P.print ~top p;
+            Printf.eprintf "; profile written to %s\n" file));
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Verify a program symbolically with cost attribution on and report \
+          where verification time went: per-function/per-block dynamic \
+          instructions, forks, solver queries and solver time, plus the \
+          per-pass compile profile.  Attribution sums to the whole-run \
+          totals by construction.")
+    Term.(
+      const run $ level $ no_libc $ source_file $ size $ timeout $ jobs
+      $ diff $ json $ top $ deterministic $ trace_arg)
 
 (* ---- corpus subcommand ---- *)
 
@@ -318,6 +445,7 @@ let main_cmd =
        ~doc:
          "Compiler + symbolic-execution toolchain reproducing '-OVERIFY: \
           Optimizing Programs for Fast Verification' (HotOS 2013).")
-    [ compile_cmd; run_cmd; verify_cmd; analyze_cmd; tv_cmd; corpus_cmd ]
+    [ compile_cmd; run_cmd; verify_cmd; analyze_cmd; tv_cmd; profile_cmd;
+      corpus_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -21,6 +21,7 @@ module Tv = Overify_tv.Tv
 module Tv_product = Overify_tv.Product
 module Programs = Overify_corpus.Programs
 module Workload = Overify_corpus.Workload
+module Obs = Overify_obs.Obs
 module Interval = Overify_absint.Interval
 module Absint = Overify_absint.Analysis
 module Precision = Overify_absint.Precision

@@ -1,0 +1,497 @@
+(** Observability for the verification toolchain: a metric registry
+    (counters / timers / histograms with labels), the symbolic-execution
+    attribution profile (per function and basic block), the per-pass compile
+    profile, and Chrome [trace_event] export.
+
+    Design constraints (DESIGN.md, "Observability"):
+
+    - {e near-zero cost when disabled}: every hot-path instrumentation site
+      is guarded by a per-consumer [option] (the executor's [prof] field,
+      the solver's [hist] field) or by the single global {!enabled} /
+      {!Trace.enabled} flag — one branch, no allocation, no clock read.
+    - {e attribution sums to totals}: the symbolic-execution profile
+      accumulates the very same increments as the engine's whole-run
+      counters, so per-site values sum exactly to [Engine.result] (solver
+      time within float rounding).
+    - {e domain safety}: profile collectors are single-owner (one per
+      worker domain, merged after the join, like the engine's own
+      counters); the trace buffer is the one shared sink and takes a
+      mutex per event. *)
+
+(* ---------------- global switch ---------------- *)
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "OVERIFY_OBS" with
+    | Some ("1" | "true") -> true
+    | _ -> false)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* ---------------- latency histogram ---------------- *)
+
+(** Log-scale latency histogram: bucket [i] counts observations with
+    [dt < 1us * 2^i]; the last bucket is unbounded.  Merging is bucket-wise
+    addition, so per-worker histograms combine deterministically. *)
+module Hist = struct
+  let nbuckets = 28 (* 1us .. ~2.2 min, then overflow *)
+
+  type t = {
+    mutable count : int;
+    mutable sum : float;          (** seconds *)
+    mutable max : float;
+    buckets : int array;
+  }
+
+  let create () = { count = 0; sum = 0.0; max = 0.0; buckets = Array.make nbuckets 0 }
+
+  let bucket_of dt =
+    let rec go i bound =
+      if i >= nbuckets - 1 || dt < bound then i else go (i + 1) (bound *. 2.0)
+    in
+    go 0 1e-6
+
+  let observe t dt =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. dt;
+    if dt > t.max then t.max <- dt;
+    let b = bucket_of dt in
+    t.buckets.(b) <- t.buckets.(b) + 1
+
+  let merge_into dst src =
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum +. src.sum;
+    if src.max > dst.max then dst.max <- src.max;
+    Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets
+
+  (** Upper bound (seconds) of bucket [i]. *)
+  let bucket_bound i = 1e-6 *. (2.0 ** float_of_int i)
+
+  (** Approximate percentile from the buckets (returns a bucket upper
+      bound); [p] in [0,1]. *)
+  let percentile t p =
+    if t.count = 0 then 0.0
+    else begin
+      let target = int_of_float (ceil (p *. float_of_int t.count)) in
+      let seen = ref 0 and res = ref t.max in
+      (try
+         Array.iteri
+           (fun i n ->
+             seen := !seen + n;
+             if !seen >= target then begin
+               res := bucket_bound i;
+               raise Exit
+             end)
+           t.buckets
+       with Exit -> ());
+      min !res t.max
+    end
+
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+end
+
+(* ---------------- metric registry ---------------- *)
+
+(** Generic registry of named metrics with labels — the non-hot-path
+    instrument (pass timers, TV obligation counters, solver rollups).  Hot
+    paths use the dedicated {!Profile} collector instead: a registry lookup
+    per dynamic instruction would dominate the executor. *)
+module Registry = struct
+  type kind = Counter | Timer | Histogram
+
+  type cell = {
+    name : string;
+    labels : (string * string) list;
+    kind : kind;
+    mutable count : int;
+    mutable sum : float;       (** seconds for timers/histograms *)
+    hist : Hist.t option;
+  }
+
+  type t = {
+    tbl : (string * (string * string) list, cell) Hashtbl.t;
+    mutable order : cell list;  (** reverse creation order *)
+    mu : Mutex.t;
+  }
+
+  let create () = { tbl = Hashtbl.create 64; order = []; mu = Mutex.create () }
+
+  (** The process-global registry (what [overify profile] dumps). *)
+  let default = create ()
+
+  let cell t ~kind ~name ~labels =
+    Mutex.lock t.mu;
+    let c =
+      match Hashtbl.find_opt t.tbl (name, labels) with
+      | Some c -> c
+      | None ->
+          let c =
+            {
+              name;
+              labels;
+              kind;
+              count = 0;
+              sum = 0.0;
+              hist = (if kind = Histogram then Some (Hist.create ()) else None);
+            }
+          in
+          Hashtbl.add t.tbl (name, labels) c;
+          t.order <- c :: t.order;
+          c
+    in
+    Mutex.unlock t.mu;
+    c
+
+  let counter ?(registry = default) ?(labels = []) name =
+    cell registry ~kind:Counter ~name ~labels
+
+  let timer ?(registry = default) ?(labels = []) name =
+    cell registry ~kind:Timer ~name ~labels
+
+  let histogram ?(registry = default) ?(labels = []) name =
+    cell registry ~kind:Histogram ~name ~labels
+
+  (* recording is gated on the global switch, so call sites don't have to
+     re-check it — a disabled registry cell never moves *)
+  let incr c = if enabled () then c.count <- c.count + 1
+  let add c n = if enabled () then c.count <- c.count + n
+
+  let add_time c dt =
+    if enabled () then begin
+      c.count <- c.count + 1;
+      c.sum <- c.sum +. dt
+    end
+
+  let observe c dt =
+    if enabled () then begin
+      c.count <- c.count + 1;
+      c.sum <- c.sum +. dt;
+      match c.hist with Some h -> Hist.observe h dt | None -> ()
+    end
+
+  (** Time [f], charging the elapsed wall clock to [c].  [f] always runs;
+      when disabled no clock is read. *)
+  let time c f =
+    if not (enabled ()) then f ()
+    else
+      let t0 = Unix.gettimeofday () in
+      Fun.protect ~finally:(fun () -> add_time c (Unix.gettimeofday () -. t0)) f
+
+  (** All cells in canonical (name, labels) order. *)
+  let dump ?(registry = default) () =
+    Mutex.lock registry.mu;
+    let cells = registry.order in
+    Mutex.unlock registry.mu;
+    List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) cells
+
+  let clear ?(registry = default) () =
+    Mutex.lock registry.mu;
+    Hashtbl.reset registry.tbl;
+    registry.order <- [];
+    Mutex.unlock registry.mu
+end
+
+(* ---------------- symbolic-execution attribution profile ---------------- *)
+
+(** Per-(function, block) cost attribution for one symbolic-execution run.
+    One collector per worker domain (single-owner, no locking); collectors
+    merge after the join exactly like the engine's own counters.
+
+    The executor keys every increment by the {e current} frame's function
+    and block, and a one-entry memo makes the common case (consecutive
+    instructions of one block) a pointer comparison instead of a hashtable
+    lookup. *)
+module Profile = struct
+  type site_stats = {
+    mutable s_insts : int;        (** dynamic instructions *)
+    mutable s_forks : int;
+    mutable s_queries : int;      (** solver queries issued here *)
+    mutable s_cache_hits : int;
+    mutable s_solver_time : float; (** seconds of blasting + SAT *)
+    mutable s_paths : int;        (** paths that completed (exited) here *)
+  }
+
+  let zero_stats () =
+    {
+      s_insts = 0;
+      s_forks = 0;
+      s_queries = 0;
+      s_cache_hits = 0;
+      s_solver_time = 0.0;
+      s_paths = 0;
+    }
+
+  type t = {
+    sites : (string * int, site_stats) Hashtbl.t;
+    qhist : Hist.t;               (** per-query blast+SAT latency *)
+    mutable last_fn : string;
+    mutable last_block : int;
+    mutable last_cell : site_stats;
+  }
+
+  let create () =
+    {
+      sites = Hashtbl.create 64;
+      qhist = Hist.create ();
+      last_fn = "";
+      last_block = min_int;  (* never matches a real block id *)
+      last_cell = zero_stats ();
+    }
+
+  let site t ~fn ~block =
+    if block = t.last_block && fn == t.last_fn then t.last_cell
+    else begin
+      let cell =
+        match Hashtbl.find_opt t.sites (fn, block) with
+        | Some c -> c
+        | None ->
+            let c = zero_stats () in
+            Hashtbl.add t.sites (fn, block) c;
+            c
+      in
+      t.last_fn <- fn;
+      t.last_block <- block;
+      t.last_cell <- cell;
+      cell
+    end
+
+  let merge_into dst src =
+    Hashtbl.iter
+      (fun (fn, block) (s : site_stats) ->
+        let d = site dst ~fn ~block in
+        d.s_insts <- d.s_insts + s.s_insts;
+        d.s_forks <- d.s_forks + s.s_forks;
+        d.s_queries <- d.s_queries + s.s_queries;
+        d.s_cache_hits <- d.s_cache_hits + s.s_cache_hits;
+        d.s_solver_time <- d.s_solver_time +. s.s_solver_time;
+        d.s_paths <- d.s_paths + s.s_paths)
+      src.sites;
+    Hist.merge_into dst.qhist src.qhist
+
+  (** All sites in canonical (function, block) order. *)
+  let sites t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sites []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  type totals = {
+    t_insts : int;
+    t_forks : int;
+    t_queries : int;
+    t_cache_hits : int;
+    t_solver_time : float;
+    t_paths : int;
+  }
+
+  let totals t =
+    List.fold_left
+      (fun acc (_, (s : site_stats)) ->
+        {
+          t_insts = acc.t_insts + s.s_insts;
+          t_forks = acc.t_forks + s.s_forks;
+          t_queries = acc.t_queries + s.s_queries;
+          t_cache_hits = acc.t_cache_hits + s.s_cache_hits;
+          t_solver_time = acc.t_solver_time +. s.s_solver_time;
+          t_paths = acc.t_paths + s.s_paths;
+        })
+      {
+        t_insts = 0;
+        t_forks = 0;
+        t_queries = 0;
+        t_cache_hits = 0;
+        t_solver_time = 0.0;
+        t_paths = 0;
+      }
+      (sites t)
+end
+
+(* ---------------- per-pass compile profile ---------------- *)
+
+(** One record per optimization-pass application: wall time and code-size
+    delta, in application order.  Collected by [Pipeline.optimize ~prof]. *)
+module Pass = struct
+  type app = {
+    pa_pass : string;
+    pa_fn : string;       (** ["*"] for module-level passes *)
+    pa_time : float;      (** seconds *)
+    pa_size_before : int; (** static instructions (function, or module for ["*"]) *)
+    pa_size_after : int;
+    pa_changed : bool;
+  }
+
+  type t = { mutable apps_rev : app list }
+
+  let create () = { apps_rev = [] }
+  let record t a = t.apps_rev <- a :: t.apps_rev
+  let apps t = List.rev t.apps_rev
+
+  type rollup = {
+    pr_pass : string;
+    pr_apps : int;        (** applications attempted *)
+    pr_changed : int;     (** applications that changed code *)
+    pr_time : float;
+    pr_dsize : int;       (** net static-size delta of changing applications *)
+  }
+
+  (** One row per pass, in first-application order. *)
+  let rollup t =
+    let order = ref [] in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun a ->
+        let r =
+          match Hashtbl.find_opt tbl a.pa_pass with
+          | Some r -> r
+          | None ->
+              order := a.pa_pass :: !order;
+              { pr_pass = a.pa_pass; pr_apps = 0; pr_changed = 0;
+                pr_time = 0.0; pr_dsize = 0 }
+        in
+        Hashtbl.replace tbl a.pa_pass
+          {
+            r with
+            pr_apps = r.pr_apps + 1;
+            pr_changed = (r.pr_changed + if a.pa_changed then 1 else 0);
+            pr_time = r.pr_time +. a.pa_time;
+            pr_dsize =
+              (r.pr_dsize
+              + if a.pa_changed then a.pa_size_after - a.pa_size_before else 0);
+          })
+      (apps t);
+    List.rev_map (fun p -> Hashtbl.find tbl p) !order
+end
+
+(* ---------------- Chrome trace_event export ---------------- *)
+
+(** Structured trace sink in Chrome's [trace_event] JSON format (load the
+    emitted file in [chrome://tracing] / Perfetto).  One process-global
+    buffer behind a mutex: events come from pass applications, solver
+    queries, TV obligations and engine runs — thousands, not millions, so a
+    lock per event is fine.  Collection is off until {!start}. *)
+module Trace = struct
+  type event = {
+    ev_name : string;
+    ev_cat : string;
+    ev_ts : float;    (** absolute seconds (Unix.gettimeofday) *)
+    ev_dur : float;   (** seconds; 0 for instant events *)
+    ev_tid : int;
+    ev_args : (string * string) list;
+  }
+
+  type sink = {
+    mutable events_rev : event list;
+    mutable t0 : float;     (** trace epoch: first [start] *)
+    mu : Mutex.t;
+  }
+
+  let sink = { events_rev = []; t0 = 0.0; mu = Mutex.create () }
+  let collecting = ref false
+
+  let enabled () = !collecting
+
+  let start () =
+    Mutex.lock sink.mu;
+    sink.events_rev <- [];
+    sink.t0 <- Unix.gettimeofday ();
+    Mutex.unlock sink.mu;
+    collecting := true
+
+  let stop () = collecting := false
+
+  let clear () =
+    Mutex.lock sink.mu;
+    sink.events_rev <- [];
+    Mutex.unlock sink.mu
+
+  let emit ?(cat = "overify") ?(args = []) ~name ~ts ~dur () =
+    if !collecting then begin
+      let ev =
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_ts = ts;
+          ev_dur = dur;
+          ev_tid = (Domain.self () :> int);
+          ev_args = args;
+        }
+      in
+      Mutex.lock sink.mu;
+      sink.events_rev <- ev :: sink.events_rev;
+      Mutex.unlock sink.mu
+    end
+
+  (** Run [f] inside a complete ("X") span. *)
+  let with_span ?cat ?(args = []) name f =
+    if not !collecting then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          emit ?cat ~args ~name ~ts:t0 ~dur:(Unix.gettimeofday () -. t0) ())
+        f
+    end
+
+  let events () =
+    Mutex.lock sink.mu;
+    let evs = List.rev sink.events_rev in
+    Mutex.unlock sink.mu;
+    evs
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let event_to_json t0 ev =
+    let args =
+      match ev.ev_args with
+      | [] -> ""
+      | args ->
+          Printf.sprintf ", \"args\": {%s}"
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) ->
+                    Printf.sprintf "\"%s\": \"%s\"" (json_escape k)
+                      (json_escape v))
+                  args))
+    in
+    Printf.sprintf
+      "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": %.1f, \
+       \"dur\": %.1f, \"pid\": 1, \"tid\": %d%s}"
+      (json_escape ev.ev_name) (json_escape ev.ev_cat)
+      (if ev.ev_dur > 0.0 then "X" else "i")
+      ((ev.ev_ts -. t0) *. 1e6)
+      (ev.ev_dur *. 1e6) ev.ev_tid args
+
+  (** The collected events as one Chrome-loadable JSON document. *)
+  let to_json () =
+    Mutex.lock sink.mu;
+    let t0 = sink.t0 and evs = List.rev sink.events_rev in
+    Mutex.unlock sink.mu;
+    Printf.sprintf "{\"traceEvents\": [\n%s\n]}\n"
+      (String.concat ",\n" (List.map (event_to_json t0) evs))
+
+  (** Write {!to_json} to [path] (also accepts a [.jsonl] path, one event
+      per line). *)
+  let write path =
+    Out_channel.with_open_text path (fun oc ->
+        if Filename.check_suffix path ".jsonl" then begin
+          Mutex.lock sink.mu;
+          let t0 = sink.t0 and evs = List.rev sink.events_rev in
+          Mutex.unlock sink.mu;
+          List.iter
+            (fun ev -> output_string oc (event_to_json t0 ev ^ "\n"))
+            evs
+        end
+        else output_string oc (to_json ()))
+end

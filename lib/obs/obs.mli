@@ -1,0 +1,185 @@
+(** Observability for the verification toolchain (DESIGN.md,
+    "Observability"): a metric registry, the symbolic-execution attribution
+    profile, the per-pass compile profile, and Chrome [trace_event] export.
+
+    Instrumentation is near-zero cost when disabled: hot paths are guarded
+    by a per-consumer [option] or one global flag — a single branch, no
+    allocation, no clock read. *)
+
+val enabled : unit -> bool
+(** Global observability switch (also settable via [OVERIFY_OBS=1]).
+    Gates the non-hot-path instrumentation (registry recording). *)
+
+val set_enabled : bool -> unit
+
+(** Log-scale latency histogram; bucket [i] counts observations under
+    [1us * 2^i].  Merging is bucket-wise, hence deterministic. *)
+module Hist : sig
+  val nbuckets : int
+
+  type t = {
+    mutable count : int;
+    mutable sum : float;   (** seconds *)
+    mutable max : float;
+    buckets : int array;
+  }
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val merge_into : t -> t -> unit
+  val bucket_bound : int -> float
+  val percentile : t -> float -> float
+  (** Approximate (bucket upper bound, capped at the observed max). *)
+
+  val mean : t -> float
+end
+
+(** Named counters / timers / histograms with labels — the non-hot-path
+    instrument (pass timers, TV obligation counters).  Lookup takes a
+    mutex; hot paths use {!Profile} instead. *)
+module Registry : sig
+  type kind = Counter | Timer | Histogram
+
+  type cell = {
+    name : string;
+    labels : (string * string) list;
+    kind : kind;
+    mutable count : int;
+    mutable sum : float;
+    hist : Hist.t option;
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val default : t
+  (** The process-global registry. *)
+
+  val counter : ?registry:t -> ?labels:(string * string) list -> string -> cell
+  val timer : ?registry:t -> ?labels:(string * string) list -> string -> cell
+  val histogram : ?registry:t -> ?labels:(string * string) list -> string -> cell
+  val incr : cell -> unit
+  val add : cell -> int -> unit
+  val add_time : cell -> float -> unit
+  val observe : cell -> float -> unit
+  val time : cell -> (unit -> 'a) -> 'a
+  val dump : ?registry:t -> unit -> cell list
+  (** All cells in canonical (name, labels) order. *)
+
+  val clear : ?registry:t -> unit -> unit
+end
+
+(** Per-(function, basic block) cost attribution for one symbolic-execution
+    run.  Single-owner: one collector per worker domain, merged after the
+    join.  Increments mirror the engine's whole-run counters exactly, so
+    per-site values sum to [Engine.result] totals. *)
+module Profile : sig
+  type site_stats = {
+    mutable s_insts : int;
+    mutable s_forks : int;
+    mutable s_queries : int;
+    mutable s_cache_hits : int;
+    mutable s_solver_time : float;
+    mutable s_paths : int;
+  }
+
+  type t = {
+    sites : (string * int, site_stats) Hashtbl.t;
+    qhist : Hist.t;   (** per-query blast+SAT latency *)
+    mutable last_fn : string;
+    mutable last_block : int;
+    mutable last_cell : site_stats;
+  }
+
+  val create : unit -> t
+
+  val site : t -> fn:string -> block:int -> site_stats
+  (** The cell for (function, block), memoized for consecutive hits. *)
+
+  val merge_into : t -> t -> unit
+
+  val sites : t -> ((string * int) * site_stats) list
+  (** Canonical (function, block) order. *)
+
+  type totals = {
+    t_insts : int;
+    t_forks : int;
+    t_queries : int;
+    t_cache_hits : int;
+    t_solver_time : float;
+    t_paths : int;
+  }
+
+  val totals : t -> totals
+end
+
+(** Per-pass compile profile: wall time and code-size delta per pass
+    application, collected by [Pipeline.optimize ~prof]. *)
+module Pass : sig
+  type app = {
+    pa_pass : string;
+    pa_fn : string;       (** ["*"] for module-level passes *)
+    pa_time : float;
+    pa_size_before : int;
+    pa_size_after : int;
+    pa_changed : bool;
+  }
+
+  type t
+
+  val create : unit -> t
+  val record : t -> app -> unit
+
+  val apps : t -> app list
+  (** Application order. *)
+
+  type rollup = {
+    pr_pass : string;
+    pr_apps : int;
+    pr_changed : int;
+    pr_time : float;
+    pr_dsize : int;
+  }
+
+  val rollup : t -> rollup list
+  (** One row per pass, in first-application order. *)
+end
+
+(** Chrome [trace_event] sink (view in [chrome://tracing] / Perfetto).
+    Process-global, mutex per event; collection is off until {!start}. *)
+module Trace : sig
+  type event = {
+    ev_name : string;
+    ev_cat : string;
+    ev_ts : float;   (** absolute seconds *)
+    ev_dur : float;  (** seconds; 0 = instant event *)
+    ev_tid : int;
+    ev_args : (string * string) list;
+  }
+
+  val enabled : unit -> bool
+  val start : unit -> unit
+  val stop : unit -> unit
+  val clear : unit -> unit
+
+  val emit :
+    ?cat:string ->
+    ?args:(string * string) list ->
+    name:string ->
+    ts:float ->
+    dur:float ->
+    unit ->
+    unit
+
+  val with_span :
+    ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+  val events : unit -> event list
+
+  val to_json : unit -> string
+  (** One Chrome-loadable JSON document. *)
+
+  val write : string -> unit
+  (** Write to a file; a [.jsonl] suffix selects one event per line. *)
+end

@@ -19,6 +19,7 @@
 
 module Ir = Overify_ir.Ir
 module Verify = Overify_ir.Verify
+module Obs = Overify_obs.Obs
 
 type result = {
   modul : Ir.modul;
@@ -66,6 +67,8 @@ type ctx = {
   cm : Costmodel.t;
   stats : Stats.t;
   observe : observer option;
+  prof : Obs.Pass.t option;
+      (** per-application wall time + code-size delta collector *)
   mutable cur : Ir.modul;
 }
 
@@ -74,10 +77,42 @@ let emit ctx ~pass ~fn ~before ~after =
   | Some f -> f ~pass ~fn ~before ~after
   | None -> ()
 
+(** Record one pass application (time + size delta) with the profile
+    collector and, when tracing, the trace sink. *)
+let profile_app ctx ~pass ~fn ~t0 ~size_before ~size_after ~changed =
+  let dt = Unix.gettimeofday () -. t0 in
+  (match ctx.prof with
+  | Some p ->
+      Obs.Pass.record p
+        {
+          Obs.Pass.pa_pass = pass;
+          pa_fn = fn;
+          pa_time = dt;
+          pa_size_before = size_before;
+          pa_size_after = size_after;
+          pa_changed = changed;
+        }
+  | None -> ());
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~cat:"opt" ~name:pass
+      ~args:
+        [
+          ("fn", fn);
+          ("size_before", string_of_int size_before);
+          ("size_after", string_of_int size_after);
+          ("changed", string_of_bool changed);
+        ]
+      ~ts:t0 ~dur:dt ()
+
+(** Is any per-application bookkeeping (profile, trace, env tracing) on? *)
+let timing_on ctx =
+  ctx.prof <> None || trace_passes || Obs.Trace.enabled ()
+
 (** Apply one function pass, feeding the observer on change. *)
 let apply_fn ctx what (f : Ir.func -> Ir.func * bool) (fn : Ir.func) :
     Ir.func * bool =
-  let t0 = if trace_passes then Unix.gettimeofday () else 0.0 in
+  let timing = timing_on ctx in
+  let t0 = if timing then Unix.gettimeofday () else 0.0 in
   let (fn', changed) = f fn in
   let (fn', changed) =
     match !sabotage with
@@ -86,11 +121,15 @@ let apply_fn ctx what (f : Ir.func -> Ir.func * bool) (fn : Ir.func) :
         (fn'', changed || fn'' <> fn')
     | _ -> (fn', changed)
   in
-  if trace_passes then begin
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt > 0.05 then
-      Printf.eprintf "[pass] %-16s %-20s %6.2fs size=%d\n%!" what fn.Ir.fname
-        dt (Ir.func_size fn')
+  if timing then begin
+    profile_app ctx ~pass:what ~fn:fn.Ir.fname ~t0
+      ~size_before:(Ir.func_size fn) ~size_after:(Ir.func_size fn') ~changed;
+    if trace_passes then begin
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt > 0.05 then
+        Printf.eprintf "[pass] %-16s %-20s %6.2fs size=%d\n%!" what
+          fn.Ir.fname dt (Ir.func_size fn')
+    end
   end;
   if changed then begin
     check_fn what fn';
@@ -167,9 +206,9 @@ let optimize_function ctx (fn : Ir.func) : Ir.func =
 (** Compile a memory-form module at the given optimization level.  With
     [observe], every pass application that changes code is reported as a
     (before, after) module pair, in application order. *)
-let optimize ?observe (cm : Costmodel.t) (m : Ir.modul) : result =
+let optimize ?observe ?prof (cm : Costmodel.t) (m : Ir.modul) : result =
   let stats = Stats.create () in
-  let ctx = { cm; stats; observe; cur = m } in
+  let ctx = { cm; stats; observe; prof; cur = m } in
   let m =
     if cm.Costmodel.runtime_checks then
       {
@@ -186,7 +225,17 @@ let optimize ?observe (cm : Costmodel.t) (m : Ir.modul) : result =
        && not (List.mem "inline" cm.Costmodel.disabled_passes)
     then begin
       let before = ctx.cur in
+      let timing = timing_on ctx in
+      let t0 = if timing then Unix.gettimeofday () else 0.0 in
       let m' = Inline.run cm stats m in
+      if timing then begin
+        let modul_size mm =
+          List.fold_left (fun acc f -> acc + Ir.func_size f) 0 mm.Ir.funcs
+        in
+        profile_app ctx ~pass:"inline" ~fn:"*" ~t0
+          ~size_before:(modul_size m) ~size_after:(modul_size m')
+          ~changed:(m' <> m)
+      end;
       if ctx.observe <> None && m' <> m then begin
         ctx.cur <- m';
         emit ctx ~pass:"inline" ~fn:"*" ~before ~after:m'

@@ -33,7 +33,14 @@ val sabotage : (string * (Overify_ir.Ir.func -> Overify_ir.Ir.func)) option ref
     of every application of [pass].  Used to prove that translation
     validation catches miscompilations.  Never set outside tests. *)
 
-val optimize : ?observe:observer -> Costmodel.t -> Overify_ir.Ir.modul -> result
+val optimize :
+  ?observe:observer ->
+  ?prof:Overify_obs.Obs.Pass.t ->
+  Costmodel.t ->
+  Overify_ir.Ir.modul ->
+  result
 (** Compile a memory-form module at the given optimization level.
-    [observe] taps the stream of pass applications; without it the
-    compilation path is unchanged. *)
+    [observe] taps the stream of pass applications; [prof] collects per-
+    application wall time and code-size delta (every attempted application,
+    changed or not).  Without either the compilation path is unchanged —
+    no clock reads, no recording. *)

@@ -36,9 +36,13 @@ type ctx = {
   mutable deadline : float option;
       (** wall-clock deadline honoured by [check]; long-running
           blasting/SAT work raises {!Timeout} past it *)
+  mutable hist : Overify_obs.Obs.Hist.t option;
+      (** per-query blast+SAT latency histogram; observed only on real
+          solves (cache hits and constant-pruned queries cost no solver
+          time).  [None] (the default) records nothing. *)
 }
 
-let create ?deadline () =
+let create ?deadline ?hist () =
   {
     stats =
       {
@@ -50,6 +54,7 @@ let create ?deadline () =
       };
     cache = Hashtbl.create 1024;
     deadline;
+    hist;
   }
 
 let stats ctx = ctx.stats
@@ -65,6 +70,22 @@ let reset_stats ctx =
 let clear_cache ctx = Hashtbl.reset ctx.cache
 
 let set_deadline ctx d = ctx.deadline <- d
+
+let set_hist ctx h = ctx.hist <- h
+
+(** Charge one real (uncached) solve to the counters, the latency
+    histogram, and — when tracing — the trace sink.  Also called on the
+    timeout path so attributed time stays consistent with [solver_time]. *)
+let charge_solve ctx t0 ~timed_out =
+  let dt = Unix.gettimeofday () -. t0 in
+  ctx.stats.solver_time <- ctx.stats.solver_time +. dt;
+  (match ctx.hist with
+  | Some h -> Overify_obs.Obs.Hist.observe h dt
+  | None -> ());
+  if Overify_obs.Obs.Trace.enabled () then
+    Overify_obs.Obs.Trace.emit ~cat:"solver" ~name:"solver.check"
+      ~args:(if timed_out then [ ("timeout", "true") ] else [])
+      ~ts:t0 ~dur:dt ()
 
 (** Check satisfiability of the conjunction of width-1 terms. *)
 let check (ctx : ctx) (assertions : Bv.t list) : result =
@@ -105,7 +126,7 @@ let check (ctx : ctx) (assertions : Bv.t list) : result =
         let sat =
           try Sat.solve ?deadline:ctx.deadline bctx.Blast.sat
           with Timeout ->
-            stats.solver_time <- stats.solver_time +. (Unix.gettimeofday () -. t0);
+            charge_solve ctx t0 ~timed_out:true;
             raise Timeout
         in
         let r =
@@ -128,7 +149,7 @@ let check (ctx : ctx) (assertions : Bv.t list) : result =
             Sat model
           end
         in
-        stats.solver_time <- stats.solver_time +. (Unix.gettimeofday () -. t0);
+        charge_solve ctx t0 ~timed_out:false;
         (match r with
         | Sat _ -> stats.sat_answers <- stats.sat_answers + 1
         | Unsat -> stats.unsat_answers <- stats.unsat_answers + 1);

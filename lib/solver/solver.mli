@@ -26,14 +26,18 @@ type stats = {
 type ctx
 (** Query cache + stats counters + wall-clock deadline. *)
 
-val create : ?deadline:float -> unit -> ctx
+val create : ?deadline:float -> ?hist:Overify_obs.Obs.Hist.t -> unit -> ctx
 (** Fresh context with empty cache and zeroed counters.  [deadline] is an
     absolute [Unix.gettimeofday] instant past which blasting or SAT work
     raises {!Timeout} — set by the symbolic-execution engine so one
-    pathological query cannot blow an experiment budget. *)
+    pathological query cannot blow an experiment budget.  [hist] receives
+    the latency of every real (uncached) solve. *)
 
 val stats : ctx -> stats
 val reset_stats : ctx -> unit
+
+val set_hist : ctx -> Overify_obs.Obs.Hist.t option -> unit
+(** Attach (or detach) the per-query latency histogram. *)
 
 val clear_cache : ctx -> unit
 (** Drop this context's cached query results (other contexts are

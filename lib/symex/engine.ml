@@ -15,6 +15,7 @@
 module Ir = Overify_ir.Ir
 module Bv = Overify_solver.Bv
 module Solver = Overify_solver.Solver
+module Obs = Overify_obs.Obs
 
 type config = {
   input_size : int;
@@ -23,6 +24,7 @@ type config = {
   timeout : float;       (** wall-clock seconds *)
   check_bounds : bool;   (** fork out-of-bounds bug paths *)
   searcher : [ `Dfs | `Bfs | `Parallel of int ];
+  profile : bool;        (** attribute cost per (function, block) *)
 }
 
 let default_config =
@@ -33,12 +35,21 @@ let default_config =
     timeout = 60.0;
     check_bounds = true;
     searcher = `Dfs;
+    profile = false;
   }
 
 type bug = {
   kind : string;
   input : string;        (** concrete input reproducing the bug *)
   at_function : string;
+}
+
+type worker_stat = {
+  w_instructions : int;
+  w_forks : int;
+  w_queries : int;
+  w_cache_hits : int;
+  w_solver_time : float;
 }
 
 type result = {
@@ -56,6 +67,12 @@ type result = {
   blocks_covered : int;  (** basic blocks reached on some explored path *)
   blocks_total : int;    (** blocks of the functions reachable from main *)
   jobs : int;            (** worker domains used (1 for `Dfs/`Bfs) *)
+  worker_stats : worker_stat list;
+      (** per-worker solver/executor counters, in worker order; the
+          reported totals are by definition their sums *)
+  profile : Obs.Profile.t option;
+      (** per-(function, block) attribution, merged over workers; present
+          iff [config.profile] was set *)
 }
 
 (** Extract a concrete input string from a state's model. *)
@@ -84,6 +101,15 @@ type worker = {
 }
 
 let record_exit w input_vars (st : State.t) code =
+  (match w.gctx.Executor.prof with
+  | Some p ->
+      (* the path completed at main's returning block *)
+      let fr = State.top st in
+      let cell =
+        Obs.Profile.site p ~fn:fr.State.fn.Ir.fname ~block:fr.State.cur_block
+      in
+      cell.Obs.Profile.s_paths <- cell.Obs.Profile.s_paths + 1
+  | None -> ());
   let witness = input_of_model input_vars st.State.model in
   let code_v =
     match code with
@@ -406,7 +432,12 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     | `Dfs | `Bfs -> 1
   in
   let make_worker () =
-    let solver = Solver.create ~deadline () in
+    let prof = if config.profile then Some (Obs.Profile.create ()) else None in
+    let solver =
+      Solver.create ~deadline
+        ?hist:(Option.map (fun p -> p.Obs.Profile.qhist) prof)
+        ()
+    in
     let gctx =
       {
         Executor.modul = m;
@@ -418,6 +449,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         insts_executed = 0;
         forks = 0;
         covered = Hashtbl.create 64;
+        prof;
       }
     in
     Hashtbl.replace gctx.Executor.covered (main.Ir.fname, entry.Ir.bid) ();
@@ -475,6 +507,46 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   let sum f = List.fold_left (fun acc w -> acc + f w) 0 workers in
   let sumf f = List.fold_left (fun acc w -> acc +. f w) 0.0 workers in
   let solver_stats w = Solver.stats w.gctx.Executor.solver in
+  let worker_stats =
+    List.map
+      (fun w ->
+        let s = solver_stats w in
+        {
+          w_instructions = w.gctx.Executor.insts_executed;
+          w_forks = w.gctx.Executor.forks;
+          w_queries = s.Solver.queries;
+          w_cache_hits = s.Solver.cache_hits;
+          w_solver_time = s.Solver.solver_time;
+        })
+      workers
+  in
+  let profile =
+    if not config.profile then None
+    else begin
+      let merged = Obs.Profile.create () in
+      List.iter
+        (fun w ->
+          match w.gctx.Executor.prof with
+          | Some p -> Obs.Profile.merge_into merged p
+          | None -> ())
+        workers;
+      Some merged
+    end
+  in
+  let time = Unix.gettimeofday () -. t_start in
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~cat:"symex" ~name:"engine.run"
+      ~args:
+        [
+          ("searcher",
+           match config.searcher with
+           | `Dfs -> "dfs"
+           | `Bfs -> "bfs"
+           | `Parallel j -> Printf.sprintf "parallel:%d" j);
+          ("paths", string_of_int paths);
+          ("complete", string_of_bool complete);
+        ]
+      ~ts:t_start ~dur:time ();
   {
     paths;
     bugs;
@@ -483,7 +555,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     queries = sum (fun w -> (solver_stats w).Solver.queries);
     cache_hits = sum (fun w -> (solver_stats w).Solver.cache_hits);
     solver_time = sumf (fun w -> (solver_stats w).Solver.solver_time);
-    time = Unix.gettimeofday () -. t_start;
+    time;
     complete;
     exit_codes;
     blocks_covered = Hashtbl.length covered;
@@ -504,4 +576,6 @@ let run ?(config = default_config) (m : Ir.modul) : result =
            if Hashtbl.mem reach f.Ir.fname then acc + Ir.num_blocks f else acc)
          0 m.Ir.funcs);
     jobs = njobs;
+    worker_stats;
+    profile;
   }

@@ -13,6 +13,11 @@ type config = {
           scheduler; each worker owns a private solver context and budgets
           are enforced globally.  [`Parallel 1] is the work-sharing
           scheduler on a single domain. *)
+  profile : bool;
+      (** attribute cost (instructions, forks, solver queries and time,
+          path completions) to (function, block) sites; the merged
+          attribution is returned in [result.profile].  Off by default —
+          the un-instrumented run pays only a per-site [option] branch. *)
 }
 
 val default_config : config
@@ -21,6 +26,14 @@ type bug = {
   kind : string;         (** e.g. "division by zero" *)
   input : string;        (** concrete input reproducing the bug *)
   at_function : string;
+}
+
+type worker_stat = {
+  w_instructions : int;
+  w_forks : int;
+  w_queries : int;
+  w_cache_hits : int;
+  w_solver_time : float;
 }
 
 type result = {
@@ -40,6 +53,16 @@ type result = {
   blocks_covered : int;  (** basic blocks reached on some explored path *)
   blocks_total : int;    (** blocks of the functions reachable from main *)
   jobs : int;            (** worker domains used (1 for [`Dfs]/[`Bfs]) *)
+  worker_stats : worker_stat list;
+      (** per-worker solver/executor counters, in worker order; the
+          reported totals ([instructions], [forks], [queries],
+          [cache_hits], [solver_time]) are their sums *)
+  profile : Overify_obs.Obs.Profile.t option;
+      (** per-(function, block) cost attribution, merged over workers;
+          present iff [config.profile].  Attributed instructions, forks,
+          queries and cache hits sum exactly to the whole-run totals;
+          attributed solver time sums to [solver_time] up to float
+          rounding. *)
 }
 
 val run : ?config:config -> Overify_ir.Ir.modul -> result

@@ -9,6 +9,7 @@
 module Ir = Overify_ir.Ir
 module Bv = Overify_solver.Bv
 module Solver = Overify_solver.Solver
+module Obs = Overify_obs.Obs
 module IMap = State.IMap
 
 type gctx = {
@@ -22,7 +23,18 @@ type gctx = {
   mutable forks : int;
   covered : (string * int, unit) Hashtbl.t;
       (** basic blocks reached on some path (KLEE-style coverage) *)
+  prof : Obs.Profile.t option;
+      (** cost attribution per (function, block); [None] (the default) is
+          the un-instrumented fast path — every profiling site is one
+          branch on this option.  Increments mirror [insts_executed],
+          [forks] and the solver counters exactly, so attributed values
+          sum to the whole-run totals. *)
 }
+
+(** The attribution cell for [st]'s current (function, block). *)
+let prof_site (p : Obs.Profile.t) (st : State.t) =
+  let fr = State.top st in
+  Obs.Profile.site p ~fn:fr.State.fn.Ir.fname ~block:fr.State.cur_block
 
 type transition =
   | T_cont of State.t
@@ -50,6 +62,30 @@ let width_of_ty ty = Ir.bits_of_ty ty
 
 type feas = Feasible of (int * int64) list | Infeasible
 
+(** One solver query, with its counter deltas (queries, cache hits, solver
+    time) attributed to [st]'s current site.  The delta view keeps the
+    attribution defined as "whatever the solver context recorded", so
+    per-site sums cannot drift from the whole-run totals; [Fun.protect]
+    charges partially-spent time even when the solver raises [Timeout]. *)
+let checked_query gctx (st : State.t) (assertions : Bv.t list) : Solver.result =
+  match gctx.prof with
+  | None -> Solver.check gctx.solver assertions
+  | Some p ->
+      let s = Solver.stats gctx.solver in
+      let q0 = s.Solver.queries
+      and h0 = s.Solver.cache_hits
+      and t0 = s.Solver.solver_time in
+      Fun.protect
+        ~finally:(fun () ->
+          let cell = prof_site p st in
+          cell.Obs.Profile.s_queries <-
+            cell.Obs.Profile.s_queries + (s.Solver.queries - q0);
+          cell.Obs.Profile.s_cache_hits <-
+            cell.Obs.Profile.s_cache_hits + (s.Solver.cache_hits - h0);
+          cell.Obs.Profile.s_solver_time <-
+            cell.Obs.Profile.s_solver_time +. (s.Solver.solver_time -. t0))
+        (fun () -> Solver.check gctx.solver assertions)
+
 (** Is [path /\ c] satisfiable?  Fast path: the state's model. *)
 let feasible gctx (st : State.t) (c : Bv.t) : feas =
   match c.Bv.node with
@@ -58,7 +94,7 @@ let feasible gctx (st : State.t) (c : Bv.t) : feas =
   | _ ->
       if State.model_eval st c then Feasible st.State.model
       else begin
-        match Solver.check gctx.solver (c :: st.State.path) with
+        match checked_query gctx st (c :: st.State.path) with
         | Solver.Sat m -> Feasible m
         | Solver.Unsat -> Infeasible
       end
@@ -175,6 +211,15 @@ let enter_block gctx (st : State.t) target : State.t =
       phis
   in
   gctx.insts_executed <- gctx.insts_executed + List.length phis;
+  (match gctx.prof with
+  | Some p when phis <> [] ->
+      (* phi evaluation belongs to the block being entered *)
+      let cell =
+        Obs.Profile.site p ~fn:fr.State.fn.Ir.fname ~block:target
+      in
+      cell.Obs.Profile.s_insts <-
+        cell.Obs.Profile.s_insts + List.length phis
+  | _ -> ());
   let st = { st with State.steps = st.State.steps + List.length phis } in
   State.with_top
     (List.fold_left
@@ -258,7 +303,22 @@ let input_byte gctx (st : State.t) (idx : Bv.t) : Bv.t =
 
 let charge gctx st =
   gctx.insts_executed <- gctx.insts_executed + 1;
+  (match gctx.prof with
+  | Some p ->
+      let cell = prof_site p st in
+      cell.Obs.Profile.s_insts <- cell.Obs.Profile.s_insts + 1
+  | None -> ());
   { st with State.steps = st.State.steps + 1 }
+
+(** A genuine fork (more than one feasible continuation), attributed to the
+    site that forked. *)
+let record_fork gctx st =
+  gctx.forks <- gctx.forks + 1;
+  match gctx.prof with
+  | Some p ->
+      let cell = prof_site p st in
+      cell.Obs.Profile.s_forks <- cell.Obs.Profile.s_forks + 1
+  | None -> ()
 
 (** Execute one instruction or terminator of [st]. *)
 let rec step gctx (st : State.t) : transition list =
@@ -331,7 +391,7 @@ let rec step gctx (st : State.t) : transition list =
               [ T_cont (State.set_reg st d (Sval.SPtr (o1, Bv.ite tc off1 off2))) ]
           | (_, _, _) ->
               (* select over distinct objects: fork on the condition *)
-              gctx.forks <- gctx.forks + 1;
+              record_fork gctx st;
               let tside =
                 match feasible gctx st tc with
                 | Feasible m ->
@@ -384,7 +444,7 @@ let rec step gctx (st : State.t) : transition list =
                       | None -> [ T_drop (st, "unsupported symbolic pointer") ]
                       | Some alts ->
                           if List.length alts > 1 then
-                            gctx.forks <- gctx.forks + 1;
+                            record_fork gctx st;
                           List.concat_map
                             (fun (guard, raw) ->
                               match feasible gctx st guard with
@@ -443,7 +503,7 @@ let rec step gctx (st : State.t) : transition list =
               let tf = feasible gctx st tc and ff_ = feasible gctx st nc in
               (match (tf, ff_) with
               | (Feasible mt, Feasible mf) ->
-                  gctx.forks <- gctx.forks + 1;
+                  record_fork gctx st;
                   [ T_cont (enter_block gctx (constrain st tc mt) t);
                     T_cont (enter_block gctx (constrain st nc mf) e) ]
               | (Feasible _, Infeasible) -> [ T_cont (enter_block gctx st t) ]

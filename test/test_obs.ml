@@ -1,0 +1,403 @@
+(** Observability suite: unit tests for the metric primitives ([Obs.Hist],
+    [Obs.Registry], [Obs.Pass], [Obs.Profile]), the central attribution
+    invariant (per-site costs sum to the whole-run [Engine.result] totals),
+    the shape and determinism of the [overify profile --json] report, and
+    the trace sink. *)
+
+module Obs = Overify_obs.Obs
+module Engine = Overify_symex.Engine
+module Frontend = Overify_minic.Frontend
+module Costmodel = Overify_opt.Costmodel
+module Pipeline = Overify_opt.Pipeline
+module Programs = Overify_corpus.Programs
+module Vclib = Overify_vclib.Vclib
+module Profile = Overify_harness.Profile
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------- Hist ------------- *)
+
+let test_hist_observe () =
+  let h = Obs.Hist.create () in
+  check int "empty count" 0 h.Obs.Hist.count;
+  Obs.Hist.observe h 0.001;
+  Obs.Hist.observe h 0.004;
+  Obs.Hist.observe h 0.002;
+  check int "count" 3 h.Obs.Hist.count;
+  check (Alcotest.float 1e-9) "sum" 0.007 h.Obs.Hist.sum;
+  check (Alcotest.float 1e-9) "max" 0.004 h.Obs.Hist.max;
+  check (Alcotest.float 1e-9) "mean" (0.007 /. 3.) (Obs.Hist.mean h)
+
+let test_hist_buckets_monotonic () =
+  let prev = ref 0.0 in
+  for i = 0 to Obs.Hist.nbuckets - 1 do
+    let b = Obs.Hist.bucket_bound i in
+    check bool (Printf.sprintf "bound %d grows" i) true (b > !prev);
+    prev := b
+  done
+
+let test_hist_percentile () =
+  let h = Obs.Hist.create () in
+  (* 90 fast observations, 10 slow ones *)
+  for _ = 1 to 90 do Obs.Hist.observe h 0.0001 done;
+  for _ = 1 to 10 do Obs.Hist.observe h 0.1 done;
+  let p50 = Obs.Hist.percentile h 0.5 in
+  let p99 = Obs.Hist.percentile h 0.99 in
+  check bool "p50 is fast" true (p50 < 0.01);
+  check bool "p99 is slow" true (p99 > 0.01);
+  check bool "percentile capped at max" true (p99 <= h.Obs.Hist.max)
+
+let test_hist_merge () =
+  let a = Obs.Hist.create () and b = Obs.Hist.create () in
+  Obs.Hist.observe a 0.001;
+  Obs.Hist.observe b 0.002;
+  Obs.Hist.observe b 0.3;
+  Obs.Hist.merge_into a b;
+  check int "merged count" 3 a.Obs.Hist.count;
+  check (Alcotest.float 1e-9) "merged sum" 0.303 a.Obs.Hist.sum;
+  check (Alcotest.float 1e-9) "merged max" 0.3 a.Obs.Hist.max;
+  check int "source untouched" 2 b.Obs.Hist.count
+
+(* ------------- Registry ------------- *)
+
+let test_registry () =
+  let r = Obs.Registry.create () in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) @@ fun () ->
+  let c = Obs.Registry.counter ~registry:r "events" in
+  Obs.Registry.incr c;
+  Obs.Registry.incr c;
+  Obs.Registry.add c 3;
+  check int "counter" 5 c.Obs.Registry.count;
+  (* same (name, labels) resolves to the same cell *)
+  let c' = Obs.Registry.counter ~registry:r "events" in
+  check bool "same cell" true (c == c');
+  (* different labels are a different cell *)
+  let cl = Obs.Registry.counter ~registry:r ~labels:[ ("pass", "gvn") ] "events" in
+  check bool "labeled cell distinct" true (not (c == cl));
+  Obs.Registry.incr cl;
+  check int "labeled count" 1 cl.Obs.Registry.count;
+  let t = Obs.Registry.timer ~registry:r "t" in
+  Obs.Registry.add_time t 0.25;
+  let x = Obs.Registry.time t (fun () -> 41 + 1) in
+  check int "timed thunk result" 42 x;
+  check bool "timer accumulated" true (t.Obs.Registry.sum >= 0.25);
+  check int "dump has three cells" 3
+    (List.length (Obs.Registry.dump ~registry:r ()));
+  Obs.Registry.clear ~registry:r ();
+  check int "clear empties" 0 (List.length (Obs.Registry.dump ~registry:r ()))
+
+let test_registry_disabled_noop () =
+  let r = Obs.Registry.create () in
+  let was = Obs.enabled () in
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) @@ fun () ->
+  let c = Obs.Registry.counter ~registry:r "events" in
+  Obs.Registry.incr c;
+  Obs.Registry.add c 10;
+  check int "disabled counter stays 0" 0 c.Obs.Registry.count
+
+(* ------------- Pass ------------- *)
+
+let app pass fn time before after changed =
+  {
+    Obs.Pass.pa_pass = pass;
+    pa_fn = fn;
+    pa_time = time;
+    pa_size_before = before;
+    pa_size_after = after;
+    pa_changed = changed;
+  }
+
+let test_pass_rollup () =
+  let p = Obs.Pass.create () in
+  Obs.Pass.record p (app "gvn" "f" 0.1 100 90 true);
+  Obs.Pass.record p (app "dce" "f" 0.2 90 80 true);
+  Obs.Pass.record p (app "gvn" "g" 0.3 50 50 false);
+  check int "apps in order" 3 (List.length (Obs.Pass.apps p));
+  check string "first app" "gvn" (List.nth (Obs.Pass.apps p) 0).Obs.Pass.pa_pass;
+  match Obs.Pass.rollup p with
+  | [ gvn; dce ] ->
+      check string "rollup order = first application" "gvn" gvn.Obs.Pass.pr_pass;
+      check int "gvn apps" 2 gvn.Obs.Pass.pr_apps;
+      check int "gvn changed" 1 gvn.Obs.Pass.pr_changed;
+      check (Alcotest.float 1e-9) "gvn time" 0.4 gvn.Obs.Pass.pr_time;
+      check int "gvn dsize" (-10) gvn.Obs.Pass.pr_dsize;
+      check int "dce apps" 1 dce.Obs.Pass.pr_apps;
+      check int "dce dsize" (-10) dce.Obs.Pass.pr_dsize
+  | l -> Alcotest.failf "expected 2 rollup rows, got %d" (List.length l)
+
+(* ------------- Profile collector ------------- *)
+
+let test_profile_sites () =
+  let p = Obs.Profile.create () in
+  let s1 = Obs.Profile.site p ~fn:"main" ~block:3 in
+  s1.Obs.Profile.s_insts <- 10;
+  (* memoized: the same (fn, block) is the same cell *)
+  let s1' = Obs.Profile.site p ~fn:"main" ~block:3 in
+  check bool "memoized cell" true (s1 == s1');
+  let s2 = Obs.Profile.site p ~fn:"main" ~block:7 in
+  s2.Obs.Profile.s_queries <- 2;
+  let s3 = Obs.Profile.site p ~fn:"wc" ~block:3 in
+  s3.Obs.Profile.s_insts <- 5;
+  check int "three sites" 3 (List.length (Obs.Profile.sites p));
+  let t = Obs.Profile.totals p in
+  check int "total insts" 15 t.Obs.Profile.t_insts;
+  check int "total queries" 2 t.Obs.Profile.t_queries;
+  (* merge *)
+  let q = Obs.Profile.create () in
+  (Obs.Profile.site q ~fn:"main" ~block:3).Obs.Profile.s_insts <- 100;
+  (Obs.Profile.site q ~fn:"new" ~block:0).Obs.Profile.s_forks <- 4;
+  Obs.Profile.merge_into p q;
+  let t = Obs.Profile.totals p in
+  check int "merged insts" 115 t.Obs.Profile.t_insts;
+  check int "merged forks" 4 t.Obs.Profile.t_forks;
+  check int "four sites after merge" 4 (List.length (Obs.Profile.sites p))
+
+(* ------------- attribution sums to engine totals ------------- *)
+
+let compile_program ?(level = Costmodel.overify) (p : Programs.t) =
+  (Pipeline.optimize level
+     (Frontend.compile_sources [ Vclib.for_cost_model level; p.Programs.source ]))
+    .Pipeline.modul
+
+let run_profiled ?(searcher = `Dfs) ?(input_size = 3) m =
+  Engine.run
+    ~config:
+      {
+        Engine.default_config with
+        input_size;
+        timeout = 30.0;
+        searcher;
+        profile = true;
+      }
+    m
+
+let assert_attribution_matches name (r : Engine.result) =
+  let p =
+    match r.Engine.profile with
+    | Some p -> p
+    | None -> Alcotest.failf "%s: no profile returned" name
+  in
+  let t = Obs.Profile.totals p in
+  check int (name ^ ": instructions attributed") r.Engine.instructions
+    t.Obs.Profile.t_insts;
+  check int (name ^ ": forks attributed") r.Engine.forks t.Obs.Profile.t_forks;
+  check int (name ^ ": queries attributed") r.Engine.queries
+    t.Obs.Profile.t_queries;
+  check int (name ^ ": cache hits attributed") r.Engine.cache_hits
+    t.Obs.Profile.t_cache_hits;
+  check int (name ^ ": paths attributed") r.Engine.paths t.Obs.Profile.t_paths;
+  (* per-site solver charges are float deltas of the same accumulator —
+     equal up to rounding *)
+  if abs_float (t.Obs.Profile.t_solver_time -. r.Engine.solver_time)
+     > 1e-6 +. (1e-9 *. float_of_int r.Engine.queries)
+  then
+    Alcotest.failf "%s: solver time %.9f attributed as %.9f" name
+      r.Engine.solver_time t.Obs.Profile.t_solver_time
+
+(* every corpus program, sequential: sums must match exactly *)
+let test_attribution_corpus () =
+  List.iter
+    (fun (p : Programs.t) ->
+      let m = compile_program p in
+      let r = run_profiled ~input_size:2 m in
+      assert_attribution_matches p.Programs.name r)
+    Programs.programs
+
+(* unoptimized wc has multiple active functions — attribution must span
+   them and still sum to the totals *)
+let test_attribution_multi_function () =
+  let p = Option.get (Programs.find "wc") in
+  let m = compile_program ~level:Costmodel.o0 p in
+  let r = run_profiled ~input_size:3 m in
+  assert_attribution_matches "wc@O0" r;
+  let prof = Option.get r.Engine.profile in
+  let fns =
+    List.sort_uniq compare
+      (List.map (fun ((fn, _), _) -> fn) (Obs.Profile.sites prof))
+  in
+  check bool "several functions attributed" true (List.length fns > 1)
+
+(* the merged parallel profile obeys the same invariant *)
+let test_attribution_parallel () =
+  let p = Option.get (Programs.find "wc") in
+  let m = compile_program p in
+  let r = run_profiled ~searcher:(`Parallel 2) ~input_size:3 m in
+  check int "two workers" 2 r.Engine.jobs;
+  assert_attribution_matches "wc@parallel2" r
+
+(* profiling off: no collector is allocated or returned *)
+let test_profile_off_is_none () =
+  let p = Option.get (Programs.find "wc") in
+  let m = compile_program p in
+  let r =
+    Engine.run
+      ~config:{ Engine.default_config with input_size = 2; timeout = 30.0 }
+      m
+  in
+  check bool "no profile by default" true (r.Engine.profile = None)
+
+(* ------------- report: shape, golden keys, determinism ------------- *)
+
+let wc_report () =
+  let p = Option.get (Programs.find "wc") in
+  Profile.profile ~program:"wc" ~level:Costmodel.overify ~input_size:3
+    ~timeout:30.0 p.Programs.source
+
+(* the JSON document's key skeleton, in order — the machine-readable
+   contract of `overify profile --json` *)
+let test_json_shape () =
+  let json = Profile.to_json ~times:false (wc_report ()) in
+  let keys =
+    [
+      "{";
+      "\"program\": \"wc\"";
+      "\"level\": \"-OVERIFY\"";
+      "\"input_size\": 3";
+      "\"totals\": {\"paths\":";
+      "\"instructions\":";
+      "\"forks\":";
+      "\"queries\":";
+      "\"cache_hits\":";
+      "\"solver_time_ms\":";
+      "\"complete\": true";
+      "\"functions\": [";
+      "\"fn\": \"main\"";
+      "\"blocks\": [";
+      "\"passes\": [";
+      "\"pass\": \"inline\"";
+      "\"applications\":";
+      "\"size_delta\":";
+      "}";
+    ]
+  in
+  let rec walk pos = function
+    | [] -> ()
+    | k :: rest ->
+        let found = ref None in
+        let nk = String.length k in
+        (try
+           for i = pos to String.length json - nk do
+             if String.sub json i nk = k then begin
+               found := Some i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        (match !found with
+        | Some i -> walk (i + nk) rest
+        | None ->
+            Alcotest.failf "JSON shape: key %s missing (after position %d) in:\n%s"
+              k pos json)
+  in
+  walk 0 keys;
+  (* times:false excludes the non-deterministic parts *)
+  check bool "no latency histogram" false (contains json "query_latency");
+  check bool "times zeroed" false (contains json "\"time_ms\": 0.001");
+  check bool "solver times zeroed" true
+    (contains json "\"solver_time_ms\": 0.000")
+
+(* two independent profile runs produce byte-identical deterministic
+   reports (timestamps excluded via times:false) *)
+let test_json_deterministic () =
+  let j1 = Profile.to_json ~times:false (wc_report ()) in
+  let j2 = Profile.to_json ~times:false (wc_report ()) in
+  check string "independent runs agree byte-for-byte" j1 j2
+
+(* the human-readable table agrees with the engine totals it prints *)
+let test_table_renders () =
+  let t = wc_report () in
+  let buf = Filename.temp_file "overify_profile" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove buf) @@ fun () ->
+  Out_channel.with_open_text buf (fun oc -> Profile.print ~out:oc t);
+  let s = In_channel.with_open_text buf In_channel.input_all in
+  check bool "has header" true (contains s "verification profile: wc");
+  check bool "has function column" true (contains s "function");
+  check bool "has pass table" true (contains s "compile profile");
+  check bool "names a function" true (contains s "main")
+
+(* ------------- trace sink ------------- *)
+
+let test_trace_capture () =
+  Obs.Trace.clear ();
+  Obs.Trace.start ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Trace.stop ();
+      Obs.Trace.clear ())
+  @@ fun () ->
+  let p = Option.get (Programs.find "wc") in
+  let m = compile_program p in
+  ignore (run_profiled ~input_size:2 m);
+  Obs.Trace.stop ();
+  let evs = Obs.Trace.events () in
+  check bool "captured events" true (List.length evs > 0);
+  check bool "has engine span" true
+    (List.exists (fun e -> e.Obs.Trace.ev_name = "engine.run") evs);
+  check bool "has solver spans" true
+    (List.exists (fun e -> e.Obs.Trace.ev_cat = "solver") evs);
+  let json = Obs.Trace.to_json () in
+  check bool "chrome envelope" true (contains json "\"traceEvents\"");
+  check bool "complete events" true (contains json "\"ph\": \"X\"")
+
+let test_trace_disabled_by_default () =
+  check bool "trace off" false (Obs.Trace.enabled ());
+  Obs.Trace.emit ~name:"ignored" ~ts:0.0 ~dur:1.0 ();
+  check int "no events recorded when off" 0 (List.length (Obs.Trace.events ()))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "observe/sum/max/mean" `Quick test_hist_observe;
+          Alcotest.test_case "bucket bounds monotonic" `Quick
+            test_hist_buckets_monotonic;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentile;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters/timers/labels" `Quick test_registry;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_registry_disabled_noop;
+        ] );
+      ( "pass",
+        [ Alcotest.test_case "record and rollup" `Quick test_pass_rollup ] );
+      ( "profile collector",
+        [ Alcotest.test_case "sites, memo, merge, totals" `Quick
+            test_profile_sites ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "corpus sums to totals" `Slow
+            test_attribution_corpus;
+          Alcotest.test_case "multi-function (wc@O0)" `Quick
+            test_attribution_multi_function;
+          Alcotest.test_case "parallel merged profile" `Quick
+            test_attribution_parallel;
+          Alcotest.test_case "off by default" `Quick test_profile_off_is_none;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json shape (golden keys)" `Quick test_json_shape;
+          Alcotest.test_case "deterministic across runs" `Quick
+            test_json_deterministic;
+          Alcotest.test_case "table renders" `Quick test_table_renders;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "captures engine/solver spans" `Quick
+            test_trace_capture;
+          Alcotest.test_case "disabled by default" `Quick
+            test_trace_disabled_by_default;
+        ] );
+    ]

@@ -697,6 +697,85 @@ let differential_tests =
                    rest)))
     Programs.programs
 
+(* ------------- Stats (the Table 3 counters) ------------- *)
+
+let stats_fields (s : Stats.t) =
+  [
+    ("functions_inlined", s.Stats.functions_inlined);
+    ("loops_unswitched", s.Stats.loops_unswitched);
+    ("loops_unrolled", s.Stats.loops_unrolled);
+    ("loops_deleted", s.Stats.loops_deleted);
+    ("branches_converted", s.Stats.branches_converted);
+    ("jumps_threaded", s.Stats.jumps_threaded);
+    ("allocas_promoted", s.Stats.allocas_promoted);
+    ("aggregates_split", s.Stats.aggregates_split);
+    ("insts_folded", s.Stats.insts_folded);
+    ("insts_hoisted", s.Stats.insts_hoisted);
+    ("checks_inserted", s.Stats.checks_inserted);
+    ("annotations_added", s.Stats.annotations_added);
+  ]
+
+let test_stats_create_zero () =
+  List.iter
+    (fun (name, v) -> check int (name ^ " starts at 0") 0 v)
+    (stats_fields (Stats.create ()))
+
+let test_stats_add () =
+  (* distinct per-field values so a transposed field in [add] shows up *)
+  let a = Stats.create () and b = Stats.create () in
+  let setters =
+    [
+      (fun (s : Stats.t) v -> s.Stats.functions_inlined <- v);
+      (fun s v -> s.Stats.loops_unswitched <- v);
+      (fun s v -> s.Stats.loops_unrolled <- v);
+      (fun s v -> s.Stats.loops_deleted <- v);
+      (fun s v -> s.Stats.branches_converted <- v);
+      (fun s v -> s.Stats.jumps_threaded <- v);
+      (fun s v -> s.Stats.allocas_promoted <- v);
+      (fun s v -> s.Stats.aggregates_split <- v);
+      (fun s v -> s.Stats.insts_folded <- v);
+      (fun s v -> s.Stats.insts_hoisted <- v);
+      (fun s v -> s.Stats.checks_inserted <- v);
+      (fun s v -> s.Stats.annotations_added <- v);
+    ]
+  in
+  List.iteri (fun i set -> set a (i + 1)) setters;
+  List.iteri (fun i set -> set b (100 * (i + 1))) setters;
+  let s = Stats.add a b in
+  List.iteri
+    (fun i (name, v) -> check int (name ^ " adds field-wise") (101 * (i + 1)) v)
+    (stats_fields s);
+  (* add is non-destructive *)
+  check int "left operand untouched" 1 a.Stats.functions_inlined;
+  check int "right operand untouched" 100 b.Stats.functions_inlined
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_stats_pp () =
+  let s = Stats.create () in
+  s.Stats.functions_inlined <- 3;
+  s.Stats.checks_inserted <- 42;
+  let str = Format.asprintf "%a" Stats.pp s in
+  check bool "pp shows inlined=3" true (contains str "inlined=3");
+  check bool "pp shows checks=42" true (contains str "checks=42")
+
+(* the pipeline actually populates the counters: wc at -OVERIFY inlines,
+   promotes allocas and inserts checks/annotations *)
+let test_stats_populated_by_pipeline () =
+  let p = Option.get (Programs.find "wc") in
+  let r =
+    Pipeline.optimize Costmodel.overify
+      (Frontend.compile_sources
+         [ Vclib.for_cost_model Costmodel.overify; p.Programs.source ])
+  in
+  let s = r.Pipeline.stats in
+  check bool "inlined something" true (s.Stats.functions_inlined > 0);
+  check bool "promoted allocas" true (s.Stats.allocas_promoted > 0);
+  check bool "added annotations" true (s.Stats.annotations_added > 0)
+
 let () =
   Alcotest.run "opt"
     [
@@ -784,6 +863,14 @@ let () =
           Alcotest.test_case "code size sanity" `Quick test_code_growth_direction;
           Alcotest.test_case "IR verifies over corpus at all levels" `Slow
             test_levels_verify_over_corpus;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "create is all zeros" `Quick test_stats_create_zero;
+          Alcotest.test_case "add is field-wise" `Quick test_stats_add;
+          Alcotest.test_case "pp names every counter" `Quick test_stats_pp;
+          Alcotest.test_case "pipeline populates counters" `Quick
+            test_stats_populated_by_pipeline;
         ] );
       ("differential (qcheck)", differential_tests);
     ]
