@@ -8,6 +8,7 @@
       dune exec bench/main.exe -- figure4 [-n N] [-t SECONDS]
       dune exec bench/main.exe -- precision    # the 2.1 precision experiment
       dune exec bench/main.exe -- parallel [-n N] [-t SECONDS] [-j JOBS]
+      dune exec bench/main.exe -- solve [-n N] [-t SECONDS] [-p PROGRAM] [-o FILE]
       dune exec bench/main.exe -- validate [-n N] [-t SECONDS]
       dune exec bench/main.exe -- profile [-n N] [-t SECONDS]
       dune exec bench/main.exe -- bechamel     # micro-benchmarks
@@ -207,6 +208,208 @@ let run_profile args =
            (List.map (fun p -> H.Profile.to_json p) (List.concat profiles))));
   Printf.printf "wrote %s (full per-function/per-block reports)\n" path
 
+(* ---- solver acceleration benchmark: every corpus program at -O0/-O3/
+   -OVERIFY is explored twice, once with the solver reuse layers off and
+   once on.  The determinism contract requires byte-identical verdicts
+   (paths, exit codes, bugs, coverage) — any disagreement is a hard failure
+   (exit 1).  The interesting numbers are the raw blast+SAT invocations
+   saved and where each layer's hits came from.  A final persistent-store
+   round trip (same exploration twice against a temp --cache-dir) shows
+   cross-run reuse.  Rows go to BENCH_solver.json. ---- *)
+
+let run_solve args =
+  let (n, t) = parse_flags args in
+  let input_size = Option.value n ~default:4 in
+  let timeout = Option.value t ~default:30.0 in
+  let flag name =
+    let rec go = function
+      | f :: v :: _ when f = name -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let only = flag "-p" in
+  let out = Option.value (flag "-o") ~default:"BENCH_solver.json" in
+  let programs =
+    match only with
+    | None -> Overify_corpus.Programs.programs
+    | Some name -> (
+        match Overify_corpus.Programs.find name with
+        | Some p -> [ p ]
+        | None ->
+            Printf.eprintf "bench solve: unknown corpus program %S\n" name;
+            exit 2)
+  in
+  let module E = Overify_symex.Engine in
+  H.Report.section
+    (Printf.sprintf
+       "Solver acceleration: reuse layers off vs on (n=%d bytes)" input_size);
+  let levels =
+    [ Overify_opt.Costmodel.o0; Overify_opt.Costmodel.o3;
+      Overify_opt.Costmodel.overify ]
+  in
+  let failures = ref 0 in
+  let measurements =
+    List.concat_map
+      (fun (p : Overify_corpus.Programs.t) ->
+        List.map
+          (fun (level : Overify_opt.Costmodel.t) ->
+            let c = H.Experiment.compile level p in
+            let off =
+              H.Experiment.verify ~input_size ~timeout
+                ~solver_cache:false c
+            in
+            let on =
+              H.Experiment.verify ~input_size ~timeout
+                ~solver_cache:true c
+            in
+            (* byte-identical verdicts are only promised for complete runs:
+               a wall-clock timeout truncates the faster (cached) run at a
+               different point than the slower one *)
+            let comparable = off.E.complete && on.E.complete in
+            let agree =
+              (not comparable)
+              || off.E.paths = on.E.paths
+                 && off.E.exit_codes = on.E.exit_codes
+                 && off.E.bugs = on.E.bugs
+                 && off.E.blocks_covered = on.E.blocks_covered
+            in
+            if not agree then begin
+              incr failures;
+              Printf.eprintf
+                "bench solve: VERDICT MISMATCH for %s at %s (cache off vs \
+                 on)\n"
+                p.Overify_corpus.Programs.name
+                level.Overify_opt.Costmodel.name
+            end;
+            let hits =
+              on.E.cache_hits + on.E.hits_canon + on.E.hits_subset
+              + on.E.hits_superset + on.E.hits_store
+            in
+            (* in single-program mode (the CI smoke) zero hits is a hard
+               failure; over the full corpus it is reported but legal —
+               a program whose every query is a distinct single-component
+               conjunction (the executor's own model fast path already
+               absorbed the reusable ones) has nothing for the chain to
+               reuse *)
+            if hits = 0 && on.E.queries > 0 && only <> None then begin
+              incr failures;
+              Printf.eprintf
+                "bench solve: zero acceleration hits for %s at %s (%d \
+                 queries)\n"
+                p.Overify_corpus.Programs.name
+                level.Overify_opt.Costmodel.name on.E.queries
+            end;
+            (p.Overify_corpus.Programs.name,
+             level.Overify_opt.Costmodel.name, off, on, agree))
+          levels)
+      programs
+  in
+  let rows =
+    [ "program"; "level"; "queries"; "components"; "solves off"; "solves on";
+      "saved"; "exact"; "canon"; "subset"; "superset"; "agree" ]
+    :: List.map
+         (fun (name, lvl, (off : E.result), (on : E.result), agree) ->
+           [
+             name; lvl;
+             string_of_int on.E.queries;
+             string_of_int on.E.components;
+             string_of_int off.E.component_solves;
+             string_of_int on.E.component_solves;
+             string_of_int (off.E.component_solves - on.E.component_solves);
+             string_of_int on.E.hits_exact;
+             string_of_int on.E.hits_canon;
+             string_of_int on.E.hits_subset;
+             string_of_int on.E.hits_superset;
+             string_of_bool agree;
+           ])
+         measurements
+  in
+  H.Report.table rows;
+  print_endline
+    "(saved = raw blast+SAT invocations the reuse layers avoided; verdicts \
+     are byte-identical by contract)";
+  let total f =
+    List.fold_left (fun acc (_, _, off, on, _) -> acc + f off on) 0 measurements
+  in
+  let saved = total (fun (off : E.result) (on : E.result) ->
+      off.E.component_solves - on.E.component_solves)
+  and hits = total (fun _ (on : E.result) ->
+      on.E.cache_hits + on.E.hits_canon + on.E.hits_subset
+      + on.E.hits_superset + on.E.hits_store)
+  in
+  Printf.printf "total: %d raw solves saved, %d layer hits\n" saved hits;
+  if hits = 0 then begin
+    incr failures;
+    prerr_endline "bench solve: the acceleration chain produced no hits at all"
+  end;
+  (* persistent-store round trip: the same exploration twice against one
+     cache directory — the second run answers from the store *)
+  let tmp = Filename.temp_file "overify_bench_store" "" in
+  let dir = tmp ^ ".d" in
+  let store_demo =
+    match programs with
+    | [] -> None
+    | p :: _ ->
+        let c = H.Experiment.compile Overify_opt.Costmodel.overify p in
+        let cold =
+          H.Experiment.verify ~input_size ~timeout ~solver_cache:true
+            ~cache_dir:dir c
+        in
+        let warm =
+          H.Experiment.verify ~input_size ~timeout ~solver_cache:true
+            ~cache_dir:dir c
+        in
+        if warm.E.hits_store = 0 && warm.E.queries > 0 then begin
+          incr failures;
+          Printf.eprintf
+            "bench solve: persistent store produced no hits on a warm \
+             re-run of %s\n"
+            p.Overify_corpus.Programs.name
+        end;
+        Printf.printf
+          "store round-trip (%s @ -OVERIFY): cold solves=%d, warm solves=%d \
+           (store hits=%d)\n"
+          p.Overify_corpus.Programs.name cold.E.component_solves
+          warm.E.component_solves warm.E.hits_store;
+        Some (p.Overify_corpus.Programs.name, cold, warm)
+  in
+  (if Sys.file_exists dir && Sys.is_directory dir then
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir));
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  (try Sys.remove tmp with Sys_error _ -> ());
+  let json_row (name, lvl, (off : E.result), (on : E.result), agree) =
+    Printf.sprintf
+      "  {\"program\": %S, \"level\": %S, \"queries\": %d, \"components\": \
+       %d, \"component_solves_off\": %d, \"component_solves_on\": %d, \
+       \"cache_hits\": %d, \"hits_exact\": %d, \"hits_canon\": %d, \
+       \"hits_subset\": %d, \"hits_superset\": %d, \"hits_store\": %d, \
+       \"solver_ms_off\": %.3f, \"solver_ms_on\": %.3f, \"agree\": %b}"
+      name lvl on.E.queries on.E.components off.E.component_solves
+      on.E.component_solves on.E.cache_hits on.E.hits_exact on.E.hits_canon
+      on.E.hits_subset on.E.hits_superset on.E.hits_store
+      (off.E.solver_time *. 1000.) (on.E.solver_time *. 1000.) agree
+  in
+  let store_json =
+    match store_demo with
+    | None -> ""
+    | Some (name, cold, warm) ->
+        Printf.sprintf
+          ",\n  {\"store_round_trip\": %S, \"cold_solves\": %d, \
+           \"warm_solves\": %d, \"warm_store_hits\": %d}"
+          name cold.E.component_solves warm.E.component_solves
+          warm.E.hits_store
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Printf.fprintf oc "[\n%s%s\n]\n"
+        (String.concat ",\n" (List.map json_row measurements))
+        store_json);
+  Printf.printf "wrote %s\n" out;
+  if !failures > 0 then exit 1
+
 (* ---- translation-validated corpus sweep: every pass application on every
    corpus program at every level is checked with the symbolic engine; the
    expected result is zero counterexamples (exit 1 otherwise) ---- *)
@@ -292,6 +495,7 @@ let () =
   | _ :: "figure4" :: rest -> run_figure4 rest
   | _ :: "precision" :: rest -> run_precision rest
   | _ :: "parallel" :: rest -> run_parallel rest
+  | _ :: "solve" :: rest -> run_solve rest
   | _ :: "validate" :: rest -> run_validate rest
   | _ :: "profile" :: rest -> run_profile rest
   | _ :: "bechamel" :: _ -> bechamel ()

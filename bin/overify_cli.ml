@@ -165,6 +165,17 @@ let run_cmd =
 
 (* ---- verify subcommand ---- *)
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the solver's canonical query cache in $(docv) and reuse \
+           it across runs (including at other -O levels).  Results are \
+           byte-identical with or without the cache; only the number of \
+           raw SAT solves changes.")
+
 let verify_cmd =
   let size =
     Arg.(
@@ -191,10 +202,10 @@ let verify_cmd =
             "Explore paths on $(docv) parallel worker domains. Results are \
              identical to the sequential searcher for complete runs.")
   in
-  let run level no_libc path size timeout tests jobs trace =
+  let run level no_libc path size timeout tests jobs cache_dir trace =
     with_trace trace @@ fun () ->
     let m = compile_to_module level no_libc path in
-    let r = O.verify ~input_size:size ~timeout ~jobs m in
+    let r = O.verify ~input_size:size ~timeout ~jobs ?cache_dir m in
     Printf.printf
       "paths=%d instructions=%d queries=%d cache_hits=%d solver=%.1fms \
        total=%.1fms coverage=%d/%d blocks jobs=%d complete=%b\n"
@@ -204,6 +215,12 @@ let verify_cmd =
       (r.O.Engine.time *. 1000.)
       r.O.Engine.blocks_covered r.O.Engine.blocks_total r.O.Engine.jobs
       r.O.Engine.complete;
+    Printf.printf
+      "solver: components=%d solves=%d hits: exact=%d canon=%d subset=%d \
+       superset=%d store=%d\n"
+      r.O.Engine.components r.O.Engine.component_solves r.O.Engine.hits_exact
+      r.O.Engine.hits_canon r.O.Engine.hits_subset r.O.Engine.hits_superset
+      r.O.Engine.hits_store;
     if tests then
       List.iteri
         (fun i (input, code) ->
@@ -220,7 +237,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Compile and symbolically execute all paths (KLEE-style).")
     Term.(const run $ level $ no_libc $ source_file $ size $ timeout
-          $ tests_flag $ jobs $ trace_arg)
+          $ tests_flag $ jobs $ cache_dir_arg $ trace_arg)
 
 (* ---- analyze subcommand ---- *)
 
@@ -389,13 +406,13 @@ let profile_cmd =
              the JSON report, leaving only deterministic attribution (for \
              golden tests and cross-run diffing).")
   in
-  let run level no_libc path size timeout jobs diff json top deterministic
-      trace =
+  let run level no_libc path size timeout jobs cache_dir diff json top
+      deterministic trace =
     with_trace trace @@ fun () ->
     let src = read_source path in
     let program = program_name path in
     let prof lvl =
-      P.profile ~program ~level:lvl ~input_size:size ~timeout ~jobs
+      P.profile ~program ~level:lvl ~input_size:size ~timeout ~jobs ?cache_dir
         ~link_libc:(not no_libc) src
     in
     let p = prof level in
@@ -423,7 +440,7 @@ let profile_cmd =
           totals by construction.")
     Term.(
       const run $ level $ no_libc $ source_file $ size $ timeout $ jobs
-      $ diff $ json $ top $ deterministic $ trace_arg)
+      $ cache_dir_arg $ diff $ json $ top $ deterministic $ trace_arg)
 
 (* ---- corpus subcommand ---- *)
 

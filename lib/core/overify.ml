@@ -62,13 +62,25 @@ let compile_validated ?(level = Costmodel.overify) ?(link_libc = true) ?budget
 
 (** Symbolically execute a module's [main] over [input_size] symbolic
     bytes.  [jobs > 1] runs the parallel multi-domain searcher; results are
-    identical to the sequential ones for complete runs. *)
-let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) (m : Ir.modul) :
-    Engine.result =
+    identical to the sequential ones for complete runs.  [solver_cache]
+    toggles the solver acceleration chain's reuse layers (default: on,
+    unless [OVERIFY_SOLVER_CACHE=0]); [cache_dir] attaches a persistent
+    cross-run solver store so repeated verifications — including at other
+    optimization levels — reuse each other's canonical verdicts.  Neither
+    changes any result, only how often the SAT solver actually runs. *)
+let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) ?solver_cache
+    ?cache_dir (m : Ir.modul) : Engine.result =
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
   Engine.run
     ~config:
-      { Engine.default_config with Engine.input_size; timeout; searcher }
+      {
+        Engine.default_config with
+        Engine.input_size;
+        timeout;
+        searcher;
+        solver_cache;
+        cache_dir;
+      }
     m
 
 (** Concretely execute a module's [main] on [input]. *)

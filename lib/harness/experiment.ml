@@ -44,9 +44,10 @@ let compile (level : Costmodel.t) (program : Programs.t) : compiled =
 
 (** Symbolically execute a compiled program.  [jobs > 1] explores on that
     many domains ([`Parallel jobs]); the default is the sequential DFS
-    searcher. *)
+    searcher.  [solver_cache] / [cache_dir] select the solver acceleration
+    layers (see [Overify_solver.Solver]) — they never change the result. *)
 let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
-    ?(jobs = 1) (c : compiled) : Engine.result =
+    ?(jobs = 1) ?solver_cache ?cache_dir (c : compiled) : Engine.result =
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
   Engine.run
     ~config:
@@ -56,6 +57,8 @@ let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
         timeout;
         check_bounds;
         searcher;
+        solver_cache;
+        cache_dir;
       }
     c.modul
 

@@ -122,7 +122,8 @@ let of_result ~program ~level ~input_size ?(passes = Obs.Pass.create ())
 (** Compile [source] at [level] (with the per-pass profile) and
     symbolically execute it with attribution on. *)
 let profile ?(program = "<source>") ~(level : Costmodel.t) ?(input_size = 4)
-    ?(timeout = 30.0) ?(jobs = 1) ?(link_libc = true) (source : string) : t =
+    ?(timeout = 30.0) ?(jobs = 1) ?(link_libc = true) ?solver_cache ?cache_dir
+    (source : string) : t =
   let passes = Obs.Pass.create () in
   let t0 = Unix.gettimeofday () in
   let sources =
@@ -142,6 +143,8 @@ let profile ?(program = "<source>") ~(level : Costmodel.t) ?(input_size = 4)
           timeout;
           searcher;
           profile = true;
+          solver_cache;
+          cache_dir;
         }
       r.Pipeline.modul
   in
@@ -180,13 +183,19 @@ let print ?(top = 8) ?(out = stdout) t =
     t.level t.input_size;
   Printf.fprintf out
     "totals: paths=%d instructions=%s forks=%d queries=%d cache_hits=%d \
-     solver=%sms wall=%sms compile=%sms complete=%b jobs=%d\n\n"
+     solver=%sms wall=%sms compile=%sms complete=%b jobs=%d\n"
     r.Engine.paths
     (Report.fmt_int r.Engine.instructions)
     r.Engine.forks r.Engine.queries r.Engine.cache_hits
     (Report.ms r.Engine.solver_time)
     (Report.ms r.Engine.time) (Report.ms t.t_compile) r.Engine.complete
     r.Engine.jobs;
+  Printf.fprintf out
+    "solver: components=%d solves=%d hits: exact=%d canon=%d subset=%d \
+     superset=%d store=%d\n\n"
+    r.Engine.components r.Engine.component_solves r.Engine.hits_exact
+    r.Engine.hits_canon r.Engine.hits_subset r.Engine.hits_superset
+    r.Engine.hits_store;
   let rows =
     [
       "function"; "insts"; "forks"; "queries"; "hits"; "solver (ms)";
@@ -420,7 +429,7 @@ let to_json ?(times = true) (t : t) : string =
   "program": "%s",
   "level": "%s",
   "input_size": %d,
-  "totals": {"paths": %d, "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "solver_time_ms": %s, "time_ms": %s, "compile_ms": %s, "complete": %b, "jobs": %d},
+  "totals": {"paths": %d, "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "components": %d, "component_solves": %d, "hits_exact": %d, "hits_canon": %d, "hits_subset": %d, "hits_superset": %d, "hits_store": %d, "solver_time_ms": %s, "time_ms": %s, "compile_ms": %s, "complete": %b, "jobs": %d},
   "functions": [
 %s
   ],
@@ -430,6 +439,9 @@ let to_json ?(times = true) (t : t) : string =
 }|}
     (json_escape t.program) (json_escape t.level) t.input_size r.Engine.paths
     r.Engine.instructions r.Engine.forks r.Engine.queries r.Engine.cache_hits
+    r.Engine.components r.Engine.component_solves r.Engine.hits_exact
+    r.Engine.hits_canon r.Engine.hits_subset r.Engine.hits_superset
+    r.Engine.hits_store
     (ms r.Engine.solver_time) (ms r.Engine.time) (ms t.t_compile)
     r.Engine.complete r.Engine.jobs
     (String.concat ",\n" (List.map func_json t.funcs))

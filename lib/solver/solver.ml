@@ -1,19 +1,49 @@
-(** Query interface over bit-blasting + CDCL, with a query cache and the
-    counters the benchmark harness reports (KLEE's counterpart is its solver
-    chain: simplification, caching, then STP).
+(** Query interface over bit-blasting + CDCL, behind a layered acceleration
+    chain (KLEE's counterpart is its solver chain: simplification,
+    independence, counterexample cache, then STP; ours adds a Green-style
+    canonical cache and an optional persistent cross-run store).
 
-    All mutable solver state — the query cache, the stats counters and the
-    wall-clock deadline — lives in an explicit {!ctx} record.  Contexts are
+    Layer order for {!check} (DESIGN.md, "Solver acceleration"):
+
+    {ol
+    {- constant pruning (smart constructors already folded constants);}
+    {- exact-match cache on the ordered term-id list;}
+    {- canonicalization: sort structurally + dedup ({!Canon.normalize}),
+       so permutations and duplicates of one assertion set share one
+       solve;}
+    {- independence partitioning ({!Canon.partition}): connected
+       components over shared variables are solved separately — on the
+       engine's queries, every component except the one touching the new
+       branch condition was already solved for the parent state and hits
+       the next layer;}
+    {- per-component canonical cache, keyed by the α-renamed serialization
+       ({!Canon.rename}): structurally equal components share one entry
+       even across different variable ids;}
+    {- UNSAT-subset rule ({!Cexcache}): a recorded UNSAT subset proves the
+       component UNSAT;}
+    {- persistent store ({!Store}, optional): canonical verdicts reused
+       across runs and processes;}
+    {- fresh bit-blast + SAT of the component (counted in
+       [component_solves]).}}
+
+    All mutable solver state lives in an explicit {!ctx}.  Contexts are
     cheap to create and deliberately {e not} thread-safe: the parallel
-    exploration engine gives every worker domain its own context, so no
-    solver-level synchronization is needed.
+    exploration engine gives every worker domain its own context (the
+    shared {!Store.t} has its own lock).
 
-    Determinism contract: the answer to a query (including the satisfying
-    model) is a pure function of the assertion list itself, never of cache
-    history.  The cache key is the ordered list of term ids, so a hit can
-    only return exactly what a fresh solve of the same list would have
-    produced — which is what makes parallel and sequential exploration agree
-    byte-for-byte on path witnesses. *)
+    Determinism contract: the answer to a query — including the satisfying
+    model — is a pure function of the assertion {e set}, never of cache
+    history or assertion order.  A fresh solve canonicalizes first, so a
+    cache hit at any layer returns exactly what the fresh solve would
+    have: canonical-cache and store hits translate a canonical-space model
+    through the current renaming, which is the fresh answer because
+    bit-blasting is equivariant under α-renaming (identical CNF, identical
+    deterministic SAT run).  The one deliberately history-dependent rule —
+    screening stored models ({!Cexcache.screen}, the SAT-superset rule) —
+    is confined to the verdict-only {!is_sat} and never reaches {!check}.
+    Consequently caching may be disabled ([OVERIFY_SOLVER_CACHE=0] or
+    [create ~cache:false]) without changing any result: only the hit
+    counters and solve counts move. *)
 
 type result =
   | Unsat
@@ -24,25 +54,54 @@ exception Timeout = Sat.Timeout
 type stats = {
   mutable queries : int;
   mutable cache_hits : int;
+      (** queries answered without any blasting (any layer) *)
   mutable sat_answers : int;
   mutable unsat_answers : int;
   mutable solver_time : float;  (** seconds spent in blasting + SAT *)
+  mutable components : int;
+      (** independent components across all canonically solved queries *)
+  mutable component_solves : int;
+      (** components that reached a fresh blast + SAT — the raw solver
+          invocations the acceleration chain exists to avoid *)
+  mutable hits_exact : int;     (** exact-match (ordered) cache hits *)
+  mutable hits_canon : int;     (** per-component canonical cache hits *)
+  mutable hits_subset : int;    (** UNSAT-subset rule hits *)
+  mutable hits_superset : int;
+      (** stored-model screening hits (verdict-only, {!is_sat}) *)
+  mutable hits_store : int;     (** persistent cross-run store hits *)
 }
+
+(** One canonical component verdict; SAT models live in canonical variable
+    space so α-equivalent components share the entry. *)
+type centry = C_unsat | C_sat of int64 array
 
 type ctx = {
   stats : stats;
   cache : (int list, result) Hashtbl.t;
-      (** query cache: ordered term-id list -> result *)
+      (** exact-match cache: ordered term-id list -> result *)
+  canon : Canon.ctx;  (** digest/variable-set memos *)
+  ctbl : (string, centry) Hashtbl.t;
+      (** canonical per-component cache: α-renamed key -> verdict *)
+  cex : Cexcache.t;
+  reuse : bool;
+      (** reuse layers enabled?  [false] keeps canonicalization and
+          partitioning (they define the result) but re-solves everything *)
+  store : Store.t option;
   mutable deadline : float option;
       (** wall-clock deadline honoured by [check]; long-running
           blasting/SAT work raises {!Timeout} past it *)
   mutable hist : Overify_obs.Obs.Hist.t option;
       (** per-query blast+SAT latency histogram; observed only on real
-          solves (cache hits and constant-pruned queries cost no solver
-          time).  [None] (the default) records nothing. *)
+          solves (queries answered from cache cost no solver time).
+          [None] (the default) records nothing. *)
 }
 
-let create ?deadline ?hist () =
+let env_cache_default () =
+  match Sys.getenv_opt "OVERIFY_SOLVER_CACHE" with
+  | Some "0" -> false
+  | _ -> true
+
+let create ?deadline ?hist ?cache ?store () =
   {
     stats =
       {
@@ -51,8 +110,20 @@ let create ?deadline ?hist () =
         sat_answers = 0;
         unsat_answers = 0;
         solver_time = 0.0;
+        components = 0;
+        component_solves = 0;
+        hits_exact = 0;
+        hits_canon = 0;
+        hits_subset = 0;
+        hits_superset = 0;
+        hits_store = 0;
       };
     cache = Hashtbl.create 1024;
+    canon = Canon.create ();
+    ctbl = Hashtbl.create 1024;
+    cex = Cexcache.create ();
+    reuse = (match cache with Some b -> b | None -> env_cache_default ());
+    store;
     deadline;
     hist;
   }
@@ -65,9 +136,24 @@ let reset_stats ctx =
   s.cache_hits <- 0;
   s.sat_answers <- 0;
   s.unsat_answers <- 0;
-  s.solver_time <- 0.0
+  s.solver_time <- 0.0;
+  s.components <- 0;
+  s.component_solves <- 0;
+  s.hits_exact <- 0;
+  s.hits_canon <- 0;
+  s.hits_subset <- 0;
+  s.hits_superset <- 0;
+  s.hits_store <- 0
 
-let clear_cache ctx = Hashtbl.reset ctx.cache
+(** Drop {e every} acceleration layer this context owns: the exact-match
+    cache, the canonical component cache, the counterexample cache and the
+    per-term canonicalization memos (the shared persistent store, if any,
+    belongs to the run, not the context, and is untouched). *)
+let clear_cache ctx =
+  Hashtbl.reset ctx.cache;
+  Hashtbl.reset ctx.ctbl;
+  Cexcache.clear ctx.cex;
+  Canon.clear ctx.canon
 
 let set_deadline ctx d = ctx.deadline <- d
 
@@ -87,6 +173,92 @@ let charge_solve ctx t0 ~timed_out =
       ~args:(if timed_out then [ ("timeout", "true") ] else [])
       ~ts:t0 ~dur:dt ()
 
+let sorted_ids (comp : Bv.t list) : int array =
+  let a = Array.of_list (List.map (fun (t : Bv.t) -> t.Bv.id) comp) in
+  Array.sort compare a;
+  a
+
+(** Blast + SAT one component (already in canonical order) and return its
+    verdict with the model in canonical variable space. *)
+let solve_component ctx (comp : Bv.t list) (renamed : Canon.renamed) : centry =
+  ctx.stats.component_solves <- ctx.stats.component_solves + 1;
+  let bctx = Blast.create ?deadline:ctx.deadline () in
+  List.iter (Blast.assert_true bctx) comp;
+  if not (Sat.solve ?deadline:ctx.deadline bctx.Blast.sat) then C_unsat
+  else
+    C_sat
+      (Array.map
+         (fun v ->
+           match Blast.model_of_var bctx v with Some x -> x | None -> 0L)
+         renamed.Canon.cvars)
+
+(** One component through the reuse layers, falling back to a fresh solve.
+    Every layer returns exactly what [solve_component] would (see the
+    determinism contract above), so the layers are pure memoization.
+    [fresh] is incremented when blasting actually happened. *)
+let check_component ctx ~fresh (comp : Bv.t list) : result =
+  let renamed = Canon.rename ctx.canon comp in
+  let answer = function
+    | C_unsat -> Unsat
+    | C_sat values -> Sat (Canon.model_of_canon renamed values)
+  in
+  let record entry =
+    if ctx.reuse then Hashtbl.replace ctx.ctbl renamed.Canon.key entry;
+    (match ctx.store with
+    | Some st ->
+        Store.add st renamed.Canon.key
+          (match entry with
+          | C_unsat -> Store.E_unsat
+          | C_sat v -> Store.E_sat v)
+    | None -> ());
+    if ctx.reuse && entry = C_unsat then
+      Cexcache.note_unsat ctx.cex (sorted_ids comp)
+  in
+  if not ctx.reuse then begin
+    let entry = solve_component ctx comp renamed in
+    incr fresh;
+    (* still publish to an explicitly attached store: the store is a
+       cross-run artifact, not an in-run reuse layer *)
+    (match ctx.store with
+    | Some st ->
+        Store.add st renamed.Canon.key
+          (match entry with
+          | C_unsat -> Store.E_unsat
+          | C_sat v -> Store.E_sat v)
+    | None -> ());
+    answer entry
+  end
+  else
+    match Hashtbl.find_opt ctx.ctbl renamed.Canon.key with
+    | Some entry ->
+        ctx.stats.hits_canon <- ctx.stats.hits_canon + 1;
+        answer entry
+    | None ->
+        if Cexcache.implies_unsat ctx.cex (sorted_ids comp) then begin
+          ctx.stats.hits_subset <- ctx.stats.hits_subset + 1;
+          Hashtbl.replace ctx.ctbl renamed.Canon.key C_unsat;
+          Unsat
+        end
+        else begin
+          match
+            Option.bind ctx.store (fun st -> Store.find st renamed.Canon.key)
+          with
+          | Some e ->
+              ctx.stats.hits_store <- ctx.stats.hits_store + 1;
+              let entry =
+                match e with
+                | Store.E_unsat -> C_unsat
+                | Store.E_sat v -> C_sat v
+              in
+              Hashtbl.replace ctx.ctbl renamed.Canon.key entry;
+              answer entry
+          | None ->
+              let entry = solve_component ctx comp renamed in
+              incr fresh;
+              record entry;
+              answer entry
+        end
+
 (** Check satisfiability of the conjunction of width-1 terms. *)
 let check (ctx : ctx) (assertions : Bv.t list) : result =
   let stats = ctx.stats in
@@ -104,14 +276,15 @@ let check (ctx : ctx) (assertions : Bv.t list) : result =
     Sat []
   end
   else begin
-    (* the key preserves assertion order: queries with the same term set but
-       a different order may blast to different CNF variable numberings and
-       hence different (equally valid) models — caching across them would
-       make the reported model depend on exploration history *)
+    (* exact-match fast path: same assertions in the same order.  (The
+       canonical layers below make the result order-independent, so this
+       key is just the cheapest possible lookup, not a semantic
+       necessity.) *)
     let key = List.map (fun (t : Bv.t) -> t.Bv.id) assertions in
-    match Hashtbl.find_opt ctx.cache key with
+    match if ctx.reuse then Hashtbl.find_opt ctx.cache key else None with
     | Some r ->
         stats.cache_hits <- stats.cache_hits + 1;
+        stats.hits_exact <- stats.hits_exact + 1;
         (match r with
         | Sat _ -> stats.sat_answers <- stats.sat_answers + 1
         | Unsat -> stats.unsat_answers <- stats.unsat_answers + 1);
@@ -121,45 +294,61 @@ let check (ctx : ctx) (assertions : Bv.t list) : result =
         (match ctx.deadline with
         | Some d when t0 > d -> raise Timeout
         | _ -> ());
-        let bctx = Blast.create ?deadline:ctx.deadline () in
-        List.iter (Blast.assert_true bctx) assertions;
-        let sat =
-          try Sat.solve ?deadline:ctx.deadline bctx.Blast.sat
+        (* canonical solve: normalize, partition, solve each component.
+           This path runs identically with reuse on or off — it defines
+           the query's answer. *)
+        let comps =
+          Canon.partition ctx.canon (Canon.normalize ctx.canon assertions)
+        in
+        stats.components <- stats.components + List.length comps;
+        let fresh = ref 0 in
+        let r =
+          try
+            (* first UNSAT component decides; models concatenate in
+               component order (both orders are canonical) *)
+            let rec go acc = function
+              | [] -> Sat (List.concat (List.rev acc))
+              | comp :: rest -> (
+                  match check_component ctx ~fresh comp with
+                  | Unsat -> Unsat
+                  | Sat m -> go (m :: acc) rest)
+            in
+            go [] comps
           with Timeout ->
             charge_solve ctx t0 ~timed_out:true;
             raise Timeout
         in
-        let r =
-          if not sat then Unsat
-          else begin
-            (* extract values for every variable mentioned *)
-            let vars = Hashtbl.create 16 in
-            List.iter
-              (fun t ->
-                Hashtbl.iter (fun id w -> Hashtbl.replace vars id w) (Bv.vars t))
-              assertions;
-            let model =
-              Hashtbl.fold
-                (fun id _w acc ->
-                  match Blast.model_of_var bctx id with
-                  | Some v -> (id, v) :: acc
-                  | None -> (id, 0L) :: acc)
-                vars []
-            in
-            Sat model
-          end
-        in
-        charge_solve ctx t0 ~timed_out:false;
+        if !fresh > 0 then charge_solve ctx t0 ~timed_out:false
+        else stats.cache_hits <- stats.cache_hits + 1;
         (match r with
-        | Sat _ -> stats.sat_answers <- stats.sat_answers + 1
+        | Sat m ->
+            stats.sat_answers <- stats.sat_answers + 1;
+            if ctx.reuse && !fresh > 0 then Cexcache.note_model ctx.cex m
         | Unsat -> stats.unsat_answers <- stats.unsat_answers + 1);
-        Hashtbl.replace ctx.cache key r;
+        if ctx.reuse then Hashtbl.replace ctx.cache key r;
         r
   end
 
-(** Convenience: is the conjunction satisfiable? *)
+(** Convenience: is the conjunction satisfiable?  Verdict-only, so this
+    entry point may additionally reuse stored models (the SAT-superset
+    rule): if a model recorded for any earlier query satisfies every
+    assertion here, the conjunction is SAT — no blasting at all.  The
+    verdict is sound and identical to [check]'s; only which counters move
+    depends on history, which is why the rule lives here and not in
+    [check]. *)
 let is_sat ctx assertions =
-  match check ctx assertions with Sat _ -> true | Unsat -> false
+  if
+    ctx.reuse && assertions <> []
+    && Cexcache.screen ctx.cex assertions
+  then begin
+    let s = ctx.stats in
+    s.queries <- s.queries + 1;
+    s.cache_hits <- s.cache_hits + 1;
+    s.hits_superset <- s.hits_superset + 1;
+    s.sat_answers <- s.sat_answers + 1;
+    true
+  end
+  else match check ctx assertions with Sat _ -> true | Unsat -> false
 
 (** Model lookup with default 0 (unconstrained variables may take any value;
     0 is what the model extraction produces for absent bits). *)

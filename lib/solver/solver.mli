@@ -1,12 +1,26 @@
-(** Query interface over bit-blasting + CDCL, with a query cache and
-    counters — the role KLEE's solver chain (simplify, cache, STP) plays.
+(** Query interface over bit-blasting + CDCL behind a layered acceleration
+    chain — the role KLEE's solver chain (simplify, independence,
+    counterexample cache, STP) plays, plus a Green-style canonical cache
+    and an optional persistent cross-run store.
+
+    Layers, in order (each falls through to the next; see DESIGN.md,
+    "Solver acceleration"): constant pruning → exact-match cache →
+    canonicalization (sort + dedup, {!Canon}) → independence partitioning
+    into variable-disjoint components → per-component canonical cache
+    (α-renamed keys) → UNSAT-subset rule ({!Cexcache}) → persistent store
+    ({!Store}, when attached) → fresh blast + SAT.
 
     All mutable solver state lives in an explicit {!ctx} threaded through
     {!check}.  A context is {e not} thread-safe; concurrent callers (the
-    parallel exploration workers) each own one.  Query answers — including
-    the satisfying model — are a pure function of the assertion list, never
-    of cache history, which is what lets parallel and sequential exploration
-    agree exactly on path witnesses. *)
+    parallel exploration workers) each own one — only the optional
+    {!Store.t} may be shared (it locks internally).
+
+    Determinism contract: query answers — including the satisfying model —
+    are a pure function of the assertion {e set}, never of cache history
+    or assertion order, which is what lets parallel and sequential
+    exploration agree exactly on path witnesses, with caching on or off.
+    The single history-dependent rule (stored-model screening, the
+    SAT-superset rule) is confined to the verdict-only {!is_sat}. *)
 
 type result =
   | Unsat
@@ -18,20 +32,42 @@ exception Timeout
 type stats = {
   mutable queries : int;
   mutable cache_hits : int;
+      (** queries answered without any blasting, by any layer *)
   mutable sat_answers : int;
   mutable unsat_answers : int;
   mutable solver_time : float;  (** seconds spent in blasting + SAT *)
+  mutable components : int;
+      (** independent components over all canonically solved queries *)
+  mutable component_solves : int;
+      (** components that reached a fresh blast + SAT — the raw solver
+          invocations the chain exists to avoid *)
+  mutable hits_exact : int;     (** exact-match (ordered) cache hits *)
+  mutable hits_canon : int;     (** per-component canonical cache hits *)
+  mutable hits_subset : int;    (** UNSAT-subset rule hits *)
+  mutable hits_superset : int;  (** model-screening hits ({!is_sat} only) *)
+  mutable hits_store : int;     (** persistent cross-run store hits *)
 }
 
 type ctx
-(** Query cache + stats counters + wall-clock deadline. *)
+(** Acceleration layers + stats counters + wall-clock deadline. *)
 
-val create : ?deadline:float -> ?hist:Overify_obs.Obs.Hist.t -> unit -> ctx
-(** Fresh context with empty cache and zeroed counters.  [deadline] is an
+val create :
+  ?deadline:float ->
+  ?hist:Overify_obs.Obs.Hist.t ->
+  ?cache:bool ->
+  ?store:Store.t ->
+  unit ->
+  ctx
+(** Fresh context with empty caches and zeroed counters.  [deadline] is an
     absolute [Unix.gettimeofday] instant past which blasting or SAT work
-    raises {!Timeout} — set by the symbolic-execution engine so one
-    pathological query cannot blow an experiment budget.  [hist] receives
-    the latency of every real (uncached) solve. *)
+    raises {!Timeout}.  [hist] receives the latency of every real
+    (uncached) solve.  [cache] enables the reuse layers (default: the
+    [OVERIFY_SOLVER_CACHE] environment variable, off only when ["0"]);
+    disabling it never changes an answer — canonicalization and
+    partitioning still run, only reuse is skipped.  [store] attaches a
+    persistent cross-run store (shared across contexts; it locks
+    internally); fresh results are published to it even with
+    [cache:false]. *)
 
 val stats : ctx -> stats
 val reset_stats : ctx -> unit
@@ -40,16 +76,22 @@ val set_hist : ctx -> Overify_obs.Obs.Hist.t option -> unit
 (** Attach (or detach) the per-query latency histogram. *)
 
 val clear_cache : ctx -> unit
-(** Drop this context's cached query results (other contexts are
-    unaffected). *)
+(** Drop {e every} acceleration layer this context owns — the exact-match
+    cache, the canonical component cache, the counterexample cache and the
+    canonicalization memos.  Other contexts and the shared persistent
+    store are unaffected. *)
 
 val set_deadline : ctx -> float option -> unit
 
 val check : ctx -> Bv.t list -> result
-(** Satisfiability of the conjunction of width-1 terms.  Results are cached
-    by the ordered hash-consed term-id list. *)
+(** Satisfiability of the conjunction of width-1 terms, through the
+    acceleration chain.  The result (verdict {e and} model) is a pure
+    function of the assertion set. *)
 
 val is_sat : ctx -> Bv.t list -> bool
+(** Verdict-only satisfiability.  May additionally answer SAT by screening
+    stored models (the SAT-superset rule), which {!check} must not use —
+    the verdict is identical either way. *)
 
 val model_value : (int * int64) list -> int -> int64
 (** Look up a variable in a model; unconstrained variables read as 0. *)

@@ -1,0 +1,93 @@
+(** Persistent cross-run solver store: versioned binary file, atomic
+    writes, graceful rejection of invalid files.  See store.mli. *)
+
+type entry = E_unsat | E_sat of int64 array
+
+let magic = "OVERIFY-SOLVER-STORE"
+let version = 1
+let filename = "solver-cache.bin"
+
+type t = {
+  dir : string;
+  tbl : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable dirty : bool;
+  mutable loaded : int;
+}
+
+let path t = Filename.concat t.dir filename
+
+let rec mkdirs d =
+  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let load ~dir : t =
+  let t =
+    {
+      dir;
+      tbl = Hashtbl.create 256;
+      mutex = Mutex.create ();
+      dirty = false;
+      loaded = 0;
+    }
+  in
+  (try mkdirs dir with _ -> ());
+  (try
+     let ic = open_in_bin (path t) in
+     Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () ->
+         let m = really_input_string ic (String.length magic) in
+         if m <> magic then failwith "bad magic";
+         let v = input_binary_int ic in
+         if v <> version then failwith "version mismatch";
+         let (data : (string, entry) Hashtbl.t) = Marshal.from_channel ic in
+         Hashtbl.iter (fun k e -> Hashtbl.replace t.tbl k e) data;
+         t.loaded <- Hashtbl.length t.tbl)
+   with _ -> (* missing/corrupt/wrong version: start cold *) ());
+  t
+
+let find t key =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.tbl key in
+  Mutex.unlock t.mutex;
+  r
+
+let add t key entry =
+  Mutex.lock t.mutex;
+  if not (Hashtbl.mem t.tbl key) then begin
+    Hashtbl.replace t.tbl key entry;
+    t.dirty <- true
+  end;
+  Mutex.unlock t.mutex
+
+let save t =
+  Mutex.lock t.mutex;
+  (if t.dirty then
+     try
+       mkdirs t.dir;
+       let tmp =
+         Printf.sprintf "%s.tmp.%d" (path t) (Unix.getpid ())
+       in
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc magic;
+           output_binary_int oc version;
+           Marshal.to_channel oc t.tbl []);
+       Sys.rename tmp (path t);
+       t.dirty <- false
+     with _ -> (* cache write failures never fail the run *) ());
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mutex;
+  n
+
+let loaded t = t.loaded
+let dir t = t.dir

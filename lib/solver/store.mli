@@ -1,0 +1,42 @@
+(** Persistent cross-run solver store (the [--cache-dir] layer).
+
+    Maps canonical component keys ({!Canon.renamed}[.key] — α-renamed
+    serializations, stable across runs, processes and [Bv.reset]
+    generations) to verdicts, with SAT models stored in canonical variable
+    space.  Because a key determines the component up to an injective
+    variable renaming, and bit-blasting is equivariant under such renamings
+    (the CNF built for two α-equivalent components is literally identical),
+    a store hit translated back through the current query's renaming equals
+    what a fresh solve would return — cross-run reuse preserves the
+    solver's determinism contract.
+
+    The on-disk format is versioned (magic string + version number +
+    [Marshal] payload); loading a missing, corrupted, truncated or
+    wrong-version file silently yields an empty store — a cache may always
+    start cold, never crash the run.  Writes are atomic (temp file +
+    rename), so concurrent or killed runs cannot tear the file.  All
+    operations take an internal mutex: one store may be shared by all
+    parallel worker domains of a run. *)
+
+type entry =
+  | E_unsat
+  | E_sat of int64 array  (** value per canonical variable index *)
+
+type t
+
+val load : dir:string -> t
+(** Open (creating [dir] if needed) and read the store file if present and
+    valid; any load failure yields an empty store. *)
+
+val find : t -> string -> entry option
+val add : t -> string -> entry -> unit
+
+val save : t -> unit
+(** Atomically write the store back if it gained entries.  Write failures
+    are silently ignored (a cache must never fail the run). *)
+
+val length : t -> int
+val loaded : t -> int
+(** Number of entries read from disk at [load] time. *)
+
+val dir : t -> string

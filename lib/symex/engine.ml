@@ -25,6 +25,13 @@ type config = {
   check_bounds : bool;   (** fork out-of-bounds bug paths *)
   searcher : [ `Dfs | `Bfs | `Parallel of int ];
   profile : bool;        (** attribute cost per (function, block) *)
+  solver_cache : bool option;
+      (** enable the solver's reuse layers; [None] defers to the
+          [OVERIFY_SOLVER_CACHE] environment variable (default on).
+          Answers are identical either way — only hit counters move. *)
+  cache_dir : string option;
+      (** attach a persistent cross-run solver store in this directory,
+          shared by all workers and saved when the run ends *)
 }
 
 let default_config =
@@ -36,6 +43,8 @@ let default_config =
     check_bounds = true;
     searcher = `Dfs;
     profile = false;
+    solver_cache = None;
+    cache_dir = None;
   }
 
 type bug = {
@@ -50,6 +59,13 @@ type worker_stat = {
   w_queries : int;
   w_cache_hits : int;
   w_solver_time : float;
+  w_components : int;
+  w_component_solves : int;
+  w_hits_exact : int;
+  w_hits_canon : int;
+  w_hits_subset : int;
+  w_hits_superset : int;
+  w_hits_store : int;
 }
 
 type result = {
@@ -60,6 +76,13 @@ type result = {
   queries : int;
   cache_hits : int;
   solver_time : float;
+  components : int;             (** independent subproblems seen *)
+  component_solves : int;       (** raw blast+SAT solver invocations *)
+  hits_exact : int;             (** per-layer solver cache hits... *)
+  hits_canon : int;
+  hits_subset : int;
+  hits_superset : int;
+  hits_store : int;             (** ...all sums over workers *)
   time : float;                 (** total verification wall time *)
   complete : bool;              (** false if a budget was exhausted *)
   exit_codes : (string * int64) list;
@@ -431,12 +454,19 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         j
     | `Dfs | `Bfs -> 1
   in
+  (* one persistent store for the whole run, shared by every worker (it
+     locks internally); saved after the join *)
+  let store =
+    Option.map
+      (fun dir -> Overify_solver.Store.load ~dir)
+      config.cache_dir
+  in
   let make_worker () =
     let prof = if config.profile then Some (Obs.Profile.create ()) else None in
     let solver =
       Solver.create ~deadline
         ?hist:(Option.map (fun p -> p.Obs.Profile.qhist) prof)
-        ()
+        ?cache:config.solver_cache ?store ()
     in
     let gctx =
       {
@@ -517,9 +547,37 @@ let run ?(config = default_config) (m : Ir.modul) : result =
           w_queries = s.Solver.queries;
           w_cache_hits = s.Solver.cache_hits;
           w_solver_time = s.Solver.solver_time;
+          w_components = s.Solver.components;
+          w_component_solves = s.Solver.component_solves;
+          w_hits_exact = s.Solver.hits_exact;
+          w_hits_canon = s.Solver.hits_canon;
+          w_hits_subset = s.Solver.hits_subset;
+          w_hits_superset = s.Solver.hits_superset;
+          w_hits_store = s.Solver.hits_store;
         })
       workers
   in
+  (* persist whatever this run contributed to the cross-run store *)
+  (match store with
+  | Some st -> Overify_solver.Store.save st
+  | None -> ());
+  (* per-layer solver counters through the metric registry (single-threaded
+     here, after the join, so no cross-domain races on the cells) *)
+  if Obs.enabled () then begin
+    let flush name v =
+      if v > 0 then Obs.Registry.add (Obs.Registry.counter name) v
+    in
+    flush "solver.components" (sum (fun w -> (solver_stats w).Solver.components));
+    flush "solver.component_solves"
+      (sum (fun w -> (solver_stats w).Solver.component_solves));
+    flush "solver.hits.exact" (sum (fun w -> (solver_stats w).Solver.hits_exact));
+    flush "solver.hits.canon" (sum (fun w -> (solver_stats w).Solver.hits_canon));
+    flush "solver.hits.subset"
+      (sum (fun w -> (solver_stats w).Solver.hits_subset));
+    flush "solver.hits.superset"
+      (sum (fun w -> (solver_stats w).Solver.hits_superset));
+    flush "solver.hits.store" (sum (fun w -> (solver_stats w).Solver.hits_store))
+  end;
   let profile =
     if not config.profile then None
     else begin
@@ -555,6 +613,14 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     queries = sum (fun w -> (solver_stats w).Solver.queries);
     cache_hits = sum (fun w -> (solver_stats w).Solver.cache_hits);
     solver_time = sumf (fun w -> (solver_stats w).Solver.solver_time);
+    components = sum (fun w -> (solver_stats w).Solver.components);
+    component_solves =
+      sum (fun w -> (solver_stats w).Solver.component_solves);
+    hits_exact = sum (fun w -> (solver_stats w).Solver.hits_exact);
+    hits_canon = sum (fun w -> (solver_stats w).Solver.hits_canon);
+    hits_subset = sum (fun w -> (solver_stats w).Solver.hits_subset);
+    hits_superset = sum (fun w -> (solver_stats w).Solver.hits_superset);
+    hits_store = sum (fun w -> (solver_stats w).Solver.hits_store);
     time;
     complete;
     exit_codes;

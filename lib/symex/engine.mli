@@ -18,6 +18,16 @@ type config = {
           path completions) to (function, block) sites; the merged
           attribution is returned in [result.profile].  Off by default —
           the un-instrumented run pays only a per-site [option] branch. *)
+  solver_cache : bool option;
+      (** enable the solver's reuse layers (exact, canonical,
+          counterexample, store); [None] defers to [OVERIFY_SOLVER_CACHE]
+          (default on).  The determinism contract makes answers identical
+          either way — only hit counters and solve counts move. *)
+  cache_dir : string option;
+      (** directory of a persistent cross-run solver store; loaded before
+          exploration, shared by every worker, saved (atomically) after —
+          repeated runs, other levels and [bench] sweeps reuse each
+          other's canonical verdicts *)
 }
 
 val default_config : config
@@ -34,6 +44,15 @@ type worker_stat = {
   w_queries : int;
   w_cache_hits : int;
   w_solver_time : float;
+  w_components : int;
+  w_component_solves : int;
+  w_hits_exact : int;       (** per-layer solver cache hits (see
+                                [Solver.stats]); the result's layer
+                                totals are their sums *)
+  w_hits_canon : int;
+  w_hits_subset : int;
+  w_hits_superset : int;
+  w_hits_store : int;
 }
 
 type result = {
@@ -43,8 +62,16 @@ type result = {
   instructions : int;    (** dynamic instructions over all paths *)
   forks : int;
   queries : int;         (** solver queries issued *)
-  cache_hits : int;
+  cache_hits : int;      (** queries answered without any blasting *)
   solver_time : float;   (** seconds in blasting + SAT *)
+  components : int;      (** independent subproblems across all queries *)
+  component_solves : int;
+      (** raw blast+SAT invocations — what the acceleration chain saves *)
+  hits_exact : int;      (** solver cache hits per layer: exact-match, *)
+  hits_canon : int;      (** canonical component cache, *)
+  hits_subset : int;     (** UNSAT-subset rule, *)
+  hits_superset : int;   (** stored-model screening, *)
+  hits_store : int;      (** and the persistent cross-run store *)
   time : float;          (** total verification wall time *)
   complete : bool;       (** false if any budget was exhausted *)
   exit_codes : (string * int64) list;

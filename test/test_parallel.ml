@@ -176,6 +176,27 @@ let assert_worker_stats_sum name (r : Engine.result) =
     (name ^ ": cache_hits = sum of workers")
     r.Engine.cache_hits
     (sum_stats (fun w -> w.Engine.w_cache_hits) r.Engine.worker_stats);
+  (* the solver acceleration layers report per-worker too; their totals
+     are the same sums *)
+  List.iter
+    (fun (what, total, get) ->
+      check int
+        (Printf.sprintf "%s: %s = sum of workers" name what)
+        total
+        (sum_stats get r.Engine.worker_stats))
+    [
+      ("components", r.Engine.components, fun w -> w.Engine.w_components);
+      ( "component_solves",
+        r.Engine.component_solves,
+        fun w -> w.Engine.w_component_solves );
+      ("hits_exact", r.Engine.hits_exact, fun w -> w.Engine.w_hits_exact);
+      ("hits_canon", r.Engine.hits_canon, fun w -> w.Engine.w_hits_canon);
+      ("hits_subset", r.Engine.hits_subset, fun w -> w.Engine.w_hits_subset);
+      ( "hits_superset",
+        r.Engine.hits_superset,
+        fun w -> w.Engine.w_hits_superset );
+      ("hits_store", r.Engine.hits_store, fun w -> w.Engine.w_hits_store);
+    ];
   let t =
     List.fold_left
       (fun acc (w : Engine.worker_stat) -> acc +. w.Engine.w_solver_time)

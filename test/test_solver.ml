@@ -279,8 +279,10 @@ let test_trivial_queries_no_sat () =
   check int "1 sat answer" 1 (Solver.stats ctx).Solver.sat_answers;
   check int "1 unsat answer" 1 (Solver.stats ctx).Solver.unsat_answers
 
+(* the reuse-layer tests pin [~cache:true] so they hold even when the
+   suite is re-run under OVERIFY_SOLVER_CACHE=0 (the @ci-cache-off pass) *)
 let test_cache_hits () =
-  let ctx = Solver.create () in
+  let ctx = Solver.create ~cache:true () in
   let x = Bv.var 8 77 in
   let q = [ Bv.cmp Bv.Ugt x (Bv.const 8 100L) ] in
   ignore (Solver.check ctx q);
@@ -290,7 +292,8 @@ let test_cache_hits () =
 (* two contexts share nothing: a query cached in one is a miss in the
    other, and counters advance independently *)
 let test_ctx_isolation () =
-  let c1 = Solver.create () and c2 = Solver.create () in
+  let c1 = Solver.create ~cache:true ()
+  and c2 = Solver.create ~cache:true () in
   let x = Bv.var 8 78 in
   let q = [ Bv.cmp Bv.Ult x (Bv.const 8 10L) ] in
   ignore (Solver.check c1 q);
@@ -302,7 +305,8 @@ let test_ctx_isolation () =
   check int "c1 unaffected by c2" 2 (Solver.stats c1).Solver.queries
 
 let test_ctx_clear_cache () =
-  let c1 = Solver.create () and c2 = Solver.create () in
+  let c1 = Solver.create ~cache:true ()
+  and c2 = Solver.create ~cache:true () in
   let x = Bv.var 8 79 in
   let q = [ Bv.cmp Bv.Eq x (Bv.const 8 42L) ] in
   ignore (Solver.check c1 q);
@@ -322,7 +326,7 @@ let test_ctx_clear_cache () =
 let test_ctx_concurrent_domains () =
   let n = 40 in
   let work var_base () =
-    let ctx = Solver.create () in
+    let ctx = Solver.create ~cache:true () in
     for i = 0 to n - 1 do
       let x = Bv.var 8 (var_base + i) in
       let q = [ Bv.cmp Bv.Ugt x (Bv.const 8 (Int64.of_int (i mod 200))) ] in
@@ -339,6 +343,301 @@ let test_ctx_concurrent_domains () =
   check int "domain1 hits" n s1.Solver.cache_hits;
   check int "domain2 hits" n s2.Solver.cache_hits;
   check int "summed queries" (4 * n) (s1.Solver.queries + s2.Solver.queries)
+
+(* ------------- acceleration chain: differential oracle -------------
+
+   ~2,000 seeded random assertion sets, each answered three ways: by the
+   full acceleration chain on one warm (shared) context, by the chain on a
+   fresh context, and by a reference solver that goes straight to blast +
+   SAT with no canonicalization, partitioning or caching.  All three
+   verdicts must agree; warm and fresh must return the *same model* (the
+   determinism contract: answers are a pure function of the assertion set,
+   not of cache history); and every SAT model must evaluate every assertion
+   to true. *)
+
+module Canon = Overify_solver.Canon
+module Blast = Overify_solver.Blast
+module Store = Overify_solver.Store
+
+let gen_term rng =
+  let atom () =
+    if Random.State.int rng 3 = 0 then
+      Bv.const 8 (Int64.of_int (Random.State.int rng 256))
+    else Bv.var 8 (600 + Random.State.int rng 5)
+  in
+  let binops = [| Bv.Add; Bv.Sub; Bv.Mul; Bv.And; Bv.Or; Bv.Xor |] in
+  let cmpops = [| Bv.Eq; Bv.Ne; Bv.Ult; Bv.Ule; Bv.Slt; Bv.Ugt |] in
+  let rec expr depth =
+    if depth = 0 || Random.State.int rng 4 = 0 then atom ()
+    else
+      Bv.binop
+        binops.(Random.State.int rng (Array.length binops))
+        (expr (depth - 1))
+        (expr (depth - 1))
+  in
+  let t =
+    Bv.cmp cmpops.(Random.State.int rng (Array.length cmpops)) (expr 2)
+      (expr 2)
+  in
+  if Random.State.bool rng then t else Bv.not_ t
+
+let gen_assertions rng =
+  List.init (1 + Random.State.int rng 5) (fun _ -> gen_term rng)
+
+(* verdict by direct blast+SAT of the conjunction — no reuse layers, no
+   normalization, no partitioning (only the same constant pruning
+   [Solver.check] applies first) *)
+let reference_is_sat (assertions : Bv.t list) : bool =
+  let live =
+    List.filter (fun (t : Bv.t) -> t.Bv.node <> Bv.Const 1L) assertions
+  in
+  if List.exists (fun (t : Bv.t) -> t.Bv.node = Bv.Const 0L) live then false
+  else if live = [] then true
+  else begin
+    let b = Blast.create () in
+    List.iter (Blast.assert_true b) live;
+    Sat.solve b.Blast.sat
+  end
+
+let model_satisfies model assertions =
+  let lookup v = Solver.model_value model v in
+  List.for_all (fun a -> Bv.eval lookup a = 1L) assertions
+
+let test_differential_oracle () =
+  let rng = Random.State.make [| 0xace5 |] in
+  let warm = Solver.create ~cache:true () in
+  for i = 1 to 2_000 do
+    let assertions = gen_assertions rng in
+    let expected = reference_is_sat assertions in
+    let run name ctx =
+      match Solver.check ctx assertions with
+      | Solver.Unsat ->
+          if expected then
+            Alcotest.failf "query %d: %s chain says Unsat, reference says Sat"
+              i name;
+          Solver.Unsat
+      | Solver.Sat m ->
+          if not expected then
+            Alcotest.failf "query %d: %s chain says Sat, reference says Unsat"
+              i name;
+          if not (model_satisfies m assertions) then
+            Alcotest.failf
+              "query %d: %s chain's model does not satisfy the assertions" i
+              name;
+          Solver.Sat m
+    in
+    let rw = run "warm" warm in
+    let rf = run "fresh" (Solver.create ~cache:true ()) in
+    if rw <> rf then
+      Alcotest.failf
+        "query %d: warm and fresh contexts disagree — the answer depends on \
+         cache history"
+        i
+  done;
+  let s = Solver.stats warm in
+  check bool "warm context reused earlier work" true
+    (s.Solver.cache_hits > 0 || s.Solver.hits_canon > 0)
+
+(* ------------- independence partitioning: properties ------------- *)
+
+let sorted_uniq_vars cctx terms =
+  List.sort_uniq compare (List.concat_map (Canon.term_vars cctx) terms)
+
+(* components partition both the assertion set and the variable set:
+   every normalized assertion lands in exactly one component, and no
+   variable occurs in two components *)
+let prop_partition_is_partition =
+  QCheck2.Test.make
+    ~name:"partition: components partition assertions and variables"
+    ~count:300
+    QCheck2.Gen.(int_bound 0xFFFFFF)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 77 |] in
+      let assertions = gen_assertions rng in
+      let cctx = Canon.create () in
+      let norm = Canon.normalize cctx assertions in
+      let comps = Canon.partition cctx norm in
+      let ids l = List.sort compare (List.map (fun (t : Bv.t) -> t.Bv.id) l) in
+      if ids (List.concat comps) <> ids norm then
+        QCheck2.Test.fail_reportf
+          "components lose, duplicate or invent assertions";
+      let vsets = List.map (sorted_uniq_vars cctx) comps in
+      if List.sort compare (List.concat vsets) <> sorted_uniq_vars cctx norm
+      then
+        QCheck2.Test.fail_reportf
+          "component variable sets are not a partition of the query's \
+           variables";
+      true)
+
+(* solving components separately agrees with solving the conjunction whole
+   (SAT iff every component SAT — the soundness of independence
+   partitioning).  On a mismatch, greedily shrink to a minimal failing
+   assertion set before reporting. *)
+let test_partition_vs_conjunction () =
+  let mismatch assertions =
+    let whole = reference_is_sat assertions in
+    let cctx = Canon.create () in
+    let comps = Canon.partition cctx (Canon.normalize cctx assertions) in
+    let piecewise = List.for_all reference_is_sat comps in
+    whole <> piecewise
+  in
+  let shrink assertions =
+    let rec go set =
+      match
+        List.find_opt mismatch
+          (List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) set) set)
+      with
+      | Some smaller -> go smaller
+      | None -> set
+    in
+    go assertions
+  in
+  let rng = Random.State.make [| 0x9a27 |] in
+  for i = 1 to 400 do
+    let assertions = gen_assertions rng in
+    if mismatch assertions then begin
+      let minimal = shrink assertions in
+      Alcotest.failf
+        "query %d: component-wise verdict disagrees with the conjunction; \
+         minimal failing set (%d of %d assertions):\n%s"
+        i (List.length minimal)
+        (List.length assertions)
+        (String.concat "\n" (List.map Bv.to_string minimal))
+    end
+  done
+
+(* ------------- cache semantics: subset/superset rules ------------- *)
+
+(* a recorded UNSAT core proves any superset UNSAT without blasting *)
+let test_unsat_subset_rule () =
+  let ctx = Solver.create ~cache:true () in
+  let x = Bv.var 8 700 in
+  let a = Bv.cmp Bv.Ult x (Bv.const 8 5L) in
+  let b = Bv.cmp Bv.Ugt x (Bv.const 8 10L) in
+  let c = Bv.cmp Bv.Ne x (Bv.const 8 3L) in
+  (match Solver.check ctx [ a; b ] with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "x<5 && x>10 should be unsat");
+  let solves = (Solver.stats ctx).Solver.component_solves in
+  (match Solver.check ctx [ a; b; c ] with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "a superset of an unsat set must be unsat");
+  check int "answered by the UNSAT-subset rule" 1
+    (Solver.stats ctx).Solver.hits_subset;
+  check int "no new blast+SAT" solves
+    (Solver.stats ctx).Solver.component_solves;
+  check int "counted as a cache hit" 1 (Solver.stats ctx).Solver.cache_hits
+
+(* a stored model screens weaker SAT queries in the verdict-only is_sat:
+   every unsigned value > 100 is also > 50, so the model recorded for the
+   first query must satisfy the second *)
+let test_sat_superset_screening () =
+  let ctx = Solver.create ~cache:true () in
+  let x = Bv.var 8 701 in
+  (match Solver.check ctx [ Bv.cmp Bv.Ugt x (Bv.const 8 100L) ] with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "x>100 is sat");
+  let solves = (Solver.stats ctx).Solver.component_solves in
+  check bool "weaker query screened to SAT" true
+    (Solver.is_sat ctx [ Bv.cmp Bv.Ugt x (Bv.const 8 50L) ]);
+  check int "answered by stored-model screening" 1
+    (Solver.stats ctx).Solver.hits_superset;
+  check int "no new blast+SAT" solves
+    (Solver.stats ctx).Solver.component_solves
+
+(* clear_cache must drop EVERY layer: exact, canonical, counterexample *)
+let test_clear_cache_all_layers () =
+  let ctx = Solver.create ~cache:true () in
+  let x = Bv.var 8 702 in
+  let a = Bv.cmp Bv.Ult x (Bv.const 8 5L) in
+  let b = Bv.cmp Bv.Ugt x (Bv.const 8 10L) in
+  ignore (Solver.check ctx [ a ]);
+  ignore (Solver.check ctx [ a; b ]);
+  Solver.clear_cache ctx;
+  Solver.reset_stats ctx;
+  ignore (Solver.check ctx [ a ]);
+  (match Solver.check ctx [ a; b; Bv.cmp Bv.Ne x (Bv.const 8 3L) ] with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "unsat superset");
+  let s = Solver.stats ctx in
+  check int "no hits from any layer after clear" 0 s.Solver.cache_hits;
+  check int "no exact hits" 0 s.Solver.hits_exact;
+  check int "no canonical hits" 0 s.Solver.hits_canon;
+  check int "no subset hits" 0 s.Solver.hits_subset;
+  check bool "everything re-solved" true (s.Solver.component_solves >= 2)
+
+(* ------------- persistent store ------------- *)
+
+let with_temp_dir f =
+  let tmp = Filename.temp_file "overify_store_test" "" in
+  let dir = tmp ^ ".d" in
+  Fun.protect
+    ~finally:(fun () ->
+      (if Sys.file_exists dir && Sys.is_directory dir then
+         Array.iter
+           (fun fn ->
+             try Sys.remove (Filename.concat dir fn) with Sys_error _ -> ())
+           (Sys.readdir dir));
+      (try Sys.rmdir dir with Sys_error _ -> ());
+      try Sys.remove tmp with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let store_queries () =
+  let x = Bv.var 8 710 and y = Bv.var 8 711 in
+  [
+    [ Bv.cmp Bv.Ugt x (Bv.const 8 200L) ];
+    [ Bv.cmp Bv.Ult x (Bv.const 8 5L); Bv.cmp Bv.Ugt x (Bv.const 8 10L) ];
+    [ Bv.cmp Bv.Eq (Bv.binop Bv.Add x y) (Bv.const 8 77L) ];
+  ]
+
+let test_store_round_trip () =
+  with_temp_dir @@ fun dir ->
+  let queries = store_queries () in
+  let st1 = Store.load ~dir in
+  check int "store starts cold" 0 (Store.loaded st1);
+  let c1 = Solver.create ~cache:true ~store:st1 () in
+  let r1 = List.map (Solver.check c1) queries in
+  Store.save st1;
+  let st2 = Store.load ~dir in
+  check bool "entries survive the round trip" true (Store.loaded st2 > 0);
+  let c2 = Solver.create ~cache:true ~store:st2 () in
+  let r2 = List.map (Solver.check c2) queries in
+  check bool "identical results across runs (verdicts and models)" true
+    (r1 = r2);
+  check int "no fresh solves on the warm run" 0
+    (Solver.stats c2).Solver.component_solves;
+  check bool "answered from the store" true
+    ((Solver.stats c2).Solver.hits_store > 0)
+
+(* corrupted or version-mismatched store files must load as empty stores —
+   a cache starts cold, it never crashes the run or poisons answers *)
+let test_store_rejects_invalid () =
+  with_temp_dir @@ fun dir ->
+  let st = Store.load ~dir in
+  let c = Solver.create ~cache:true ~store:st () in
+  List.iter (fun q -> ignore (Solver.check c q)) (store_queries ());
+  Store.save st;
+  let file =
+    match Array.to_list (Sys.readdir dir) with
+    | [ f ] -> Filename.concat dir f
+    | l -> Alcotest.failf "expected exactly one store file, got %d" (List.length l)
+  in
+  (* truncated garbage *)
+  Out_channel.with_open_bin file (fun oc -> output_string oc "garbage");
+  let st_bad = Store.load ~dir in
+  check int "corrupted file loads as an empty store" 0 (Store.loaded st_bad);
+  let c_bad = Solver.create ~cache:true ~store:st_bad () in
+  (match Solver.check c_bad (List.hd (store_queries ())) with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "x>200 is sat even with a corrupt store");
+  check bool "corrupt store produced no hits" true
+    ((Solver.stats c_bad).Solver.hits_store = 0);
+  (* right magic, wrong version *)
+  Out_channel.with_open_bin file (fun oc ->
+      output_string oc "OVERIFY-SOLVER-STORE";
+      output_binary_int oc 999_999);
+  let st_v = Store.load ~dir in
+  check int "version mismatch loads as an empty store" 0 (Store.loaded st_v)
 
 let () =
   Alcotest.run "solver"
@@ -380,5 +679,25 @@ let () =
             test_ctx_clear_cache;
           Alcotest.test_case "concurrent contexts on 2 domains" `Quick
             test_ctx_concurrent_domains;
+        ] );
+      ( "acceleration chain",
+        [
+          Alcotest.test_case "differential oracle (2,000 queries)" `Quick
+            test_differential_oracle;
+          QCheck_alcotest.to_alcotest prop_partition_is_partition;
+          Alcotest.test_case "partition vs conjunction (with shrinker)"
+            `Quick test_partition_vs_conjunction;
+          Alcotest.test_case "UNSAT-subset rule" `Quick test_unsat_subset_rule;
+          Alcotest.test_case "SAT stored-model screening" `Quick
+            test_sat_superset_screening;
+          Alcotest.test_case "clear_cache drops every layer" `Quick
+            test_clear_cache_all_layers;
+        ] );
+      ( "persistent store",
+        [
+          Alcotest.test_case "round trip across runs" `Quick
+            test_store_round_trip;
+          Alcotest.test_case "rejects corrupt and wrong-version files" `Quick
+            test_store_rejects_invalid;
         ] );
     ]
