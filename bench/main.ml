@@ -45,7 +45,9 @@ let run_table1 args =
   let timeout = Option.value t ~default:60.0 in
   ignore (H.Table1.print ~input_size ~timeout ());
   (* the paper emphasizes scaling: show a small sweep of input sizes *)
-  if not (List.mem "-n" args) then begin
+  match H.Table1.wc () with
+  | Error msg -> Printf.printf "scaling sweep skipped: %s\n" msg
+  | Ok wc when not (List.mem "-n" args) ->
     H.Report.section "Table 1 (scaling): paths by symbolic input size";
     let sizes = [ 2; 3; 4; 5 ] in
     let rows =
@@ -54,7 +56,7 @@ let run_table1 args =
           cm.Overify_opt.Costmodel.name
           :: List.map
                (fun sz ->
-                 let c = H.Experiment.compile cm (H.Table1.wc ()) in
+                 let c = H.Experiment.compile cm wc in
                  let v = H.Experiment.verify ~input_size:sz ~timeout:30.0 c in
                  Printf.sprintf "%d%s" v.Overify_symex.Engine.paths
                    (if v.Overify_symex.Engine.complete then "" else "+"))
@@ -64,7 +66,7 @@ let run_table1 args =
     H.Report.table
       (("level" :: List.map (fun sz -> Printf.sprintf "n=%d" sz) sizes) :: rows);
     print_endline "('+' = budget exhausted before full exploration)"
-  end
+  | Ok _ -> ()
 
 let run_table2 args =
   let (n, t) = parse_flags args in
@@ -410,6 +412,38 @@ let run_solve args =
   Printf.printf "wrote %s\n" out;
   if !failures > 0 then exit 1
 
+(* ---- chaos sweep: every corpus program under a battery of deterministic
+   fault schedules plus a kill/resume phase; the hardening contract (zero
+   crashes, two-run determinism, degraded subsets, byte-identical resume)
+   is asserted cell by cell and any violation exits 1.  Rows go to
+   BENCH_chaos.json. ---- *)
+
+let run_chaos args =
+  let (n, t) = parse_flags args in
+  let input_size = Option.value n ~default:3 in
+  let timeout = Option.value t ~default:60.0 in
+  let flag name =
+    let rec go = function
+      | f :: v :: _ when f = name -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let programs =
+    match flag "-p" with
+    | None -> Overify_corpus.Programs.programs
+    | Some name -> (
+        match Overify_corpus.Programs.find name with
+        | Some p -> [ p ]
+        | None ->
+            Printf.eprintf "bench chaos: unknown corpus program %S\n" name;
+            exit 2)
+  in
+  let out = Option.value (flag "-o") ~default:"BENCH_chaos.json" in
+  let r = H.Chaos.run ~input_size ~timeout ~programs ~json_path:out () in
+  if r.H.Chaos.failures > 0 then exit 1
+
 (* ---- translation-validated corpus sweep: every pass application on every
    corpus program at every level is checked with the symbolic engine; the
    expected result is zero counterexamples (exit 1 otherwise) ---- *)
@@ -432,7 +466,11 @@ let run_validate args =
 
 let bechamel () =
   let open Bechamel in
-  let wc = H.Table1.wc () in
+  let wc =
+    match H.Table1.wc () with
+    | Ok p -> p
+    | Error msg -> failwith ("bechamel needs the wc program: " ^ msg)
+  in
   let compile_overify () =
     ignore (H.Experiment.compile Overify_opt.Costmodel.overify wc)
   in
@@ -496,6 +534,7 @@ let () =
   | _ :: "precision" :: rest -> run_precision rest
   | _ :: "parallel" :: rest -> run_parallel rest
   | _ :: "solve" :: rest -> run_solve rest
+  | _ :: "chaos" :: rest -> run_chaos rest
   | _ :: "validate" :: rest -> run_validate rest
   | _ :: "profile" :: rest -> run_profile rest
   | _ :: "bechamel" :: _ -> bechamel ()

@@ -176,6 +176,30 @@ let cache_dir_arg =
            byte-identical with or without the cache; only the number of \
            raw SAT solves changes.")
 
+let faults_conv =
+  let parse s =
+    match O.Fault.parse s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt f = Format.pp_print_string fmt (O.Fault.spec f) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic faults (chaos testing): comma-separated \
+           site\\@N entries — timeout\\@N (N-th solver query times out), \
+           corrupt\\@N / partial\\@N (N-th solver-store save is corrupted \
+           / truncated), alloc\\@N (N-th allocation exhausts its budget), \
+           crash\\@N (N-th executor step raises a contained worker crash), \
+           kill\\@N (simulated SIGKILL — only a checkpoint survives) — or \
+           seed:S[:K] for K pseudo-random entries.  Defaults to \
+           $(b,OVERIFY_FAULTS) when set.")
+
 let verify_cmd =
   let size =
     Arg.(
@@ -202,25 +226,105 @@ let verify_cmd =
             "Explore paths on $(docv) parallel worker domains. Results are \
              identical to the sequential searcher for complete runs.")
   in
-  let run level no_libc path size timeout tests jobs cache_dir trace =
+  let checkpoint_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write periodic atomic snapshots of the exploration frontier to \
+             $(docv) (sequential searcher), so a killed run can be continued \
+             with $(b,--resume).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Snapshot every $(docv) completed paths (default 64).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the snapshot in $(b,--checkpoint-dir) when one \
+             exists and matches this program and configuration; the resumed \
+             run's verdicts equal an uninterrupted run's.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Emit the machine-readable result — including the structured \
+             $(i,degradations) and $(i,faults_injected) blocks — to stdout, \
+             or to $(docv) if given.")
+  in
+  let run level no_libc path size timeout tests jobs cache_dir faults
+      checkpoint_dir checkpoint_every resume json trace =
     with_trace trace @@ fun () ->
+    let faults =
+      match faults with
+      | Some _ as f -> f
+      | None -> (
+          try O.Fault.of_env ()
+          with Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2)
+    in
     let m = compile_to_module level no_libc path in
-    let r = O.verify ~input_size:size ~timeout ~jobs ?cache_dir m in
+    let r =
+      try
+        O.verify ~input_size:size ~timeout ~jobs ?cache_dir ?faults
+          ?checkpoint_dir ~checkpoint_every ~resume m
+      with O.Fault.Killed msg ->
+        (* simulated process death: mirror SIGKILL's exit status; the
+           checkpoint (if any) stays behind for --resume *)
+        Printf.eprintf "killed: %s%s\n" msg
+          (match checkpoint_dir with
+          | Some d -> Printf.sprintf " (resume with --checkpoint-dir %s --resume)" d
+          | None -> " (no --checkpoint-dir; progress lost)");
+        exit 137
+    in
+    (match json with
+    | Some "-" -> print_endline (O.Engine.result_to_json r)
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc (O.Engine.result_to_json r);
+            output_char oc '\n');
+        Printf.eprintf "; result written to %s\n" file
+    | None -> ());
     Printf.printf
       "paths=%d instructions=%d queries=%d cache_hits=%d solver=%.1fms \
-       total=%.1fms coverage=%d/%d blocks jobs=%d complete=%b\n"
+       total=%.1fms coverage=%d/%d blocks jobs=%d complete=%b%s\n"
       r.O.Engine.paths r.O.Engine.instructions r.O.Engine.queries
       r.O.Engine.cache_hits
       (r.O.Engine.solver_time *. 1000.)
       (r.O.Engine.time *. 1000.)
       r.O.Engine.blocks_covered r.O.Engine.blocks_total r.O.Engine.jobs
-      r.O.Engine.complete;
+      r.O.Engine.complete
+      (if r.O.Engine.resumed then " resumed=true" else "");
     Printf.printf
       "solver: components=%d solves=%d hits: exact=%d canon=%d subset=%d \
        superset=%d store=%d\n"
       r.O.Engine.components r.O.Engine.component_solves r.O.Engine.hits_exact
       r.O.Engine.hits_canon r.O.Engine.hits_subset r.O.Engine.hits_superset
       r.O.Engine.hits_store;
+    List.iter
+      (fun (d : O.Engine.degradation) ->
+        Printf.printf "degraded: %s paths=%d%s\n" d.O.Engine.d_kind
+          d.O.Engine.d_paths
+          (if d.O.Engine.d_where = "" then ""
+           else " (" ^ d.O.Engine.d_where ^ ")"))
+      r.O.Engine.degradations;
+    (let fired =
+       List.filter (fun (_, n) -> n > 0) r.O.Engine.faults_injected
+     in
+     if fired <> [] then
+       Printf.printf "faults injected: %s\n"
+         (String.concat " "
+            (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) fired)));
     if tests then
       List.iteri
         (fun i (input, code) ->
@@ -237,7 +341,9 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Compile and symbolically execute all paths (KLEE-style).")
     Term.(const run $ level $ no_libc $ source_file $ size $ timeout
-          $ tests_flag $ jobs $ cache_dir_arg $ trace_arg)
+          $ tests_flag $ jobs $ cache_dir_arg $ faults_arg
+          $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg $ json_arg
+          $ trace_arg)
 
 (* ---- analyze subcommand ---- *)
 

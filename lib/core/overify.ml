@@ -22,6 +22,8 @@ module Tv_product = Overify_tv.Product
 module Programs = Overify_corpus.Programs
 module Workload = Overify_corpus.Workload
 module Obs = Overify_obs.Obs
+module Fault = Overify_fault.Fault
+module Checkpoint = Overify_symex.Checkpoint
 module Interval = Overify_absint.Interval
 module Absint = Overify_absint.Analysis
 module Precision = Overify_absint.Precision
@@ -67,9 +69,17 @@ let compile_validated ?(level = Costmodel.overify) ?(link_libc = true) ?budget
     unless [OVERIFY_SOLVER_CACHE=0]); [cache_dir] attaches a persistent
     cross-run solver store so repeated verifications — including at other
     optimization levels — reuse each other's canonical verdicts.  Neither
-    changes any result, only how often the SAT solver actually runs. *)
+    changes any result, only how often the SAT solver actually runs.
+
+    Hardening: [faults] attaches a deterministic fault-injection schedule
+    (chaos testing; see {!Fault}); [checkpoint_dir] writes periodic atomic
+    snapshots so a killed run can be continued with [resume:true]
+    ([checkpoint_every] sets the cadence in completed paths).  Mid-run
+    failures degrade rather than abort — see
+    [Engine.result.degradations]. *)
 let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) ?solver_cache
-    ?cache_dir (m : Ir.modul) : Engine.result =
+    ?cache_dir ?faults ?checkpoint_dir ?(checkpoint_every = 64)
+    ?(resume = false) (m : Ir.modul) : Engine.result =
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
   Engine.run
     ~config:
@@ -80,6 +90,10 @@ let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) ?solver_cache
         searcher;
         solver_cache;
         cache_dir;
+        faults;
+        checkpoint_dir;
+        checkpoint_every;
+        resume;
       }
     m
 

@@ -45,9 +45,13 @@ let compile (level : Costmodel.t) (program : Programs.t) : compiled =
 (** Symbolically execute a compiled program.  [jobs > 1] explores on that
     many domains ([`Parallel jobs]); the default is the sequential DFS
     searcher.  [solver_cache] / [cache_dir] select the solver acceleration
-    layers (see [Overify_solver.Solver]) — they never change the result. *)
+    layers (see [Overify_solver.Solver]) — they never change the result.
+    [faults] / [checkpoint_dir] / [resume] are the hardening knobs (chaos
+    schedules and kill/resume; see [Overify_fault.Fault] and
+    [Engine.config]). *)
 let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
-    ?(jobs = 1) ?solver_cache ?cache_dir (c : compiled) : Engine.result =
+    ?(jobs = 1) ?solver_cache ?cache_dir ?faults ?checkpoint_dir
+    ?(checkpoint_every = 64) ?(resume = false) (c : compiled) : Engine.result =
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
   Engine.run
     ~config:
@@ -59,6 +63,10 @@ let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
         searcher;
         solver_cache;
         cache_dir;
+        faults;
+        checkpoint_dir;
+        checkpoint_every;
+        resume;
       }
     c.modul
 

@@ -196,6 +196,12 @@ let print ?(top = 8) ?(out = stdout) t =
     r.Engine.components r.Engine.component_solves r.Engine.hits_exact
     r.Engine.hits_canon r.Engine.hits_subset r.Engine.hits_superset
     r.Engine.hits_store;
+  List.iter
+    (fun (d : Engine.degradation) ->
+      Printf.fprintf out "degraded: %s paths=%d%s\n" d.Engine.d_kind
+        d.Engine.d_paths
+        (if d.Engine.d_where = "" then "" else " (" ^ d.Engine.d_where ^ ")"))
+    r.Engine.degradations;
   let rows =
     [
       "function"; "insts"; "forks"; "queries"; "hits"; "solver (ms)";
@@ -424,12 +430,19 @@ let to_json ?(times = true) (t : t) : string =
           (h.Obs.Hist.max *. 1000.)
     | _ -> ""
   in
+  let degradation_json (d : Engine.degradation) =
+    Printf.sprintf {|{"kind": "%s", "where": "%s", "paths": %d}|}
+      (json_escape d.Engine.d_kind)
+      (json_escape d.Engine.d_where)
+      d.Engine.d_paths
+  in
   Printf.sprintf
     {|{
   "program": "%s",
   "level": "%s",
   "input_size": %d,
   "totals": {"paths": %d, "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "components": %d, "component_solves": %d, "hits_exact": %d, "hits_canon": %d, "hits_subset": %d, "hits_superset": %d, "hits_store": %d, "solver_time_ms": %s, "time_ms": %s, "compile_ms": %s, "complete": %b, "jobs": %d},
+  "degradations": [%s],
   "functions": [
 %s
   ],
@@ -444,6 +457,7 @@ let to_json ?(times = true) (t : t) : string =
     r.Engine.hits_store
     (ms r.Engine.solver_time) (ms r.Engine.time) (ms t.t_compile)
     r.Engine.complete r.Engine.jobs
+    (String.concat ", " (List.map degradation_json r.Engine.degradations))
     (String.concat ",\n" (List.map func_json t.funcs))
     (String.concat ",\n" (List.map pass_json t.pass_rollup))
     latency

@@ -113,9 +113,9 @@ let rec lower_expr ctx (e : texpr) : Ir.value =
       match e.ty with
       | A.CArr _ -> err loc "internal: load of array value"
       | _ ->
-          let addr = lower_lval ctx lv in
+          let addr = lower_lval ctx loc lv in
           B.load ctx.b (ir_ty e.ty) addr)
-  | TAddr lv -> lower_lval ctx lv
+  | TAddr lv -> lower_lval ctx loc lv
   | TBin (op, a, b) -> (
       let ty = ir_ty e.ty in
       match lower_many ctx [ a; b ] with
@@ -155,7 +155,7 @@ let rec lower_expr ctx (e : texpr) : Ir.value =
       B.load ctx.b ty slot
   | TAssign (lv, rhs) ->
       let lty = ir_ty (lval_ty lv) in
-      let get_addr = lower_lval_protected ctx lv ~later:[ rhs ] in
+      let get_addr = lower_lval_protected ctx loc lv ~later:[ rhs ] in
       let v = lower_expr ctx rhs in
       B.store ctx.b lty v (get_addr ());
       v
@@ -163,7 +163,7 @@ let rec lower_expr ctx (e : texpr) : Ir.value =
       let lcty = lval_ty lv in
       let lty = ir_ty lcty in
       let opty = ir_ty opcty in
-      let get_addr = lower_lval_protected ctx lv ~later:[ rhs ] in
+      let get_addr = lower_lval_protected ctx loc lv ~later:[ rhs ] in
       let vr = lower_expr ctx rhs in
       let addr = get_addr () in
       let old = B.load ctx.b lty addr in
@@ -173,7 +173,7 @@ let rec lower_expr ctx (e : texpr) : Ir.value =
       B.store ctx.b lty res' addr;
       res'
   | TAssignPtr (lv, idx, scale) ->
-      let get_addr = lower_lval_protected ctx lv ~later:[ idx ] in
+      let get_addr = lower_lval_protected ctx loc lv ~later:[ idx ] in
       let vi = lower_expr ctx idx in
       let addr = get_addr () in
       let old = B.load ctx.b Ir.Ptr addr in
@@ -183,7 +183,7 @@ let rec lower_expr ctx (e : texpr) : Ir.value =
   | TIncDec { lv; pre; inc; scale } ->
       let lcty = lval_ty lv in
       let lty = ir_ty lcty in
-      let addr = lower_lval ctx lv in
+      let addr = lower_lval ctx loc lv in
       let old = B.load ctx.b lty addr in
       let nv =
         if scale = 0 then
@@ -267,19 +267,19 @@ and lower_many ctx (es : texpr list) : Ir.value list =
       let vs = lower_many ctx rest in
       get () :: vs
 
-and lower_lval ctx (lv : tlval) : Ir.value =
+and lower_lval ctx loc (lv : tlval) : Ir.value =
   match lv with
   | LVar (name, false, _) -> (
       match Hashtbl.find_opt ctx.vars name with
       | Some slot -> slot
-      | None -> failwith ("lower: unknown local " ^ name))
+      | None -> err loc "unknown local %s" name)
   | LVar (name, true, _) -> Ir.Glob name
   | LMem (addr, _) -> lower_expr ctx addr
 
 (** Lower an lvalue address and protect it against branching in [later]. *)
-and lower_lval_protected ctx lv ~later =
+and lower_lval_protected ctx loc lv ~later =
   let branches = List.exists may_branch later in
-  let addr = lower_lval ctx lv in
+  let addr = lower_lval ctx loc lv in
   protect ctx Ir.Ptr addr ~later_branches:branches
 
 (** Produce an [I1] for a comparison whose operands are already checked. *)
@@ -422,14 +422,14 @@ and lower_stmt ctx (s : tstmt) : unit =
       (match step with Some e -> ignore (lower_expr ctx e) | None -> ());
       B.term ctx.b (Ir.Br lhead);
       B.switch_to ctx.b lexit
-  | TSbreak -> (
+  | TSbreak loc -> (
       match ctx.loops with
       | (lexit, _) :: _ -> B.term ctx.b (Ir.Br lexit)
-      | [] -> failwith "lower: break outside loop")
-  | TScontinue -> (
+      | [] -> err loc "break outside loop")
+  | TScontinue loc -> (
       match ctx.loops with
       | (_, lcont) :: _ -> B.term ctx.b (Ir.Br lcont)
-      | [] -> failwith "lower: continue outside loop")
+      | [] -> err loc "continue outside loop")
   | TSreturn None -> B.term ctx.b (Ir.Ret None)
   | TSreturn (Some e) ->
       let v = lower_expr ctx e in
@@ -466,7 +466,7 @@ and lower_decl ctx (d : tdecl) : unit =
             let addr = B.gep ctx.b slot 1 (Ir.imm Ir.I64 (Int64.of_int i)) in
             B.store ctx.b Ir.I8 (Ir.zero Ir.I8) addr
           done
-      | Some (TIexpr _) -> failwith "lower: scalar initializer for array")
+      | Some (TIexpr _) -> err d.td_loc "scalar initializer for array %s" d.td_name)
   | _ ->
       let ty = ir_ty d.td_ty in
       let slot = entry_alloca ctx ty 1 in
@@ -475,7 +475,7 @@ and lower_decl ctx (d : tdecl) : unit =
       | Some (TIexpr e) ->
           let v = lower_expr ctx e in
           B.store ctx.b ty v slot
-      | Some (TIlist _ | TIstr _) -> failwith "lower: list init for scalar"
+      | Some (TIlist _ | TIstr _) -> err d.td_loc "list initializer for scalar %s" d.td_name
       | None -> ())
 
 (* ---------------- functions and programs ---------------- *)

@@ -54,14 +54,15 @@ type tstmt =
   | TSwhile of texpr * tstmt list        (** also encodes [for] after elab *)
   | TSdo of tstmt list * texpr
   | TSfor of tstmt list * texpr option * texpr option * tstmt list
-  | TSbreak
-  | TScontinue
+  | TSbreak of loc
+  | TScontinue of loc
   | TSreturn of texpr option
 
 and tdecl = {
   td_name : string;
   td_ty : cty;
   td_init : tinit option;
+  td_loc : loc;
 }
 
 and tinit =
@@ -528,8 +529,8 @@ let rec check_stmt env (s : stmt) : tstmt list =
           [ TSfor (init, cond, step, body) ])
   | Sblock ss ->
       in_scope env (fun () -> List.concat_map (check_stmt env) ss)
-  | Sbreak -> [ TSbreak ]
-  | Scontinue -> [ TScontinue ]
+  | Sbreak -> [ TSbreak loc ]
+  | Scontinue -> [ TScontinue loc ]
   | Sreturn None ->
       if env.ret_ty <> CVoid then err loc "missing return value";
       [ TSreturn None ]
@@ -577,7 +578,7 @@ and check_decl env loc (d : decl) : tstmt =
       if Hashtbl.mem scope d.dname then err loc "redeclaration of %s" d.dname;
       Hashtbl.replace scope d.dname (uname, d.dty)
   | [] -> assert false);
-  TSdecl { td_name = uname; td_ty = d.dty; td_init = init }
+  TSdecl { td_name = uname; td_ty = d.dty; td_init = init; td_loc = loc }
 
 (* ---------------- globals ---------------- *)
 

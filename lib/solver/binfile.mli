@@ -1,0 +1,32 @@
+(** Framed atomic binary files — the shared on-disk discipline for
+    {!Store} and the engine's checkpoints.
+
+    Frame layout: magic string, 4-byte big-endian version, 8-byte
+    big-endian payload length, payload bytes, 16-byte MD5 digest of the
+    payload.  [read] validates every field, so a truncated file (partial
+    write, killed process) or a flipped byte is detected and rejected —
+    not just bad magic.  Writes go to a temp file and [Sys.rename] into
+    place, so a reader never observes a half-written frame. *)
+
+val frame : magic:string -> version:int -> string -> string
+(** Wrap a payload in a frame. *)
+
+val parse : magic:string -> version:int -> string -> string option
+(** Unwrap and validate a frame; [None] on any mismatch (magic, version,
+    truncation, length, digest). *)
+
+val write_atomic : path:string -> string -> bool
+(** Write bytes to [path] via temp-file + rename; [false] on failure
+    (never raises). Creates parent directories as needed. *)
+
+val read_file : path:string -> string option
+(** Whole-file read; [None] if missing/unreadable. *)
+
+val write : path:string -> magic:string -> version:int -> string -> bool
+(** [frame] + [write_atomic]. *)
+
+val read : path:string -> magic:string -> version:int -> string option
+(** [read_file] + [parse]. *)
+
+val mkdirs : string -> unit
+(** [mkdir -p]; never raises. *)

@@ -96,6 +96,35 @@ let mk node width =
 (** Number of live hash-consed terms (for stats). *)
 let live_terms () = Mutex.protect lock (fun () -> NTbl.length table)
 
+(** Re-intern terms that bypassed [mk] — i.e. came out of [Marshal] when
+    loading a checkpoint.  An unmarshaled term carries stale [id]s: left
+    alone it could collide with ids handed out by the live counter, and
+    the solver's exact-match cache (keyed on id lists) would conflate
+    distinct terms.  [rebuilder ()] returns a memoizing bottom-up
+    re-interning function; sharing within one batch is preserved (the
+    memo is keyed on the stale ids, which are mutually consistent because
+    they came from a single run's table). *)
+let rebuilder () =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 1024 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some t' -> t'
+    | None ->
+        let node' =
+          match t.node with
+          | Const _ | Var _ -> t.node
+          | Bin (o, a, b) -> Bin (o, go a, go b)
+          | Cmp (o, a, b) -> Cmp (o, go a, go b)
+          | Ite (c, a, b) -> Ite (go c, go a, go b)
+          | Concat (a, b) -> Concat (go a, go b)
+          | Extract (h, l, a) -> Extract (h, l, go a)
+        in
+        let t' = mk node' t.width in
+        Hashtbl.add memo t.id t';
+        t'
+  in
+  go
+
 (* ---------------- constructors with simplification ---------------- *)
 
 let const w v = mk (Const (norm w v)) w

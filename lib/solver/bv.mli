@@ -31,6 +31,13 @@ val to_signed : int -> int64 -> int64
 val live_terms : unit -> int
 (** Number of live hash-consed terms (stats). *)
 
+val rebuilder : unit -> t -> t
+(** Memoizing re-interner for terms that bypassed the hash-cons table —
+    i.e. were unmarshaled from a checkpoint.  Rebuilds bottom-up through
+    [mk], so the results are ordinary interned terms with live ids;
+    sharing within the batch is preserved.  One rebuilder per unmarshaled
+    batch. *)
+
 val reset : unit -> unit
 (** Drop all hash-consed terms.  Only safe when no term values are retained
     by the caller and no other domain is constructing terms; each engine run

@@ -87,6 +87,9 @@ type ctx = {
       (** reuse layers enabled?  [false] keeps canonicalization and
           partitioning (they define the result) but re-solves everything *)
   store : Store.t option;
+  faults : Overify_fault.Fault.t option;
+      (** injected-fault schedule; a scheduled [timeout@N] makes the N-th
+          query raise {!Timeout} before touching any cache layer *)
   mutable deadline : float option;
       (** wall-clock deadline honoured by [check]; long-running
           blasting/SAT work raises {!Timeout} past it *)
@@ -101,7 +104,7 @@ let env_cache_default () =
   | Some "0" -> false
   | _ -> true
 
-let create ?deadline ?hist ?cache ?store () =
+let create ?deadline ?hist ?cache ?store ?faults () =
   {
     stats =
       {
@@ -124,6 +127,7 @@ let create ?deadline ?hist ?cache ?store () =
     cex = Cexcache.create ();
     reuse = (match cache with Some b -> b | None -> env_cache_default ());
     store;
+    faults;
     deadline;
     hist;
   }
@@ -263,6 +267,10 @@ let check_component ctx ~fresh (comp : Bv.t list) : result =
 let check (ctx : ctx) (assertions : Bv.t list) : result =
   let stats = ctx.stats in
   stats.queries <- stats.queries + 1;
+  (* injected solver timeout: fires before any cache layer, so a faulted
+     query costs its caller a path regardless of warm caches *)
+  if Overify_fault.Fault.fire ctx.faults Overify_fault.Fault.Solver_timeout then
+    raise Timeout;
   (* constant-prune: smart constructors already folded constants *)
   let assertions =
     List.filter (fun (t : Bv.t) -> t.Bv.node <> Bv.Const 1L) assertions

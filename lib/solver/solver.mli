@@ -56,6 +56,7 @@ val create :
   ?hist:Overify_obs.Obs.Hist.t ->
   ?cache:bool ->
   ?store:Store.t ->
+  ?faults:Overify_fault.Fault.t ->
   unit ->
   ctx
 (** Fresh context with empty caches and zeroed counters.  [deadline] is an
@@ -67,7 +68,9 @@ val create :
     partitioning still run, only reuse is skipped.  [store] attaches a
     persistent cross-run store (shared across contexts; it locks
     internally); fresh results are published to it even with
-    [cache:false]. *)
+    [cache:false].  [faults] attaches a fault-injection schedule: a
+    scheduled solver timeout makes that query raise {!Timeout} before any
+    cache layer is consulted. *)
 
 val stats : ctx -> stats
 val reset_stats : ctx -> unit

@@ -1,52 +1,51 @@
-(** Persistent cross-run solver store: versioned binary file, atomic
-    writes, graceful rejection of invalid files.  See store.mli. *)
+(** Persistent cross-run solver store: framed binary file (magic +
+    version + length + checksum trailer via {!Binfile}), atomic writes,
+    graceful rejection of invalid or truncated files.  See store.mli. *)
+
+module Fault = Overify_fault.Fault
 
 type entry = E_unsat | E_sat of int64 array
 
 let magic = "OVERIFY-SOLVER-STORE"
-let version = 1
+
+(* v2: framed via Binfile (length + MD5 trailer).  v1 files (bare
+   magic+version+Marshal) fail the frame parse and load as empty, which
+   is the correct cold-cache behaviour for a format change. *)
+let version = 2
 let filename = "solver-cache.bin"
 
 type t = {
   dir : string;
   tbl : (string, entry) Hashtbl.t;
   mutex : Mutex.t;
+  faults : Fault.t option;
   mutable dirty : bool;
   mutable loaded : int;
 }
 
 let path t = Filename.concat t.dir filename
+let mkdirs = Binfile.mkdirs
 
-let rec mkdirs d =
-  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
-    mkdirs (Filename.dirname d);
-    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-let load ~dir : t =
+let load ?faults ~dir () : t =
   let t =
     {
       dir;
       tbl = Hashtbl.create 256;
       mutex = Mutex.create ();
+      faults;
       dirty = false;
       loaded = 0;
     }
   in
-  (try mkdirs dir with _ -> ());
-  (try
-     let ic = open_in_bin (path t) in
-     Fun.protect
-       ~finally:(fun () -> close_in_noerr ic)
-       (fun () ->
-         let m = really_input_string ic (String.length magic) in
-         if m <> magic then failwith "bad magic";
-         let v = input_binary_int ic in
-         if v <> version then failwith "version mismatch";
-         let (data : (string, entry) Hashtbl.t) = Marshal.from_channel ic in
-         Hashtbl.iter (fun k e -> Hashtbl.replace t.tbl k e) data;
-         t.loaded <- Hashtbl.length t.tbl)
-   with _ -> (* missing/corrupt/wrong version: start cold *) ());
+  mkdirs dir;
+  (match Binfile.read ~path:(path t) ~magic ~version with
+  | None -> (* missing/corrupt/truncated/wrong version: start cold *) ()
+  | Some payload -> (
+      try
+        let (data : (string, entry) Hashtbl.t) = Marshal.from_string payload 0 in
+        Hashtbl.iter (fun k e -> Hashtbl.replace t.tbl k e) data;
+        t.loaded <- Hashtbl.length t.tbl
+      with _ -> ()));
   t
 
 let find t key =
@@ -63,23 +62,32 @@ let add t key entry =
   end;
   Mutex.unlock t.mutex
 
+(* Injected write faults mangle the framed bytes before the atomic
+   write: a flipped payload byte (digest mismatch on load) or a
+   truncation (length mismatch).  Either way the next [load] must come
+   up empty rather than crash — the truncation-sweep unit test checks
+   every prefix length. *)
+let mangle faults bytes =
+  let corrupt = Fault.fire faults Fault.Store_corrupt in
+  let partial = Fault.fire faults Fault.Store_partial in
+  let bytes =
+    if corrupt && String.length bytes > 40 then begin
+      let b = Bytes.of_string bytes in
+      let i = String.length magic + 12 + ((Bytes.length b - 60) / 2) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+      Bytes.to_string b
+    end
+    else bytes
+  in
+  if partial then String.sub bytes 0 (String.length bytes * 2 / 3) else bytes
+
 let save t =
   Mutex.lock t.mutex;
   (if t.dirty then
      try
-       mkdirs t.dir;
-       let tmp =
-         Printf.sprintf "%s.tmp.%d" (path t) (Unix.getpid ())
-       in
-       let oc = open_out_bin tmp in
-       Fun.protect
-         ~finally:(fun () -> close_out_noerr oc)
-         (fun () ->
-           output_string oc magic;
-           output_binary_int oc version;
-           Marshal.to_channel oc t.tbl []);
-       Sys.rename tmp (path t);
-       t.dirty <- false
+       let payload = Marshal.to_string t.tbl [] in
+       let bytes = mangle t.faults (Binfile.frame ~magic ~version payload) in
+       if Binfile.write_atomic ~path:(path t) bytes then t.dirty <- false
      with _ -> (* cache write failures never fail the run *) ());
   Mutex.unlock t.mutex
 

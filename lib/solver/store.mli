@@ -10,10 +10,12 @@
     what a fresh solve would return — cross-run reuse preserves the
     solver's determinism contract.
 
-    The on-disk format is versioned (magic string + version number +
-    [Marshal] payload); loading a missing, corrupted, truncated or
-    wrong-version file silently yields an empty store — a cache may always
-    start cold, never crash the run.  Writes are atomic (temp file +
+    The on-disk format is a {!Binfile} frame: magic string, version,
+    payload length, [Marshal] payload, MD5 checksum trailer.  Loading a
+    missing, corrupted, truncated or wrong-version file silently yields an
+    empty store — a cache may always start cold, never crash the run.  The
+    length + checksum trailer means even a single-byte truncation or flip
+    is detected, not just bad magic.  Writes are atomic (temp file +
     rename), so concurrent or killed runs cannot tear the file.  All
     operations take an internal mutex: one store may be shared by all
     parallel worker domains of a run. *)
@@ -24,9 +26,10 @@ type entry =
 
 type t
 
-val load : dir:string -> t
+val load : ?faults:Overify_fault.Fault.t -> dir:string -> unit -> t
 (** Open (creating [dir] if needed) and read the store file if present and
-    valid; any load failure yields an empty store. *)
+    valid; any load failure yields an empty store.  [faults] injects
+    write corruption/truncation at [save] time (chaos testing). *)
 
 val find : t -> string -> entry option
 val add : t -> string -> entry -> unit

@@ -10,12 +10,26 @@
     deterministic modulo scheduling — for a run that completes exploration,
     [paths], [exit_codes], [bugs] and [blocks_covered] are canonically
     sorted/merged so that every searcher (and every worker count) reports
-    byte-identical values. *)
+    byte-identical values.
+
+    {2 Hardening}
+
+    Mid-run failures degrade instead of aborting.  A worker exception
+    (real or injected via {!Fault}) abandons only the path that raised it;
+    a per-query solver timeout demotes that one path to unknown; budget
+    exhaustion stops exploration but keeps everything proved so far.
+    Every such event is recorded in [result.degradations] — what was hit,
+    where, and how many paths it cost — and [complete] is now simply
+    "no degradations".  The only exception that still escapes [run] is
+    {!Fault.Killed}, the injected analogue of SIGKILL, which the
+    checkpoint/resume machinery (sequential searchers, [checkpoint_dir])
+    exists to survive. *)
 
 module Ir = Overify_ir.Ir
 module Bv = Overify_solver.Bv
 module Solver = Overify_solver.Solver
 module Obs = Overify_obs.Obs
+module Fault = Overify_fault.Fault
 
 type config = {
   input_size : int;
@@ -32,6 +46,17 @@ type config = {
   cache_dir : string option;
       (** attach a persistent cross-run solver store in this directory,
           shared by all workers and saved when the run ends *)
+  faults : Fault.t option;
+      (** injected-fault schedule (solver timeouts, store corruption,
+          alloc exhaustion, worker crashes, kill); [None] = no chaos *)
+  checkpoint_dir : string option;
+      (** write periodic frontier snapshots here (sequential searchers
+          only); enables [resume] *)
+  checkpoint_every : int;
+      (** snapshot every N completed paths (sequential searchers) *)
+  resume : bool;
+      (** seed the run from [checkpoint_dir]'s snapshot when one exists
+          and matches this program/config; otherwise start fresh *)
 }
 
 let default_config =
@@ -45,12 +70,25 @@ let default_config =
     profile = false;
     solver_cache = None;
     cache_dir = None;
+    faults = None;
+    checkpoint_dir = None;
+    checkpoint_every = 64;
+    resume = false;
   }
 
 type bug = {
   kind : string;
   input : string;        (** concrete input reproducing the bug *)
   at_function : string;
+}
+
+type degradation = {
+  d_kind : string;
+      (** what gave way: one of [path_budget], [inst_budget],
+          [wall_clock], [solver_timeout], [worker_crash],
+          [executor_error], [alloc_exhausted], [path_dropped] *)
+  d_where : string;  (** site/reason detail (may be empty) *)
+  d_paths : int;     (** paths affected (lower bound for budget kinds) *)
 }
 
 type worker_stat = {
@@ -84,7 +122,16 @@ type result = {
   hits_superset : int;
   hits_store : int;             (** ...all sums over workers *)
   time : float;                 (** total verification wall time *)
-  complete : bool;              (** false if a budget was exhausted *)
+  complete : bool;
+      (** derived: [degradations = []].  Kept because "did exploration
+          cover everything" is the question most callers ask. *)
+  degradations : degradation list;
+      (** the structured reasons a run is incomplete, canonically sorted
+          (kind, where); empty iff [complete] *)
+  faults_injected : (string * int) list;
+      (** per-kind injected-fault counts (all kinds, zeros included)
+          when a schedule was attached; [[]] otherwise *)
+  resumed : bool;  (** this run was seeded from a checkpoint *)
   exit_codes : (string * int64) list;
       (** per completed path: concrete witness input and its exit code *)
   blocks_covered : int;  (** basic blocks reached on some explored path *)
@@ -119,9 +166,14 @@ type worker = {
   mutable exits : (string * int64) list;   (** (witness, exit code), unordered *)
   bug_tbl : (string * string, string) Hashtbl.t;
       (** (kind, function) -> smallest witness input seen *)
-  mutable dropped : bool;    (** some path was abandoned (T_drop) *)
-  mutable errored : bool;
+  mutable degs : (string * string * int) list;
+      (** raw degradation events (kind, where, paths), merged after join *)
+  mutable killed : string option;
+      (** parallel only: an injected kill seen by this worker; re-raised
+          after the join (a kill must look like process death) *)
 }
+
+let degrade w kind where npaths = w.degs <- (kind, where, npaths) :: w.degs
 
 let record_exit w input_vars (st : State.t) code =
   (match w.gctx.Executor.prof with
@@ -160,15 +212,62 @@ let record_bug w input_vars (st : State.t) kind =
   | _ -> Hashtbl.replace w.bug_tbl (kind, fname) witness
 
 let record_error w msg =
-  w.errored <- true;
-  Hashtbl.replace w.bug_tbl ("executor error: " ^ msg, "?") ""
+  Hashtbl.replace w.bug_tbl ("executor error: " ^ msg, "?") "";
+  degrade w "executor_error" msg 1
+
+(** An abandoned path (T_drop), classified for the degradation ladder. *)
+let record_drop w (st : State.t) reason =
+  let kind =
+    if String.length reason >= 10 && String.sub reason 0 10 = "allocation" then
+      "alloc_exhausted"
+    else "path_dropped"
+  in
+  let fname = (State.top st).State.fn.Ir.fname in
+  degrade w kind (Printf.sprintf "%s: %s" fname reason) 1
+
+(* ---------------- checkpointing (sequential searchers) ---------------- *)
+
+type ckpt = {
+  ck_dir : string;
+  ck_dig : string;
+  ck_every : int;
+  mutable ck_at : int;  (** [paths] when the last snapshot was written *)
+}
+
+let snapshot_of_worker (w : worker) paths frontier : Checkpoint.snapshot =
+  {
+    Checkpoint.ck_paths = paths;
+    ck_exits = w.exits;
+    ck_bugs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) w.bug_tbl [];
+    ck_covered =
+      Hashtbl.fold (fun k () acc -> k :: acc) w.gctx.Executor.covered [];
+    ck_insts = w.gctx.Executor.insts_executed;
+    ck_forks = w.gctx.Executor.forks;
+    ck_degs = w.degs;
+    ck_frontier = frontier;
+  }
 
 (* ---------------- sequential exploration ---------------- *)
 
-(** Classic single-worklist loop, DFS (stack) or BFS (queue).
-    Returns (completed paths, complete?). *)
-let run_sequential config (w : worker) init_state deadline input_vars :
-    int * bool =
+exception Out_of_budget of string
+(** Which budget tripped: [path_budget] / [inst_budget] / [wall_clock]. *)
+
+(** Classic single-worklist loop, DFS (stack) or BFS (queue), with
+    per-path failure containment: an exception thrown while driving one
+    state abandons that state (recording a degradation) and the loop
+    carries on with the rest of the worklist.  Only {!Fault.Killed} (the
+    injected SIGKILL) and genuine resource collapse (OOM, stack overflow)
+    still escape.
+
+    Checkpoints are written between pops — at that point the worklist is
+    exactly the set of unexplored frontier states, so snapshot + rest of
+    the run partitions the path tree and resume reproduces an
+    uninterrupted run's verdicts exactly.
+
+    Returns completed paths (including [base_paths] from a resumed
+    snapshot). *)
+let run_sequential config (w : worker) init_states deadline input_vars
+    ~base_paths ~(ckpt : ckpt option) : int =
   let gctx = w.gctx in
   let stack = ref [] in
   let queue = Queue.create () in
@@ -187,69 +286,90 @@ let run_sequential config (w : worker) init_state deadline input_vars :
             Some st
         | [] -> None)
   in
-  push init_state;
-  let paths = ref 0 in
-  let complete = ref true in
-  let out_of_budget () =
-    !paths >= config.max_paths
-    || gctx.Executor.insts_executed >= config.max_insts
-    || Unix.gettimeofday () > deadline
+  (* DFS pops the head, so seed in reverse to preserve frontier order *)
+  (match config.searcher with
+  | `Bfs -> List.iter push init_states
+  | _ -> List.iter push (List.rev init_states));
+  let paths = ref base_paths in
+  let budget_kind () =
+    if !paths >= config.max_paths then Some "path_budget"
+    else if gctx.Executor.insts_executed >= config.max_insts then
+      Some "inst_budget"
+    else if Unix.gettimeofday () > deadline then Some "wall_clock"
+    else None
+  in
+  let check_budget () =
+    match budget_kind () with
+    | Some k -> raise (Out_of_budget k)
+    | None -> ()
+  in
+  let frontier () =
+    match config.searcher with
+    | `Bfs -> List.of_seq (Queue.to_seq queue)
+    | _ -> !stack
+  in
+  let maybe_checkpoint () =
+    match ckpt with
+    | Some ck when !paths - ck.ck_at >= ck.ck_every ->
+        ck.ck_at <- !paths;
+        ignore
+          (Checkpoint.save ~dir:ck.ck_dir ~digest:ck.ck_dig
+             (snapshot_of_worker w !paths (frontier ())))
+    | _ -> ()
   in
   let check_counter = ref 0 in
+  let rec advance st =
+    incr check_counter;
+    if !check_counter land 2047 = 0 then check_budget ();
+    match Executor.step gctx st with
+    | [ Executor.T_cont st' ] -> advance st'
+    | transitions ->
+        List.iter
+          (fun tr ->
+            match tr with
+            | Executor.T_cont st' -> push st'
+            | Executor.T_exit (st', code) ->
+                incr paths;
+                record_exit w input_vars st' code;
+                check_budget ()
+            | Executor.T_drop (st', reason) -> record_drop w st' reason
+            | Executor.T_bug (st', kind) -> record_bug w input_vars st' kind)
+          transitions
+  in
   (try
-     let rec loop () =
+     let running = ref true in
+     while !running do
+       maybe_checkpoint ();
        match pop () with
-       | None -> ()
-       | Some st ->
-           (* run this state until it forks or finishes *)
-           let rec advance st =
-             incr check_counter;
-             if !check_counter land 2047 = 0 && out_of_budget () then begin
-               complete := false;
-               raise Exit
-             end;
-             match Executor.step gctx st with
-             | [ Executor.T_cont st' ] -> advance st'
-             | transitions ->
-                 List.iter
-                   (fun tr ->
-                     match tr with
-                     | Executor.T_cont st' -> push st'
-                     | Executor.T_exit (st', code) ->
-                         incr paths;
-                         record_exit w input_vars st' code;
-                         if out_of_budget () then begin
-                           complete := false;
-                           raise Exit
-                         end
-                     | Executor.T_drop (_, _) ->
-                         w.dropped <- true;
-                         complete := false
-                     | Executor.T_bug (st', kind) ->
-                         record_bug w input_vars st' kind)
-                   transitions
-           in
-           advance st;
-           loop ()
-     in
-     loop ()
-   with
-  | Exit -> ()
-  | Solver.Timeout -> complete := false
-  | Executor.Symex_error msg ->
-      complete := false;
-      record_error w msg);
-  (* anything left on the worklist means incompleteness *)
-  (match config.searcher with
-  | `Bfs -> if not (Queue.is_empty queue) then complete := false
-  | _ -> if !stack <> [] then complete := false);
-  (!paths, !complete)
+       | None -> running := false
+       | Some st -> (
+           try advance st with
+           | (Out_of_budget _ | Fault.Killed _ | Out_of_memory
+             | Stack_overflow) as e ->
+               raise e
+           | Solver.Timeout ->
+               degrade w "solver_timeout" "solver query gave up" 1
+           | Executor.Symex_error msg -> record_error w msg
+           | Fault.Crash msg -> degrade w "worker_crash" msg 1
+           | e -> degrade w "worker_crash" (Printexc.to_string e) 1)
+     done;
+     (* exploration drained completely: a finished run must not be
+        resumable into a duplicate *)
+     match ckpt with
+     | Some ck -> Checkpoint.delete ~dir:ck.ck_dir
+     | None -> ()
+   with Out_of_budget k ->
+     (* everything still on the worklist (plus the in-flight state) is
+        unexplored; the last periodic snapshot, if any, remains on disk
+        so a budget-exhausted run can also be resumed *)
+     degrade w k "exploration budget" (1 + List.length (frontier ())));
+  !paths
 
 (* ---------------- parallel exploration ---------------- *)
 
 exception Halt
 (** Raised inside a worker to abandon its current state chain after a global
-    stop (budget exhausted or another worker failed). *)
+    stop (budget exhausted or an injected kill). *)
 
 (** Work-sharing scheduler over [n] domains.  The frontier is a shared
     queue under one mutex; a worker drives each popped state depth-first,
@@ -258,17 +378,22 @@ exception Halt
     termination condition (empty frontier and nobody active) is detected
     without polling.  Budgets are global: completed paths and executed
     instructions are aggregated in atomics, and any worker tripping a limit
-    sets [stop] for everyone. *)
-let run_parallel config n (workers : worker list) init_state deadline
-    input_vars : int * bool =
+    sets [stop] for everyone.
+
+    Containment matches the sequential loop: a per-path exception degrades
+    that path and the worker moves on; only an injected kill (or OOM /
+    stack overflow) stops the whole run, and it is re-raised after the
+    join so it behaves like process death to the caller. *)
+let run_parallel config n (workers : worker list) init_states deadline
+    input_vars ~base_paths : int =
   let mutex = Mutex.create () in
   let wakeup = Condition.create () in
   let frontier = Queue.create () in
   let active = ref 0 in
   let stop = Atomic.make false in
-  let paths = Atomic.make 0 in
+  let paths = Atomic.make base_paths in
   let insts = Atomic.make 0 in
-  Queue.add init_state frontier;
+  List.iter (fun st -> Queue.add st frontier) init_states;
   let halt () =
     Atomic.set stop true;
     Mutex.lock mutex;
@@ -356,7 +481,7 @@ let run_parallel config n (workers : worker list) init_state deadline
                     halt ();
                     raise Halt
                   end
-              | Executor.T_drop (_, _) -> w.dropped <- true
+              | Executor.T_drop (st', reason) -> record_drop w st' reason
               | Executor.T_bug (st', kind) -> record_bug w input_vars st' kind)
             transitions;
           (* continue with the first fork child; share the rest *)
@@ -372,10 +497,16 @@ let run_parallel config n (workers : worker list) init_state deadline
       | Some st ->
           (try advance st with
           | Halt -> ()
-          | Solver.Timeout -> halt ()
-          | Executor.Symex_error msg ->
-              record_error w msg;
-              halt ());
+          | Solver.Timeout -> degrade w "solver_timeout" "solver query gave up" 1
+          | Executor.Symex_error msg -> record_error w msg
+          | Fault.Crash msg -> degrade w "worker_crash" msg 1
+          | Fault.Killed msg ->
+              w.killed <- Some msg;
+              halt ()
+          | (Out_of_memory | Stack_overflow) as e ->
+              w.killed <- Some (Printexc.to_string e);
+              halt ()
+          | e -> degrade w "worker_crash" (Printexc.to_string e) 1);
           flush_insts ();
           retire ();
           work ()
@@ -387,13 +518,17 @@ let run_parallel config n (workers : worker list) init_state deadline
   in
   worker_loop (List.hd workers);
   List.iter Domain.join spawned;
-  let complete =
-    (not (Atomic.get stop))
-    && Queue.is_empty frontier
-    && not (List.exists (fun w -> w.dropped || w.errored) workers)
-  in
   ignore n;
-  (Atomic.get paths, complete)
+  (if Atomic.get stop && not (List.exists (fun w -> w.killed <> None) workers)
+   then
+     let kind =
+       if Atomic.get paths >= config.max_paths then "path_budget"
+       else if Atomic.get insts >= config.max_insts then "inst_budget"
+       else "wall_clock"
+     in
+     degrade (List.hd workers) kind "exploration budget"
+       (Queue.length frontier));
+  Atomic.get paths
 
 (* ---------------- driver ---------------- *)
 
@@ -416,7 +551,9 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         (g.Ir.gname, obj))
       m.Ir.globals
   in
-  (* fresh symbolic variables for the input bytes *)
+  (* fresh symbolic variables for the input bytes; the ids are a pure
+     function of the input size, so models recorded before a checkpoint
+     stay valid after a resume *)
   let input_vars =
     Array.init config.input_size (fun i -> 1_000_000 + (config.input_size * 7919) + i)
   in
@@ -454,11 +591,22 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         j
     | `Dfs | `Bfs -> 1
   in
+  let ck_digest =
+    Checkpoint.fingerprint m ~input_size:config.input_size
+      ~check_bounds:config.check_bounds
+  in
+  let snapshot =
+    if config.resume then
+      Option.bind config.checkpoint_dir (fun dir ->
+          Checkpoint.load ~dir ~digest:ck_digest)
+    else None
+  in
   (* one persistent store for the whole run, shared by every worker (it
      locks internally); saved after the join *)
   let store =
     Option.map
-      (fun dir -> Overify_solver.Store.load ~dir)
+      (fun dir ->
+        Overify_solver.Store.load ?faults:config.faults ~dir ())
       config.cache_dir
   in
   let make_worker () =
@@ -466,7 +614,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     let solver =
       Solver.create ~deadline
         ?hist:(Option.map (fun p -> p.Obs.Profile.qhist) prof)
-        ?cache:config.solver_cache ?store ()
+        ?cache:config.solver_cache ?store ?faults:config.faults ()
     in
     let gctx =
       {
@@ -476,6 +624,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         input_vars;
         check_bounds = config.check_bounds;
         solver;
+        faults = config.faults;
         insts_executed = 0;
         forks = 0;
         covered = Hashtbl.create 64;
@@ -483,22 +632,57 @@ let run ?(config = default_config) (m : Ir.modul) : result =
       }
     in
     Hashtbl.replace gctx.Executor.covered (main.Ir.fname, entry.Ir.bid) ();
-    {
-      gctx;
-      exits = [];
-      bug_tbl = Hashtbl.create 8;
-      dropped = false;
-      errored = false;
-    }
+    { gctx; exits = []; bug_tbl = Hashtbl.create 8; degs = []; killed = None }
   in
   let workers = List.init njobs (fun _ -> make_worker ()) in
-  let (paths, complete) =
+  (* a resumed run continues the snapshot's accumulators in worker 0 and
+     explores its saved frontier; the checkpoint was cut at a quiescent
+     point, so snapshot + frontier partitions the path tree and the union
+     of verdicts equals an uninterrupted run's *)
+  let (base_paths, init_states) =
+    match snapshot with
+    | None -> (0, [ init_state ])
+    | Some s ->
+        let w0 = List.hd workers in
+        w0.exits <- s.Checkpoint.ck_exits;
+        List.iter
+          (fun (k, v) -> Hashtbl.replace w0.bug_tbl k v)
+          s.Checkpoint.ck_bugs;
+        List.iter
+          (fun k -> Hashtbl.replace w0.gctx.Executor.covered k ())
+          s.Checkpoint.ck_covered;
+        w0.gctx.Executor.insts_executed <- s.Checkpoint.ck_insts;
+        w0.gctx.Executor.forks <- s.Checkpoint.ck_forks;
+        w0.degs <- s.Checkpoint.ck_degs;
+        (s.Checkpoint.ck_paths, s.Checkpoint.ck_frontier)
+  in
+  let ckpt =
+    match (config.searcher, config.checkpoint_dir) with
+    | (`Dfs | `Bfs), Some dir ->
+        Some
+          {
+            ck_dir = dir;
+            ck_dig = ck_digest;
+            ck_every = max 1 config.checkpoint_every;
+            ck_at = base_paths;
+          }
+    | _ -> None
+  in
+  let paths =
     match config.searcher with
     | `Dfs | `Bfs ->
-        run_sequential config (List.hd workers) init_state deadline input_vars
+        run_sequential config (List.hd workers) init_states deadline input_vars
+          ~base_paths ~ckpt
     | `Parallel j ->
-        run_parallel config j workers init_state deadline input_vars
+        run_parallel config j workers init_states deadline input_vars
+          ~base_paths
   in
+  (* an injected kill simulates process death: nothing below (merge,
+     store save, counters) may run, exactly as if we had been SIGKILLed *)
+  List.iter
+    (fun w ->
+      match w.killed with Some msg -> raise (Fault.Killed msg) | None -> ())
+    workers;
   (* ---- deterministic merge: canonical order for everything a completed
      exploration reports, so `Dfs, `Bfs and `Parallel n agree exactly ---- *)
   let exit_codes =
@@ -526,6 +710,30 @@ let run ?(config = default_config) (m : Ir.modul) : result =
                | 0 -> compare a.input b.input
                | c -> c)
            | c -> c)
+  in
+  (* degradations merge like every other verdict: group by (kind, where),
+     sum affected paths, canonical sort *)
+  let degradations =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun w ->
+        List.iter
+          (fun (k, where, n) ->
+            let cur =
+              match Hashtbl.find_opt tbl (k, where) with
+              | Some c -> c
+              | None -> 0
+            in
+            Hashtbl.replace tbl (k, where) (cur + n))
+          w.degs)
+      workers;
+    Hashtbl.fold
+      (fun (d_kind, d_where) d_paths acc -> { d_kind; d_where; d_paths } :: acc)
+      tbl []
+    |> List.sort compare
+  in
+  let faults_injected =
+    match config.faults with Some f -> Fault.injected f | None -> []
   in
   let covered = Hashtbl.create 64 in
   List.iter
@@ -576,7 +784,21 @@ let run ?(config = default_config) (m : Ir.modul) : result =
       (sum (fun w -> (solver_stats w).Solver.hits_subset));
     flush "solver.hits.superset"
       (sum (fun w -> (solver_stats w).Solver.hits_superset));
-    flush "solver.hits.store" (sum (fun w -> (solver_stats w).Solver.hits_store))
+    flush "solver.hits.store" (sum (fun w -> (solver_stats w).Solver.hits_store));
+    List.iter
+      (fun d ->
+        Obs.Registry.add
+          (Obs.Registry.counter ~labels:[ ("kind", d.d_kind) ]
+             "engine.degradations")
+          (max 1 d.d_paths))
+      degradations;
+    List.iter
+      (fun (k, n) ->
+        if n > 0 then
+          Obs.Registry.add
+            (Obs.Registry.counter ~labels:[ ("kind", k) ] "fault.injected")
+            n)
+      faults_injected
   end;
   let profile =
     if not config.profile then None
@@ -591,6 +813,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
       Some merged
     end
   in
+  let complete = degradations = [] in
   let time = Unix.gettimeofday () -. t_start in
   if Obs.Trace.enabled () then
     Obs.Trace.emit ~cat:"symex" ~name:"engine.run"
@@ -623,6 +846,9 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     hits_store = sum (fun w -> (solver_stats w).Solver.hits_store);
     time;
     complete;
+    degradations;
+    faults_injected;
+    resumed = snapshot <> None;
     exit_codes;
     blocks_covered = Hashtbl.length covered;
     blocks_total =
@@ -645,3 +871,66 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     worker_stats;
     profile;
   }
+
+(* ---------------- structured JSON ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Machine-readable run result with a fixed key order (goldenable: the
+    degraded-run JSON shape is asserted by test_obs).  [deterministic]
+    zeroes wall-clock fields so two identical runs emit identical bytes. *)
+let result_to_json ?(deterministic = false) (r : result) : string =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{";
+  add "\"paths\": %d, " r.paths;
+  add "\"instructions\": %d, " r.instructions;
+  add "\"forks\": %d, " r.forks;
+  add "\"queries\": %d, " r.queries;
+  add "\"cache_hits\": %d, " r.cache_hits;
+  add "\"time_ms\": %.1f, " (if deterministic then 0.0 else r.time *. 1000.0);
+  add "\"solver_time_ms\": %.1f, "
+    (if deterministic then 0.0 else r.solver_time *. 1000.0);
+  add "\"blocks_covered\": %d, " r.blocks_covered;
+  add "\"blocks_total\": %d, " r.blocks_total;
+  add "\"jobs\": %d, " r.jobs;
+  add "\"complete\": %b, " r.complete;
+  add "\"resumed\": %b, " r.resumed;
+  add "\"degradations\": [%s], "
+    (String.concat ", "
+       (List.map
+          (fun d ->
+            Printf.sprintf
+              "{\"kind\": \"%s\", \"where\": \"%s\", \"paths\": %d}"
+              (json_escape d.d_kind) (json_escape d.d_where) d.d_paths)
+          r.degradations));
+  add "\"faults_injected\": [%s], "
+    (String.concat ", "
+       (List.map
+          (fun (k, n) -> Printf.sprintf "{\"kind\": \"%s\", \"count\": %d}" k n)
+          r.faults_injected));
+  add "\"bugs\": [%s]"
+    (String.concat ", "
+       (List.map
+          (fun b ->
+            Printf.sprintf
+              "{\"kind\": \"%s\", \"function\": \"%s\", \"input\": \"%s\"}"
+              (json_escape b.kind) (json_escape b.at_function)
+              (json_escape b.input))
+          r.bugs));
+  add "}";
+  Buffer.contents buf

@@ -28,6 +28,26 @@ type config = {
           exploration, shared by every worker, saved (atomically) after —
           repeated runs, other levels and [bench] sweeps reuse each
           other's canonical verdicts *)
+  faults : Overify_fault.Fault.t option;
+      (** injected-fault schedule (see {!Overify_fault.Fault}): solver
+          timeouts, store write corruption, allocation exhaustion, worker
+          crashes and kills fire deterministically at scheduled visit
+          counts.  [None] (the default) injects nothing and costs one
+          branch per site. *)
+  checkpoint_dir : string option;
+      (** write periodic atomic frontier snapshots to this directory
+          (sequential searchers only; [`Parallel n] never snapshots but
+          can still [resume]), enabling kill/resume *)
+  checkpoint_every : int;
+      (** snapshot cadence in completed paths (default 64); the snapshot
+          is cut at a quiescent loop point, so it partitions the path
+          tree exactly *)
+  resume : bool;
+      (** seed the run from [checkpoint_dir]'s snapshot if one exists and
+          its fingerprint (program, input size, bounds flag) matches;
+          otherwise start fresh.  A resumed-then-completed run reports
+          the same [paths]/[bugs]/[exit_codes]/[blocks_covered] as an
+          uninterrupted one. *)
 }
 
 val default_config : config
@@ -36,6 +56,21 @@ type bug = {
   kind : string;         (** e.g. "division by zero" *)
   input : string;        (** concrete input reproducing the bug *)
   at_function : string;
+}
+
+type degradation = {
+  d_kind : string;
+      (** what gave way: [path_budget] / [inst_budget] / [wall_clock]
+          (budgets), [solver_timeout] (one query gave up, its path is
+          unknown), [worker_crash] (contained exception, real or
+          injected), [executor_error] (unsupported construct),
+          [alloc_exhausted] (allocation budget, injected),
+          [path_dropped] (executor abandoned a path, e.g. symbolic
+          pointer beyond the ITE cap) *)
+  d_where : string;  (** site/reason detail; may be empty for budgets *)
+  d_paths : int;
+      (** paths affected; for budget kinds a lower bound (the frontier
+          length when the budget tripped) *)
 }
 
 type worker_stat = {
@@ -73,7 +108,16 @@ type result = {
   hits_superset : int;   (** stored-model screening, *)
   hits_store : int;      (** and the persistent cross-run store *)
   time : float;          (** total verification wall time *)
-  complete : bool;       (** false if any budget was exhausted *)
+  complete : bool;
+      (** derived: [degradations = []] — exploration covered every path *)
+  degradations : degradation list;
+      (** the structured reasons a run is incomplete — the graceful-
+          degradation ladder.  Grouped by (kind, where) with summed path
+          counts and canonically sorted; empty iff [complete]. *)
+  faults_injected : (string * int) list;
+      (** per-kind injected-fault counts when [config.faults] was set
+          (all kinds, zeros included, fixed order); [[]] otherwise *)
+  resumed : bool;        (** this run was seeded from a checkpoint *)
   exit_codes : (string * int64) list;
       (** per completed path: a concrete witness input and its exit code,
           sorted canonically *)
@@ -99,4 +143,18 @@ val run : ?config:config -> Overify_ir.Ir.modul -> result
     [paths], [bugs], [exit_codes] and [blocks_covered] do not depend on the
     searcher or the number of workers — [`Dfs], [`Bfs] and [`Parallel n]
     agree exactly.  (Counters such as [queries] and [cache_hits] do vary,
-    since each worker caches independently.) *)
+    since each worker caches independently.)
+
+    Failure containment: per-path exceptions (including injected
+    {!Overify_fault.Fault.Crash}) and per-query solver timeouts degrade
+    only the affected paths and are reported in [degradations]; the
+    completed subset keeps the determinism contract (an abandoned path
+    never changes another path's verdict).  The only exceptions that
+    escape are {!Overify_fault.Fault.Killed} (simulated process death —
+    resume from the checkpoint), [Out_of_memory], [Stack_overflow] and
+    setup errors ([Invalid_argument] for a module without [main]). *)
+
+val result_to_json : ?deterministic:bool -> result -> string
+(** Machine-readable result (fixed key order, goldenable), including the
+    [degradations] and [faults_injected] blocks.  [deterministic] zeroes
+    the wall-clock fields. *)

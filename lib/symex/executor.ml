@@ -10,6 +10,7 @@ module Ir = Overify_ir.Ir
 module Bv = Overify_solver.Bv
 module Solver = Overify_solver.Solver
 module Obs = Overify_obs.Obs
+module Fault = Overify_fault.Fault
 module IMap = State.IMap
 
 type gctx = {
@@ -19,6 +20,9 @@ type gctx = {
   input_vars : int array;          (** symbolic variable id per input byte *)
   check_bounds : bool;             (** hunt for memory-safety bugs *)
   solver : Solver.ctx;             (** this worker's private solver context *)
+  faults : Fault.t option;
+      (** injected-fault schedule shared by all workers of a run; scheduled
+          crash/kill faults tick per [step], alloc faults per [Alloca] *)
   mutable insts_executed : int;    (** dynamic total over all paths *)
   mutable forks : int;
   covered : (string * int, unit) Hashtbl.t;
@@ -321,7 +325,20 @@ let record_fork gctx st =
   | None -> ()
 
 (** Execute one instruction or terminator of [st]. *)
+(* Injected per-step faults.  [Worker_crash] raises a containable
+   exception (the engine degrades just this path); [Kill] simulates the
+   whole process dying — deliberately not contained anywhere, so only a
+   checkpoint survives it. *)
+let fault_tick gctx =
+  match gctx.faults with
+  | None -> ()
+  | Some _ ->
+      if Fault.fire gctx.faults Fault.Worker_crash then
+        raise (Fault.Crash "injected worker-domain exception");
+      if Fault.fire gctx.faults Fault.Kill then raise (Fault.Killed "injected kill")
+
 let rec step gctx (st : State.t) : transition list =
+  fault_tick gctx;
   let fr = State.top st in
   match fr.State.insts with
   | inst :: rest -> (
@@ -417,6 +434,9 @@ let rec step gctx (st : State.t) : transition list =
             | Ir.Trunc -> Bv.trunc wt t
           in
           [ T_cont (State.set_reg st d (Sval.SInt res)) ]
+      | Ir.Alloca (d, ty, n) when Fault.fire gctx.faults Fault.Alloc_fail ->
+          ignore (d, ty, n);
+          [ T_drop (st, "allocation budget exhausted (injected)") ]
       | Ir.Alloca (d, ty, n) ->
           let (mem, obj) = Memory.alloc st.State.mem ~size:(Ir.size_of_ty ty * n) in
           let st = { st with State.mem = mem } in

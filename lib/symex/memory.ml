@@ -166,3 +166,7 @@ let string_of_error = function
   | Dead_object -> "use of dead object"
   | Read_only -> "write to read-only memory"
   | Too_wide_ite -> "symbolic offset over too-large object"
+
+(* checkpoint support: rebuild every cell term through a [Bv.rebuilder] *)
+let map_terms f (m : t) =
+  { m with objs = IMap.map (fun o -> { o with cells = Array.map f o.cells }) m.objs }

@@ -38,3 +38,7 @@ val write :
   t -> obj:int -> off:Bv.t -> width:int -> v:Bv.t -> (t, access_error) result
 
 val string_of_error : access_error -> string
+
+val map_terms : (Bv.t -> Bv.t) -> t -> t
+(** Rewrite every cell term (checkpoint restore re-interns unmarshaled
+    terms into the live hash-cons table). *)

@@ -32,7 +32,11 @@ let test_measure_cycles_deterministic () =
 (* ------------- Table 1 shape ------------- *)
 
 let test_table1_shape () =
-  let rows = H.Table1.rows ~input_size:3 ~timeout:60.0 () in
+  let rows =
+    match H.Table1.rows ~input_size:3 ~timeout:60.0 () with
+    | Ok rs -> rs
+    | Error msg -> Alcotest.fail ("table 1 rows unavailable: " ^ msg)
+  in
   check int "four rows" 4 (List.length rows);
   let by name =
     List.find (fun (r : H.Table1.row) -> r.H.Table1.level = name) rows

@@ -414,6 +414,36 @@ let memform_invariant (fn : I.func) =
       && List.for_all check_v (I.uses_of_term b.I.term))
     fn.I.blocks
 
+(* ------------- located lowering errors ------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(** Lowering-stage rejections must carry a source location ("at line:col"),
+    not a bare [Failure]. *)
+let expect_located_error ~substr src =
+  match Frontend.compile_source src with
+  | exception Frontend.Compile_error msg ->
+      if not (contains msg substr) then
+        Alcotest.failf "error %S does not mention %S" msg substr;
+      if not (contains msg " at ") then
+        Alcotest.failf "error %S carries no source location" msg
+  | _ -> Alcotest.fail "expected a compile error"
+
+let test_lowering_errors_located () =
+  expect_located_error ~substr:"break outside loop"
+    "int main() { break; return 0; }";
+  expect_located_error ~substr:"continue outside loop"
+    "int main() { continue; return 0; }";
+  (* ill-shaped initializers: sema rejects these first (also with a
+     location); the lowering-side checks behind it are defensive *)
+  expect_located_error ~substr:"int[3]"
+    "int main() { int a[3] = 5; return 0; }";
+  expect_located_error ~substr:""
+    "int main() { int x = {1, 2}; return 0; }"
+
 let test_memform_invariant_corpus () =
   List.iter
     (fun (p : Overify_corpus.Programs.t) ->
@@ -484,6 +514,10 @@ let () =
           Alcotest.test_case "output" `Quick test_output_example;
         ] );
       ("sema errors", sema_error_tests);
+      ( "lowering errors",
+        [
+          Alcotest.test_case "located" `Quick test_lowering_errors_located;
+        ] );
       ( "invariants",
         [
           Alcotest.test_case "memory form over corpus" `Quick

@@ -271,6 +271,7 @@ let test_json_shape () =
       "\"cache_hits\":";
       "\"solver_time_ms\":";
       "\"complete\": true";
+      "\"degradations\": [";
       "\"functions\": [";
       "\"fn\": \"main\"";
       "\"blocks\": [";
@@ -306,6 +307,75 @@ let test_json_shape () =
   check bool "times zeroed" false (contains json "\"time_ms\": 0.001");
   check bool "solver times zeroed" true
     (contains json "\"solver_time_ms\": 0.000")
+
+(* a degraded (budget-exhausted) run's `overify verify --json` document:
+   the structured degradations block is present, and the key skeleton has
+   a stable order (goldenable with ~deterministic, which zeroes times) *)
+let test_degraded_verify_json_shape () =
+  let p = Option.get (Programs.find "wc") in
+  let m = compile_program p in
+  let r =
+    Engine.run
+      ~config:
+        { Engine.default_config with input_size = 3; timeout = 30.0;
+          max_paths = 2 }
+      m
+  in
+  check bool "budget run is degraded" false r.Engine.complete;
+  let json = Engine.result_to_json ~deterministic:true r in
+  let keys =
+    [
+      "{";
+      "\"paths\": 2";
+      "\"instructions\":";
+      "\"forks\":";
+      "\"queries\":";
+      "\"cache_hits\":";
+      "\"time_ms\": 0.0";
+      "\"solver_time_ms\": 0.0";
+      "\"blocks_covered\":";
+      "\"blocks_total\":";
+      "\"jobs\": 1";
+      "\"complete\": false";
+      "\"resumed\": false";
+      "\"degradations\": [{\"kind\": \"path_budget\", \"where\": ";
+      "\"paths\":";
+      "\"faults_injected\": []";
+      "\"bugs\": [";
+      "}";
+    ]
+  in
+  let rec walk pos = function
+    | [] -> ()
+    | k :: rest -> (
+        let found = ref None in
+        let nk = String.length k in
+        (try
+           for i = pos to String.length json - nk do
+             if String.sub json i nk = k then begin
+               found := Some i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        match !found with
+        | Some i -> walk (i + nk) rest
+        | None ->
+            Alcotest.failf
+              "verify JSON shape: key %s missing (after position %d) in:\n%s"
+              k pos json)
+  in
+  walk 0 keys;
+  (* and byte-stable across runs *)
+  let r2 =
+    Engine.run
+      ~config:
+        { Engine.default_config with input_size = 3; timeout = 30.0;
+          max_paths = 2 }
+      m
+  in
+  check string "deterministic document" json
+    (Engine.result_to_json ~deterministic:true r2)
 
 (* two independent profile runs produce byte-identical deterministic
    reports (timestamps excluded via times:false) *)
@@ -389,6 +459,8 @@ let () =
       ( "report",
         [
           Alcotest.test_case "json shape (golden keys)" `Quick test_json_shape;
+          Alcotest.test_case "degraded verify json (golden keys)" `Quick
+            test_degraded_verify_json_shape;
           Alcotest.test_case "deterministic across runs" `Quick
             test_json_deterministic;
           Alcotest.test_case "table renders" `Quick test_table_renders;

@@ -1,0 +1,354 @@
+(** Robustness suite: the hardened-verification contract.
+
+    Covers the fault-injection schedule language, the engine's crash
+    containment and graceful-degradation ladder, the Store's
+    length+checksum trailer against truncated/flipped files (including
+    injected corrupt/partial saves), checkpoint save/load discipline, and
+    the headline kill/resume determinism property. *)
+
+module Engine = Overify_symex.Engine
+module Checkpoint = Overify_symex.Checkpoint
+module Store = Overify_solver.Store
+module Fault = Overify_fault.Fault
+module Costmodel = Overify_opt.Costmodel
+module Programs = Overify_corpus.Programs
+module H = Overify_harness
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let program name = Option.get (Programs.find name)
+
+let compile ?(level = Costmodel.o0) name =
+  H.Experiment.compile level (program name)
+
+let faults spec =
+  match Fault.parse spec with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "spec %S failed to parse: %s" spec msg
+
+let tmpdir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  f ^ ".d"
+
+let rm_rf dir =
+  (if Sys.file_exists dir && Sys.is_directory dir then
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir));
+  try Sys.rmdir dir with Sys_error _ -> ()
+
+(* ------------- fault schedule language ------------- *)
+
+let test_fault_parse_good () =
+  List.iter
+    (fun spec ->
+      match Fault.parse spec with
+      | Ok f -> check Alcotest.string "spec kept" spec (Fault.spec f)
+      | Error msg -> Alcotest.failf "%S should parse: %s" spec msg)
+    [
+      "timeout@3"; "corrupt@1"; "partial@2"; "alloc@5"; "crash@7"; "kill@9";
+      "timeout@3,timeout@7"; "alloc@2;crash@5"; " timeout@1 , alloc@2 ";
+      "seed:42"; "seed:42:5"; "seed:0:1,kill@3";
+    ]
+
+let test_fault_parse_bad () =
+  List.iter
+    (fun spec ->
+      match Fault.parse spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should be rejected" spec)
+    [
+      "timeout@"; "timeout@x"; "timeout@0"; "timeout@-3"; "bogus@3"; "@3";
+      "timeout"; "seed:"; "seed:x"; "seed:1:0"; "timeout@3@4";
+    ]
+
+let test_fault_fire_semantics () =
+  let f = faults "crash@2,crash@4" in
+  let fires =
+    List.init 5 (fun _ -> Fault.fire (Some f) Fault.Worker_crash)
+  in
+  check (Alcotest.list bool) "fires on visits 2 and 4"
+    [ false; true; false; true; false ] fires;
+  check int "two fired" 2 (Fault.injected_total f);
+  check int "crash counter" 2 (List.assoc "crash" (Fault.injected f));
+  check int "timeout counter present and zero" 0
+    (List.assoc "timeout" (Fault.injected f));
+  (* other kinds don't tick this site *)
+  check bool "other kind unaffected" false
+    (Fault.fire (Some f) Fault.Solver_timeout);
+  check bool "none is free" false (Fault.fire None Fault.Worker_crash)
+
+let test_fault_of_env () =
+  Unix.putenv "OVERIFY_FAULTS" "timeout@2";
+  (match Fault.of_env () with
+  | Some f -> check Alcotest.string "parsed from env" "timeout@2" (Fault.spec f)
+  | None -> Alcotest.fail "env schedule ignored");
+  Unix.putenv "OVERIFY_FAULTS" "not-a-spec";
+  (match Fault.of_env () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "malformed env schedule must fail fast");
+  Unix.putenv "OVERIFY_FAULTS" "";
+  check bool "empty means none" true (Fault.of_env () = None)
+
+(* ------------- containment and the degradation ladder ------------- *)
+
+let verify ?faults ?checkpoint_dir ?checkpoint_every ?resume ?(input_size = 2)
+    c =
+  H.Experiment.verify ~input_size ~timeout:60.0 ?faults ?checkpoint_dir
+    ?checkpoint_every ?resume c
+
+let has_kind kind (r : Engine.result) =
+  List.exists
+    (fun (d : Engine.degradation) -> d.Engine.d_kind = kind)
+    r.Engine.degradations
+
+let test_crash_contained () =
+  let c = compile "wc" in
+  let clean = verify c in
+  check bool "baseline completes" true clean.Engine.complete;
+  let r = verify ~faults:(faults "crash@200") c in
+  check bool "run survives the crash" true (r.Engine.paths >= 0);
+  check bool "degraded" false r.Engine.complete;
+  check bool "worker_crash reported" true (has_kind "worker_crash" r);
+  check bool "verdict subset" true (r.Engine.paths <= clean.Engine.paths);
+  check int "fault accounted" 1 (List.assoc "crash" r.Engine.faults_injected)
+
+let test_solver_timeout_degrades () =
+  let c = compile "wc" in
+  let r = verify ~faults:(faults "timeout@3") c in
+  check bool "survives" true (r.Engine.paths >= 0);
+  check bool "solver_timeout reported" true (has_kind "solver_timeout" r);
+  check int "fault accounted" 1 (List.assoc "timeout" r.Engine.faults_injected)
+
+let test_alloc_exhaustion_degrades () =
+  let c = compile "wc" in
+  let r = verify ~faults:(faults "alloc@3") c in
+  check bool "alloc_exhausted reported" true (has_kind "alloc_exhausted" r);
+  check bool "degraded, not crashed" false r.Engine.complete
+
+let test_kill_escapes () =
+  let c = compile "wc" in
+  match verify ~faults:(faults "kill@50") c with
+  | (_ : Engine.result) -> Alcotest.fail "kill must not be contained"
+  | exception Fault.Killed _ -> ()
+
+let test_injected_runs_deterministic () =
+  let c = compile "wc" in
+  let r1 = verify ~faults:(faults "crash@200,timeout@2") c in
+  let r2 = verify ~faults:(faults "crash@200,timeout@2") c in
+  check int "paths agree" r1.Engine.paths r2.Engine.paths;
+  check bool "exits agree" true (r1.Engine.exit_codes = r2.Engine.exit_codes);
+  check bool "degradations agree" true
+    (r1.Engine.degradations = r2.Engine.degradations)
+
+(* ------------- store: trailer vs partial writes ------------- *)
+
+let store_file dir = Filename.concat dir "solver-cache.bin"
+
+let populate_store ?faults dir =
+  let s = Store.load ?faults ~dir () in
+  Store.add s "k1" Store.E_unsat;
+  Store.add s "k2" (Store.E_sat [| 1L; 2L; 3L |]);
+  Store.save s;
+  s
+
+(** Satellite: a byte-level truncation sweep.  Every proper prefix of a
+    valid store file must load as an empty store — the length + checksum
+    trailer catches truncations that keep the magic and header intact. *)
+let test_store_truncation_sweep () =
+  let dir = tmpdir "overify_trunc" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  ignore (populate_store dir);
+  let full = In_channel.with_open_bin (store_file dir) In_channel.input_all in
+  let n = String.length full in
+  check bool "store written" true (n > 0);
+  (let s = Store.load ~dir () in
+   check int "intact file loads fully" 2 (Store.loaded s));
+  for len = 0 to n - 1 do
+    Out_channel.with_open_bin (store_file dir) (fun oc ->
+        Out_channel.output_string oc (String.sub full 0 len));
+    let s = Store.load ~dir () in
+    if Store.loaded s <> 0 then
+      Alcotest.failf "truncation to %d/%d bytes loaded %d entries" len n
+        (Store.loaded s)
+  done
+
+let test_store_byte_flip_detected () =
+  let dir = tmpdir "overify_flip" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  ignore (populate_store dir);
+  let full = In_channel.with_open_bin (store_file dir) In_channel.input_all in
+  (* flip one byte at a spread of positions, including header and payload *)
+  let n = String.length full in
+  List.iter
+    (fun pos ->
+      if pos < n then begin
+        let b = Bytes.of_string full in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+        Out_channel.with_open_bin (store_file dir) (fun oc ->
+            Out_channel.output_bytes oc b);
+        let s = Store.load ~dir () in
+        if Store.loaded s <> 0 then
+          Alcotest.failf "flip at byte %d survived load (%d entries)" pos
+            (Store.loaded s)
+      end)
+    [ 0; 5; 21; 25; 33; n / 2; n - 17; n - 1 ]
+
+let test_store_injected_corruption_loads_empty () =
+  List.iter
+    (fun spec ->
+      let dir = tmpdir "overify_chaos_store" in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let f = faults spec in
+      ignore (populate_store ~faults:f dir);
+      check int (spec ^ " fired") 1 (Fault.injected_total f);
+      let s = Store.load ~dir () in
+      check int (spec ^ " loads empty") 0 (Store.loaded s))
+    [ "corrupt@1"; "partial@1" ]
+
+(* ------------- checkpoint discipline ------------- *)
+
+let budget_config ~max_paths ~dir =
+  {
+    Engine.default_config with
+    Engine.input_size = 2;
+    timeout = 60.0;
+    max_paths;
+    checkpoint_dir = Some dir;
+    checkpoint_every = 2;
+  }
+
+let test_checkpoint_left_by_budget_run () =
+  let c = compile "wc" in
+  let dir = tmpdir "overify_ck" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let r = Engine.run ~config:(budget_config ~max_paths:6 ~dir) c.H.Experiment.modul in
+  check bool "budget run degraded" false r.Engine.complete;
+  check bool "snapshot kept (resumable)" true
+    (Sys.file_exists (Checkpoint.file ~dir));
+  let digest =
+    Checkpoint.fingerprint c.H.Experiment.modul ~input_size:2
+      ~check_bounds:true
+  in
+  (match Checkpoint.load ~dir ~digest with
+  | Some s ->
+      check bool "frontier non-empty" true (s.Checkpoint.ck_frontier <> []);
+      check bool "snapshot paths <= budget" true (s.Checkpoint.ck_paths <= 6)
+  | None -> Alcotest.fail "snapshot did not load");
+  (* a fingerprint mismatch must refuse the snapshot *)
+  check bool "wrong digest refused" true
+    (Checkpoint.load ~dir ~digest:"not-the-program" = None);
+  (* resuming completes the run and deletes the snapshot *)
+  let resumed =
+    Engine.run
+      ~config:
+        { (budget_config ~max_paths:Engine.default_config.Engine.max_paths
+             ~dir)
+          with Engine.resume = true }
+      c.H.Experiment.modul
+  in
+  check bool "resumed flag" true resumed.Engine.resumed;
+  check bool "resumed run completes" true resumed.Engine.complete;
+  check bool "snapshot deleted after completion" false
+    (Sys.file_exists (Checkpoint.file ~dir))
+
+let test_torn_checkpoint_ignored () =
+  let c = compile "wc" in
+  let dir = tmpdir "overify_ck_torn" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let r = Engine.run ~config:(budget_config ~max_paths:6 ~dir) c.H.Experiment.modul in
+  check bool "budget run degraded" false r.Engine.complete;
+  let path = Checkpoint.file ~dir in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full * 2 / 3)));
+  let digest =
+    Checkpoint.fingerprint c.H.Experiment.modul ~input_size:2
+      ~check_bounds:true
+  in
+  check bool "torn snapshot loads as none" true
+    (Checkpoint.load ~dir ~digest = None);
+  (* resume against the torn file silently starts fresh and completes *)
+  let resumed =
+    Engine.run
+      ~config:
+        { (budget_config ~max_paths:Engine.default_config.Engine.max_paths
+             ~dir)
+          with Engine.resume = true }
+      c.H.Experiment.modul
+  in
+  check bool "fresh start, not resumed" false resumed.Engine.resumed;
+  check bool "completes" true resumed.Engine.complete
+
+(* ------------- the headline: kill, resume, identical verdicts ------------- *)
+
+let test_kill_resume_identical () =
+  let c = compile "wc" in
+  let clean = verify c in
+  check bool "baseline completes" true clean.Engine.complete;
+  let k =
+    H.Chaos.kill_and_resume ~input_size:2 ~timeout:60.0 c ~clean
+  in
+  if not k.H.Chaos.k_ok then
+    Alcotest.failf "kill/resume: %s" k.H.Chaos.k_detail
+
+(* ------------- chaos sweep mini (one program) ------------- *)
+
+let test_chaos_sweep_smoke () =
+  let r =
+    H.Chaos.run ~input_size:2 ~timeout:60.0 ~programs:[ program "wc" ]
+      ~kill_resume:false ~json_path:"" ()
+  in
+  check int "no contract violations" 0 r.H.Chaos.failures;
+  check bool "some fault fired somewhere" true
+    (List.exists (fun cl -> cl.H.Chaos.c_injected > 0) r.H.Chaos.cells)
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "parse good" `Quick test_fault_parse_good;
+          Alcotest.test_case "parse bad" `Quick test_fault_parse_bad;
+          Alcotest.test_case "fire semantics" `Quick test_fault_fire_semantics;
+          Alcotest.test_case "env schedule" `Quick test_fault_of_env;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "crash contained" `Quick test_crash_contained;
+          Alcotest.test_case "solver timeout degrades" `Quick
+            test_solver_timeout_degrades;
+          Alcotest.test_case "alloc exhaustion degrades" `Quick
+            test_alloc_exhaustion_degrades;
+          Alcotest.test_case "kill escapes" `Quick test_kill_escapes;
+          Alcotest.test_case "faulted runs deterministic" `Quick
+            test_injected_runs_deterministic;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "truncation sweep" `Quick
+            test_store_truncation_sweep;
+          Alcotest.test_case "byte flips detected" `Quick
+            test_store_byte_flip_detected;
+          Alcotest.test_case "injected corruption loads empty" `Quick
+            test_store_injected_corruption_loads_empty;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "budget run leaves a resumable snapshot" `Quick
+            test_checkpoint_left_by_budget_run;
+          Alcotest.test_case "torn snapshot ignored" `Quick
+            test_torn_checkpoint_ignored;
+        ] );
+      ( "kill-resume",
+        [
+          Alcotest.test_case "byte-identical verdicts" `Slow
+            test_kill_resume_identical;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "sweep smoke" `Slow test_chaos_sweep_smoke ] );
+    ]

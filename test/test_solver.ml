@@ -593,12 +593,12 @@ let store_queries () =
 let test_store_round_trip () =
   with_temp_dir @@ fun dir ->
   let queries = store_queries () in
-  let st1 = Store.load ~dir in
+  let st1 = Store.load ~dir () in
   check int "store starts cold" 0 (Store.loaded st1);
   let c1 = Solver.create ~cache:true ~store:st1 () in
   let r1 = List.map (Solver.check c1) queries in
   Store.save st1;
-  let st2 = Store.load ~dir in
+  let st2 = Store.load ~dir () in
   check bool "entries survive the round trip" true (Store.loaded st2 > 0);
   let c2 = Solver.create ~cache:true ~store:st2 () in
   let r2 = List.map (Solver.check c2) queries in
@@ -613,7 +613,7 @@ let test_store_round_trip () =
    a cache starts cold, it never crashes the run or poisons answers *)
 let test_store_rejects_invalid () =
   with_temp_dir @@ fun dir ->
-  let st = Store.load ~dir in
+  let st = Store.load ~dir () in
   let c = Solver.create ~cache:true ~store:st () in
   List.iter (fun q -> ignore (Solver.check c q)) (store_queries ());
   Store.save st;
@@ -624,7 +624,7 @@ let test_store_rejects_invalid () =
   in
   (* truncated garbage *)
   Out_channel.with_open_bin file (fun oc -> output_string oc "garbage");
-  let st_bad = Store.load ~dir in
+  let st_bad = Store.load ~dir () in
   check int "corrupted file loads as an empty store" 0 (Store.loaded st_bad);
   let c_bad = Solver.create ~cache:true ~store:st_bad () in
   (match Solver.check c_bad (List.hd (store_queries ())) with
@@ -636,7 +636,7 @@ let test_store_rejects_invalid () =
   Out_channel.with_open_bin file (fun oc ->
       output_string oc "OVERIFY-SOLVER-STORE";
       output_binary_int oc 999_999);
-  let st_v = Store.load ~dir in
+  let st_v = Store.load ~dir () in
   check int "version mismatch loads as an empty store" 0 (Store.loaded st_v)
 
 let () =
