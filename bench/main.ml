@@ -444,6 +444,59 @@ let run_chaos args =
   let r = H.Chaos.run ~input_size ~timeout ~programs ~json_path:out () in
   if r.H.Chaos.failures > 0 then exit 1
 
+(* ---- serve: throughput/latency of the verification daemon under a
+   concurrent synthetic trace (programs x levels x budgets, duplicates,
+   malformed inputs).  The health contract — zero daemon crashes, every
+   entry answered, dedup hits > 0 — is asserted and any violation exits
+   1.  The summary goes to BENCH_serve.json. ---- *)
+
+let run_serve args =
+  let flag name =
+    let rec go = function
+      | f :: v :: _ when f = name -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let n =
+    Option.value (Option.map int_of_string (flag "-n")) ~default:48
+  in
+  let clients =
+    Option.value (Option.map int_of_string (flag "-c")) ~default:4
+  in
+  let out = Option.value (flag "-o") ~default:"BENCH_serve.json" in
+  Printf.printf
+    "=== Serve: %d-entry synthetic trace over %d concurrent clients ===\n\n"
+    n clients;
+  let (s, healthy) = H.Serve.run ~n ~clients () in
+  Printf.printf
+    "requests=%d ok=%d errors=%d transport_failures=%d\n"
+    s.H.Serve.s_requests s.H.Serve.s_ok s.H.Serve.s_errors
+    s.H.Serve.s_transport_failures;
+  Printf.printf
+    "executed=%d dedup_hits=%d (inflight=%d recent=%d) malformed=%d\n"
+    (H.Serve.stat s "executed")
+    (H.Serve.stat s "dedup_hits")
+    (H.Serve.stat s "dedup_inflight")
+    (H.Serve.stat s "dedup_recent")
+    (H.Serve.stat s "malformed");
+  Printf.printf
+    "throughput=%.1f req/s latency p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n"
+    s.H.Serve.s_throughput_rps s.H.Serve.s_p50_ms s.H.Serve.s_p95_ms
+    s.H.Serve.s_p99_ms s.H.Serve.s_max_ms;
+  Out_channel.with_open_text out (fun oc ->
+      Printf.fprintf oc "%s\n" (H.Serve.summary_to_json s));
+  Printf.printf "wrote %s\n" out;
+  if healthy then
+    print_endline
+      "serve trace passed: daemon survived the whole trace, every entry \
+       answered, dedup hits > 0"
+  else begin
+    print_endline "serve trace FAILED the health contract";
+    exit 1
+  end
+
 (* ---- translation-validated corpus sweep: every pass application on every
    corpus program at every level is checked with the symbolic engine; the
    expected result is zero counterexamples (exit 1 otherwise) ---- *)
@@ -535,6 +588,7 @@ let () =
   | _ :: "parallel" :: rest -> run_parallel rest
   | _ :: "solve" :: rest -> run_solve rest
   | _ :: "chaos" :: rest -> run_chaos rest
+  | _ :: "serve" :: rest -> run_serve rest
   | _ :: "validate" :: rest -> run_validate rest
   | _ :: "profile" :: rest -> run_profile rest
   | _ :: "bechamel" :: _ -> bechamel ()

@@ -261,8 +261,18 @@ let verify_cmd =
              $(i,degradations) and $(i,faults_injected) blocks — to stdout, \
              or to $(docv) if given.")
   in
+  let deterministic_arg =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Zero the wall-clock and cache-temperature fields of the \
+             $(b,--json) result, so identical programs produce identical \
+             bytes — e.g. for diffing a one-shot run against the same \
+             request answered by a warm $(b,overify serve) daemon.")
+  in
   let run level no_libc path size timeout tests jobs cache_dir faults
-      checkpoint_dir checkpoint_every resume json trace =
+      checkpoint_dir checkpoint_every resume json deterministic trace =
     with_trace trace @@ fun () ->
     let faults =
       match faults with
@@ -288,10 +298,10 @@ let verify_cmd =
         exit 137
     in
     (match json with
-    | Some "-" -> print_endline (O.Engine.result_to_json r)
+    | Some "-" -> print_endline (O.Engine.result_to_json ~deterministic r)
     | Some file ->
         Out_channel.with_open_text file (fun oc ->
-            output_string oc (O.Engine.result_to_json r);
+            output_string oc (O.Engine.result_to_json ~deterministic r);
             output_char oc '\n');
         Printf.eprintf "; result written to %s\n" file
     | None -> ());
@@ -343,7 +353,7 @@ let verify_cmd =
     Term.(const run $ level $ no_libc $ source_file $ size $ timeout
           $ tests_flag $ jobs $ cache_dir_arg $ faults_arg
           $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg $ json_arg
-          $ trace_arg)
+          $ deterministic_arg $ trace_arg)
 
 (* ---- analyze subcommand ---- *)
 
@@ -548,6 +558,207 @@ let profile_cmd =
       const run $ level $ no_libc $ source_file $ size $ timeout $ jobs
       $ cache_dir_arg $ diff $ json $ top $ deterministic $ trace_arg)
 
+(* ---- serve subcommand ---- *)
+
+let socket_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:
+          "Unix socket path.  serve: where to listen (default: a fresh \
+           path under the temp directory, printed on startup).  client: \
+           the daemon to talk to (required).")
+
+let serve_cmd =
+  let recent_cap =
+    Arg.(
+      value & opt int 128
+      & info [ "recent-cap" ] ~docv:"N"
+          ~doc:
+            "Keep the last $(docv) completed request bodies for \
+             deduplication (answered without re-executing).")
+  in
+  let save_every =
+    Arg.(
+      value & opt int 32
+      & info [ "save-every" ] ~docv:"N"
+          ~doc:"Save the warm solver store every $(docv) executed jobs.")
+  in
+  let run socket cache_dir recent_cap save_every =
+    let daemon =
+      O.Serve.start
+        ?socket:(if socket = "" then None else Some socket)
+        ?cache_dir ~recent_cap ~save_every ()
+    in
+    Printf.printf "listening on %s\n%!" (O.Serve.socket_path daemon);
+    O.Serve.wait daemon;
+    Printf.eprintf "daemon stopped\n";
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification service: a daemon accepting concurrent \
+          compile/verify/tv requests over a Unix socket (length-prefixed \
+          JSON frames), deduplicating identical in-flight and recent \
+          requests, and keeping one warm solver store across all of them. \
+          Stop it with $(b,overify client --shutdown).")
+    Term.(const run $ socket_arg $ cache_dir_arg $ recent_cap $ save_every)
+
+(* ---- client subcommand ---- *)
+
+let client_cmd =
+  let kind_arg =
+    Arg.(
+      value & opt string "verify"
+      & info [ "kind"; "k" ] ~docv:"KIND"
+          ~doc:"Request kind: verify, compile, tv, stats or shutdown.")
+  in
+  let program_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "program"; "p" ] ~docv:"NAME"
+          ~doc:"Corpus program to submit (see $(b,overify corpus)).")
+  in
+  let file_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "file"; "f" ] ~docv:"FILE" ~doc:"MiniC source file to submit.")
+  in
+  let size =
+    Arg.(
+      value & opt int 4
+      & info [ "size"; "n" ] ~docv:"N" ~doc:"Symbolic input bytes.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"Per-request budget.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for this request's exploration.")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Ask for a byte-reproducible response (wall-clock and \
+             cache-temperature fields zeroed) — comparable to \
+             $(b,overify verify --json --deterministic).")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to shut down cleanly.")
+  in
+  let stats =
+    Arg.(
+      value & flag & info [ "stats" ] ~doc:"Fetch the daemon's counters.")
+  in
+  let garbage =
+    Arg.(
+      value & flag
+      & info [ "garbage" ]
+          ~doc:
+            "Send a deliberately malformed (non-JSON) payload and print \
+             the daemon's structured error response — a protocol smoke \
+             test.")
+  in
+  let result_only =
+    Arg.(
+      value & flag
+      & info [ "result-only" ]
+          ~doc:
+            "Print only the $(i,result) field of the response envelope \
+             (raw bytes) — for diffing against the one-shot CLI's \
+             $(b,--json) output.")
+  in
+  let run socket level kind program file size timeout jobs deterministic
+      faults shutdown stats garbage result_only =
+    if socket = "" then begin
+      Printf.eprintf "client: --socket is required\n";
+      exit 2
+    end;
+    let conn =
+      try O.Serve_client.connect socket
+      with _ ->
+        Printf.eprintf "client: cannot connect to %s (is the daemon up?)\n"
+          socket;
+        exit 2
+    in
+    let answer =
+      if garbage then begin
+        if O.Serve_client.send_payload conn "this is not json {" then
+          O.Serve_client.read_response conn
+        else Error O.Serve_protocol.Closed
+      end
+      else begin
+        let kind =
+          if shutdown then O.Serve_protocol.Shutdown
+          else if stats then O.Serve_protocol.Stats
+          else
+            match O.Serve_protocol.kind_of_name kind with
+            | Some k -> k
+            | None ->
+                Printf.eprintf "client: unknown kind %s\n" kind;
+                exit 2
+        in
+        let source =
+          if file = "" then ""
+          else In_channel.with_open_text file In_channel.input_all
+        in
+        O.Serve_client.rpc conn
+          {
+            O.Serve_protocol.default_request with
+            O.Serve_protocol.rq_kind = kind;
+            rq_program = program;
+            rq_source = source;
+            rq_level = level.O.Costmodel.name;
+            rq_input_size = size;
+            rq_timeout = timeout;
+            rq_jobs = jobs;
+            rq_deterministic = deterministic;
+            rq_faults =
+              (match faults with Some f -> O.Fault.spec f | None -> "");
+          }
+      end
+    in
+    O.Serve_client.close conn;
+    match answer with
+    | Error e ->
+        Printf.eprintf "client: transport error: %s\n"
+          (O.Serve_protocol.frame_error_name e);
+        1
+    | Ok json ->
+        let doc =
+          if result_only then
+            match O.Serve_protocol.extract_field json "result" with
+            | Some r -> r
+            | None -> json
+          else json
+        in
+        print_endline doc;
+        let ok =
+          match O.Serve_protocol.extract_field json "status" with
+          | Some "\"ok\"" -> true
+          | _ -> false
+        in
+        if ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,overify serve) daemon and \
+          print the JSON response envelope.")
+    Term.(
+      const run $ socket_arg $ level $ kind_arg $ program_arg $ file_arg
+      $ size $ timeout $ jobs $ deterministic $ faults_arg $ shutdown
+      $ stats $ garbage $ result_only)
+
 (* ---- corpus subcommand ---- *)
 
 let corpus_cmd =
@@ -569,6 +780,6 @@ let main_cmd =
          "Compiler + symbolic-execution toolchain reproducing '-OVERIFY: \
           Optimizing Programs for Fast Verification' (HotOS 2013).")
     [ compile_cmd; run_cmd; verify_cmd; analyze_cmd; tv_cmd; profile_cmd;
-      corpus_cmd ]
+      serve_cmd; client_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -27,6 +27,11 @@ module Checkpoint = Overify_symex.Checkpoint
 module Interval = Overify_absint.Interval
 module Absint = Overify_absint.Analysis
 module Precision = Overify_absint.Precision
+module Store = Overify_solver.Store
+module Serve = Overify_serve.Serve
+module Serve_client = Overify_serve.Client
+module Serve_protocol = Overify_serve.Protocol
+module Serve_json = Overify_serve.Json
 
 (** Compile MiniC source at an optimization level.  [link_libc] (default
     true) links the libc variant the level selects, like the paper's build
@@ -78,7 +83,7 @@ let compile_validated ?(level = Costmodel.overify) ?(link_libc = true) ?budget
     failures degrade rather than abort — see
     [Engine.result.degradations]. *)
 let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) ?solver_cache
-    ?cache_dir ?faults ?checkpoint_dir ?(checkpoint_every = 64)
+    ?cache_dir ?store ?faults ?checkpoint_dir ?(checkpoint_every = 64)
     ?(resume = false) (m : Ir.modul) : Engine.result =
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
   Engine.run
@@ -90,6 +95,7 @@ let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) ?solver_cache
         searcher;
         solver_cache;
         cache_dir;
+        store;
         faults;
         checkpoint_dir;
         checkpoint_every;

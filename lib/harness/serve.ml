@@ -1,0 +1,273 @@
+(** Trace replay against the verification daemon (the [bench serve]
+    workload and the CI serve smoke).
+
+    Builds a deterministic synthetic request trace — programs × levels ×
+    budgets, verify/compile/tv kinds, deliberate duplicates (to exercise
+    dedup) and deliberately bad requests (unknown programs, bad levels,
+    raw garbage payloads) — replays it over N concurrent client
+    connections against an in-process or external daemon, and reports
+    throughput, latency percentiles and the daemon's own counters. *)
+
+module Serve = Overify_serve.Serve
+module Client = Overify_serve.Client
+module Protocol = Overify_serve.Protocol
+module Json = Overify_serve.Json
+
+(* ---------------- synthetic trace ---------------- *)
+
+(** A trace entry: a well-formed request, or raw bytes to ship as a
+    frame payload (invalid JSON — the daemon must answer with a
+    structured error and keep the connection). *)
+type entry = Request of Protocol.request | Garbage of string
+
+(** Deterministic ersatz randomness — replays must be reproducible. *)
+let lcg seed =
+  let state = ref (seed land 0x3fffffff) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    !state mod bound
+
+(** [n] entries over the corpus: ~1/2 verify, ~1/4 compile, ~1/8 tv,
+    with every 4th entry a duplicate of an earlier one and every 16th
+    deliberately malformed. *)
+let synthetic_trace ?(seed = 1) ?(programs = [ "wc"; "cat"; "cksum" ])
+    ?(levels = [ "O0"; "O2"; "OVERIFY" ]) n : entry list =
+  let rand = lcg seed in
+  let pick xs = List.nth xs (rand (List.length xs)) in
+  let fresh i =
+    let kind =
+      match rand 8 with
+      | 0 -> Protocol.Tv
+      | 1 | 2 -> Protocol.Compile
+      | _ -> Protocol.Verify
+    in
+    Request
+      {
+        Protocol.default_request with
+        Protocol.rq_id = i;
+        rq_kind = kind;
+        rq_program = pick programs;
+        rq_level = pick levels;
+        rq_input_size = 1 + rand 2;
+        rq_timeout = 20.0;
+        rq_jobs = (if rand 4 = 0 then 2 else 1);
+        rq_deterministic = true;
+      }
+  in
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    let e =
+      if i mod 16 = 5 then
+        (* malformed: bad JSON, unknown program, or unknown level *)
+        match rand 3 with
+        | 0 -> Garbage "{\"kind\": \"verify\", truncated"
+        | 1 ->
+            Request
+              {
+                Protocol.default_request with
+                Protocol.rq_id = i;
+                rq_program = "no-such-program";
+                rq_deterministic = true;
+              }
+        | _ ->
+            Request
+              {
+                Protocol.default_request with
+                Protocol.rq_id = i;
+                rq_program = "wc";
+                rq_level = "O7";
+                rq_deterministic = true;
+              }
+      else if i mod 4 = 3 && !entries <> [] then
+        (* duplicate an earlier well-formed entry (fresh id, same
+           fingerprint) — the dedup layer's bread and butter *)
+        match
+          List.find_opt
+            (function Request _ -> true | Garbage _ -> false)
+            !entries
+        with
+        | Some (Request r) -> Request { r with Protocol.rq_id = i }
+        | _ -> fresh i
+      else fresh i
+    in
+    entries := e :: !entries
+  done;
+  List.rev !entries
+
+(* ---------------- replay ---------------- *)
+
+type reply = {
+  rp_entry : int;          (** index in the trace *)
+  rp_latency_ms : float;
+  rp_status : string;      (** envelope status, or ["transport"] *)
+  rp_dedup : string;
+  rp_json : string;        (** raw envelope (empty on transport failure) *)
+}
+
+type summary = {
+  s_requests : int;
+  s_ok : int;
+  s_errors : int;              (** structured error envelopes (expected for
+                                   the trace's malformed entries) *)
+  s_transport_failures : int;  (** connections that died — 0 in a healthy run *)
+  s_wall_s : float;
+  s_throughput_rps : float;
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_p99_ms : float;
+  s_max_ms : float;
+  s_stats_json : string;       (** the daemon's own counters after the replay *)
+  s_replies : reply list;      (** trace order *)
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+(** Replay [trace] over [clients] concurrent connections (entry [i] goes
+    to connection [i mod clients]); returns replies in trace order plus
+    the daemon's post-replay stats. *)
+let replay ~socket ?(clients = 4) (trace : entry list) : summary =
+  let entries = Array.of_list trace in
+  let n = Array.length entries in
+  let replies = Array.make n None in
+  let clients = max 1 clients in
+  let worker c =
+    match Client.connect socket with
+    | exception _ ->
+        for i = 0 to n - 1 do
+          if i mod clients = c then
+            replies.(i) <-
+              Some
+                { rp_entry = i; rp_latency_ms = 0.0; rp_status = "transport";
+                  rp_dedup = "none"; rp_json = "" }
+        done
+    | conn ->
+        for i = 0 to n - 1 do
+          if i mod clients = c then begin
+            let t0 = Unix.gettimeofday () in
+            let answer =
+              match entries.(i) with
+              | Request rq -> Client.rpc conn rq
+              | Garbage bytes ->
+                  if Client.send_payload conn bytes then
+                    Client.read_response conn
+                  else Error Protocol.Closed
+            in
+            let latency = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            let reply =
+              match answer with
+              | Ok json ->
+                  let get k =
+                    match Protocol.extract_field json k with
+                    | Some v -> (
+                        match Json.parse v with
+                        | Ok (Json.Str s) -> s
+                        | _ -> String.trim v)
+                    | None -> ""
+                  in
+                  { rp_entry = i; rp_latency_ms = latency;
+                    rp_status = get "status"; rp_dedup = get "dedup";
+                    rp_json = json }
+              | Error _ ->
+                  { rp_entry = i; rp_latency_ms = latency;
+                    rp_status = "transport"; rp_dedup = "none"; rp_json = "" }
+            in
+            replies.(i) <- Some reply
+          end
+        done;
+        Client.close conn
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun c -> Thread.create worker c)
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats_json =
+    match Client.connect socket with
+    | exception _ -> "{}"
+    | conn ->
+        let r =
+          match
+            Client.rpc conn
+              { Protocol.default_request with Protocol.rq_kind = Protocol.Stats }
+          with
+          | Ok json -> (
+              match Protocol.extract_field json "result" with
+              | Some v -> v
+              | None -> "{}")
+          | Error _ -> "{}"
+        in
+        Client.close conn;
+        r
+  in
+  let replies =
+    Array.to_list replies
+    |> List.map (function
+         | Some r -> r
+         | None ->
+             { rp_entry = -1; rp_latency_ms = 0.0; rp_status = "transport";
+               rp_dedup = "none"; rp_json = "" })
+  in
+  let count p = List.length (List.filter p replies) in
+  let lat =
+    replies
+    |> List.filter (fun r -> r.rp_status <> "transport")
+    |> List.map (fun r -> r.rp_latency_ms)
+    |> Array.of_list
+  in
+  Array.sort compare lat;
+  {
+    s_requests = n;
+    s_ok = count (fun r -> r.rp_status = "ok");
+    s_errors = count (fun r -> r.rp_status = "error");
+    s_transport_failures = count (fun r -> r.rp_status = "transport");
+    s_wall_s = wall;
+    s_throughput_rps = (if wall > 0.0 then float_of_int n /. wall else 0.0);
+    s_p50_ms = percentile lat 0.50;
+    s_p95_ms = percentile lat 0.95;
+    s_p99_ms = percentile lat 0.99;
+    s_max_ms = (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1));
+    s_stats_json = stats_json;
+    s_replies = replies;
+  }
+
+(** Pull an integer counter out of the daemon-stats document. *)
+let stat summary name =
+  match Json.parse summary.s_stats_json with
+  | Ok j -> (
+      match Option.bind (Json.mem j name) Json.int_ with
+      | Some v -> v
+      | None -> 0)
+  | Error _ -> 0
+
+let summary_to_json ?(label = "serve") s =
+  Printf.sprintf
+    "{\"label\": \"%s\", \"requests\": %d, \"ok\": %d, \"errors\": %d, \
+     \"transport_failures\": %d, \"wall_s\": %.3f, \"throughput_rps\": \
+     %.1f, \"latency_ms\": {\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f, \
+     \"max\": %.2f}, \"daemon\": %s}"
+    (Json.escape label) s.s_requests s.s_ok s.s_errors s.s_transport_failures
+    s.s_wall_s s.s_throughput_rps s.s_p50_ms s.s_p95_ms s.s_p99_ms s.s_max_ms
+    (if s.s_stats_json = "" then "{}" else s.s_stats_json)
+
+(** Start an in-process daemon, replay a synthetic trace, stop it.
+    Returns the summary and whether the run was healthy: zero transport
+    failures, every entry answered, daemon counters consistent, and —
+    the point of the batching layer — at least one dedup hit. *)
+let run ?(n = 48) ?(clients = 4) ?seed () : summary * bool =
+  let daemon = Serve.start () in
+  let finally () = Serve.stop daemon in
+  Fun.protect ~finally (fun () ->
+      let trace = synthetic_trace ?seed n in
+      let s = replay ~socket:(Serve.socket_path daemon) ~clients trace in
+      let healthy =
+        s.s_transport_failures = 0
+        && s.s_ok + s.s_errors = s.s_requests
+        && s.s_errors > 0 (* the malformed entries must be *answered* *)
+        && stat s "dedup_hits" > 0
+        && stat s "executed" <= stat s "requests"
+      in
+      (s, healthy))

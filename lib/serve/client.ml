@@ -1,0 +1,39 @@
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let connect path =
+  (* a daemon that died mid-conversation must fail our write, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_payload t payload = Protocol.write_frame t.fd payload
+
+let send_bytes t bytes =
+  let buf = Bytes.unsafe_of_string bytes in
+  let len = String.length bytes in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write t.fd buf off (len - off) with
+      | 0 -> false
+      | n -> go (off + n)
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0
+
+let read_response t = Protocol.read_frame t.fd
+
+let rpc t rq =
+  if send_payload t (Protocol.request_to_json rq) then read_response t
+  else Error Protocol.Closed

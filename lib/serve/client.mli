@@ -1,0 +1,29 @@
+(** Client side of the serve protocol: a blocking connection to an
+    [overify serve] daemon.  One request in flight per connection; open
+    several connections for concurrency (the trace-replay harness does). *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix socket.  Raises [Unix.Unix_error] if the
+    daemon is not listening. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val rpc : t -> Protocol.request -> (string, Protocol.frame_error) result
+(** Send one request and block for its response payload (the raw JSON
+    envelope text).  [Error] means the transport failed, not that the
+    request failed — request-level failures come back as a structured
+    [status = "error"] envelope. *)
+
+val send_payload : t -> string -> bool
+(** Frame and send arbitrary payload bytes (e.g. invalid JSON) — for
+    protocol testing. *)
+
+val send_bytes : t -> string -> bool
+(** Send raw bytes with {e no} framing (garbage, truncated or corrupt
+    frames) — for protocol testing. *)
+
+val read_response : t -> (string, Protocol.frame_error) result
+(** Block for one response frame. *)

@@ -1,0 +1,245 @@
+(** Minimal JSON parser/printer for the serve protocol.  See json.mli. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------------- printing ---------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_string (v : t) : string =
+  match v with
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f ->
+      (* integers print without a fractional part, like the hand emitters *)
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.17g" f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Arr xs -> "[" ^ String.concat ", " (List.map to_string xs) ^ "]"
+  | Obj kvs ->
+      "{"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> "\"" ^ escape k ^ "\": " ^ to_string v) kvs)
+      ^ "}"
+
+(* ---------------- parsing ---------------- *)
+
+exception Bad of int * string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for i = !pos to !pos + 3 do
+      let d =
+        match s.[i] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      v := (!v * 16) + d
+    done;
+    pos := !pos + 4;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              let v = hex4 () in
+              if v < 0x100 then Buffer.add_char buf (Char.chr v)
+              else begin
+                (* non-byte code point: encode as UTF-8 *)
+                Buffer.add_char buf (Char.chr (0xe0 lor (v lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((v lsr 6) land 0x3f)));
+                Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3f)))
+              end
+          | _ -> fail "bad escape");
+          go ())
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let seen = ref false in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9') ->
+            seen := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !seen then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let kvs = ref [] in
+          let rec go () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            kvs := (k, v) :: !kvs;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          go ();
+          Obj (List.rev !kvs)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let xs = ref [] in
+          let rec go () =
+            let v = parse_value () in
+            xs := v :: !xs;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          go ();
+          Arr (List.rev !xs)
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing bytes at offset %d" !pos)
+    else Ok v
+  with
+  | Bad (off, msg) -> Error (Printf.sprintf "%s at offset %d" msg off)
+  | Stack_overflow -> Error "document nests too deeply"
+
+(* ---------------- accessors ---------------- *)
+
+let mem v k =
+  match v with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str = function Str s -> Some s | _ -> None
+let num = function Num f -> Some f | _ -> None
+
+let int_ = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let bool_ = function Bool b -> Some b | _ -> None

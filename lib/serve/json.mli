@@ -1,0 +1,37 @@
+(** Minimal JSON for the serve protocol.
+
+    The toolchain *emits* JSON everywhere by hand (fixed key order,
+    goldenable); the daemon is the first component that must also *parse*
+    it — requests arrive as JSON payloads inside {!Protocol} frames.  This
+    is a small recursive-descent parser over the byte string plus the
+    matching printer; it round-trips every document the client encoder
+    produces (strings are raw bytes, control characters escaped as
+    [\u00XX], exactly the discipline of [Engine.json_escape]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** key order preserved *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing non-whitespace is an error.  Error
+    messages carry the byte offset. *)
+
+val to_string : t -> string
+(** Print compactly, object keys in list order. *)
+
+val escape : string -> string
+(** Escape a raw byte string for embedding between quotes: quote,
+    backslash, and control characters (as [\uXXXX]); bytes >= 0x80 pass
+    through. *)
+
+(* Accessors ([None] on shape mismatch). *)
+
+val mem : t -> string -> t option
+val str : t -> string option
+val num : t -> float option
+val int_ : t -> int option
+val bool_ : t -> bool option

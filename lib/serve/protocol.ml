@@ -1,0 +1,359 @@
+(** Wire protocol: framed JSON requests/responses.  See protocol.mli. *)
+
+module Binfile = Overify_solver.Binfile
+
+type kind = Verify | Compile | Tv | Stats | Shutdown
+
+let kind_name = function
+  | Verify -> "verify"
+  | Compile -> "compile"
+  | Tv -> "tv"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let kind_of_name = function
+  | "verify" -> Some Verify
+  | "compile" -> Some Compile
+  | "tv" -> Some Tv
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type request = {
+  rq_id : int;
+  rq_kind : kind;
+  rq_program : string;
+  rq_source : string;
+  rq_level : string;
+  rq_input_size : int;
+  rq_timeout : float;
+  rq_jobs : int;
+  rq_link_libc : bool;
+  rq_deterministic : bool;
+  rq_faults : string;
+}
+
+let default_request =
+  {
+    rq_id = 0;
+    rq_kind = Verify;
+    rq_program = "";
+    rq_source = "";
+    rq_level = "OVERIFY";
+    rq_input_size = 4;
+    rq_timeout = 30.0;
+    rq_jobs = 1;
+    rq_link_libc = true;
+    rq_deterministic = false;
+    rq_faults = "";
+  }
+
+let request_to_json (r : request) : string =
+  Printf.sprintf
+    "{\"id\": %d, \"kind\": \"%s\", \"program\": \"%s\", \"source\": \
+     \"%s\", \"level\": \"%s\", \"input_size\": %d, \"timeout\": %.17g, \
+     \"jobs\": %d, \"link_libc\": %b, \"deterministic\": %b, \"faults\": \
+     \"%s\"}"
+    r.rq_id (kind_name r.rq_kind) (Json.escape r.rq_program)
+    (Json.escape r.rq_source) (Json.escape r.rq_level) r.rq_input_size
+    r.rq_timeout r.rq_jobs r.rq_link_libc r.rq_deterministic
+    (Json.escape r.rq_faults)
+
+let known_keys =
+  [ "id"; "kind"; "program"; "source"; "level"; "input_size"; "timeout";
+    "jobs"; "link_libc"; "deterministic"; "faults" ]
+
+let request_of_json (j : Json.t) : (request, string) result =
+  match j with
+  | Json.Obj kvs -> (
+      match
+        List.find_opt (fun (k, _) -> not (List.mem k known_keys)) kvs
+      with
+      | Some (k, _) -> Error (Printf.sprintf "unknown request field %S" k)
+      | None -> (
+          let field name conv default =
+            match List.assoc_opt name kvs with
+            | None -> Ok default
+            | Some v -> (
+                match conv v with
+                | Some x -> Ok x
+                | None -> Error (Printf.sprintf "bad type for field %S" name))
+          in
+          let ( let* ) r f = Result.bind r f in
+          let* id = field "id" Json.int_ default_request.rq_id in
+          let* kind_s =
+            match List.assoc_opt "kind" kvs with
+            | None -> Error "missing request field \"kind\""
+            | Some v -> (
+                match Json.str v with
+                | Some s -> Ok s
+                | None -> Error "bad type for field \"kind\"")
+          in
+          let* kind =
+            match kind_of_name kind_s with
+            | Some k -> Ok k
+            | None -> Error (Printf.sprintf "unknown request kind %S" kind_s)
+          in
+          let* program = field "program" Json.str default_request.rq_program in
+          let* source = field "source" Json.str default_request.rq_source in
+          let* level = field "level" Json.str default_request.rq_level in
+          let* input_size =
+            field "input_size" Json.int_ default_request.rq_input_size
+          in
+          let* timeout = field "timeout" Json.num default_request.rq_timeout in
+          let* jobs = field "jobs" Json.int_ default_request.rq_jobs in
+          let* link_libc =
+            field "link_libc" Json.bool_ default_request.rq_link_libc
+          in
+          let* deterministic =
+            field "deterministic" Json.bool_ default_request.rq_deterministic
+          in
+          let* faults = field "faults" Json.str default_request.rq_faults in
+          if input_size < 0 || input_size > 64 then
+            Error (Printf.sprintf "input_size %d out of range [0, 64]" input_size)
+          else if jobs < 1 || jobs > 64 then
+            Error (Printf.sprintf "jobs %d out of range [1, 64]" jobs)
+          else if not (Float.is_finite timeout) || timeout <= 0.0 then
+            Error "timeout must be a positive finite number"
+          else
+            Ok
+              {
+                rq_id = id;
+                rq_kind = kind;
+                rq_program = program;
+                rq_source = source;
+                rq_level = level;
+                rq_input_size = input_size;
+                rq_timeout = timeout;
+                rq_jobs = jobs;
+                rq_link_libc = link_libc;
+                rq_deterministic = deterministic;
+                rq_faults = faults;
+              }))
+  | _ -> Error "request must be a JSON object"
+
+let fingerprint (r : request) : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            kind_name r.rq_kind;
+            r.rq_program;
+            r.rq_source;
+            r.rq_level;
+            string_of_int r.rq_input_size;
+            Printf.sprintf "%h" r.rq_timeout;
+            string_of_int r.rq_jobs;
+            string_of_bool r.rq_link_libc;
+            string_of_bool r.rq_deterministic;
+            r.rq_faults;
+          ]))
+
+(* ---------------- framing ---------------- *)
+
+let magic = "OVERIFY-SERVE"
+let version = 1
+let max_frame = 8 * 1024 * 1024
+let header_len = String.length magic + 4 + 8
+
+type frame_error =
+  | Closed
+  | Truncated
+  | Bad_magic
+  | Bad_version
+  | Oversized of int
+  | Corrupt
+
+let frame_error_name = function
+  | Closed -> "closed"
+  | Truncated -> "truncated"
+  | Bad_magic -> "bad_magic"
+  | Bad_version -> "bad_version"
+  | Oversized n -> Printf.sprintf "oversized:%d" n
+  | Corrupt -> "corrupt"
+
+let write_frame fd payload =
+  let bytes = Binfile.frame ~magic ~version payload in
+  let len = String.length bytes in
+  let buf = Bytes.unsafe_of_string bytes in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write fd buf off (len - off) with
+      | 0 -> false
+      | n -> go (off + n)
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0
+
+(** Read exactly [want] bytes; [Ok got] may be short only at EOF. *)
+let really_read fd want : (string, frame_error) result =
+  let buf = Bytes.create want in
+  let rec go off =
+    if off >= want then Ok (Bytes.to_string buf)
+    else
+      match Unix.read fd buf off (want - off) with
+      | 0 -> if off = 0 then Error Closed else Error Truncated
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+        ->
+          if off = 0 then Error Closed else Error Truncated
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> Error Truncated
+  in
+  go 0
+
+let get_int_be s off width =
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let read_frame ?(max = max_frame) fd : (string, frame_error) result =
+  (* validate the magic as soon as its bytes arrive — a peer that sent
+     non-protocol garbage is answered immediately instead of both sides
+     waiting for a full header that will never come *)
+  let mlen = String.length magic in
+  match really_read fd mlen with
+  | Error _ as e -> e
+  | Ok m when m <> magic -> Error Bad_magic
+  | Ok _ -> (
+      match really_read fd (header_len - mlen) with
+      | Error Closed -> Error Truncated
+      | Error _ as e -> e
+      | Ok rest_header ->
+          let header = magic ^ rest_header in
+          if get_int_be header mlen 4 <> version then Error Bad_version
+          else
+            let plen = get_int_be header (mlen + 4) 8 in
+            if plen > max then Error (Oversized plen)
+            else (
+              match really_read fd (plen + 16) with
+              | Error Closed -> Error Truncated
+              | Error _ as e -> e
+              | Ok rest -> (
+                  (* revalidate the reassembled frame through Binfile —
+                     one parser owns the format *)
+                  match Binfile.parse ~magic ~version (header ^ rest) with
+                  | Some payload -> Ok payload
+                  | None -> Error Corrupt)))
+
+(* ---------------- response envelope ---------------- *)
+
+type body = {
+  b_status : string;
+  b_kind : string;
+  b_error : (string * string) option;
+  b_result : string;
+  b_obs : string;
+}
+
+let ok_body ~kind ~result ?(obs = "[]") () =
+  { b_status = "ok"; b_kind = kind; b_error = None; b_result = result;
+    b_obs = obs }
+
+let error_body ~kind ~err ~msg =
+  { b_status = "error"; b_kind = kind; b_error = Some (err, msg);
+    b_result = "null"; b_obs = "[]" }
+
+let response ~id ~dedup ~elapsed_ms (b : body) : string =
+  let error =
+    match b.b_error with
+    | None -> "null"
+    | Some (k, m) ->
+        Printf.sprintf "{\"kind\": \"%s\", \"message\": \"%s\"}"
+          (Json.escape k) (Json.escape m)
+  in
+  Printf.sprintf
+    "{\"id\": %d, \"status\": \"%s\", \"kind\": \"%s\", \"dedup\": \
+     \"%s\", \"elapsed_ms\": %.1f, \"error\": %s, \"result\": %s, \
+     \"obs\": %s}"
+    id b.b_status (Json.escape b.b_kind) (Json.escape dedup) elapsed_ms error
+    b.b_result b.b_obs
+
+(* ---------------- raw field extraction ---------------- *)
+
+(** Scan the raw bytes of the value of top-level [key] in an object
+    document: find ["key":] at depth 1, then take the balanced value.
+    Only used on documents we emitted ourselves, so the scan can assume
+    well-formedness (and returns [None] rather than lying otherwise). *)
+let extract_field (json : string) (key : string) : string option =
+  let n = String.length json in
+  let needle = "\"" ^ key ^ "\"" in
+  let nn = String.length needle in
+  (* a key match must be followed by a colon — a string VALUE that
+     happens to equal the needle (e.g. "status": "error" vs the "error"
+     key) is not a member key *)
+  let followed_by_colon j =
+    let rec skip j =
+      if j >= n then false
+      else
+        match json.[j] with
+        | ' ' | '\t' | '\n' | '\r' -> skip (j + 1)
+        | ':' -> true
+        | _ -> false
+    in
+    skip j
+  in
+  (* find the key at object depth 1, skipping string contents *)
+  let rec find i depth in_str escaped =
+    if i >= n then None
+    else
+      let c = json.[i] in
+      if in_str then
+        if escaped then find (i + 1) depth true false
+        else if c = '\\' then find (i + 1) depth true true
+        else if c = '"' then find (i + 1) depth false false
+        else find (i + 1) depth true false
+      else
+        match c with
+        | '"' ->
+            if
+              depth = 1
+              && i + nn <= n
+              && String.sub json i nn = needle
+              && followed_by_colon (i + nn)
+            then Some (i + nn)
+            else find (i + 1) depth true false
+        | '{' | '[' -> find (i + 1) (depth + 1) false false
+        | '}' | ']' -> find (i + 1) (depth - 1) false false
+        | _ -> find (i + 1) depth false false
+  in
+  match find 0 0 false false with
+  | None -> None
+  | Some after_key ->
+      (* skip whitespace and the colon *)
+      let rec skip i =
+        if i >= n then None
+        else
+          match json.[i] with
+          | ' ' | '\t' | '\n' | '\r' | ':' -> skip (i + 1)
+          | _ -> Some i
+      in
+      Option.bind (skip after_key) (fun start ->
+          (* take the balanced value *)
+          let rec take i depth in_str escaped =
+            if i >= n then None
+            else
+              let c = json.[i] in
+              if in_str then
+                if escaped then take (i + 1) depth true false
+                else if c = '\\' then take (i + 1) depth true true
+                else if c = '"' then
+                  if depth = 0 then Some (i + 1) else take (i + 1) depth false false
+                else take (i + 1) depth true false
+              else
+                match c with
+                | '"' -> take (i + 1) depth true false
+                | '{' | '[' -> take (i + 1) (depth + 1) false false
+                | '}' | ']' ->
+                    if depth = 0 then Some i
+                    else if depth = 1 then Some (i + 1)
+                    else take (i + 1) (depth - 1) false false
+                | ',' when depth = 0 -> Some i
+                | _ -> take (i + 1) depth false false
+          in
+          Option.map
+            (fun stop -> String.trim (String.sub json start (stop - start)))
+            (take start 0 false false))

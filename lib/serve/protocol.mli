@@ -1,0 +1,110 @@
+(** Wire protocol of the verification service ([overify serve]).
+
+    {2 Framing}
+
+    Each message (request or response) travels as one {!Overify_solver.Binfile}
+    frame: magic string, 4-byte big-endian version, 8-byte big-endian
+    payload length, payload bytes, 16-byte MD5 digest of the payload —
+    the same discipline as the solver store and the engine checkpoints,
+    so a truncated or bit-flipped frame is detected, never misparsed.
+    {!read_frame} additionally rejects frames whose declared length
+    exceeds [max_frame] {e before} reading the payload, so an adversarial
+    length field cannot make the daemon allocate unboundedly.
+
+    {2 Payloads}
+
+    The payload is one JSON document.  Requests are parsed with {!Json};
+    responses are emitted with a fixed key order (goldenable — see
+    DESIGN.md "Service architecture"):
+
+    {v
+      {"id": .., "status": "ok"|"error", "kind": .., "dedup":
+       "miss"|"inflight"|"recent"|"none", "elapsed_ms": ..,
+       "error": null|{"kind": .., "message": ..}, "result": ..,
+       "obs": [..]}
+    v}
+
+    The [result] of a [verify] request is byte-for-byte the document
+    [Engine.result_to_json] produces, so the daemon and the one-shot CLI
+    can be differentially tested. *)
+
+type kind = Verify | Compile | Tv | Stats | Shutdown
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type request = {
+  rq_id : int;              (** echoed in the response; not part of dedup *)
+  rq_kind : kind;
+  rq_program : string;      (** corpus program name; [""] = use [rq_source] *)
+  rq_source : string;       (** inline MiniC source *)
+  rq_level : string;        (** optimization level name, e.g. ["O0"] *)
+  rq_input_size : int;
+  rq_timeout : float;
+  rq_jobs : int;            (** worker domains for this request's engine run *)
+  rq_link_libc : bool;
+  rq_deterministic : bool;  (** zero wall-clock (and reuse-dependent) fields *)
+  rq_faults : string;       (** fault-injection spec ([Fault.parse]); [""] = none *)
+}
+
+val default_request : request
+(** [Verify], no program, level OVERIFY, 4 bytes, 30 s, 1 job. *)
+
+val request_to_json : request -> string
+(** Fixed key order; [request_of_json] inverts it exactly. *)
+
+val request_of_json : Json.t -> (request, string) result
+(** Validates kinds, field types and rejects unknown keys — a structured
+    [bad_request] error, never an exception. *)
+
+val fingerprint : request -> string
+(** Dedup key: digest of every semantic field (everything but [rq_id]).
+    Two requests with equal fingerprints receive byte-identical response
+    bodies. *)
+
+(** {2 Framing} *)
+
+val magic : string
+val version : int
+
+val max_frame : int
+(** Default frame-size cap (bytes) for {!read_frame}. *)
+
+type frame_error =
+  | Closed          (** clean EOF before any byte of a frame *)
+  | Truncated       (** EOF mid-frame *)
+  | Bad_magic
+  | Bad_version
+  | Oversized of int  (** declared payload length exceeded the cap *)
+  | Corrupt         (** length/digest validation failed *)
+
+val frame_error_name : frame_error -> string
+
+val write_frame : Unix.file_descr -> string -> bool
+(** Frame and send a payload; [false] on any write failure (peer gone). *)
+
+val read_frame : ?max:int -> Unix.file_descr -> (string, frame_error) result
+(** Read and validate one frame.  Never raises; socket errors map to
+    [Closed]/[Truncated]. *)
+
+(** {2 Response envelope} *)
+
+type body = {
+  b_status : string;                   (** ["ok"] or ["error"] *)
+  b_kind : string;                     (** request kind name *)
+  b_error : (string * string) option;  (** (kind, message) when status=error *)
+  b_result : string;                   (** raw JSON value text; ["null"] if none *)
+  b_obs : string;                      (** raw JSON array of per-request metric deltas *)
+}
+
+val ok_body : kind:string -> result:string -> ?obs:string -> unit -> body
+val error_body : kind:string -> err:string -> msg:string -> body
+
+val response : id:int -> dedup:string -> elapsed_ms:float -> body -> string
+(** The fixed-key-order envelope documented above. *)
+
+val extract_field : string -> string -> string option
+(** [extract_field json key] returns the raw bytes of a top-level field's
+    value (balanced-delimiter scan; understands strings/escapes).  Used to
+    pull the embedded [result] document out of a response for byte-exact
+    comparison without reparsing/reprinting. *)

@@ -1,0 +1,583 @@
+(** The verification daemon.  See serve.mli for the concurrency model. *)
+
+module Frontend = Overify_minic.Frontend
+module Costmodel = Overify_opt.Costmodel
+module Pipeline = Overify_opt.Pipeline
+module Engine = Overify_symex.Engine
+module Tv = Overify_tv.Tv
+module Vclib = Overify_vclib.Vclib
+module Programs = Overify_corpus.Programs
+module Printer = Overify_ir.Printer
+module Ir = Overify_ir.Ir
+module Store = Overify_solver.Store
+module Fault = Overify_fault.Fault
+module Obs = Overify_obs.Obs
+
+type counters = {
+  mutable c_requests : int;      (** well-formed requests accepted *)
+  mutable c_executed : int;      (** jobs actually run by the executor *)
+  mutable c_dedup_inflight : int;
+  mutable c_dedup_recent : int;
+  mutable c_malformed : int;     (** frames/JSON/requests rejected *)
+  mutable c_errors : int;        (** responses with status=error *)
+}
+
+type job = {
+  jb_req : Protocol.request;
+  jb_key : string;
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable jb_body : Protocol.body option;
+}
+
+type t = {
+  sock_path : string;
+  listen_fd : Unix.file_descr;
+  st_store : Store.t;
+  own_cache_dir : string option;  (** temp dir to remove at stop *)
+  recent_cap : int;
+  save_every : int;
+  lock : Mutex.t;
+  work : Condition.t;             (** executor wakeup *)
+  queue : job Queue.t;
+  inflight : (string, job) Hashtbl.t;
+  recent : (string, Protocol.body) Hashtbl.t;
+  recent_order : string Queue.t;
+  ct : counters;
+  mutable stopping : bool;
+  mutable finished : bool;
+  mutable conns : Unix.file_descr list;
+  mutable handlers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable exec_thread : Thread.t option;
+}
+
+let socket_path t = t.sock_path
+let store t = t.st_store
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---------------- job execution (executor thread only) ---------------- *)
+
+exception Bad_request of string
+
+let compile_module level ~link_libc source =
+  let sources =
+    if link_libc then [ Vclib.for_cost_model level; source ] else [ source ]
+  in
+  Frontend.compile_sources sources
+
+(** Per-request metric deltas from the global registry, as a raw JSON
+    array.  Empty (and free) unless [OVERIFY_OBS] observability is on;
+    counters only — timer sums are wall-clock and would break response
+    determinism. *)
+let obs_snapshot () =
+  if not (Obs.enabled ()) then fun () -> "[]"
+  else begin
+    let key (c : Obs.Registry.cell) = (c.Obs.Registry.name, c.Obs.Registry.labels) in
+    let before = Hashtbl.create 32 in
+    List.iter
+      (fun (c : Obs.Registry.cell) ->
+        Hashtbl.replace before (key c) c.Obs.Registry.count)
+      (Obs.Registry.dump ());
+    fun () ->
+      let deltas =
+        List.filter_map
+          (fun (c : Obs.Registry.cell) ->
+            let prev =
+              Option.value ~default:0 (Hashtbl.find_opt before (key c))
+            in
+            let d = c.Obs.Registry.count - prev in
+            if d = 0 || c.Obs.Registry.kind <> Obs.Registry.Counter then None
+            else
+              Some
+                (Printf.sprintf "{\"name\": \"%s\"%s, \"count\": %d}"
+                   (Json.escape c.Obs.Registry.name)
+                   (match c.Obs.Registry.labels with
+                   | [] -> ""
+                   | ls ->
+                       Printf.sprintf ", \"labels\": {%s}"
+                         (String.concat ", "
+                            (List.map
+                               (fun (k, v) ->
+                                 Printf.sprintf "\"%s\": \"%s\"" (Json.escape k)
+                                   (Json.escape v))
+                               ls)))
+                   d))
+          (Obs.Registry.dump ())
+      in
+      "[" ^ String.concat ", " deltas ^ "]"
+  end
+
+let run_request t (rq : Protocol.request) : Protocol.body =
+  let kind = Protocol.kind_name rq.rq_kind in
+  let finish_obs = obs_snapshot () in
+  try
+    let faults =
+      if rq.rq_faults = "" then None
+      else
+        match Fault.parse rq.rq_faults with
+        | Ok f -> Some f
+        | Error msg -> raise (Bad_request ("bad faults spec: " ^ msg))
+    in
+    let level =
+      match Costmodel.of_name rq.rq_level with
+      | Some l -> l
+      | None ->
+          raise
+            (Bad_request
+               (Printf.sprintf "unknown level %S (use O0/O2/O3/OVERIFY)"
+                  rq.rq_level))
+    in
+    let source =
+      if rq.rq_program <> "" then (
+        match Programs.find rq.rq_program with
+        | Some p -> p.Programs.source
+        | None ->
+            raise
+              (Bad_request
+                 (Printf.sprintf "unknown corpus program %S (available: %s)"
+                    rq.rq_program
+                    (String.concat ", " Programs.names))))
+      else if rq.rq_source <> "" then rq.rq_source
+      else raise (Bad_request "request has neither \"program\" nor \"source\"")
+    in
+    let body =
+      match rq.rq_kind with
+      | Protocol.Verify ->
+          let m =
+            (Pipeline.optimize level
+               (compile_module level ~link_libc:rq.rq_link_libc source))
+              .Pipeline.modul
+          in
+          let searcher =
+            if rq.rq_jobs > 1 then `Parallel rq.rq_jobs else `Dfs
+          in
+          let r =
+            Engine.run
+              ~config:
+                {
+                  Engine.default_config with
+                  Engine.input_size = rq.rq_input_size;
+                  timeout = rq.rq_timeout;
+                  searcher;
+                  faults;
+                  store = Some t.st_store;
+                }
+              m
+          in
+          Protocol.ok_body ~kind
+            ~result:
+              (Engine.result_to_json ~deterministic:rq.rq_deterministic r)
+            ()
+      | Protocol.Compile ->
+          let r =
+            Pipeline.optimize level
+              (compile_module level ~link_libc:rq.rq_link_libc source)
+          in
+          let m = r.Pipeline.modul in
+          let size =
+            List.fold_left (fun acc f -> acc + Ir.func_size f) 0 m.Ir.funcs
+          in
+          Protocol.ok_body ~kind
+            ~result:
+              (Printf.sprintf
+                 "{\"level\": \"%s\", \"functions\": %d, \"size\": %d, \
+                  \"ir\": \"%s\"}"
+                 (Json.escape level.Costmodel.name)
+                 (List.length m.Ir.funcs) size
+                 (Json.escape (Printer.modul_to_string m)))
+            ()
+      | Protocol.Tv ->
+          let budget =
+            {
+              Tv.default_budget with
+              Tv.input_size = min rq.rq_input_size 4;
+              timeout = rq.rq_timeout;
+            }
+          in
+          let m = compile_module level ~link_libc:rq.rq_link_libc source in
+          let (_, report) = Tv.validate ~budget level m in
+          Protocol.ok_body ~kind
+            ~result:
+              (Printf.sprintf
+                 "{\"level\": \"%s\", \"passes\": %d, \"counterexamples\": \
+                  %d, \"inconclusive\": %d, \"sound\": %b}"
+                 (Json.escape report.Tv.level)
+                 (List.length report.Tv.records)
+                 (List.length (Tv.counterexamples report))
+                 (List.length (Tv.inconclusives report))
+                 (Tv.counterexamples report = []))
+            ()
+      | Protocol.Stats | Protocol.Shutdown ->
+          (* handled inline by the connection handler, never queued *)
+          assert false
+    in
+    { body with Protocol.b_obs = finish_obs () }
+  with
+  | Bad_request msg -> Protocol.error_body ~kind ~err:"bad_request" ~msg
+  | Fault.Killed msg ->
+      (* the injected analogue of SIGKILL: in one-shot mode it ends the
+         process; in service mode it may only end the request *)
+      Protocol.error_body ~kind ~err:"killed"
+        ~msg:("injected kill contained by daemon: " ^ msg)
+  | Failure msg -> Protocol.error_body ~kind ~err:"compile_error" ~msg
+  | Invalid_argument msg -> Protocol.error_body ~kind ~err:"bad_request" ~msg
+  | Stack_overflow ->
+      Protocol.error_body ~kind ~err:"internal" ~msg:"stack overflow"
+  | e ->
+      Protocol.error_body ~kind ~err:"internal" ~msg:(Printexc.to_string e)
+
+(* ---------------- dedup + executor ---------------- *)
+
+let add_recent t key body =
+  Hashtbl.replace t.recent key body;
+  Queue.add key t.recent_order;
+  while Queue.length t.recent_order > t.recent_cap do
+    let victim = Queue.pop t.recent_order in
+    (* the victim may have been re-added since; only drop it if this
+       queue entry is its last *)
+    if not (Queue.fold (fun acc k -> acc || k = victim) false t.recent_order)
+    then Hashtbl.remove t.recent victim
+  done
+
+let wait_job (job : job) : Protocol.body =
+  Mutex.lock job.jm;
+  while job.jb_body = None do
+    Condition.wait job.jc job.jm
+  done;
+  let b = Option.get job.jb_body in
+  Mutex.unlock job.jm;
+  b
+
+let finish_job (job : job) body =
+  Mutex.lock job.jm;
+  job.jb_body <- Some body;
+  Condition.broadcast job.jc;
+  Mutex.unlock job.jm
+
+let executor_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work t.lock
+    done;
+    if Queue.is_empty t.queue then (* stopping, fully drained *)
+      Mutex.unlock t.lock
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      let body =
+        try run_request t job.jb_req
+        with e ->
+          (* the executor must survive anything a request throws *)
+          Protocol.error_body
+            ~kind:(Protocol.kind_name job.jb_req.Protocol.rq_kind)
+            ~err:"internal" ~msg:(Printexc.to_string e)
+      in
+      let save_now =
+        with_lock t (fun () ->
+            t.ct.c_executed <- t.ct.c_executed + 1;
+            Hashtbl.remove t.inflight job.jb_key;
+            add_recent t job.jb_key body;
+            t.ct.c_executed mod t.save_every = 0)
+      in
+      (* persist warm-store growth outside the daemon lock; Store.save is
+         atomic and internally synchronized, so it may race concurrent
+         engine lookups and external readers without tearing the file *)
+      if save_now then Store.save t.st_store;
+      finish_job job body;
+      loop ()
+    end
+  in
+  loop ()
+
+(** Resolve a request to a (dedup label, body).  Blocks until the body is
+    available; connection-handler context. *)
+let submit t (rq : Protocol.request) : string * Protocol.body =
+  let key = Protocol.fingerprint rq in
+  let action =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.recent key with
+        | Some body ->
+            t.ct.c_dedup_recent <- t.ct.c_dedup_recent + 1;
+            `Recent body
+        | None -> (
+            match Hashtbl.find_opt t.inflight key with
+            | Some job ->
+                t.ct.c_dedup_inflight <- t.ct.c_dedup_inflight + 1;
+                `Join job
+            | None ->
+                if t.stopping then `Unavailable
+                else begin
+                  let job =
+                    {
+                      jb_req = rq;
+                      jb_key = key;
+                      jm = Mutex.create ();
+                      jc = Condition.create ();
+                      jb_body = None;
+                    }
+                  in
+                  Hashtbl.replace t.inflight key job;
+                  Queue.add job t.queue;
+                  Condition.signal t.work;
+                  `Run job
+                end))
+  in
+  match action with
+  | `Recent body -> ("recent", body)
+  | `Join job -> ("inflight", wait_job job)
+  | `Run job -> ("miss", wait_job job)
+  | `Unavailable ->
+      ( "none",
+        Protocol.error_body
+          ~kind:(Protocol.kind_name rq.Protocol.rq_kind)
+          ~err:"unavailable" ~msg:"daemon is shutting down" )
+
+(* ---------------- stats + shutdown (inline, no queue) ---------------- *)
+
+let stats_body t : Protocol.body =
+  let result =
+    with_lock t (fun () ->
+        Printf.sprintf
+          "{\"requests\": %d, \"executed\": %d, \"dedup_inflight\": %d, \
+           \"dedup_recent\": %d, \"dedup_hits\": %d, \"malformed\": %d, \
+           \"errors\": %d, \"inflight\": %d, \"recent\": %d, \
+           \"store_entries\": %d, \"store_loaded\": %d}"
+          t.ct.c_requests t.ct.c_executed t.ct.c_dedup_inflight
+          t.ct.c_dedup_recent
+          (t.ct.c_dedup_inflight + t.ct.c_dedup_recent)
+          t.ct.c_malformed t.ct.c_errors
+          (Hashtbl.length t.inflight)
+          (Hashtbl.length t.recent)
+          (Store.length t.st_store)
+          (Store.loaded t.st_store))
+  in
+  Protocol.ok_body ~kind:"stats" ~result ()
+
+let initiate_stop t =
+  let first =
+    with_lock t (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.work;
+          true
+        end)
+  in
+  if first then begin
+    (* unblock the accept loop: close() alone does not wake a thread
+       blocked in accept() on Linux — shutdown() does *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+(* ---------------- connection handling ---------------- *)
+
+let bump_malformed t =
+  with_lock t (fun () -> t.ct.c_malformed <- t.ct.c_malformed + 1)
+
+let bump_request t =
+  with_lock t (fun () -> t.ct.c_requests <- t.ct.c_requests + 1)
+
+let note_status t (body : Protocol.body) =
+  if body.Protocol.b_status = "error" then
+    with_lock t (fun () -> t.ct.c_errors <- t.ct.c_errors + 1)
+
+let handle_conn t fd =
+  let respond body_json = ignore (Protocol.write_frame fd body_json) in
+  let protocol_error err msg =
+    bump_malformed t;
+    let body = Protocol.error_body ~kind:"protocol" ~err ~msg in
+    note_status t body;
+    respond (Protocol.response ~id:0 ~dedup:"none" ~elapsed_ms:0.0 body)
+  in
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | Error Protocol.Closed -> ()
+    | Error ((Protocol.Truncated | Protocol.Corrupt | Protocol.Bad_magic
+             | Protocol.Bad_version | Protocol.Oversized _) as e) ->
+        (* the stream is no longer frame-synchronized: answer (if the
+           peer can still read) and drop the connection, daemon intact *)
+        protocol_error "bad_frame" (Protocol.frame_error_name e)
+    | Ok payload -> (
+        match Json.parse payload with
+        | Error msg ->
+            protocol_error "bad_json" msg;
+            loop () (* frame boundaries intact: keep serving *)
+        | Ok j -> (
+            match Protocol.request_of_json j with
+            | Error msg ->
+                protocol_error "bad_request" msg;
+                loop ()
+            | Ok rq -> (
+                bump_request t;
+                let t0 = Unix.gettimeofday () in
+                let answer dedup body =
+                  note_status t body;
+                  let elapsed_ms =
+                    if rq.Protocol.rq_deterministic then 0.0
+                    else (Unix.gettimeofday () -. t0) *. 1000.0
+                  in
+                  respond
+                    (Protocol.response ~id:rq.Protocol.rq_id ~dedup
+                       ~elapsed_ms body)
+                in
+                match rq.Protocol.rq_kind with
+                | Protocol.Stats ->
+                    answer "none" (stats_body t);
+                    loop ()
+                | Protocol.Shutdown ->
+                    answer "none"
+                      (Protocol.ok_body ~kind:"shutdown"
+                         ~result:"{\"stopping\": true}" ());
+                    initiate_stop t;
+                    loop ()
+                | _ ->
+                    let (dedup, body) = submit t rq in
+                    answer dedup body;
+                    loop ())))
+  in
+  (try loop () with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  with_lock t (fun () ->
+      t.conns <- List.filter (fun c -> c != fd) t.conns)
+
+let accept_loop t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | (fd, _) ->
+        let keep =
+          with_lock t (fun () ->
+              if t.stopping then false
+              else begin
+                t.conns <- fd :: t.conns;
+                true
+              end)
+        in
+        if keep then begin
+          let th = Thread.create (handle_conn t) fd in
+          with_lock t (fun () -> t.handlers <- th :: t.handlers)
+        end
+        else (try Unix.close fd with Unix.Unix_error _ -> ());
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()  (* listener closed: shutting down *)
+    | exception _ -> ()
+  in
+  go ()
+
+(* ---------------- lifecycle ---------------- *)
+
+let default_socket () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "overify-serve-%d.sock" (Unix.getpid ()))
+
+let rm_rf dir =
+  (if Sys.file_exists dir && Sys.is_directory dir then
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir));
+  try Sys.rmdir dir with Sys_error _ -> ()
+
+let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32) () : t =
+  (* a dead peer must fail the write, not the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let sock_path =
+    match socket with Some s -> s | None -> default_socket ()
+  in
+  let (dir, own_cache_dir) =
+    match cache_dir with
+    | Some d -> (d, None)
+    | None ->
+        let f = Filename.temp_file "overify_serve_cache" "" in
+        Sys.remove f;
+        let d = f ^ ".d" in
+        (d, Some d)
+  in
+  let st_store = Store.load ~dir () in
+  (if Sys.file_exists sock_path then
+     try Unix.unlink sock_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX sock_path)
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listen_fd 64;
+  let t =
+    {
+      sock_path;
+      listen_fd;
+      st_store;
+      own_cache_dir;
+      recent_cap = max 1 recent_cap;
+      save_every = max 1 save_every;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      inflight = Hashtbl.create 16;
+      recent = Hashtbl.create 64;
+      recent_order = Queue.create ();
+      ct =
+        {
+          c_requests = 0;
+          c_executed = 0;
+          c_dedup_inflight = 0;
+          c_dedup_recent = 0;
+          c_malformed = 0;
+          c_errors = 0;
+        };
+      stopping = false;
+      finished = false;
+      conns = [];
+      handlers = [];
+      accept_thread = None;
+      exec_thread = None;
+    }
+  in
+  t.exec_thread <- Some (Thread.create executor_loop t);
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (* the accept loop only exits when the listener is gone; make sure the
+     executor sees the stop flag even on an unexpected listener error *)
+  with_lock t (fun () ->
+      if not t.stopping then begin
+        t.stopping <- true;
+        Condition.broadcast t.work
+      end);
+  (match t.exec_thread with Some th -> Thread.join th | None -> ());
+  (* every job has a body by now, but a handler may still be {e writing}
+     its response — shut down only the read side, so blocked reads wake
+     with EOF while in-flight response writes complete *)
+  let conns = with_lock t (fun () -> t.conns) in
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  let handlers = with_lock t (fun () -> t.handlers) in
+  List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
+  let first =
+    with_lock t (fun () ->
+        if t.finished then false
+        else begin
+          t.finished <- true;
+          true
+        end)
+  in
+  if first then begin
+    Store.save t.st_store;
+    (try Unix.unlink t.sock_path with Unix.Unix_error _ -> ());
+    match t.own_cache_dir with Some d -> rm_rf d | None -> ()
+  end
+
+let stop t =
+  initiate_stop t;
+  wait t

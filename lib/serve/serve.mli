@@ -1,0 +1,59 @@
+(** The verification service: a long-running daemon behind a Unix socket
+    ([overify serve]).
+
+    Concurrency model (DESIGN.md "Service architecture"): one accept
+    thread, one handler thread per connection, and a {e single} executor
+    thread that runs every compile/verify/tv job in submission order.
+    Jobs are serialized because the engine owns process-global symbolic
+    state ([Bv.reset] per run); within a job, exploration still shards
+    across OCaml domains via the engine's [`Parallel] scheduler
+    ([rq_jobs]).  Handler threads never touch engine state — they only
+    frame, parse, deduplicate and wait.
+
+    Deduplication: requests are keyed by {!Protocol.fingerprint} (every
+    semantic field).  A request whose key is already executing joins the
+    in-flight job's waiters; a key completed recently is answered from a
+    bounded FIFO cache.  Either way the response body is byte-identical
+    to the first computation's — only the envelope's [id] and [dedup]
+    fields differ.
+
+    Warm state: the daemon owns one {!Overify_solver.Store.t} for its
+    whole lifetime and injects it into every engine run
+    ([Engine.config.store]), so request N pays only marginal solver cost;
+    the store doubles as the cross-request canonical-query cache and is
+    saved (atomically) every few jobs and at shutdown.
+
+    Reliability: a crashing request — injected [Fault.Killed], a compile
+    error, a malformed fault spec — produces a structured error body and
+    never takes the daemon down.  Malformed, truncated or oversized
+    frames get a structured [protocol] error (when the peer is still
+    readable) and close only that connection. *)
+
+type t
+
+val start :
+  ?socket:string ->
+  ?cache_dir:string ->
+  ?recent_cap:int ->
+  ?save_every:int ->
+  unit ->
+  t
+(** Bind, listen and spawn the accept + executor threads; returns once
+    the socket accepts connections.  [socket] defaults to a fresh path
+    under the temp directory; [cache_dir] persists the warm store across
+    daemon restarts (default: a private temp dir removed at [stop]);
+    [recent_cap] bounds the recently-completed cache (default 128);
+    [save_every] is the store save cadence in executed jobs (default 32). *)
+
+val socket_path : t -> string
+
+val store : t -> Overify_solver.Store.t
+(** The warm shared store (for tests and introspection). *)
+
+val wait : t -> unit
+(** Block until the daemon stops (a [shutdown] request, or {!stop} from
+    another thread), then drain the executor, answer outstanding waiters,
+    save the store and clean up.  Idempotent with {!stop}. *)
+
+val stop : t -> unit
+(** Initiate shutdown and {!wait}.  Idempotent. *)

@@ -40,15 +40,29 @@ let parse ~magic ~version s =
       let digest = String.sub s (header + plen) 16 in
       if Digest.string payload <> digest then None else Some payload
 
+(* Temp names must be unique per {e write}, not just per process: two
+   threads of one process saving the same path (the serve daemon's
+   periodic store save racing another handle's save) would otherwise
+   share a pid-only temp file and interleave, and the rename could
+   publish the torn result.  A process-wide counter disambiguates. *)
+let tmp_seq = Atomic.make 0
+
 let write_atomic ~path bytes =
   try
     mkdirs (Filename.dirname path);
-    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_seq 1)
+    in
     let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc bytes);
-    Sys.rename tmp path;
+    (try
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc bytes);
+       Sys.rename tmp path
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
     true
   with _ -> false
 

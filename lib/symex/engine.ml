@@ -46,6 +46,10 @@ type config = {
   cache_dir : string option;
       (** attach a persistent cross-run solver store in this directory,
           shared by all workers and saved when the run ends *)
+  store : Overify_solver.Store.t option;
+      (** an already-open store to reuse instead of loading from
+          [cache_dir]; the caller owns it (the engine never saves it) —
+          this is how [Serve] keeps one warm store across requests *)
   faults : Fault.t option;
       (** injected-fault schedule (solver timeouts, store corruption,
           alloc exhaustion, worker crashes, kill); [None] = no chaos *)
@@ -70,6 +74,7 @@ let default_config =
     profile = false;
     solver_cache = None;
     cache_dir = None;
+    store = None;
     faults = None;
     checkpoint_dir = None;
     checkpoint_every = 64;
@@ -602,12 +607,19 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     else None
   in
   (* one persistent store for the whole run, shared by every worker (it
-     locks internally); saved after the join *)
+     locks internally).  A caller-provided store ([config.store]) is
+     borrowed — its owner decides when to save; a store we load ourselves
+     from [cache_dir] is saved after the join as before. *)
+  let own_store =
+    match config.store with
+    | Some _ -> None
+    | None ->
+        Option.map
+          (fun dir -> Overify_solver.Store.load ?faults:config.faults ~dir ())
+          config.cache_dir
+  in
   let store =
-    Option.map
-      (fun dir ->
-        Overify_solver.Store.load ?faults:config.faults ~dir ())
-      config.cache_dir
+    match config.store with Some _ as s -> s | None -> own_store
   in
   let make_worker () =
     let prof = if config.profile then Some (Obs.Profile.create ()) else None in
@@ -765,8 +777,9 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         })
       workers
   in
-  (* persist whatever this run contributed to the cross-run store *)
-  (match store with
+  (* persist whatever this run contributed to the cross-run store (only
+     if we opened it — a borrowed [config.store] is saved by its owner) *)
+  (match own_store with
   | Some st -> Overify_solver.Store.save st
   | None -> ());
   (* per-layer solver counters through the metric registry (single-threaded
@@ -892,7 +905,10 @@ let json_escape s =
 
 (** Machine-readable run result with a fixed key order (goldenable: the
     degraded-run JSON shape is asserted by test_obs).  [deterministic]
-    zeroes wall-clock fields so two identical runs emit identical bytes. *)
+    zeroes the reuse-state-dependent fields: wall-clock times, and
+    [cache_hits] (which varies with warm solver-store state, e.g. between
+    a cold one-shot CLI run and a warm daemon — the serve-vs-CLI
+    differential compares these documents byte-for-byte). *)
 let result_to_json ?(deterministic = false) (r : result) : string =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -901,7 +917,7 @@ let result_to_json ?(deterministic = false) (r : result) : string =
   add "\"instructions\": %d, " r.instructions;
   add "\"forks\": %d, " r.forks;
   add "\"queries\": %d, " r.queries;
-  add "\"cache_hits\": %d, " r.cache_hits;
+  add "\"cache_hits\": %d, " (if deterministic then 0 else r.cache_hits);
   add "\"time_ms\": %.1f, " (if deterministic then 0.0 else r.time *. 1000.0);
   add "\"solver_time_ms\": %.1f, "
     (if deterministic then 0.0 else r.solver_time *. 1000.0);

@@ -28,6 +28,12 @@ type config = {
           exploration, shared by every worker, saved (atomically) after —
           repeated runs, other levels and [bench] sweeps reuse each
           other's canonical verdicts *)
+  store : Overify_solver.Store.t option;
+      (** an already-open store to reuse instead of loading from
+          [cache_dir] (which is then ignored); the caller owns its
+          lifecycle — the engine reads/adds but never saves it.  This is
+          how the [overify serve] daemon keeps one warm store across
+          requests. *)
   faults : Overify_fault.Fault.t option;
       (** injected-fault schedule (see {!Overify_fault.Fault}): solver
           timeouts, store write corruption, allocation exhaustion, worker
@@ -157,4 +163,7 @@ val run : ?config:config -> Overify_ir.Ir.modul -> result
 val result_to_json : ?deterministic:bool -> result -> string
 (** Machine-readable result (fixed key order, goldenable), including the
     [degradations] and [faults_injected] blocks.  [deterministic] zeroes
-    the wall-clock fields. *)
+    the wall-clock fields and [cache_hits] (reuse-state-dependent: a warm
+    store changes hit counts but, by the determinism contract, nothing
+    else), so identical programs produce identical bytes regardless of
+    cache temperature. *)

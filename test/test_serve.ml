@@ -1,0 +1,778 @@
+(** Verification-service suite: protocol round-trips (QCheck), frame
+    hardening (malformed / truncated / oversized inputs answered with
+    structured errors, daemon intact), request deduplication (N identical
+    concurrent requests, one execution), the serve-vs-CLI differential
+    (byte-identical verify verdicts, including under injected faults), the
+    response-envelope golden keys, and the store lifecycle under
+    concurrency (racing atomic saves never tear the file; [clear_cache]
+    never drops the shared store). *)
+
+module Serve = Overify_serve.Serve
+module Client = Overify_serve.Client
+module Protocol = Overify_serve.Protocol
+module Json = Overify_serve.Json
+module Binfile = Overify_solver.Binfile
+module Store = Overify_solver.Store
+module Solver = Overify_solver.Solver
+module Bv = Overify_solver.Bv
+module Engine = Overify_symex.Engine
+module Frontend = Overify_minic.Frontend
+module Costmodel = Overify_opt.Costmodel
+module Pipeline = Overify_opt.Pipeline
+module Programs = Overify_corpus.Programs
+module Vclib = Overify_vclib.Vclib
+module Fault = Overify_fault.Fault
+module Hserve = Overify_harness.Serve
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let with_daemon f =
+  let d = Serve.start () in
+  Fun.protect ~finally:(fun () -> Serve.stop d) (fun () -> f d)
+
+let with_conn d f =
+  let c = Client.connect (Serve.socket_path d) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let get_str json key =
+  match Protocol.extract_field json key with
+  | Some v -> (
+      match Json.parse v with Ok (Json.Str s) -> s | _ -> String.trim v)
+  | None -> Alcotest.failf "field %S missing in %s" key json
+
+let get_raw json key =
+  match Protocol.extract_field json key with
+  | Some v -> v
+  | None -> Alcotest.failf "field %S missing in %s" key json
+
+let daemon_stat d name =
+  with_conn d @@ fun c ->
+  match
+    Client.rpc c
+      { Protocol.default_request with Protocol.rq_kind = Protocol.Stats }
+  with
+  | Ok json -> (
+      let result = get_raw json "result" in
+      match Json.parse result with
+      | Ok j -> Option.value ~default:(-1) (Option.bind (Json.mem j name) Json.int_)
+      | Error e -> Alcotest.failf "stats result unparseable (%s): %s" e result)
+  | Error e ->
+      Alcotest.failf "stats rpc failed: %s" (Protocol.frame_error_name e)
+
+(* ------------- Json: parse/print ------------- *)
+
+let test_json_roundtrip_docs () =
+  let docs =
+    [
+      "null"; "true"; "false"; "0"; "-7"; "3.5"; "\"\"";
+      "\"a b\\nc\\\"d\\\\e\"";
+      "[]"; "[1, 2, 3]"; "{}";
+      "{\"k\": [true, null, {\"x\": -1}], \"s\": \"v\"}";
+    ]
+  in
+  List.iter
+    (fun doc ->
+      match Json.parse doc with
+      | Error e -> Alcotest.failf "parse %s: %s" doc e
+      | Ok v -> check string doc doc (Json.to_string v))
+    docs
+
+let test_json_rejects () =
+  let bad =
+    [ ""; "tru"; "{"; "[1,"; "{\"a\" 1}"; "\"unterminated"; "1 2";
+      "{\"a\": 1,}"; "nul"; "--1"; "[1] trailing" ]
+  in
+  List.iter
+    (fun doc ->
+      match Json.parse doc with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" doc
+      | Error _ -> ())
+    bad
+
+let test_json_deep_nesting_safe () =
+  (* a pathologically nested document must yield an error, not a crash *)
+  let n = 2_000_000 in
+  let doc = String.make n '[' in
+  match Json.parse doc with
+  | Ok _ -> Alcotest.fail "accepted unterminated deep nesting"
+  | Error _ -> ()
+
+let test_json_control_chars () =
+  let s = "a\x01b\tc\"d\\e\x1f" in
+  let doc = "\"" ^ Json.escape s ^ "\"" in
+  match Json.parse doc with
+  | Ok (Json.Str s') -> check string "control chars round-trip" s s'
+  | _ -> Alcotest.failf "bad parse of %s" doc
+
+(* ------------- Protocol: QCheck round-trips ------------- *)
+
+let request_gen : Protocol.request QCheck.Gen.t =
+  let open QCheck.Gen in
+  let any_string =
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 40)
+  in
+  let* rq_id = int_bound 1_000_000 in
+  let* rq_kind =
+    oneofl [ Protocol.Verify; Protocol.Compile; Protocol.Tv;
+             Protocol.Stats; Protocol.Shutdown ]
+  in
+  let* rq_program = any_string in
+  let* rq_source = any_string in
+  let* rq_level = any_string in
+  let* rq_input_size = int_bound 64 in
+  let* timeout_mant = int_range 1 1_000_000 in
+  let* timeout_exp = int_range (-3) 3 in
+  let rq_timeout =
+    float_of_int timeout_mant *. (10.0 ** float_of_int timeout_exp)
+  in
+  let* rq_jobs = int_range 1 64 in
+  let* rq_link_libc = bool in
+  let* rq_deterministic = bool in
+  let* rq_faults = any_string in
+  return
+    {
+      Protocol.rq_id; rq_kind; rq_program; rq_source; rq_level;
+      rq_input_size; rq_timeout; rq_jobs; rq_link_libc; rq_deterministic;
+      rq_faults;
+    }
+
+let test_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request json round-trip"
+    (QCheck.make request_gen)
+    (fun rq ->
+      let json = Protocol.request_to_json rq in
+      match Json.parse json with
+      | Error e -> QCheck.Test.fail_reportf "emitted unparseable JSON: %s" e
+      | Ok j -> (
+          match Protocol.request_of_json j with
+          | Error e -> QCheck.Test.fail_reportf "rejected own encoding: %s" e
+          | Ok rq' -> rq = rq'))
+
+let test_frame_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"frame wire round-trip"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 4096)
+              (QCheck.Gen.map Char.chr (QCheck.Gen.int_range 0 255)))
+    (fun payload ->
+      let (a, b) = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close a with Unix.Unix_error _ -> ());
+          try Unix.close b with Unix.Unix_error _ -> ())
+        (fun () ->
+          if not (Protocol.write_frame a payload) then
+            QCheck.Test.fail_report "write_frame failed";
+          match Protocol.read_frame b with
+          | Ok p -> p = payload
+          | Error e ->
+              QCheck.Test.fail_reportf "read_frame: %s"
+                (Protocol.frame_error_name e)))
+
+let test_fingerprint_semantics () =
+  let rq = Protocol.default_request in
+  check string "id is not semantic"
+    (Protocol.fingerprint rq)
+    (Protocol.fingerprint { rq with Protocol.rq_id = 42 });
+  check bool "kind is semantic" true
+    (Protocol.fingerprint rq
+    <> Protocol.fingerprint { rq with Protocol.rq_kind = Protocol.Compile });
+  check bool "level is semantic" true
+    (Protocol.fingerprint rq
+    <> Protocol.fingerprint { rq with Protocol.rq_level = "O0" })
+
+let test_request_rejects () =
+  let parse s =
+    match Json.parse s with
+    | Ok j -> Protocol.request_of_json j
+    | Error e -> Error e
+  in
+  let expect_err label s =
+    match parse s with
+    | Ok _ -> Alcotest.failf "%s: accepted %s" label s
+    | Error _ -> ()
+  in
+  expect_err "not an object" "[1]";
+  expect_err "missing kind" "{\"program\": \"wc\"}";
+  expect_err "unknown kind" "{\"kind\": \"frobnicate\"}";
+  expect_err "unknown field" "{\"kind\": \"verify\", \"frob\": 1}";
+  expect_err "bad type" "{\"kind\": \"verify\", \"input_size\": \"four\"}";
+  expect_err "size range" "{\"kind\": \"verify\", \"input_size\": 65}";
+  expect_err "jobs range" "{\"kind\": \"verify\", \"jobs\": 0}";
+  expect_err "timeout range" "{\"kind\": \"verify\", \"timeout\": -1}";
+  match parse "{\"kind\": \"verify\", \"program\": \"wc\"}" with
+  | Ok rq -> check string "defaults fill in" "OVERIFY" rq.Protocol.rq_level
+  | Error e -> Alcotest.failf "rejected minimal request: %s" e
+
+let test_extract_field () =
+  let doc =
+    "{\"a\": {\"nested\": [1, 2, \"}\"]}, \"b\": \"x\\\"y\", \"c\": -3.5, \
+     \"d\": null}"
+  in
+  check string "object field" "{\"nested\": [1, 2, \"}\"]}" (get_raw doc "a");
+  check string "string field with escape" "\"x\\\"y\"" (get_raw doc "b");
+  check string "number field" "-3.5" (get_raw doc "c");
+  check string "null field" "null" (get_raw doc "d");
+  check bool "nested key not top-level" true
+    (Protocol.extract_field doc "nested" = None)
+
+(* ------------- daemon: frame hardening ------------- *)
+
+let wc_request =
+  {
+    Protocol.default_request with
+    Protocol.rq_program = "wc";
+    rq_level = "O0";
+    rq_input_size = 1;
+    rq_timeout = 30.0;
+    rq_deterministic = true;
+  }
+
+let test_garbage_frame () =
+  with_daemon @@ fun d ->
+  (with_conn d @@ fun c ->
+   check bool "garbage sent" true (Client.send_bytes c "NOT A FRAME AT ALL");
+   match Client.read_response c with
+   | Ok json ->
+       check string "status" "error" (get_str json "status");
+       let err = get_raw json "error" in
+       check bool "bad_frame error" true
+         (match Json.parse err with
+         | Ok e -> Json.mem e "kind" = Some (Json.Str "bad_frame")
+         | Error _ -> false)
+   | Error e ->
+       Alcotest.failf "no structured answer to garbage: %s"
+         (Protocol.frame_error_name e));
+  (* the daemon survives and still serves *)
+  with_conn d @@ fun c ->
+  match Client.rpc c wc_request with
+  | Ok json -> check string "daemon alive after garbage" "ok" (get_str json "status")
+  | Error e -> Alcotest.failf "daemon dead: %s" (Protocol.frame_error_name e)
+
+let test_truncated_frame () =
+  with_daemon @@ fun d ->
+  (with_conn d @@ fun c ->
+   (* a valid frame cut mid-payload, then EOF *)
+   let frame = Binfile.frame ~magic:Protocol.magic ~version:Protocol.version
+       "{\"kind\": \"stats\"}" in
+   let half = String.sub frame 0 (String.length frame - 7) in
+   ignore (Client.send_bytes c half));
+  (* connection dropped; daemon must keep serving *)
+  with_conn d @@ fun c ->
+  match Client.rpc c wc_request with
+  | Ok json -> check string "daemon alive after truncation" "ok" (get_str json "status")
+  | Error e -> Alcotest.failf "daemon dead: %s" (Protocol.frame_error_name e)
+
+let test_oversized_frame () =
+  with_daemon @@ fun d ->
+  (with_conn d @@ fun c ->
+   (* a well-formed header declaring a payload far beyond the cap: the
+      daemon must refuse *before* allocating/reading the payload *)
+   let buf = Buffer.create 32 in
+   Buffer.add_string buf Protocol.magic;
+   let put width v =
+     for i = width - 1 downto 0 do
+       Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+     done
+   in
+   put 4 Protocol.version;
+   put 8 (Protocol.max_frame + 1);
+   check bool "header sent" true (Client.send_bytes c (Buffer.contents buf));
+   match Client.read_response c with
+   | Ok json ->
+       check string "status" "error" (get_str json "status");
+       check bool "oversized error detail" true
+         (let err = get_raw json "error" in
+          match Json.parse err with
+          | Ok e -> (
+              match Json.mem e "message" with
+              | Some (Json.Str m) ->
+                  String.length m >= 9 && String.sub m 0 9 = "oversized"
+              | _ -> false)
+          | Error _ -> false)
+   | Error e ->
+       Alcotest.failf "no structured answer to oversized header: %s"
+         (Protocol.frame_error_name e));
+  with_conn d @@ fun c ->
+  match Client.rpc c wc_request with
+  | Ok json -> check string "daemon alive after oversized" "ok" (get_str json "status")
+  | Error e -> Alcotest.failf "daemon dead: %s" (Protocol.frame_error_name e)
+
+let test_bad_json_keeps_connection () =
+  with_daemon @@ fun d ->
+  with_conn d @@ fun c ->
+  (* invalid JSON in a valid frame: structured error, connection stays
+     usable (frame boundaries were never lost) *)
+  check bool "payload sent" true (Client.send_payload c "{\"kind\": oops");
+  (match Client.read_response c with
+  | Ok json ->
+      check string "status" "error" (get_str json "status");
+      check bool "bad_json error" true
+        (match Json.parse (get_raw json "error") with
+        | Ok e -> Json.mem e "kind" = Some (Json.Str "bad_json")
+        | Error _ -> false)
+  | Error e ->
+      Alcotest.failf "no answer to bad json: %s" (Protocol.frame_error_name e));
+  match Client.rpc c wc_request with
+  | Ok json ->
+      check string "same connection still serves" "ok" (get_str json "status")
+  | Error e -> Alcotest.failf "connection lost: %s" (Protocol.frame_error_name e)
+
+let test_bad_request_errors () =
+  with_daemon @@ fun d ->
+  with_conn d @@ fun c ->
+  let expect_bad label payload =
+    check bool (label ^ " sent") true (Client.send_payload c payload);
+    match Client.read_response c with
+    | Ok json ->
+        check string (label ^ " status") "error" (get_str json "status")
+    | Error e ->
+        Alcotest.failf "%s: no structured answer: %s" label
+          (Protocol.frame_error_name e)
+  in
+  expect_bad "unknown field" "{\"kind\": \"verify\", \"frob\": 1}";
+  expect_bad "unknown program"
+    "{\"kind\": \"verify\", \"program\": \"no-such-program\", \
+     \"deterministic\": true}";
+  expect_bad "unknown level"
+    "{\"kind\": \"verify\", \"program\": \"wc\", \"level\": \"O7\", \
+     \"deterministic\": true}";
+  expect_bad "bad fault spec"
+    "{\"kind\": \"verify\", \"program\": \"wc\", \"faults\": \"bogus@x\", \
+     \"deterministic\": true}";
+  expect_bad "no program and no source" "{\"kind\": \"verify\"}"
+
+let test_injected_kill_contained () =
+  with_daemon @@ fun d ->
+  (with_conn d @@ fun c ->
+   (* kill@1: the first executor step raises Fault.Killed — one-shot CLI
+      dies with exit 137; the daemon must contain it as a structured
+      error and survive *)
+   match
+     Client.rpc c { wc_request with Protocol.rq_faults = "kill@1" }
+   with
+   | Ok json ->
+       check string "killed request errors" "error" (get_str json "status");
+       check bool "killed error kind" true
+         (match Json.parse (get_raw json "error") with
+         | Ok e -> Json.mem e "kind" = Some (Json.Str "killed")
+         | Error _ -> false)
+   | Error e ->
+       Alcotest.failf "no structured answer to killed run: %s"
+         (Protocol.frame_error_name e));
+  with_conn d @@ fun c ->
+  match Client.rpc c wc_request with
+  | Ok json -> check string "daemon survives the kill" "ok" (get_str json "status")
+  | Error e -> Alcotest.failf "daemon dead: %s" (Protocol.frame_error_name e)
+
+(* ------------- dedup ------------- *)
+
+let test_dedup_identical_concurrent () =
+  with_daemon @@ fun d ->
+  let n = 6 in
+  let bodies = Array.make n "" in
+  let worker i =
+    with_conn d @@ fun c ->
+    match Client.rpc c { wc_request with Protocol.rq_id = i } with
+    | Ok json -> bodies.(i) <- json
+    | Error e -> bodies.(i) <- "transport:" ^ Protocol.frame_error_name e
+  in
+  let threads = List.init n (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  (* all envelopes ok, all results byte-identical *)
+  Array.iteri
+    (fun i json ->
+      check string (Printf.sprintf "request %d ok" i) "ok" (get_str json "status"))
+    bodies;
+  let result0 = get_raw bodies.(0) "result" in
+  Array.iteri
+    (fun i json ->
+      check string
+        (Printf.sprintf "request %d result identical" i)
+        result0 (get_raw json "result"))
+    bodies;
+  (* exactly one underlying execution; every other request was a dedup
+     hit (in-flight join or recent-cache) — visible in the counters *)
+  check int "one execution for n identical requests" 1 (daemon_stat d "executed");
+  check int "n-1 dedup hits" (n - 1) (daemon_stat d "dedup_hits");
+  (* ids are echoed per-request even when deduplicated *)
+  Array.iteri
+    (fun i json ->
+      check string (Printf.sprintf "id %d echoed" i) (string_of_int i)
+        (get_raw json "id"))
+    bodies
+
+let test_dedup_kind_isolation () =
+  (* same program at two kinds / two levels: no false sharing *)
+  with_daemon @@ fun d ->
+  (with_conn d @@ fun c ->
+   List.iter
+     (fun rq ->
+       match Client.rpc c rq with
+       | Ok json -> check string "ok" "ok" (get_str json "status")
+       | Error e -> Alcotest.failf "rpc: %s" (Protocol.frame_error_name e))
+     [
+       wc_request;
+       { wc_request with Protocol.rq_kind = Protocol.Compile };
+       { wc_request with Protocol.rq_level = "O2" };
+     ]);
+  check int "three distinct executions" 3 (daemon_stat d "executed");
+  check int "no dedup hits" 0 (daemon_stat d "dedup_hits")
+
+(* ------------- serve-vs-CLI differential ------------- *)
+
+(** What `overify verify --json --deterministic` computes, in-process:
+    compile exactly as the daemon does, run the engine cold, print the
+    deterministic document. *)
+let oneshot_verify_json ~(level : string) ~input_size ~faults () =
+  let cm = Option.get (Costmodel.of_name level) in
+  let p = Option.get (Programs.find "wc") in
+  let m =
+    (Pipeline.optimize cm
+       (Frontend.compile_sources [ Vclib.for_cost_model cm; p.Programs.source ]))
+      .Pipeline.modul
+  in
+  let faults =
+    if faults = "" then None
+    else match Fault.parse faults with Ok f -> Some f | Error e -> failwith e
+  in
+  let r =
+    Engine.run
+      ~config:
+        { Engine.default_config with Engine.input_size; timeout = 30.0; faults }
+      m
+  in
+  Engine.result_to_json ~deterministic:true r
+
+let differential ~level ~faults () =
+  with_daemon @@ fun d ->
+  let via_daemon =
+    with_conn d @@ fun c ->
+    match
+      Client.rpc c
+        { wc_request with Protocol.rq_level = level; rq_faults = faults }
+    with
+    | Ok json ->
+        check string "daemon request ok" "ok" (get_str json "status");
+        get_raw json "result"
+    | Error e -> Alcotest.failf "rpc: %s" (Protocol.frame_error_name e)
+  in
+  let via_cli = oneshot_verify_json ~level ~input_size:1 ~faults () in
+  check string
+    (Printf.sprintf "byte-identical verdict (%s%s)" level
+       (if faults = "" then "" else ", faults " ^ faults))
+    via_cli via_daemon
+
+let test_differential_o0 () = differential ~level:"O0" ~faults:"" ()
+let test_differential_overify () = differential ~level:"OVERIFY" ~faults:"" ()
+
+let test_differential_faults () =
+  (* a degraded run (injected solver timeout) must degrade identically:
+     same structured degradations, same faults_injected counts *)
+  differential ~level:"O0" ~faults:"timeout@1" ()
+
+let test_differential_warm_store () =
+  (* the whole point of ~deterministic: the SAME request against a warm
+     daemon (second occurrence, answered by a fresh execution after the
+     recent-cache is bypassed via distinct fingerprints... kept simple:
+     re-ask with a different id, dedup answers from cache — then compare
+     against the cold one-shot document *)
+  with_daemon @@ fun d ->
+  let ask id =
+    with_conn d @@ fun c ->
+    match Client.rpc c { wc_request with Protocol.rq_id = id } with
+    | Ok json -> (get_str json "dedup", get_raw json "result")
+    | Error e -> Alcotest.failf "rpc: %s" (Protocol.frame_error_name e)
+  in
+  let (d1, r1) = ask 1 in
+  let (d2, r2) = ask 2 in
+  check string "first is a miss" "miss" d1;
+  check string "second is a dedup hit" "recent" d2;
+  check string "identical bytes warm vs cold" r1 r2;
+  check string "and identical to the one-shot CLI document" r1
+    (oneshot_verify_json ~level:"O0" ~input_size:1 ~faults:"" ())
+
+(* ------------- response envelope: golden keys ------------- *)
+
+let golden_walk json keys =
+  let rec walk pos = function
+    | [] -> ()
+    | k :: rest ->
+        let found = ref None in
+        let nk = String.length k in
+        (try
+           for i = pos to String.length json - nk do
+             if String.sub json i nk = k then begin
+               found := Some i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        (match !found with
+        | Some i -> walk (i + nk) rest
+        | None ->
+            Alcotest.failf "envelope: key %s missing (after position %d) in:\n%s"
+              k pos json)
+  in
+  walk 0 keys
+
+let test_envelope_golden_keys () =
+  with_daemon @@ fun d ->
+  with_conn d @@ fun c ->
+  match Client.rpc c wc_request with
+  | Error e -> Alcotest.failf "rpc: %s" (Protocol.frame_error_name e)
+  | Ok json ->
+      golden_walk json
+        [
+          "{"; "\"id\": 0"; "\"status\": \"ok\""; "\"kind\": \"verify\"";
+          "\"dedup\": \"miss\""; "\"elapsed_ms\": 0.0"; "\"error\": null";
+          "\"result\": {"; "\"paths\":"; "\"instructions\":"; "\"forks\":";
+          "\"queries\":"; "\"cache_hits\": 0"; "\"time_ms\": 0.0";
+          "\"solver_time_ms\": 0.0"; "\"blocks_covered\":";
+          "\"blocks_total\":"; "\"jobs\": 1"; "\"complete\": true";
+          "\"resumed\": false"; "\"degradations\": []";
+          "\"faults_injected\": []"; "\"bugs\": []"; "\"obs\": ["; "}";
+        ]
+
+let test_error_envelope_golden_keys () =
+  with_daemon @@ fun d ->
+  with_conn d @@ fun c ->
+  check bool "sent" true (Client.send_payload c "not json");
+  match Client.read_response c with
+  | Error e -> Alcotest.failf "read: %s" (Protocol.frame_error_name e)
+  | Ok json ->
+      golden_walk json
+        [
+          "{"; "\"id\": 0"; "\"status\": \"error\"";
+          "\"kind\": \"protocol\""; "\"dedup\": \"none\"";
+          "\"elapsed_ms\":"; "\"error\": {\"kind\": \"bad_json\"";
+          "\"message\":"; "\"result\": null"; "\"obs\": []"; "}";
+        ]
+
+(* ------------- store lifecycle under concurrency ------------- *)
+
+let with_temp_dir f =
+  let tmp = Filename.temp_file "overify_serve_test" "" in
+  let dir = tmp ^ ".d" in
+  Fun.protect
+    ~finally:(fun () ->
+      (if Sys.file_exists dir && Sys.is_directory dir then
+         Array.iter
+           (fun fn ->
+             try Sys.remove (Filename.concat dir fn) with Sys_error _ -> ())
+           (Sys.readdir dir));
+      (try Sys.rmdir dir with Sys_error _ -> ());
+      try Sys.remove tmp with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let test_write_atomic_race () =
+  (* two in-process writers racing write_atomic on ONE path: every read
+     observes one complete frame, never an interleaving of the two (the
+     per-write unique temp name is what guarantees this; a pid-only temp
+     name makes this test fail) *)
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "contended.bin" in
+  let magic = "RACE-TEST" and version = 1 in
+  let payload_a = String.make 8192 'a' and payload_b = String.make 8192 'b' in
+  let iters = 150 in
+  let writer payload () =
+    for _ = 1 to iters do
+      ignore (Binfile.write ~path ~magic ~version payload)
+    done
+  in
+  let torn = ref 0 and reads = ref 0 in
+  let reader () =
+    while !reads < iters do
+      (match Binfile.read ~path ~magic ~version with
+      | Some p ->
+          incr reads;
+          if p <> payload_a && p <> payload_b then incr torn
+      | None ->
+          (* the file exists after the first write; from then on every
+             read must validate *)
+          if Sys.file_exists path then incr torn);
+      Thread.yield ()
+    done
+  in
+  let ths =
+    [ Thread.create (writer payload_a) (); Thread.create (writer payload_b) ();
+      Thread.create reader () ]
+  in
+  List.iter Thread.join ths;
+  check int "no torn or invalid reads" 0 !torn;
+  check bool "reader actually read" true (!reads >= iters)
+
+let store_queries () =
+  let x = Bv.var 8 910 and y = Bv.var 8 911 in
+  [
+    [ Bv.cmp Bv.Ugt x (Bv.const 8 200L) ];
+    [ Bv.cmp Bv.Ult x (Bv.const 8 5L); Bv.cmp Bv.Ugt x (Bv.const 8 10L) ];
+    [ Bv.cmp Bv.Eq (Bv.binop Bv.Add x y) (Bv.const 8 77L) ];
+  ]
+
+let test_store_save_race () =
+  (* a store save racing other saves of the same directory (the daemon's
+     periodic save vs. an engine's end-of-run save): concurrent loads
+     must always see a valid file — lost updates are acceptable for a
+     cache, torn files are not *)
+  with_temp_dir @@ fun dir ->
+  let st = Store.load ~dir () in
+  let c = Solver.create ~cache:true ~store:st () in
+  List.iter (fun q -> ignore (Solver.check c q)) (store_queries ());
+  Store.save st;
+  let iters = 120 in
+  let saver () =
+    for i = 1 to iters do
+      Store.add st (Printf.sprintf "key-%d-%d" (Thread.id (Thread.self ())) i)
+        Store.E_unsat;
+      Store.save st
+    done
+  in
+  let invalid = ref 0 in
+  let loader () =
+    for _ = 1 to iters do
+      (* a fresh load must always parse; the querying context's verdicts
+         must be reproduced from whatever snapshot it sees *)
+      let st' = Store.load ~dir () in
+      if Store.loaded st' = 0 then incr invalid;
+      Thread.yield ()
+    done
+  in
+  let ths =
+    [ Thread.create saver (); Thread.create saver (); Thread.create loader () ]
+  in
+  List.iter Thread.join ths;
+  check int "every concurrent load saw a valid store file" 0 !invalid
+
+let test_clear_cache_keeps_shared_store () =
+  (* Solver.clear_cache drops the context-owned layers only: the shared
+     store keeps its entries, and a post-clear query is answered from the
+     store without a fresh solve *)
+  with_temp_dir @@ fun dir ->
+  let st = Store.load ~dir () in
+  let c = Solver.create ~cache:true ~store:st () in
+  let queries = store_queries () in
+  let r1 = List.map (Solver.check c) queries in
+  let entries = Store.length st in
+  check bool "store gained entries" true (entries > 0);
+  Solver.clear_cache c;
+  check int "clear_cache left the shared store alone" entries (Store.length st);
+  Solver.reset_stats c;
+  let r2 = List.map (Solver.check c) queries in
+  check bool "verdicts identical after clear" true (r1 = r2);
+  check int "no fresh component solves after clear (store answered)" 0
+    (Solver.stats c).Solver.component_solves;
+  check bool "store layer hit" true ((Solver.stats c).Solver.hits_store > 0)
+
+(* ------------- harness trace replay ------------- *)
+
+let test_trace_replay_healthy () =
+  (* the bench-serve workload in miniature: daemon + synthetic mixed
+     trace (dups + malformed) over concurrent clients, health contract
+     asserted — this is the CI serve smoke's in-process twin *)
+  let (s, healthy) = Hserve.run ~n:16 ~clients:3 () in
+  check bool "healthy replay" true healthy;
+  check int "every entry answered" s.Hserve.s_requests
+    (s.Hserve.s_ok + s.Hserve.s_errors);
+  check int "no transport failures" 0 s.Hserve.s_transport_failures;
+  check bool "dedup hits observed" true (Hserve.stat s "dedup_hits" > 0);
+  check bool "malformed entries answered as errors" true (s.Hserve.s_errors > 0)
+
+let test_shutdown_drains_inflight () =
+  (* a request in flight when shutdown arrives must still be answered *)
+  let d = Serve.start () in
+  let result = ref "" in
+  let requester =
+    Thread.create
+      (fun () ->
+        with_conn d @@ fun c ->
+        match Client.rpc c { wc_request with Protocol.rq_level = "O2" } with
+        | Ok json -> result := get_str json "status"
+        | Error e -> result := "transport:" ^ Protocol.frame_error_name e)
+      ()
+  in
+  (* give the request a moment to be submitted, then stop concurrently *)
+  Thread.delay 0.05;
+  Serve.stop d;
+  Thread.join requester;
+  check bool "in-flight request answered across shutdown" true
+    (!result = "ok" || !result = "error");
+  check bool "not dropped on the floor" true
+    (String.length !result < 10 || String.sub !result 0 9 <> "transport")
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip documents" `Quick
+            test_json_roundtrip_docs;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+          Alcotest.test_case "deep nesting is an error, not a crash" `Quick
+            test_json_deep_nesting_safe;
+          Alcotest.test_case "control characters round-trip" `Quick
+            test_json_control_chars;
+        ] );
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest test_request_roundtrip;
+          QCheck_alcotest.to_alcotest test_frame_roundtrip;
+          Alcotest.test_case "fingerprint semantics" `Quick
+            test_fingerprint_semantics;
+          Alcotest.test_case "request validation" `Quick test_request_rejects;
+          Alcotest.test_case "extract_field" `Quick test_extract_field;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "garbage frame" `Quick test_garbage_frame;
+          Alcotest.test_case "truncated frame" `Quick test_truncated_frame;
+          Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
+          Alcotest.test_case "bad json keeps connection" `Quick
+            test_bad_json_keeps_connection;
+          Alcotest.test_case "bad requests answered" `Quick
+            test_bad_request_errors;
+          Alcotest.test_case "injected kill contained" `Quick
+            test_injected_kill_contained;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "n identical concurrent requests, 1 execution"
+            `Quick test_dedup_identical_concurrent;
+          Alcotest.test_case "no false sharing across kinds/levels" `Quick
+            test_dedup_kind_isolation;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "serve = cli at O0" `Quick test_differential_o0;
+          Alcotest.test_case "serve = cli at OVERIFY" `Quick
+            test_differential_overify;
+          Alcotest.test_case "serve = cli under injected faults" `Quick
+            test_differential_faults;
+          Alcotest.test_case "warm daemon = cold one-shot" `Quick
+            test_differential_warm_store;
+        ] );
+      ( "envelope",
+        [
+          Alcotest.test_case "golden keys (ok)" `Quick
+            test_envelope_golden_keys;
+          Alcotest.test_case "golden keys (error)" `Quick
+            test_error_envelope_golden_keys;
+        ] );
+      ( "store-lifecycle",
+        [
+          Alcotest.test_case "write_atomic race never tears" `Quick
+            test_write_atomic_race;
+          Alcotest.test_case "racing store saves stay loadable" `Quick
+            test_store_save_race;
+          Alcotest.test_case "clear_cache keeps the shared store" `Quick
+            test_clear_cache_keeps_shared_store;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "synthetic trace replay healthy" `Quick
+            test_trace_replay_healthy;
+          Alcotest.test_case "shutdown drains in-flight requests" `Quick
+            test_shutdown_drains_inflight;
+        ] );
+    ]
