@@ -9,6 +9,7 @@
       dune exec bench/main.exe -- precision    # the 2.1 precision experiment
       dune exec bench/main.exe -- parallel [-n N] [-t SECONDS] [-j JOBS]
       dune exec bench/main.exe -- solve [-n N] [-t SECONDS] [-p PROGRAM] [-o FILE]
+      dune exec bench/main.exe -- summary [-n N] [-t SECONDS] [-p PROGRAM] [-o FILE]
       dune exec bench/main.exe -- validate [-n N] [-t SECONDS]
       dune exec bench/main.exe -- profile [-n N] [-t SECONDS]
       dune exec bench/main.exe -- bechamel     # micro-benchmarks
@@ -412,6 +413,214 @@ let run_solve args =
   Printf.printf "wrote %s\n" out;
   if !failures > 0 then exit 1
 
+(* ---- compositional-summary benchmark: every corpus program at -O0 and
+   -OVERIFY is verified three times with summaries on against one persistent
+   store — cold (store empty, every summary built), warm (same binary,
+   every summary answered from the store) and edited (one libc helper gets
+   a semantically neutral edit, so only its callgraph cone is rebuilt and
+   everything outside it cache-hits).  The incremental contract is asserted:
+   warm recomputes nothing, the edited run rebuilds a strict subset of the
+   cold run's summaries, and (for complete runs) re-verifies strictly fewer
+   instructions than cold.  Rows go to BENCH_summary.json. ---- *)
+
+let run_summary args =
+  let (n, t) = parse_flags args in
+  let input_size = Option.value n ~default:3 in
+  let timeout = Option.value t ~default:30.0 in
+  let flag name =
+    let rec go = function
+      | f :: v :: _ when f = name -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let only = flag "-p" in
+  let out = Option.value (flag "-o") ~default:"BENCH_summary.json" in
+  let programs =
+    match only with
+    | None -> Overify_corpus.Programs.programs
+    | Some name -> (
+        match Overify_corpus.Programs.find name with
+        | Some p -> [ p ]
+        | None ->
+            Printf.eprintf "bench summary: unknown corpus program %S\n" name;
+            exit 2)
+  in
+  let module E = Overify_symex.Engine in
+  let module Sum = Overify_summary.Summary in
+  H.Report.section
+    (Printf.sprintf
+       "Compositional summaries: cold vs warm vs one-function-edited (n=%d \
+        bytes)" input_size);
+  let levels = [ Overify_opt.Costmodel.o0; Overify_opt.Costmodel.overify ] in
+  let failures = ref 0 in
+  (* edit the first candidate whose callgraph cone contains a second
+     candidate (so the edited run demonstrably rebuilds the cone and
+     cache-hits outside it); a leaf nobody calls is the fallback *)
+  let pick_edit m cands =
+    let fps0 = Sum.fingerprints m in
+    let cone_of fn =
+      let fps1 = Sum.fingerprints (Sum.edit_function m fn) in
+      List.filter
+        (fun c -> Hashtbl.find_opt fps0 c <> Hashtbl.find_opt fps1 c)
+        cands
+    in
+    match cands with
+    | [] -> None
+    | first :: _ ->
+        let rec go = function
+          | [] -> Some (first, cone_of first)
+          | fn :: rest ->
+              let cone = cone_of fn in
+              if List.length cone >= 2 then Some (fn, cone) else go rest
+        in
+        go cands
+  in
+  let measurements =
+    List.concat_map
+      (fun (p : Overify_corpus.Programs.t) ->
+        List.filter_map
+          (fun (level : Overify_opt.Costmodel.t) ->
+            let c = H.Experiment.compile level p in
+            let cands = Sum.candidates c.H.Experiment.modul in
+            match pick_edit c.H.Experiment.modul cands with
+            | None -> None  (* nothing summarizable: nothing to measure *)
+            | Some (edit_fn, cone) ->
+                let tmp = Filename.temp_file "overify_bench_summary" "" in
+                let dir = tmp ^ ".d" in
+                let verify m =
+                  H.Experiment.verify ~input_size ~timeout ~summaries:true
+                    ~cache_dir:dir { c with H.Experiment.modul = m }
+                in
+                let cold = verify c.H.Experiment.modul in
+                let warm = verify c.H.Experiment.modul in
+                let edited =
+                  verify (Sum.edit_function c.H.Experiment.modul edit_fn)
+                in
+                (if Sys.file_exists dir && Sys.is_directory dir then
+                   Array.iter
+                     (fun f ->
+                       try Sys.remove (Filename.concat dir f)
+                       with Sys_error _ -> ())
+                     (Sys.readdir dir));
+                (try Sys.rmdir dir with Sys_error _ -> ());
+                (try Sys.remove tmp with Sys_error _ -> ());
+                let name = p.Overify_corpus.Programs.name in
+                let lvl = level.Overify_opt.Costmodel.name in
+                let where = Printf.sprintf "%s at %s" name lvl in
+                if warm.E.summary_computed > 0 then begin
+                  incr failures;
+                  Printf.eprintf
+                    "bench summary: warm run of %s recomputed %d summaries\n"
+                    where warm.E.summary_computed
+                end;
+                if cold.E.summary_computed > 0 && warm.E.summary_cached = 0
+                then begin
+                  incr failures;
+                  Printf.eprintf
+                    "bench summary: warm run of %s hit no cached summaries\n"
+                    where
+                end;
+                if
+                  edited.E.summary_computed < 1
+                  || edited.E.summary_computed >= cold.E.summary_computed
+                then begin
+                  incr failures;
+                  Printf.eprintf
+                    "bench summary: edited run of %s rebuilt %d summaries \
+                     (cold built %d; expected a strict non-empty subset)\n"
+                    where edited.E.summary_computed cold.E.summary_computed
+                end;
+                if edited.E.summary_cached = 0 then begin
+                  incr failures;
+                  Printf.eprintf
+                    "bench summary: edited run of %s hit no summaries \
+                     outside the %d-function cone of %s\n"
+                    where (List.length cone) edit_fn
+                end;
+                let win =
+                  cold.E.complete && edited.E.complete
+                  && edited.E.instructions < cold.E.instructions
+                  && edited.E.component_solves <= cold.E.component_solves
+                in
+                Some (name, lvl, edit_fn, List.length cone, cold, warm,
+                      edited, win))
+          levels)
+      programs
+  in
+  let rows =
+    [ "program"; "level"; "edit"; "cone"; "cold built"; "edited built";
+      "edited cached"; "cold insts"; "edited insts"; "cold solves";
+      "edited solves"; "win" ]
+    :: List.map
+         (fun (name, lvl, edit_fn, cone, (cold : E.result), _,
+               (edited : E.result), win) ->
+           [
+             name; lvl; edit_fn; string_of_int cone;
+             string_of_int cold.E.summary_computed;
+             string_of_int edited.E.summary_computed;
+             string_of_int edited.E.summary_cached;
+             H.Report.fmt_int cold.E.instructions;
+             H.Report.fmt_int edited.E.instructions;
+             string_of_int cold.E.component_solves;
+             string_of_int edited.E.component_solves;
+             string_of_bool win;
+           ])
+         measurements
+  in
+  H.Report.table rows;
+  print_endline
+    "(win = the one-function edit re-verified strictly fewer instructions \
+     than cold, both runs complete)";
+  let wins =
+    List.length
+      (List.filter (fun (_, _, _, _, _, _, _, w) -> w) measurements)
+  in
+  let win_programs =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (name, _, _, _, _, _, _, w) -> if w then Some name else None)
+         measurements)
+  in
+  Printf.printf
+    "incremental wins: %d of %d cells (%d distinct programs)\n" wins
+    (List.length measurements)
+    (List.length win_programs);
+  (* over the full corpus the incremental claim must hold broadly; with -p
+     the single program may legitimately be wall-clock truncated *)
+  if only = None && List.length win_programs < 3 then begin
+    incr failures;
+    Printf.eprintf
+      "bench summary: one-function edits beat cold on only %d programs \
+       (expected >= 3)\n"
+      (List.length win_programs)
+  end;
+  let json_row
+      (name, lvl, edit_fn, cone, (cold : E.result), (warm : E.result),
+       (edited : E.result), win) =
+    Printf.sprintf
+      "  {\"program\": %S, \"level\": %S, \"edit_fn\": %S, \"cone\": %d, \
+       \"cold_computed\": %d, \"cold_cached\": %d, \"cold_instantiated\": \
+       %d, \"cold_opaque\": %d, \"cold_instructions\": %d, \
+       \"cold_solves\": %d, \"cold_complete\": %b, \"warm_computed\": %d, \
+       \"warm_cached\": %d, \"warm_instructions\": %d, \"warm_solves\": \
+       %d, \"edited_computed\": %d, \"edited_cached\": %d, \
+       \"edited_instructions\": %d, \"edited_solves\": %d, \
+       \"edited_complete\": %b, \"incremental_win\": %b}"
+      name lvl edit_fn cone cold.E.summary_computed cold.E.summary_cached
+      cold.E.summary_instantiated cold.E.summary_opaque cold.E.instructions
+      cold.E.component_solves cold.E.complete warm.E.summary_computed
+      warm.E.summary_cached warm.E.instructions warm.E.component_solves
+      edited.E.summary_computed edited.E.summary_cached
+      edited.E.instructions edited.E.component_solves edited.E.complete win
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Printf.fprintf oc "[\n%s\n]\n"
+        (String.concat ",\n" (List.map json_row measurements)));
+  Printf.printf "wrote %s\n" out;
+  if !failures > 0 then exit 1
+
 (* ---- chaos sweep: every corpus program under a battery of deterministic
    fault schedules plus a kill/resume phase; the hardening contract (zero
    crashes, two-run determinism, degraded subsets, byte-identical resume)
@@ -587,6 +796,7 @@ let () =
   | _ :: "precision" :: rest -> run_precision rest
   | _ :: "parallel" :: rest -> run_parallel rest
   | _ :: "solve" :: rest -> run_solve rest
+  | _ :: "summary" :: rest -> run_summary rest
   | _ :: "chaos" :: rest -> run_chaos rest
   | _ :: "serve" :: rest -> run_serve rest
   | _ :: "validate" :: rest -> run_validate rest

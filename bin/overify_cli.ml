@@ -200,6 +200,20 @@ let faults_arg =
            seed:S[:K] for K pseudo-random entries.  Defaults to \
            $(b,OVERIFY_FAULTS) when set.")
 
+let summaries_arg =
+  Arg.(
+    value & flag
+    & info [ "summaries" ]
+        ~doc:
+          "Compositional mode: compute (or load from $(b,--cache-dir)) \
+           per-function symbolic summaries bottom-up over the call graph \
+           and instantiate them at call sites instead of inlining.  \
+           Summaries are keyed by a structural fingerprint of the function \
+           body plus its callees', so editing one function re-verifies \
+           only its callgraph cone.  Verdicts are identical to inline \
+           exploration; only the effort counters change.  Defaults to \
+           $(b,OVERIFY_SUMMARIES) when set.")
+
 let verify_cmd =
   let size =
     Arg.(
@@ -271,8 +285,8 @@ let verify_cmd =
              bytes — e.g. for diffing a one-shot run against the same \
              request answered by a warm $(b,overify serve) daemon.")
   in
-  let run level no_libc path size timeout tests jobs cache_dir faults
-      checkpoint_dir checkpoint_every resume json deterministic trace =
+  let run level no_libc path size timeout tests jobs summaries cache_dir
+      faults checkpoint_dir checkpoint_every resume json deterministic trace =
     with_trace trace @@ fun () ->
     let faults =
       match faults with
@@ -286,8 +300,9 @@ let verify_cmd =
     let m = compile_to_module level no_libc path in
     let r =
       try
-        O.verify ~input_size:size ~timeout ~jobs ?cache_dir ?faults
-          ?checkpoint_dir ~checkpoint_every ~resume m
+        O.verify ~input_size:size ~timeout ~jobs
+          ?summaries:(if summaries then Some true else None)
+          ?cache_dir ?faults ?checkpoint_dir ~checkpoint_every ~resume m
       with O.Fault.Killed msg ->
         (* simulated process death: mirror SIGKILL's exit status; the
            checkpoint (if any) stays behind for --resume *)
@@ -321,6 +336,14 @@ let verify_cmd =
       r.O.Engine.components r.O.Engine.component_solves r.O.Engine.hits_exact
       r.O.Engine.hits_canon r.O.Engine.hits_subset r.O.Engine.hits_superset
       r.O.Engine.hits_store;
+    if
+      r.O.Engine.summary_instantiated + r.O.Engine.summary_opaque
+      + r.O.Engine.summary_computed + r.O.Engine.summary_cached > 0
+    then
+      Printf.printf
+        "summaries: instantiated=%d opaque=%d computed=%d cached=%d\n"
+        r.O.Engine.summary_instantiated r.O.Engine.summary_opaque
+        r.O.Engine.summary_computed r.O.Engine.summary_cached;
     List.iter
       (fun (d : O.Engine.degradation) ->
         Printf.printf "degraded: %s paths=%d%s\n" d.O.Engine.d_kind
@@ -351,7 +374,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Compile and symbolically execute all paths (KLEE-style).")
     Term.(const run $ level $ no_libc $ source_file $ size $ timeout
-          $ tests_flag $ jobs $ cache_dir_arg $ faults_arg
+          $ tests_flag $ jobs $ summaries_arg $ cache_dir_arg $ faults_arg
           $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg $ json_arg
           $ deterministic_arg $ trace_arg)
 
@@ -522,14 +545,15 @@ let profile_cmd =
              the JSON report, leaving only deterministic attribution (for \
              golden tests and cross-run diffing).")
   in
-  let run level no_libc path size timeout jobs cache_dir diff json top
-      deterministic trace =
+  let run level no_libc path size timeout jobs summaries cache_dir diff json
+      top deterministic trace =
     with_trace trace @@ fun () ->
     let src = read_source path in
     let program = program_name path in
     let prof lvl =
-      P.profile ~program ~level:lvl ~input_size:size ~timeout ~jobs ?cache_dir
-        ~link_libc:(not no_libc) src
+      P.profile ~program ~level:lvl ~input_size:size ~timeout ~jobs
+        ?summaries:(if summaries then Some true else None)
+        ?cache_dir ~link_libc:(not no_libc) src
     in
     let p = prof level in
     (match diff with
@@ -556,7 +580,8 @@ let profile_cmd =
           totals by construction.")
     Term.(
       const run $ level $ no_libc $ source_file $ size $ timeout $ jobs
-      $ cache_dir_arg $ diff $ json $ top $ deterministic $ trace_arg)
+      $ summaries_arg $ cache_dir_arg $ diff $ json $ top $ deterministic
+      $ trace_arg)
 
 (* ---- serve subcommand ---- *)
 
@@ -677,8 +702,8 @@ let client_cmd =
              (raw bytes) — for diffing against the one-shot CLI's \
              $(b,--json) output.")
   in
-  let run socket level kind program file size timeout jobs deterministic
-      faults shutdown stats garbage result_only =
+  let run socket level kind program file size timeout jobs summaries
+      deterministic faults shutdown stats garbage result_only =
     if socket = "" then begin
       Printf.eprintf "client: --socket is required\n";
       exit 2
@@ -724,6 +749,7 @@ let client_cmd =
             rq_deterministic = deterministic;
             rq_faults =
               (match faults with Some f -> O.Fault.spec f | None -> "");
+            rq_summaries = summaries;
           }
       end
     in
@@ -756,8 +782,8 @@ let client_cmd =
           print the JSON response envelope.")
     Term.(
       const run $ socket_arg $ level $ kind_arg $ program_arg $ file_arg
-      $ size $ timeout $ jobs $ deterministic $ faults_arg $ shutdown
-      $ stats $ garbage $ result_only)
+      $ size $ timeout $ jobs $ summaries_arg $ deterministic $ faults_arg
+      $ shutdown $ stats $ garbage $ result_only)
 
 (* ---- corpus subcommand ---- *)
 

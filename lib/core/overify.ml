@@ -28,6 +28,7 @@ module Interval = Overify_absint.Interval
 module Absint = Overify_absint.Analysis
 module Precision = Overify_absint.Precision
 module Store = Overify_solver.Store
+module Summary = Overify_summary.Summary
 module Serve = Overify_serve.Serve
 module Serve_client = Overify_serve.Client
 module Serve_protocol = Overify_serve.Protocol
@@ -76,16 +77,25 @@ let compile_validated ?(level = Costmodel.overify) ?(link_libc = true) ?budget
     optimization levels — reuse each other's canonical verdicts.  Neither
     changes any result, only how often the SAT solver actually runs.
 
+    [summaries] (default: the [OVERIFY_SUMMARIES] environment variable)
+    turns on compositional exploration: per-function symbolic summaries
+    are computed bottom-up (or loaded from the persistent store, keyed by
+    structural fingerprint) and instantiated at call sites instead of
+    inlining.  Verdicts are identical; only the effort counters move.
+
     Hardening: [faults] attaches a deterministic fault-injection schedule
     (chaos testing; see {!Fault}); [checkpoint_dir] writes periodic atomic
     snapshots so a killed run can be continued with [resume:true]
     ([checkpoint_every] sets the cadence in completed paths).  Mid-run
     failures degrade rather than abort — see
     [Engine.result.degradations]. *)
-let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) ?solver_cache
-    ?cache_dir ?store ?faults ?checkpoint_dir ?(checkpoint_every = 64)
-    ?(resume = false) (m : Ir.modul) : Engine.result =
+let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) ?summaries
+    ?solver_cache ?cache_dir ?store ?faults ?checkpoint_dir
+    ?(checkpoint_every = 64) ?(resume = false) (m : Ir.modul) : Engine.result =
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
+  let summaries =
+    match summaries with Some s -> s | None -> Engine.default_config.Engine.summaries
+  in
   Engine.run
     ~config:
       {
@@ -93,6 +103,7 @@ let verify ?(input_size = 4) ?(timeout = 30.0) ?(jobs = 1) ?solver_cache
         Engine.input_size;
         timeout;
         searcher;
+        summaries;
         solver_cache;
         cache_dir;
         store;

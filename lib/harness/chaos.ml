@@ -119,17 +119,17 @@ let wall_clocked (r : Engine.result) =
     (fun (d : Engine.degradation) -> d.Engine.d_kind = "wall_clock")
     r.Engine.degradations
 
-let run_faulted ~input_size ~timeout compiled spec :
+let run_faulted ~input_size ~timeout ~summaries compiled spec :
     (Engine.result, string) result =
   match Fault.parse spec with
   | Error msg -> Error (Printf.sprintf "unparseable schedule %S: %s" spec msg)
   | Ok faults -> (
       try
-        Ok (Experiment.verify ~input_size ~timeout ~faults compiled)
+        Ok (Experiment.verify ~input_size ~timeout ~summaries ~faults compiled)
       with e -> Error (Printexc.to_string e))
 
-let sweep_cell ~input_size ~timeout compiled ~(clean : Engine.result) spec :
-    cell =
+let sweep_cell ~input_size ~timeout ~summaries compiled
+    ~(clean : Engine.result) spec : cell =
   let comparable = clean.Engine.complete in
   let pname = compiled.Experiment.program.Programs.name in
   let base =
@@ -146,7 +146,7 @@ let sweep_cell ~input_size ~timeout compiled ~(clean : Engine.result) spec :
       c_failures = [];
     }
   in
-  match run_faulted ~input_size ~timeout compiled spec with
+  match run_faulted ~input_size ~timeout ~summaries compiled spec with
   | Error msg ->
       { base with
         c_crashed = Some msg;
@@ -158,7 +158,7 @@ let sweep_cell ~input_size ~timeout compiled ~(clean : Engine.result) spec :
          unless a run hit the wall clock, whose truncation point is
          legitimately timing-dependent *)
       let repeat_agrees =
-        match run_faulted ~input_size ~timeout compiled spec with
+        match run_faulted ~input_size ~timeout ~summaries compiled spec with
         | Error msg ->
             fail "re-run crashed: %s" msg;
             false
@@ -277,12 +277,19 @@ let cell_to_json c =
 (** Run the chaos sweep.  Every program in [programs] is compiled at
     [level] and explored clean once, then under each schedule twice (the
     determinism check).  [kill_resume] (default true) appends the
-    kill/resume phase on the first program.  Writes the machine-readable
-    report to [json_path] unless empty.  Returns the report; callers
-    gate on [report.failures = 0]. *)
+    kill/resume phase on the first program.  [summaries] (default false)
+    runs the whole sweep — clean baselines and faulted runs alike — in
+    compositional-summaries mode; the contract is the same (a fault
+    firing during summary construction must degrade the run, not crash
+    it).  Summaries do not combine with the kill/resume phase: a kill
+    firing mid-build precedes the first checkpoint, so callers turning
+    [summaries] on should pass [kill_resume:false].  Writes the
+    machine-readable report to [json_path] unless empty.  Returns the
+    report; callers gate on [report.failures = 0]. *)
 let run ?(input_size = 3) ?(timeout = 60.0) ?(level = Costmodel.o0)
     ?(schedules = default_schedules) ?(programs = Programs.programs)
-    ?(kill_resume = true) ?(json_path = "BENCH_chaos.json") () : report =
+    ?(kill_resume = true) ?(summaries = false)
+    ?(json_path = "BENCH_chaos.json") () : report =
   Report.section
     (Printf.sprintf
        "Chaos sweep: corpus x %d fault schedules at %s (n=%d bytes)"
@@ -291,7 +298,7 @@ let run ?(input_size = 3) ?(timeout = 60.0) ?(level = Costmodel.o0)
     List.concat_map
       (fun (p : Programs.t) ->
         let compiled = Experiment.compile level p in
-        let clean = Experiment.verify ~input_size ~timeout compiled in
+        let clean = Experiment.verify ~input_size ~timeout ~summaries compiled in
         let clean_cell =
           (* an incomplete baseline weakens the subset checks; only a
              wall-clock degradation excuses it (a slow program at this
@@ -313,7 +320,9 @@ let run ?(input_size = 3) ?(timeout = 60.0) ?(level = Costmodel.o0)
               } ]
         in
         clean_cell
-        @ List.map (sweep_cell ~input_size ~timeout compiled ~clean) schedules)
+        @ List.map
+            (sweep_cell ~input_size ~timeout ~summaries compiled ~clean)
+            schedules)
       programs
   in
   let kill =

@@ -46,13 +46,23 @@ let compile (level : Costmodel.t) (program : Programs.t) : compiled =
     many domains ([`Parallel jobs]); the default is the sequential DFS
     searcher.  [solver_cache] / [cache_dir] select the solver acceleration
     layers (see [Overify_solver.Solver]) — they never change the result.
+    [summaries] selects compositional exploration via cached function
+    summaries ([Engine.config.summaries]); verdicts are unchanged, only
+    effort counters move.  [store] passes an already-open persistent store
+    (the serve daemon's warm one) instead of loading from [cache_dir].
     [faults] / [checkpoint_dir] / [resume] are the hardening knobs (chaos
     schedules and kill/resume; see [Overify_fault.Fault] and
     [Engine.config]). *)
 let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
-    ?(jobs = 1) ?solver_cache ?cache_dir ?faults ?checkpoint_dir
-    ?(checkpoint_every = 64) ?(resume = false) (c : compiled) : Engine.result =
+    ?(jobs = 1) ?summaries ?solver_cache ?cache_dir ?store ?faults
+    ?checkpoint_dir ?(checkpoint_every = 64) ?(resume = false) (c : compiled) :
+    Engine.result =
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
+  let summaries =
+    match summaries with
+    | Some s -> s
+    | None -> Engine.default_config.Engine.summaries
+  in
   Engine.run
     ~config:
       {
@@ -61,8 +71,10 @@ let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
         timeout;
         check_bounds;
         searcher;
+        summaries;
         solver_cache;
         cache_dir;
+        store;
         faults;
         checkpoint_dir;
         checkpoint_every;

@@ -30,6 +30,8 @@ type func_row = {
   fr_cache_hits : int;
   fr_solver_time : float;
   fr_paths : int;
+  fr_sum_hits : int;    (** call sites answered by a function summary *)
+  fr_sum_opaque : int;  (** call sites whose callee summary was [Opaque] *)
   fr_blocks : (int * Obs.Profile.site_stats) list;  (** ascending block id *)
 }
 
@@ -77,6 +79,8 @@ let func_rows (p : Obs.Profile.t) : func_row list =
               fr_cache_hits = 0;
               fr_solver_time = 0.0;
               fr_paths = 0;
+              fr_sum_hits = 0;
+              fr_sum_opaque = 0;
               fr_blocks = [];
             }
       in
@@ -89,6 +93,8 @@ let func_rows (p : Obs.Profile.t) : func_row list =
           fr_cache_hits = row.fr_cache_hits + s.Obs.Profile.s_cache_hits;
           fr_solver_time = row.fr_solver_time +. s.Obs.Profile.s_solver_time;
           fr_paths = row.fr_paths + s.Obs.Profile.s_paths;
+          fr_sum_hits = row.fr_sum_hits + s.Obs.Profile.s_sum_hits;
+          fr_sum_opaque = row.fr_sum_opaque + s.Obs.Profile.s_sum_opaque;
           fr_blocks = (block, s) :: row.fr_blocks;
         })
     (Obs.Profile.sites p);
@@ -122,8 +128,8 @@ let of_result ~program ~level ~input_size ?(passes = Obs.Pass.create ())
 (** Compile [source] at [level] (with the per-pass profile) and
     symbolically execute it with attribution on. *)
 let profile ?(program = "<source>") ~(level : Costmodel.t) ?(input_size = 4)
-    ?(timeout = 30.0) ?(jobs = 1) ?(link_libc = true) ?solver_cache ?cache_dir
-    (source : string) : t =
+    ?(timeout = 30.0) ?(jobs = 1) ?(link_libc = true) ?summaries ?solver_cache
+    ?cache_dir (source : string) : t =
   let passes = Obs.Pass.create () in
   let t0 = Unix.gettimeofday () in
   let sources =
@@ -134,6 +140,11 @@ let profile ?(program = "<source>") ~(level : Costmodel.t) ?(input_size = 4)
   let r = Pipeline.optimize ~prof:passes level m0 in
   let t_compile = Unix.gettimeofday () -. t0 in
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
+  let summaries =
+    match summaries with
+    | Some s -> s
+    | None -> Engine.default_config.Engine.summaries
+  in
   let result =
     Engine.run
       ~config:
@@ -143,6 +154,7 @@ let profile ?(program = "<source>") ~(level : Costmodel.t) ?(input_size = 4)
           timeout;
           searcher;
           profile = true;
+          summaries;
           solver_cache;
           cache_dir;
         }
@@ -196,17 +208,30 @@ let print ?(top = 8) ?(out = stdout) t =
     r.Engine.components r.Engine.component_solves r.Engine.hits_exact
     r.Engine.hits_canon r.Engine.hits_subset r.Engine.hits_superset
     r.Engine.hits_store;
+  if
+    r.Engine.summary_instantiated + r.Engine.summary_opaque
+    + r.Engine.summary_computed + r.Engine.summary_cached
+    > 0
+  then
+    Printf.fprintf out
+      "summaries: instantiated=%d opaque=%d computed=%d cached=%d\n"
+      r.Engine.summary_instantiated r.Engine.summary_opaque
+      r.Engine.summary_computed r.Engine.summary_cached;
   List.iter
     (fun (d : Engine.degradation) ->
       Printf.fprintf out "degraded: %s paths=%d%s\n" d.Engine.d_kind
         d.Engine.d_paths
         (if d.Engine.d_where = "" then "" else " (" ^ d.Engine.d_where ^ ")"))
     r.Engine.degradations;
+  let with_summaries =
+    List.exists (fun f -> f.fr_sum_hits + f.fr_sum_opaque > 0) t.funcs
+  in
   let rows =
-    [
-      "function"; "insts"; "forks"; "queries"; "hits"; "solver (ms)";
-      "solver %"; "paths"; "blocks";
-    ]
+    ([
+       "function"; "insts"; "forks"; "queries"; "hits"; "solver (ms)";
+       "solver %"; "paths"; "blocks";
+     ]
+    @ (if with_summaries then [ "sum hits"; "sum opq" ] else []))
     :: List.map
          (fun f ->
            [
@@ -220,7 +245,11 @@ let print ?(top = 8) ?(out = stdout) t =
                (pct f.fr_solver_time r.Engine.solver_time);
              string_of_int f.fr_paths;
              string_of_int (List.length f.fr_blocks);
-           ])
+           ]
+           @
+           if with_summaries then
+             [ string_of_int f.fr_sum_hits; string_of_int f.fr_sum_opaque ]
+           else [])
          t.funcs
   in
   Report.table ~out rows;
@@ -395,17 +424,17 @@ let to_json ?(times = true) (t : t) : string =
   let ms x = if times then Printf.sprintf "%.3f" (x *. 1000.) else "0.000" in
   let block_json (blk, (s : Obs.Profile.site_stats)) =
     Printf.sprintf
-      {|{"block": %d, "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "solver_time_ms": %s, "paths": %d}|}
+      {|{"block": %d, "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "solver_time_ms": %s, "paths": %d, "summary_hits": %d, "summary_opaque": %d}|}
       blk s.Obs.Profile.s_insts s.Obs.Profile.s_forks s.Obs.Profile.s_queries
       s.Obs.Profile.s_cache_hits
       (ms s.Obs.Profile.s_solver_time)
-      s.Obs.Profile.s_paths
+      s.Obs.Profile.s_paths s.Obs.Profile.s_sum_hits s.Obs.Profile.s_sum_opaque
   in
   let func_json f =
     Printf.sprintf
-      {|    {"fn": "%s", "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "solver_time_ms": %s, "paths": %d, "blocks": [%s]}|}
+      {|    {"fn": "%s", "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "solver_time_ms": %s, "paths": %d, "summary_hits": %d, "summary_opaque": %d, "blocks": [%s]}|}
       (json_escape f.fr_fn) f.fr_insts f.fr_forks f.fr_queries f.fr_cache_hits
-      (ms f.fr_solver_time) f.fr_paths
+      (ms f.fr_solver_time) f.fr_paths f.fr_sum_hits f.fr_sum_opaque
       (String.concat ", " (List.map block_json f.fr_blocks))
   in
   let pass_json (p : Obs.Pass.rollup) =
@@ -441,7 +470,7 @@ let to_json ?(times = true) (t : t) : string =
   "program": "%s",
   "level": "%s",
   "input_size": %d,
-  "totals": {"paths": %d, "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "components": %d, "component_solves": %d, "hits_exact": %d, "hits_canon": %d, "hits_subset": %d, "hits_superset": %d, "hits_store": %d, "solver_time_ms": %s, "time_ms": %s, "compile_ms": %s, "complete": %b, "jobs": %d},
+  "totals": {"paths": %d, "instructions": %d, "forks": %d, "queries": %d, "cache_hits": %d, "components": %d, "component_solves": %d, "hits_exact": %d, "hits_canon": %d, "hits_subset": %d, "hits_superset": %d, "hits_store": %d, "summary_instantiated": %d, "summary_opaque": %d, "summary_computed": %d, "summary_cached": %d, "solver_time_ms": %s, "time_ms": %s, "compile_ms": %s, "complete": %b, "jobs": %d},
   "degradations": [%s],
   "functions": [
 %s
@@ -454,7 +483,8 @@ let to_json ?(times = true) (t : t) : string =
     r.Engine.instructions r.Engine.forks r.Engine.queries r.Engine.cache_hits
     r.Engine.components r.Engine.component_solves r.Engine.hits_exact
     r.Engine.hits_canon r.Engine.hits_subset r.Engine.hits_superset
-    r.Engine.hits_store
+    r.Engine.hits_store r.Engine.summary_instantiated r.Engine.summary_opaque
+    r.Engine.summary_computed r.Engine.summary_cached
     (ms r.Engine.solver_time) (ms r.Engine.time) (ms t.t_compile)
     r.Engine.complete r.Engine.jobs
     (String.concat ", " (List.map degradation_json r.Engine.degradations))

@@ -210,6 +210,8 @@ module Profile = struct
     mutable s_cache_hits : int;
     mutable s_solver_time : float; (** seconds of blasting + SAT *)
     mutable s_paths : int;        (** paths that completed (exited) here *)
+    mutable s_sum_hits : int;     (** calls answered by a function summary *)
+    mutable s_sum_opaque : int;   (** calls whose callee summary was opaque *)
   }
 
   let zero_stats () =
@@ -220,6 +222,8 @@ module Profile = struct
       s_cache_hits = 0;
       s_solver_time = 0.0;
       s_paths = 0;
+      s_sum_hits = 0;
+      s_sum_opaque = 0;
     }
 
   type t = {
@@ -265,7 +269,9 @@ module Profile = struct
         d.s_queries <- d.s_queries + s.s_queries;
         d.s_cache_hits <- d.s_cache_hits + s.s_cache_hits;
         d.s_solver_time <- d.s_solver_time +. s.s_solver_time;
-        d.s_paths <- d.s_paths + s.s_paths)
+        d.s_paths <- d.s_paths + s.s_paths;
+        d.s_sum_hits <- d.s_sum_hits + s.s_sum_hits;
+        d.s_sum_opaque <- d.s_sum_opaque + s.s_sum_opaque)
       src.sites;
     Hist.merge_into dst.qhist src.qhist
 
@@ -281,6 +287,8 @@ module Profile = struct
     t_cache_hits : int;
     t_solver_time : float;
     t_paths : int;
+    t_sum_hits : int;
+    t_sum_opaque : int;
   }
 
   let totals t =
@@ -293,6 +301,8 @@ module Profile = struct
           t_cache_hits = acc.t_cache_hits + s.s_cache_hits;
           t_solver_time = acc.t_solver_time +. s.s_solver_time;
           t_paths = acc.t_paths + s.s_paths;
+          t_sum_hits = acc.t_sum_hits + s.s_sum_hits;
+          t_sum_opaque = acc.t_sum_opaque + s.s_sum_opaque;
         })
       {
         t_insts = 0;
@@ -301,6 +311,8 @@ module Profile = struct
         t_cache_hits = 0;
         t_solver_time = 0.0;
         t_paths = 0;
+        t_sum_hits = 0;
+        t_sum_opaque = 0;
       }
       (sites t)
 end

@@ -82,6 +82,8 @@ module Profile : sig
     mutable s_cache_hits : int;
     mutable s_solver_time : float;
     mutable s_paths : int;
+    mutable s_sum_hits : int;    (** calls answered by a function summary *)
+    mutable s_sum_opaque : int;  (** calls whose callee summary was opaque *)
   }
 
   type t = {
@@ -109,6 +111,8 @@ module Profile : sig
     t_cache_hits : int;
     t_solver_time : float;
     t_paths : int;
+    t_sum_hits : int;
+    t_sum_opaque : int;
   }
 
   val totals : t -> totals

@@ -31,6 +31,7 @@ type request = {
   rq_link_libc : bool;
   rq_deterministic : bool;
   rq_faults : string;
+  rq_summaries : bool;
 }
 
 let default_request =
@@ -46,6 +47,7 @@ let default_request =
     rq_link_libc = true;
     rq_deterministic = false;
     rq_faults = "";
+    rq_summaries = false;
   }
 
 let request_to_json (r : request) : string =
@@ -53,15 +55,15 @@ let request_to_json (r : request) : string =
     "{\"id\": %d, \"kind\": \"%s\", \"program\": \"%s\", \"source\": \
      \"%s\", \"level\": \"%s\", \"input_size\": %d, \"timeout\": %.17g, \
      \"jobs\": %d, \"link_libc\": %b, \"deterministic\": %b, \"faults\": \
-     \"%s\"}"
+     \"%s\", \"summaries\": %b}"
     r.rq_id (kind_name r.rq_kind) (Json.escape r.rq_program)
     (Json.escape r.rq_source) (Json.escape r.rq_level) r.rq_input_size
     r.rq_timeout r.rq_jobs r.rq_link_libc r.rq_deterministic
-    (Json.escape r.rq_faults)
+    (Json.escape r.rq_faults) r.rq_summaries
 
 let known_keys =
   [ "id"; "kind"; "program"; "source"; "level"; "input_size"; "timeout";
-    "jobs"; "link_libc"; "deterministic"; "faults" ]
+    "jobs"; "link_libc"; "deterministic"; "faults"; "summaries" ]
 
 let request_of_json (j : Json.t) : (request, string) result =
   match j with
@@ -109,6 +111,9 @@ let request_of_json (j : Json.t) : (request, string) result =
             field "deterministic" Json.bool_ default_request.rq_deterministic
           in
           let* faults = field "faults" Json.str default_request.rq_faults in
+          let* summaries =
+            field "summaries" Json.bool_ default_request.rq_summaries
+          in
           if input_size < 0 || input_size > 64 then
             Error (Printf.sprintf "input_size %d out of range [0, 64]" input_size)
           else if jobs < 1 || jobs > 64 then
@@ -129,6 +134,7 @@ let request_of_json (j : Json.t) : (request, string) result =
                 rq_link_libc = link_libc;
                 rq_deterministic = deterministic;
                 rq_faults = faults;
+                rq_summaries = summaries;
               }))
   | _ -> Error "request must be a JSON object"
 
@@ -147,6 +153,7 @@ let fingerprint (r : request) : string =
             string_of_bool r.rq_link_libc;
             string_of_bool r.rq_deterministic;
             r.rq_faults;
+            string_of_bool r.rq_summaries;
           ]))
 
 (* ---------------- framing ---------------- *)

@@ -45,6 +45,12 @@ type request = {
   rq_link_libc : bool;
   rq_deterministic : bool;  (** zero wall-clock (and reuse-dependent) fields *)
   rq_faults : string;       (** fault-injection spec ([Fault.parse]); [""] = none *)
+  rq_summaries : bool;
+      (** compositional mode: instantiate cached function summaries at
+          call sites ([Engine.config.summaries]).  The daemon's warm
+          shared store makes summaries cross-request: a later request for
+          an edited program reuses every summary outside the edit's
+          callgraph cone. *)
 }
 
 val default_request : request

@@ -163,6 +163,7 @@ let run_request t (rq : Protocol.request) : Protocol.body =
                   Engine.input_size = rq.rq_input_size;
                   timeout = rq.rq_timeout;
                   searcher;
+                  summaries = rq.rq_summaries;
                   faults;
                   store = Some t.st_store;
                 }

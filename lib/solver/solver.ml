@@ -247,16 +247,20 @@ let check_component ctx ~fresh (comp : Bv.t list) : result =
           match
             Option.bind ctx.store (fun st -> Store.find st renamed.Canon.key)
           with
-          | Some e ->
+          (* E_blob entries live under namespaced client keys (never a
+             canonical component key); finding one here means a key
+             collision we must treat as a miss, not a verdict *)
+          | Some ((Store.E_unsat | Store.E_sat _) as e) ->
               ctx.stats.hits_store <- ctx.stats.hits_store + 1;
               let entry =
                 match e with
                 | Store.E_unsat -> C_unsat
                 | Store.E_sat v -> C_sat v
+                | Store.E_blob _ -> assert false
               in
               Hashtbl.replace ctx.ctbl renamed.Canon.key entry;
               answer entry
-          | None ->
+          | Some (Store.E_blob _) | None ->
               let entry = solve_component ctx comp renamed in
               incr fresh;
               record entry;

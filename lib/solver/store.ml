@@ -4,14 +4,16 @@
 
 module Fault = Overify_fault.Fault
 
-type entry = E_unsat | E_sat of int64 array
+type entry = E_unsat | E_sat of int64 array | E_blob of string
 
 let magic = "OVERIFY-SOLVER-STORE"
 
 (* v2: framed via Binfile (length + MD5 trailer).  v1 files (bare
    magic+version+Marshal) fail the frame parse and load as empty, which
-   is the correct cold-cache behaviour for a format change. *)
-let version = 2
+   is the correct cold-cache behaviour for a format change.
+   v3: adds the E_blob constructor (opaque client payloads — function
+   summaries); v2 files load as empty for the same cold-cache reason. *)
+let version = 3
 let filename = "solver-cache.bin"
 
 type t = {

@@ -23,6 +23,11 @@
 type entry =
   | E_unsat
   | E_sat of int64 array  (** value per canonical variable index *)
+  | E_blob of string
+      (** opaque client payload under a client-chosen key (namespaced so it
+          can never collide with a canonical component key) — used by the
+          summary layer to persist serialized function summaries in the
+          same framed, fault-tolerant file *)
 
 type t
 

@@ -39,6 +39,12 @@ type config = {
   check_bounds : bool;   (** fork out-of-bounds bug paths *)
   searcher : [ `Dfs | `Bfs | `Parallel of int ];
   profile : bool;        (** attribute cost per (function, block) *)
+  summaries : bool;
+      (** compositional mode: build (or load from the store) per-function
+          summaries bottom-up before exploring, and instantiate them at
+          call sites instead of inlining.  Verdicts are identical either
+          way — only instructions/forks/queries move.  Defaults to the
+          [OVERIFY_SUMMARIES] environment variable. *)
   solver_cache : bool option;
       (** enable the solver's reuse layers; [None] defers to the
           [OVERIFY_SOLVER_CACHE] environment variable (default on).
@@ -63,6 +69,11 @@ type config = {
           and matches this program/config; otherwise start fresh *)
 }
 
+let env_summaries =
+  match Sys.getenv_opt "OVERIFY_SUMMARIES" with
+  | Some ("1" | "true" | "on") -> true
+  | _ -> false
+
 let default_config =
   {
     input_size = 4;
@@ -72,6 +83,7 @@ let default_config =
     check_bounds = true;
     searcher = `Dfs;
     profile = false;
+    summaries = env_summaries;
     solver_cache = None;
     cache_dir = None;
     store = None;
@@ -126,6 +138,10 @@ type result = {
   hits_subset : int;
   hits_superset : int;
   hits_store : int;             (** ...all sums over workers *)
+  summary_instantiated : int;   (** call sites answered by a summary *)
+  summary_opaque : int;         (** call sites whose summary was opaque *)
+  summary_computed : int;       (** summaries built fresh this run *)
+  summary_cached : int;         (** summaries loaded from the store *)
   time : float;                 (** total verification wall time *)
   complete : bool;
       (** derived: [degradations = []].  Kept because "did exploration
@@ -621,6 +637,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   let store =
     match config.store with Some _ as s -> s | None -> own_store
   in
+  let glayout = Overify_summary.Summary.layout m in
   let make_worker () =
     let prof = if config.profile then Some (Obs.Profile.create ()) else None in
     let solver =
@@ -641,12 +658,40 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         forks = 0;
         covered = Hashtbl.create 64;
         prof;
+        glayout;
+        summaries = None;
+        building = false;
+        sym_deref = false;
+        fork_conds = [];
+        sum_hits = 0;
+        sum_opaque = 0;
       }
     in
     Hashtbl.replace gctx.Executor.covered (main.Ir.fname, entry.Ir.bid) ();
     { gctx; exits = []; bug_tbl = Hashtbl.create 8; degs = []; killed = None }
   in
   let workers = List.init njobs (fun _ -> make_worker ()) in
+  (* compositional mode: worker 0 builds (or loads) the summary table
+     bottom-up before exploration, on its own solver and counters —
+     so build cost is charged like any other execution — and every
+     worker shares the resulting (read-only from here on) table *)
+  let summary_computed, summary_cached =
+    if not config.summaries then (0, 0)
+    else begin
+      let w0 = List.hd workers in
+      let tbl, computed, cached, build_degs =
+        Summarize.build ~gctx:w0.gctx ~store m
+      in
+      List.iter
+        (fun w -> w.gctx.Executor.summaries <- Some tbl)
+        workers;
+      (* a fault that fires during summary construction (solver timeout,
+         contained crash, dropped path) demotes its function to inline
+         exploration — sound, but never silent *)
+      List.iter (fun (kind, where) -> degrade w0 kind where 0) build_degs;
+      (computed, cached)
+    end
+  in
   (* a resumed run continues the snapshot's accumulators in worker 0 and
      explores its saved frontier; the checkpoint was cut at a quiescent
      point, so snapshot + frontier partitions the path tree and the union
@@ -798,6 +843,10 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     flush "solver.hits.superset"
       (sum (fun w -> (solver_stats w).Solver.hits_superset));
     flush "solver.hits.store" (sum (fun w -> (solver_stats w).Solver.hits_store));
+    flush "summary.instantiated" (sum (fun w -> w.gctx.Executor.sum_hits));
+    flush "summary.opaque" (sum (fun w -> w.gctx.Executor.sum_opaque));
+    flush "summary.computed" summary_computed;
+    flush "summary.cached" summary_cached;
     List.iter
       (fun d ->
         Obs.Registry.add
@@ -857,6 +906,10 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     hits_subset = sum (fun w -> (solver_stats w).Solver.hits_subset);
     hits_superset = sum (fun w -> (solver_stats w).Solver.hits_superset);
     hits_store = sum (fun w -> (solver_stats w).Solver.hits_store);
+    summary_instantiated = sum (fun w -> w.gctx.Executor.sum_hits);
+    summary_opaque = sum (fun w -> w.gctx.Executor.sum_opaque);
+    summary_computed;
+    summary_cached;
     time;
     complete;
     degradations;
@@ -905,19 +958,28 @@ let json_escape s =
 
 (** Machine-readable run result with a fixed key order (goldenable: the
     degraded-run JSON shape is asserted by test_obs).  [deterministic]
-    zeroes the reuse-state-dependent fields: wall-clock times, and
-    [cache_hits] (which varies with warm solver-store state, e.g. between
-    a cold one-shot CLI run and a warm daemon — the serve-vs-CLI
-    differential compares these documents byte-for-byte). *)
+    zeroes everything that is not a verdict: wall-clock times,
+    [cache_hits] (warm solver-store state, e.g. a cold one-shot CLI run
+    versus a warm daemon — the serve-vs-CLI differential compares these
+    documents byte-for-byte), the effort counters ([instructions],
+    [forks], [queries]) and the summary counters, which legitimately
+    differ between compositional and inline exploration while every
+    verdict field is byte-identical (the summary-vs-inline differential
+    relies on this). *)
 let result_to_json ?(deterministic = false) (r : result) : string =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let det v = if deterministic then 0 else v in
   add "{";
   add "\"paths\": %d, " r.paths;
-  add "\"instructions\": %d, " r.instructions;
-  add "\"forks\": %d, " r.forks;
-  add "\"queries\": %d, " r.queries;
-  add "\"cache_hits\": %d, " (if deterministic then 0 else r.cache_hits);
+  add "\"instructions\": %d, " (det r.instructions);
+  add "\"forks\": %d, " (det r.forks);
+  add "\"queries\": %d, " (det r.queries);
+  add "\"cache_hits\": %d, " (det r.cache_hits);
+  add "\"summary_instantiated\": %d, " (det r.summary_instantiated);
+  add "\"summary_opaque\": %d, " (det r.summary_opaque);
+  add "\"summary_computed\": %d, " (det r.summary_computed);
+  add "\"summary_cached\": %d, " (det r.summary_cached);
   add "\"time_ms\": %.1f, " (if deterministic then 0.0 else r.time *. 1000.0);
   add "\"solver_time_ms\": %.1f, "
     (if deterministic then 0.0 else r.solver_time *. 1000.0);

@@ -18,6 +18,22 @@ type config = {
           path completions) to (function, block) sites; the merged
           attribution is returned in [result.profile].  Off by default —
           the un-instrumented run pays only a per-site [option] branch. *)
+  summaries : bool;
+      (** compositional mode ([verify --summaries] /
+          [OVERIFY_SUMMARIES=1]): before exploring, build per-function
+          symbolic summaries bottom-up over the call graph — or load them
+          from the persistent store, keyed by a structural fingerprint
+          that hashes each function's body plus its callees'
+          fingerprints, so editing one function re-verifies only its
+          callgraph cone — and instantiate them at call sites instead of
+          inlining.  Verdicts ([paths], [bugs], [exit_codes],
+          [blocks_covered]) are identical to inline exploration (the
+          summary-vs-inline differential battery in test_summary checks
+          this byte-for-byte); only effort counters move.  Functions the
+          summarizer cannot capture faithfully (recursion, symbolic
+          memory offsets, budget blow-ups) stay [Opaque] and are explored
+          inline.  Defaults to the [OVERIFY_SUMMARIES] environment
+          variable. *)
   solver_cache : bool option;
       (** enable the solver's reuse layers (exact, canonical,
           counterexample, store); [None] defers to [OVERIFY_SOLVER_CACHE]
@@ -113,6 +129,12 @@ type result = {
   hits_subset : int;     (** UNSAT-subset rule, *)
   hits_superset : int;   (** stored-model screening, *)
   hits_store : int;      (** and the persistent cross-run store *)
+  summary_instantiated : int;
+      (** call sites answered by instantiating a function summary *)
+  summary_opaque : int;
+      (** call sites whose callee summary was [Opaque] (explored inline) *)
+  summary_computed : int;  (** summaries built fresh this run *)
+  summary_cached : int;    (** summaries loaded from the persistent store *)
   time : float;          (** total verification wall time *)
   complete : bool;
       (** derived: [degradations = []] — exploration covered every path *)
@@ -163,7 +185,10 @@ val run : ?config:config -> Overify_ir.Ir.modul -> result
 val result_to_json : ?deterministic:bool -> result -> string
 (** Machine-readable result (fixed key order, goldenable), including the
     [degradations] and [faults_injected] blocks.  [deterministic] zeroes
-    the wall-clock fields and [cache_hits] (reuse-state-dependent: a warm
-    store changes hit counts but, by the determinism contract, nothing
-    else), so identical programs produce identical bytes regardless of
-    cache temperature. *)
+    everything that is not a verdict: the wall-clock fields, [cache_hits]
+    (reuse-state-dependent: a warm store changes hit counts but, by the
+    determinism contract, nothing else) and the effort/summary counters
+    ([instructions], [forks], [queries], [summary_*]), which legitimately
+    differ between compositional and inline exploration.  Identical
+    programs therefore produce identical bytes regardless of cache
+    temperature or summary mode. *)

@@ -11,6 +11,7 @@ module Bv = Overify_solver.Bv
 module Solver = Overify_solver.Solver
 module Obs = Overify_obs.Obs
 module Fault = Overify_fault.Fault
+module Summary = Overify_summary.Summary
 module IMap = State.IMap
 
 type gctx = {
@@ -25,14 +26,31 @@ type gctx = {
           crash/kill faults tick per [step], alloc faults per [Alloca] *)
   mutable insts_executed : int;    (** dynamic total over all paths *)
   mutable forks : int;
-  covered : (string * int, unit) Hashtbl.t;
-      (** basic blocks reached on some path (KLEE-style coverage) *)
+  mutable covered : (string * int, unit) Hashtbl.t;
+      (** basic blocks reached on some path (KLEE-style coverage);
+          mutable so the summary builder can swap in per-trace tables *)
   prof : Obs.Profile.t option;
       (** cost attribution per (function, block); [None] (the default) is
           the un-instrumented fast path — every profiling site is one
           branch on this option.  Increments mirror [insts_executed],
           [forks] and the solver counters exactly, so attributed values
           sum to the whole-run totals. *)
+  glayout : Summary.layout;
+      (** writable-global byte-cell layout (summary variable space) *)
+  mutable summaries : (string, Summary.fsum) Hashtbl.t option;
+      (** per-function summaries; [Some] iff the run has summaries on *)
+  mutable building : bool;
+      (** inside the summary builder: calls always inline, and branch
+          conjuncts are recorded in [fork_conds] for flavoring *)
+  mutable sym_deref : bool;
+      (** a bounds check saw a symbolic offset — its bug message depends
+          on the calling context, so the function under build is opaque *)
+  mutable fork_conds : Bv.t list;
+      (** while building: conjuncts added under the both-sides-feasible
+          branch discipline (Cbr), as opposed to the always-constrain
+          condition discipline; cleared by the builder before each step *)
+  mutable sum_hits : int;    (** call sites answered by a summary *)
+  mutable sum_opaque : int;  (** call sites whose summary was opaque *)
 }
 
 (** The attribution cell for [st]'s current (function, block). *)
@@ -257,6 +275,10 @@ let with_bounds gctx (st : State.t) ~what ~obj ~(off : Bv.t) ~width
                         what width c64 o.Memory.size ) ]
               else k st
           | _ ->
+              (* the bug message below depends on whether the offset is
+                 symbolic, which substitution can change — a function whose
+                 build hits this arm cannot be summarized faithfully *)
+              gctx.sym_deref <- true;
               let limit = Int64.of_int (o.Memory.size - width) in
               if limit < 0L then
                 [ T_bug (st, what ^ ": access wider than object") ]
@@ -524,6 +546,8 @@ let rec step gctx (st : State.t) : transition list =
               (match (tf, ff_) with
               | (Feasible mt, Feasible mf) ->
                   record_fork gctx st;
+                  if gctx.building then
+                    gctx.fork_conds <- nc :: tc :: gctx.fork_conds;
                   [ T_cont (enter_block gctx (constrain st tc mt) t);
                     T_cont (enter_block gctx (constrain st nc mf) e) ]
               | (Feasible _, Infeasible) -> [ T_cont (enter_block gctx st t) ]
@@ -594,26 +618,168 @@ and exec_call gctx (st : State.t) dst name (args : Sval.t list) :
   | _ -> (
       match Ir.find_func gctx.modul name with
       | None -> err "call to unknown function %s" name
-      | Some fn ->
+      | Some fn -> (
           let params = fn.Ir.params in
           if List.length params <> List.length args then
             err "arity mismatch calling %s" name;
-          let regs =
-            List.fold_left2
-              (fun m (r, _) v -> IMap.add r v m)
-              IMap.empty params args
+          let inline () =
+            let regs =
+              List.fold_left2
+                (fun m (r, _) v -> IMap.add r v m)
+                IMap.empty params args
+            in
+            let entry = Ir.entry fn in
+            Hashtbl.replace gctx.covered (fn.Ir.fname, entry.Ir.bid) ();
+            let frame =
+              {
+                State.fn;
+                regs;
+                cur_block = entry.Ir.bid;
+                prev_block = -1;
+                insts = entry.Ir.insts;
+                ret_dst = dst;
+                frame_objs = [];
+              }
+            in
+            [ T_cont { st with State.frames = frame :: st.State.frames } ]
           in
-          let entry = Ir.entry fn in
-          Hashtbl.replace gctx.covered (fn.Ir.fname, entry.Ir.bid) ();
-          let frame =
-            {
-              State.fn;
-              regs;
-              cur_block = entry.Ir.bid;
-              prev_block = -1;
-              insts = entry.Ir.insts;
-              ret_dst = dst;
-              frame_objs = [];
-            }
-          in
-          [ T_cont { st with State.frames = frame :: st.State.frames } ])
+          (* the builder always inlines: nested branch conjuncts must flow
+             through the real Cbr discipline to be flavored correctly *)
+          match gctx.summaries with
+          | Some tbl when not gctx.building -> (
+              match Hashtbl.find_opt tbl name with
+              | Some (Summary.Summarized traces) ->
+                  gctx.sum_hits <- gctx.sum_hits + 1;
+                  (match gctx.prof with
+                  | Some p ->
+                      let cell = prof_site p st in
+                      cell.Obs.Profile.s_sum_hits <-
+                        cell.Obs.Profile.s_sum_hits + 1
+                  | None -> ());
+                  Hashtbl.replace gctx.covered
+                    (fn.Ir.fname, (Ir.entry fn).Ir.bid) ();
+                  apply_summary gctx st dst fn traces
+                    (Array.of_list
+                       (List.map (as_int_exn "summary arg") args))
+              | Some (Summary.Opaque _) ->
+                  gctx.sum_opaque <- gctx.sum_opaque + 1;
+                  (match gctx.prof with
+                  | Some p ->
+                      let cell = prof_site p st in
+                      cell.Obs.Profile.s_sum_opaque <-
+                        cell.Obs.Profile.s_sum_opaque + 1
+                  | None -> ());
+                  inline ()
+              | None -> inline ())
+          | _ -> inline ()))
+
+(** Instantiate a summary at a call site: substitute the actual argument
+    terms and the caller's current global cell contents into each trace,
+    re-constrain its conjuncts in order, and turn the survivors into
+    transitions.  The replay rules reproduce inline exploration exactly
+    (see summary.mli): condition conjuncts constrain whenever feasible;
+    branch conjuncts additionally check the negation and, when the branch
+    is one-sided, continue without the conjunct and without adopting a
+    new model — which is precisely what the Cbr code above does. *)
+and apply_summary gctx (st : State.t) dst (fn : Ir.func)
+    (traces : Summary.trace list) (args : Bv.t array) : transition list =
+  let memo = Hashtbl.create 64 in
+  let lookup v =
+    if v >= Summary.global_cell_base then
+      match Summary.cell_of_var gctx.glayout v with
+      | Some (gname, off) -> (
+          match List.assoc_opt gname gctx.globals with
+          | Some obj -> (
+              match Memory.find st.State.mem obj with
+              | Some o -> o.Memory.cells.(off)
+              | None -> err "summary: global %s has no object" gname)
+          | None -> err "summary: unknown global %s" gname)
+      | None -> err "summary: cell variable %d outside layout" v
+    else begin
+      let i = v - Summary.param_base in
+      if i >= 0 && i < Array.length args then args.(i)
+      else err "summary: parameter variable %d out of range" v
+    end
+  in
+  let sub t = Summary.subst ~memo ~lookup t in
+  (* all traces replay against the state at the call, so one memo serves
+     the whole instantiation *)
+  let rec replay st (conjs : Summary.conjunct list) : State.t option =
+    match conjs with
+    | [] -> Some st
+    | { Summary.c_fork; c_term } :: rest -> (
+        let c = sub c_term in
+        match c.Bv.node with
+        | Bv.Const 1L -> replay st rest (* inline's constant fast path *)
+        | Bv.Const 0L -> None
+        | _ ->
+            if not c_fork then (
+              match feasible gctx st c with
+              | Infeasible -> None
+              | Feasible m -> replay (constrain st c m) rest)
+            else (
+              match feasible gctx st c with
+              | Infeasible -> None
+              | Feasible m -> (
+                  match feasible gctx st (Bv.not_ c) with
+                  | Infeasible ->
+                      (* one-sided branch: inline would not constrain and
+                         would keep the old model *)
+                      replay st rest
+                  | Feasible _ ->
+                      if gctx.building then
+                        gctx.fork_conds <- c :: gctx.fork_conds;
+                      replay (constrain st c m) rest)))
+  in
+  let finish (st : State.t) (tr : Summary.trace) : transition =
+    List.iter (fun k -> Hashtbl.replace gctx.covered k ()) tr.Summary.t_covered;
+    match tr.Summary.t_outcome with
+    | Summary.O_bug { bg_kind; bg_fn; bg_block } ->
+        (* push a synthetic frame so bug attribution (function name at the
+           top of the stack) matches the inline exploration *)
+        let bfn =
+          match Ir.find_func gctx.modul bg_fn with Some f -> f | None -> fn
+        in
+        let frame =
+          {
+            State.fn = bfn;
+            regs = IMap.empty;
+            cur_block = bg_block;
+            prev_block = -1;
+            insts = [];
+            ret_dst = None;
+            frame_objs = [];
+          }
+        in
+        T_bug ({ st with State.frames = frame :: st.State.frames }, bg_kind)
+    | Summary.O_ret rv ->
+        let mem =
+          List.fold_left
+            (fun mem (gname, off, v8) ->
+              match List.assoc_opt gname gctx.globals with
+              | Some obj -> (
+                  match
+                    Memory.write mem ~obj
+                      ~off:(Bv.const 64 (Int64.of_int off))
+                      ~width:1 ~v:(sub v8)
+                  with
+                  | Ok mem' -> mem'
+                  | Error _ -> err "summary: global write to %s failed" gname)
+              | None -> err "summary: unknown global %s" gname)
+            st.State.mem tr.Summary.t_writes
+        in
+        let st = { st with State.mem = mem } in
+        let st =
+          match (dst, rv) with
+          | (Some d, Some t) -> State.set_reg st d (Sval.SInt (sub t))
+          | (Some d, None) -> State.set_reg st d (Sval.SInt (Bv.const 32 0L))
+          | (None, _) -> st
+        in
+        T_cont st
+  in
+  List.filter_map
+    (fun (tr : Summary.trace) ->
+      Option.map
+        (fun st' -> finish st' tr)
+        (replay st tr.Summary.t_conjuncts))
+    traces

@@ -322,6 +322,42 @@ let test_callgraph () =
   check bool "b before a" true (pos "b" < pos "a");
   check bool "a before main" true (pos "a" < pos "main")
 
+(* Tarjan SCC grouping: a two-function cycle (mutual recursion) must land
+   in one SCC and be flagged cyclic — the summary layer keys on this to
+   make recursive functions Opaque *)
+let test_sccs () =
+  let mk name callees =
+    let b = Builder.create ~name ~params:[] ~ret:I.I32 in
+    List.iter (fun c -> ignore (Builder.call b I.I32 c [])) callees;
+    Builder.term b (I.Ret (Some (I.imm I.I32 0L)));
+    Builder.finish b
+  in
+  let m =
+    {
+      I.globals = [];
+      funcs =
+        [ mk "main" [ "even"; "leaf" ]; mk "even" [ "odd" ];
+          mk "odd" [ "even"; "leaf" ]; mk "leaf" [] ];
+    }
+  in
+  let sccs = Callgraph.sccs m in
+  let scc_of n = List.find (List.mem n) sccs in
+  check (Alcotest.list Alcotest.string) "even and odd form one SCC"
+    [ "even"; "odd" ]
+    (List.sort compare (scc_of "even"));
+  check bool "main is a singleton SCC" true (scc_of "main" = [ "main" ]);
+  let cyc = Callgraph.cyclic m in
+  check bool "even cyclic" true (Callgraph.StrSet.mem "even" cyc);
+  check bool "odd cyclic" true (Callgraph.StrSet.mem "odd" cyc);
+  check bool "main acyclic" false (Callgraph.StrSet.mem "main" cyc);
+  check bool "leaf acyclic" false (Callgraph.StrSet.mem "leaf" cyc);
+  (* reverse topological order: every callee's SCC precedes its callers' *)
+  let pos n =
+    Option.get (List.find_index (fun scc -> List.mem n scc) sccs)
+  in
+  check bool "leaf before the cycle" true (pos "leaf" < pos "even");
+  check bool "cycle before main" true (pos "even" < pos "main")
+
 (* ------------- printer ------------- *)
 
 let test_printer () =
@@ -388,7 +424,11 @@ let () =
       ( "typing",
         [ Alcotest.test_case "of_func" `Quick test_typing ] );
       ( "callgraph",
-        [ Alcotest.test_case "basics" `Quick test_callgraph ] );
+        [
+          Alcotest.test_case "basics" `Quick test_callgraph;
+          Alcotest.test_case "tarjan sccs (two-function cycle)" `Quick
+            test_sccs;
+        ] );
       ( "printer",
         [ Alcotest.test_case "contains expected text" `Quick test_printer ] );
     ]

@@ -132,11 +132,12 @@ let request_gen : Protocol.request QCheck.Gen.t =
   let* rq_link_libc = bool in
   let* rq_deterministic = bool in
   let* rq_faults = any_string in
+  let* rq_summaries = bool in
   return
     {
       Protocol.rq_id; rq_kind; rq_program; rq_source; rq_level;
       rq_input_size; rq_timeout; rq_jobs; rq_link_libc; rq_deterministic;
-      rq_faults;
+      rq_faults; rq_summaries;
     }
 
 let test_request_roundtrip =
@@ -584,14 +585,17 @@ let test_write_atomic_race () =
   let torn = ref 0 and reads = ref 0 in
   let reader () =
     while !reads < iters do
-      (match Binfile.read ~path ~magic ~version with
-      | Some p ->
-          incr reads;
-          if p <> payload_a && p <> payload_b then incr torn
-      | None ->
-          (* the file exists after the first write; from then on every
-             read must validate *)
-          if Sys.file_exists path then incr torn);
+      (* probe existence BEFORE the read: a first write landing between a
+         failed read and the check must not be miscounted as a torn read *)
+      (let existed = Sys.file_exists path in
+       match Binfile.read ~path ~magic ~version with
+       | Some p ->
+           incr reads;
+           if p <> payload_a && p <> payload_b then incr torn
+       | None ->
+           (* the file exists after the first write and is never removed;
+              from then on every read must validate *)
+           if existed then incr torn);
       Thread.yield ()
     done
   in
