@@ -609,11 +609,53 @@ let serve_cmd =
       & info [ "save-every" ] ~docv:"N"
           ~doc:"Save the warm solver store every $(docv) executed jobs.")
   in
-  let run socket cache_dir recent_cap save_every =
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Enable per-request registry metrics for the whole daemon.  \
+             The flag beats the $(b,OVERIFY_OBS) environment variable, so \
+             clients need nothing in their environment; without it the \
+             variable still applies.")
+  in
+  let flight_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Enable the flight recorder: dump the in-memory span/event \
+             ring to a post-mortem file under $(docv) whenever a request \
+             degrades, a kill/crash is contained, or the daemon shuts \
+             down.  Inspect dumps with $(b,overify postmortem).")
+  in
+  let log_arg =
+    let log_conv =
+      let parse s =
+        match O.Serve_log.level_of_name s with
+        | Some l -> Ok l
+        | None -> Error (`Msg (Printf.sprintf "unknown log level %s" s))
+      in
+      Arg.conv (parse, fun fmt l ->
+          Format.pp_print_string fmt (O.Serve_log.level_name l))
+    in
+    Arg.(
+      value
+      & opt (some log_conv) None
+      & info [ "log" ] ~docv:"LEVEL"
+          ~doc:
+            "Stderr log threshold: debug, info or warn.  One JSONL line \
+             per event, carrying the request's trace id.  Defaults to \
+             $(b,OVERIFY_LOG) (warn when unset); the flag wins.")
+  in
+  let run socket cache_dir recent_cap save_every obs flight_dir log_level =
     let daemon =
       O.Serve.start
         ?socket:(if socket = "" then None else Some socket)
-        ?cache_dir ~recent_cap ~save_every ()
+        ?cache_dir ~recent_cap ~save_every
+        ?obs:(if obs then Some true else None)
+        ?flight_dir ?log_level ()
     in
     Printf.printf "listening on %s\n%!" (O.Serve.socket_path daemon);
     O.Serve.wait daemon;
@@ -628,16 +670,76 @@ let serve_cmd =
           JSON frames), deduplicating identical in-flight and recent \
           requests, and keeping one warm solver store across all of them. \
           Stop it with $(b,overify client --shutdown).")
-    Term.(const run $ socket_arg $ cache_dir_arg $ recent_cap $ save_every)
+    Term.(const run $ socket_arg $ cache_dir_arg $ recent_cap $ save_every
+          $ obs $ flight_dir $ log_arg)
 
 (* ---- client subcommand ---- *)
+
+(** Render the [metrics] document as a compact table (the [--watch]
+    screen). *)
+let metrics_table (j : O.Serve_json.t) : string =
+  let geti k =
+    Option.value ~default:0 (Option.bind (O.Serve_json.mem j k) O.Serve_json.int_)
+  in
+  let getf k =
+    Option.value ~default:0.0
+      (Option.bind (O.Serve_json.mem j k) O.Serve_json.num)
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "overify daemon — uptime %.1fs  queue depth %d\n"
+       (getf "uptime_s") (geti "queue_depth"));
+  Buffer.add_string b
+    (Printf.sprintf
+       "requests %d  executed %d  dedup hits %d  malformed %d  errors %d  \
+        degraded %d\n"
+       (geti "requests") (geti "executed") (geti "dedup_hits")
+       (geti "malformed") (geti "errors") (geti "degraded"));
+  Buffer.add_string b
+    (Printf.sprintf
+       "store %d entries (loaded %d, hits %d)  solver %.1fms over %d \
+        queries (%d cached)\n"
+       (geti "store_entries") (geti "store_loaded") (geti "store_hits")
+       (getf "solver_time_s" *. 1000.0)
+       (geti "engine_queries") (geti "engine_cache_hits"));
+  Buffer.add_string b
+    (Printf.sprintf
+       "summaries instantiated %d  opaque %d  computed %d  cached %d\n"
+       (geti "summary_instantiated") (geti "summary_opaque")
+       (geti "summary_computed") (geti "summary_cached"));
+  Buffer.add_string b
+    (Printf.sprintf "flight dumps %d  ring %d records (%d dropped)\n"
+       (geti "flight_dumps") (geti "flight_records") (geti "flight_dropped"));
+  Buffer.add_string b
+    "latency_ms    count    mean     p50     p95     p99     max\n";
+  (match O.Serve_json.mem j "latency_ms" with
+  | Some (O.Serve_json.Obj kinds) ->
+      List.iter
+        (fun (k, h) ->
+          let gi key =
+            Option.value ~default:0
+              (Option.bind (O.Serve_json.mem h key) O.Serve_json.int_)
+          in
+          let gf key =
+            Option.value ~default:0.0
+              (Option.bind (O.Serve_json.mem h key) O.Serve_json.num)
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%-10s %8d %7.2f %7.2f %7.2f %7.2f %7.2f\n" k
+               (gi "count") (gf "mean_ms") (gf "p50_ms") (gf "p95_ms")
+               (gf "p99_ms") (gf "max_ms")))
+        kinds
+  | _ -> ());
+  Buffer.contents b
 
 let client_cmd =
   let kind_arg =
     Arg.(
       value & opt string "verify"
       & info [ "kind"; "k" ] ~docv:"KIND"
-          ~doc:"Request kind: verify, compile, tv, stats or shutdown.")
+          ~doc:
+            "Request kind: verify, compile, tv, stats, metrics or \
+             shutdown.")
   in
   let program_arg =
     Arg.(
@@ -684,6 +786,43 @@ let client_cmd =
     Arg.(
       value & flag & info [ "stats" ] ~doc:"Fetch the daemon's counters.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Fetch the daemon's full telemetry registry (per-kind latency \
+             histograms, queue depth, dedup/store/summary hit counters, \
+             uptime, degradation counts) — supersedes $(b,--stats).")
+  in
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "With $(b,--metrics) (implied): print the registry in \
+             Prometheus text exposition format instead of JSON.")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch"; "w" ]
+          ~doc:
+            "Poll $(b,--metrics) (implied) and redraw a live table until \
+             interrupted (or $(b,--count) polls).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Poll period for $(b,--watch) (default 2s).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop $(b,--watch) after $(docv) polls (0 = forever).")
+  in
   let garbage =
     Arg.(
       value & flag
@@ -703,18 +842,61 @@ let client_cmd =
              $(b,--json) output.")
   in
   let run socket level kind program file size timeout jobs summaries
-      deterministic faults shutdown stats garbage result_only =
+      deterministic faults shutdown stats metrics prometheus watch interval
+      count garbage result_only =
     if socket = "" then begin
       Printf.eprintf "client: --socket is required\n";
       exit 2
     end;
-    let conn =
+    let connect () =
       try O.Serve_client.connect socket
       with _ ->
         Printf.eprintf "client: cannot connect to %s (is the daemon up?)\n"
           socket;
         exit 2
     in
+    let rq_format = if prometheus then "prometheus" else "" in
+    if watch then begin
+      (* live telemetry: poll the metrics op and redraw *)
+      let conn = connect () in
+      let rec go i =
+        match
+          O.Serve_client.rpc conn
+            {
+              O.Serve_protocol.default_request with
+              O.Serve_protocol.rq_kind = O.Serve_protocol.Metrics;
+              rq_format;
+            }
+        with
+        | Error e ->
+            Printf.eprintf "client: transport error: %s\n"
+              (O.Serve_protocol.frame_error_name e);
+            1
+        | Ok json ->
+            let doc =
+              match O.Serve_protocol.extract_field json "result" with
+              | Some r -> r
+              | None -> json
+            in
+            let rendered =
+              match O.Serve_json.parse doc with
+              | Ok (O.Serve_json.Str text) -> text (* prometheus *)
+              | Ok j -> metrics_table j
+              | Error _ -> doc
+            in
+            Printf.printf "\027[2J\027[H%s%!" rendered;
+            if count > 0 && i + 1 >= count then 0
+            else begin
+              Unix.sleepf interval;
+              go (i + 1)
+            end
+      in
+      let rc = go 0 in
+      O.Serve_client.close conn;
+      rc
+    end
+    else begin
+    let conn = connect () in
     let answer =
       if garbage then begin
         if O.Serve_client.send_payload conn "this is not json {" then
@@ -725,6 +907,7 @@ let client_cmd =
         let kind =
           if shutdown then O.Serve_protocol.Shutdown
           else if stats then O.Serve_protocol.Stats
+          else if metrics || prometheus then O.Serve_protocol.Metrics
           else
             match O.Serve_protocol.kind_of_name kind with
             | Some k -> k
@@ -750,6 +933,7 @@ let client_cmd =
             rq_faults =
               (match faults with Some f -> O.Fault.spec f | None -> "");
             rq_summaries = summaries;
+            rq_format;
           }
       end
     in
@@ -761,7 +945,15 @@ let client_cmd =
         1
     | Ok json ->
         let doc =
-          if result_only then
+          if prometheus then
+            (* the exposition text travels as a JSON string; decode it *)
+            match O.Serve_protocol.extract_field json "result" with
+            | Some r -> (
+                match O.Serve_json.parse r with
+                | Ok (O.Serve_json.Str text) -> text
+                | _ -> r)
+            | None -> json
+          else if result_only then
             match O.Serve_protocol.extract_field json "result" with
             | Some r -> r
             | None -> json
@@ -774,6 +966,7 @@ let client_cmd =
           | _ -> false
         in
         if ok then 0 else 1
+    end
   in
   Cmd.v
     (Cmd.info "client"
@@ -783,7 +976,38 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ level $ kind_arg $ program_arg $ file_arg
       $ size $ timeout $ jobs $ summaries_arg $ deterministic $ faults_arg
-      $ shutdown $ stats $ garbage $ result_only)
+      $ shutdown $ stats $ metrics $ prometheus $ watch $ interval $ count
+      $ garbage $ result_only)
+
+(* ---- postmortem subcommand ---- *)
+
+let postmortem_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"A flight-record file (flight-*.bin) from the daemon's \
+                $(b,--flight-dir).")
+  in
+  let run file =
+    match O.Serve_flight.load file with
+    | Error msg ->
+        Printf.eprintf "postmortem: %s\n" msg;
+        1
+    | Ok d ->
+        O.Serve_flight.render d;
+        0
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Replay a daemon flight record: the bounded ring of spans, \
+          events and warnings the daemon dumped when a request degraded, \
+          a worker crashed or the daemon stopped.  Prints one line per \
+          record with relative timestamps, trace ids, span nesting, \
+          durations and counters.")
+    Term.(const run $ file)
 
 (* ---- corpus subcommand ---- *)
 
@@ -806,6 +1030,6 @@ let main_cmd =
          "Compiler + symbolic-execution toolchain reproducing '-OVERIFY: \
           Optimizing Programs for Fast Verification' (HotOS 2013).")
     [ compile_cmd; run_cmd; verify_cmd; analyze_cmd; tv_cmd; profile_cmd;
-      serve_cmd; client_cmd; corpus_cmd ]
+      serve_cmd; client_cmd; postmortem_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -33,6 +33,8 @@ module Serve = Overify_serve.Serve
 module Serve_client = Overify_serve.Client
 module Serve_protocol = Overify_serve.Protocol
 module Serve_json = Overify_serve.Json
+module Serve_flight = Overify_serve.Flight
+module Serve_log = Overify_serve.Log
 
 (** Compile MiniC source at an optimization level.  [link_libc] (default
     true) links the libc variant the level selects, like the paper's build

@@ -23,6 +23,8 @@ module Costmodel = Overify_opt.Costmodel
 module Programs = Overify_corpus.Programs
 module Engine = Overify_symex.Engine
 module Fault = Overify_fault.Fault
+module Obs = Overify_obs.Obs
+module Flight = Overify_serve.Flight
 
 (** The schedules of the default battery.  Chosen to fire while a run of
     a small corpus program at [-O0] is still in flight: early solver
@@ -44,6 +46,11 @@ type cell = {
   c_degradations : int;       (** distinct degradation groups reported *)
   c_repeat_agrees : bool;     (** re-run with a fresh [Fault.t] agreed *)
   c_subset : bool;            (** verdicts ⊆ clean verdicts *)
+  c_flight : bool;
+      (** every fired fault left a readable flight record: the ring dump
+          round-trips through {!Overify_serve.Flight} and carries a
+          [fault.injected] event on this run's trace (vacuously true
+          when nothing fired) *)
   c_failures : string list;   (** contract violations in this cell *)
 }
 
@@ -119,14 +126,53 @@ let wall_clocked (r : Engine.result) =
     (fun (d : Engine.degradation) -> d.Engine.d_kind = "wall_clock")
     r.Engine.degradations
 
-let run_faulted ~input_size ~timeout ~summaries compiled spec :
+let run_faulted ?span ~input_size ~timeout ~summaries compiled spec :
     (Engine.result, string) result =
   match Fault.parse spec with
   | Error msg -> Error (Printf.sprintf "unparseable schedule %S: %s" spec msg)
   | Ok faults -> (
       try
-        Ok (Experiment.verify ~input_size ~timeout ~summaries ~faults compiled)
+        Ok
+          (Experiment.verify ~input_size ~timeout ~summaries ~faults ?span
+             compiled)
       with e -> Error (Printexc.to_string e))
+
+(** Wipe and remove a flat temp directory; best effort. *)
+let rm_rf dir =
+  (if Sys.file_exists dir && Sys.is_directory dir then
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir));
+  try Sys.rmdir dir with Sys_error _ -> ()
+
+(** Dump the flight ring and check the injected fault left its mark: the
+    dump must round-trip through {!Flight} and contain a [label] event
+    on [trace].  The dump directory is temporary and removed. *)
+let flight_check ~trace ~label : (unit, string) result =
+  let tmp = Filename.temp_file "overify_chaos_flight" "" in
+  Sys.remove tmp;
+  let dir = tmp ^ ".d" in
+  let res =
+    match Flight.dump ~dir ~reason:"chaos" ~trace () with
+    | None -> Error "flight dump failed"
+    | Some path -> (
+        match Flight.load path with
+        | Error msg -> Error ("flight record unreadable: " ^ msg)
+        | Ok d ->
+            if
+              List.exists
+                (fun (r : Obs.Flight.record) ->
+                  r.Obs.Flight.fr_trace = trace
+                  && r.Obs.Flight.fr_label = label)
+                d.Flight.fd_records
+            then Ok ()
+            else
+              Error
+                (Printf.sprintf "no %s event on trace %s in flight record"
+                   label trace))
+  in
+  rm_rf dir;
+  res
 
 let sweep_cell ~input_size ~timeout ~summaries compiled
     ~(clean : Engine.result) spec : cell =
@@ -143,10 +189,17 @@ let sweep_cell ~input_size ~timeout ~summaries compiled
       c_degradations = 0;
       c_repeat_agrees = false;
       c_subset = false;
+      c_flight = false;
       c_failures = [];
     }
   in
-  match run_faulted ~input_size ~timeout ~summaries compiled spec with
+  (* the faulted run carries a span, so fired faults land in the flight
+     ring as [fault.injected] events on this cell's trace *)
+  let trace = Printf.sprintf "chaos-%s-%s" pname spec in
+  let span = Obs.Span.start ~trace ("chaos." ^ pname) in
+  let first = run_faulted ~span ~input_size ~timeout ~summaries compiled spec in
+  Obs.Span.finish span;
+  match first with
   | Error msg ->
       { base with
         c_crashed = Some msg;
@@ -174,6 +227,19 @@ let sweep_cell ~input_size ~timeout ~summaries compiled
       let injected = runtime_injected r1 in
       if injected > 0 && r1.Engine.degradations = [] then
         fail "%d runtime fault(s) fired but degradations is empty" injected;
+      (* ... and must have left a readable flight record *)
+      let any_fired =
+        List.exists (fun (_, n) -> n > 0) r1.Engine.faults_injected
+      in
+      let flight =
+        if not any_fired then true
+        else
+          match flight_check ~trace ~label:"fault.injected" with
+          | Ok () -> true
+          | Error msg ->
+              fail "flight record: %s" msg;
+              false
+      in
       (* completed-subset determinism versus the clean run — only
          meaningful against a complete baseline *)
       let sub =
@@ -193,18 +259,11 @@ let sweep_cell ~input_size ~timeout ~summaries compiled
         c_degradations = List.length r1.Engine.degradations;
         c_repeat_agrees = repeat_agrees;
         c_subset = sub;
+        c_flight = flight;
         c_failures = List.rev !failures;
       }
 
 (* ---- kill/resume ---- *)
-
-(** Wipe and remove a flat temp directory; best effort. *)
-let rm_rf dir =
-  (if Sys.file_exists dir && Sys.is_directory dir then
-     Array.iter
-       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-       (Sys.readdir dir));
-  try Sys.rmdir dir with Sys_error _ -> ()
 
 (** Kill an exploration of [compiled] mid-run (checkpointing on), resume
     it, and compare against the uninterrupted [clean] run. *)
@@ -225,17 +284,26 @@ let kill_and_resume ~input_size ~timeout compiled ~(clean : Engine.result) :
      fine enough that several checkpoints exist by then *)
   let kill_at = max 2 (clean.Engine.instructions / 2) in
   let spec = Printf.sprintf "kill@%d" kill_at in
+  (* even a kill that escapes the engine must leave a flight trail: mark
+     the attempt on a trace, then dump the ring once the kill fires *)
+  let trace = "chaos-kill-" ^ pname in
+  Obs.Span.event ~trace ~args:[ ("spec", spec) ] "chaos.kill";
   match Fault.parse spec with
   | Error msg -> finish false ("bad kill spec: " ^ msg)
   | Ok faults -> (
+      let span = Obs.Span.start ~trace "chaos.kill_run" in
       match
         Experiment.verify ~input_size ~timeout ~faults ~checkpoint_dir:dir
-          ~checkpoint_every:8 compiled
+          ~checkpoint_every:8 ~span compiled
       with
       | (_ : Engine.result) ->
           finish false
             (Printf.sprintf "kill@%d never fired (run completed)" kill_at)
       | exception Fault.Killed _ -> (
+          match flight_check ~trace ~label:"chaos.kill" with
+          | Error msg ->
+              finish false ("killed run's flight record: " ^ msg)
+          | Ok () -> (
           match
             Experiment.verify ~input_size ~timeout ~checkpoint_dir:dir
               ~resume:true compiled
@@ -257,7 +325,7 @@ let kill_and_resume ~input_size ~timeout compiled ~(clean : Engine.result) :
                 finish true
                   (Printf.sprintf
                      "killed at step %d, resumed, %d paths byte-identical"
-                     kill_at resumed.Engine.paths))
+                     kill_at resumed.Engine.paths)))
       | exception e ->
           finish false ("killed run raised unexpectedly: " ^ Printexc.to_string e))
 
@@ -267,11 +335,12 @@ let cell_to_json c =
   Printf.sprintf
     "  {\"program\": %S, \"schedule\": %S, \"crashed\": %b, \"paths\": %d, \
      \"clean_paths\": %d, \"injected\": %d, \"degradations\": %d, \
-     \"repeat_agrees\": %b, \"subset\": %b, \"failures\": [%s]}"
+     \"repeat_agrees\": %b, \"subset\": %b, \"flight\": %b, \"failures\": \
+     [%s]}"
     c.c_program c.c_schedule
     (c.c_crashed <> None)
     c.c_paths c.c_clean_paths c.c_injected c.c_degradations c.c_repeat_agrees
-    c.c_subset
+    c.c_subset c.c_flight
     (String.concat ", " (List.map (Printf.sprintf "%S") c.c_failures))
 
 (** Run the chaos sweep.  Every program in [programs] is compiled at
@@ -314,6 +383,7 @@ let run ?(input_size = 3) ?(timeout = 60.0) ?(level = Costmodel.o0)
                 c_degradations = List.length clean.Engine.degradations;
                 c_repeat_agrees = true;
                 c_subset = true;
+                c_flight = true;
                 c_failures =
                   (if wall_clocked clean then []
                    else [ "fault-free baseline degraded" ]);
@@ -339,7 +409,7 @@ let run ?(input_size = 3) ?(timeout = 60.0) ?(level = Costmodel.o0)
   in
   let header =
     [ "program"; "schedule"; "paths"; "clean"; "injected"; "degradations";
-      "2-run agree"; "subset"; "ok" ]
+      "2-run agree"; "subset"; "flight"; "ok" ]
   in
   let body =
     List.map
@@ -352,6 +422,7 @@ let run ?(input_size = 3) ?(timeout = 60.0) ?(level = Costmodel.o0)
           string_of_int c.c_degradations;
           string_of_bool c.c_repeat_agrees;
           string_of_bool c.c_subset;
+          string_of_bool c.c_flight;
           (if c.c_failures = [] then "yes" else "NO");
         ])
       cells
@@ -387,6 +458,7 @@ let run ?(input_size = 3) ?(timeout = 60.0) ?(level = Costmodel.o0)
   end;
   if failures = 0 then
     print_endline
-      "chaos sweep passed: zero crashes, deterministic degraded subsets"
+      "chaos sweep passed: zero crashes, deterministic degraded subsets, \
+       every fired fault flight-recorded"
   else Printf.printf "CHAOS SWEEP FAILED: %d contract violation(s)\n" failures;
   { cells; kill; failures }

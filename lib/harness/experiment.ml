@@ -55,8 +55,8 @@ let compile (level : Costmodel.t) (program : Programs.t) : compiled =
     [Engine.config]). *)
 let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
     ?(jobs = 1) ?summaries ?solver_cache ?cache_dir ?store ?faults
-    ?checkpoint_dir ?(checkpoint_every = 64) ?(resume = false) (c : compiled) :
-    Engine.result =
+    ?checkpoint_dir ?(checkpoint_every = 64) ?(resume = false) ?span
+    (c : compiled) : Engine.result =
   let searcher = if jobs > 1 then `Parallel jobs else `Dfs in
   let summaries =
     match summaries with
@@ -79,6 +79,7 @@ let verify ?(input_size = 4) ?(timeout = 30.0) ?(check_bounds = true)
         checkpoint_dir;
         checkpoint_every;
         resume;
+        span;
       }
     c.modul
 

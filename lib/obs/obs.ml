@@ -507,3 +507,200 @@ module Trace = struct
         end
         else output_string oc (to_json ()))
 end
+
+(* ---------------- flight-recorder ring ---------------- *)
+
+(** Bounded in-memory ring of recent span/event/log records — the
+    flight recorder's working memory.  Recording is unconditional (the
+    callers gate: a record only exists because somebody opened a span or
+    logged), bounded (drop-oldest beyond [cap], with a dropped counter so
+    a dump says how much history it lost), and cheap (one mutex + queue
+    push per record; record producers are per-request/per-query, not
+    per-instruction).  Serialization lives upstream in [lib/serve] —
+    this module cannot depend on [Binfile] (the solver depends on obs). *)
+module Flight = struct
+  type record = {
+    fr_ts : float;     (** absolute start, Unix seconds *)
+    fr_dur : float;    (** seconds; 0 for instant events and log lines *)
+    fr_trace : string; (** trace id; joins spans, events, logs, envelopes *)
+    fr_id : int;       (** span id; 0 for events/logs without one *)
+    fr_parent : int;   (** parent span id; -1 = root *)
+    fr_kind : string;  (** ["span"] | ["event"] | ["log"] *)
+    fr_label : string;
+    fr_counters : (string * float) list;
+    fr_args : (string * string) list;
+  }
+
+  let default_cap = 2048
+
+  type ring = {
+    mutable cap : int;
+    q : record Queue.t;
+    mutable dropped : int;
+    mu : Mutex.t;
+  }
+
+  let ring =
+    { cap = default_cap; q = Queue.create (); dropped = 0; mu = Mutex.create () }
+
+  let set_cap n =
+    Mutex.lock ring.mu;
+    ring.cap <- max 1 n;
+    while Queue.length ring.q > ring.cap do
+      ignore (Queue.pop ring.q);
+      ring.dropped <- ring.dropped + 1
+    done;
+    Mutex.unlock ring.mu
+
+  let record r =
+    Mutex.lock ring.mu;
+    Queue.push r ring.q;
+    while Queue.length ring.q > ring.cap do
+      ignore (Queue.pop ring.q);
+      ring.dropped <- ring.dropped + 1
+    done;
+    Mutex.unlock ring.mu
+
+  (** Snapshot, oldest first. *)
+  let records () =
+    Mutex.lock ring.mu;
+    let rs = List.of_seq (Queue.to_seq ring.q) in
+    Mutex.unlock ring.mu;
+    rs
+
+  let dropped () =
+    Mutex.lock ring.mu;
+    let d = ring.dropped in
+    Mutex.unlock ring.mu;
+    d
+
+  let clear () =
+    Mutex.lock ring.mu;
+    Queue.clear ring.q;
+    ring.dropped <- 0;
+    Mutex.unlock ring.mu
+end
+
+(* ---------------- hierarchical spans ---------------- *)
+
+(** Hierarchical wall-clock spans: a trace id shared by everything one
+    request touches, a span id, a parent, a label and attached counters.
+    Opened at request admission in [lib/serve], threaded through
+    [Engine.config.span] into summary build, per-worker exploration and
+    per-query solves — the same increments that make up [Engine.result],
+    so per-span counter sums equal engine totals exactly as the
+    {!Profile} per-site sums do.
+
+    A finished span lands in the {!Flight} ring and, when trace
+    collection is on, in the {!Trace} sink (with [trace]/[span]/[parent]
+    args, so the Chrome timeline renders a multi-request daemon view).
+    Spans are created only on demand (a [None] config field elsewhere);
+    an un-traced run pays one [option] branch per site. *)
+module Span = struct
+  type t = {
+    sp_trace : string;
+    sp_id : int;
+    sp_parent : int;  (** -1 = root *)
+    sp_label : string;
+    sp_start : float;
+    mutable sp_counters : (string * float) list;
+  }
+
+  let next_id = Atomic.make 1
+  let next_trace = Atomic.make 1
+
+  (** Fresh local trace id (daemon requests use fingerprint-derived ids
+      instead, so duplicates share one trace). *)
+  let fresh_trace () =
+    Printf.sprintf "local-%d" (Atomic.fetch_and_add next_trace 1)
+
+  let start ?trace ?parent label =
+    let trace =
+      match (trace, parent) with
+      | Some t, _ -> t
+      | None, Some p -> p.sp_trace
+      | None, None -> fresh_trace ()
+    in
+    {
+      sp_trace = trace;
+      sp_id = Atomic.fetch_and_add next_id 1;
+      sp_parent = (match parent with Some p -> p.sp_id | None -> -1);
+      sp_label = label;
+      sp_start = Unix.gettimeofday ();
+      sp_counters = [];
+    }
+
+  let add_counter t k v = t.sp_counters <- (k, v) :: t.sp_counters
+
+  let span_args t =
+    [ ("trace", t.sp_trace); ("span", string_of_int t.sp_id);
+      ("parent", string_of_int t.sp_parent) ]
+
+  let record_span t ~ts ~dur ~counters =
+    Flight.record
+      {
+        Flight.fr_ts = ts;
+        fr_dur = dur;
+        fr_trace = t.sp_trace;
+        fr_id = t.sp_id;
+        fr_parent = t.sp_parent;
+        fr_kind = "span";
+        fr_label = t.sp_label;
+        fr_counters = counters;
+        fr_args = [];
+      };
+    if Trace.enabled () then
+      Trace.emit ~cat:"span"
+        ~args:
+          (span_args t
+          @ List.map (fun (k, v) -> (k, Printf.sprintf "%g" v)) counters)
+        ~name:t.sp_label ~ts ~dur ()
+
+  (** Close the span: its interval is [sp_start .. now].  [counters]
+      (appended to any {!add_counter}ed ones, canonically sorted) are the
+      span's attributed costs. *)
+  let finish ?(counters = []) t =
+    let now = Unix.gettimeofday () in
+    let counters = List.sort compare (List.rev_append t.sp_counters counters) in
+    record_span t ~ts:t.sp_start ~dur:(now -. t.sp_start) ~counters
+
+  (** One-shot child span with an explicit interval — the per-query
+      solver hook, which already holds start and duration. *)
+  let emit ~parent ?(counters = []) ~ts ~dur label =
+    let t =
+      {
+        sp_trace = parent.sp_trace;
+        sp_id = Atomic.fetch_and_add next_id 1;
+        sp_parent = parent.sp_id;
+        sp_label = label;
+        sp_start = ts;
+        sp_counters = [];
+      }
+    in
+    record_span t ~ts ~dur ~counters:(List.sort compare counters)
+
+  (** Instant event attached to a span's trace (degradations, injected
+      faults, summary instantiations). *)
+  let event ?parent ?(trace = "") ?(args = []) label =
+    let trace =
+      match (parent, trace) with
+      | Some p, _ -> p.sp_trace
+      | None, t -> t
+    in
+    Flight.record
+      {
+        Flight.fr_ts = Unix.gettimeofday ();
+        fr_dur = 0.0;
+        fr_trace = trace;
+        fr_id = 0;
+        fr_parent = (match parent with Some p -> p.sp_id | None -> -1);
+        fr_kind = "event";
+        fr_label = label;
+        fr_counters = [];
+        fr_args = args;
+      };
+    if Trace.enabled () then
+      Trace.emit ~cat:"span"
+        ~args:(("trace", trace) :: args)
+        ~name:label ~ts:(Unix.gettimeofday ()) ~dur:0.0 ()
+end

@@ -187,3 +187,79 @@ module Trace : sig
   val write : string -> unit
   (** Write to a file; a [.jsonl] suffix selects one event per line. *)
 end
+
+(** Bounded in-memory ring of recent span/event/log records — the flight
+    recorder's working memory (drop-oldest beyond [cap], dropped counter
+    kept).  Serialization to post-mortem files lives in [lib/serve]
+    (Binfile discipline); obs cannot depend on the solver's Binfile. *)
+module Flight : sig
+  type record = {
+    fr_ts : float;     (** absolute start, Unix seconds *)
+    fr_dur : float;    (** seconds; 0 for instant events and log lines *)
+    fr_trace : string; (** trace id; joins spans, events, logs, envelopes *)
+    fr_id : int;       (** span id; 0 for events/logs without one *)
+    fr_parent : int;   (** parent span id; -1 = root *)
+    fr_kind : string;  (** ["span"] | ["event"] | ["log"] *)
+    fr_label : string;
+    fr_counters : (string * float) list;
+    fr_args : (string * string) list;
+  }
+
+  val default_cap : int
+  val set_cap : int -> unit
+  val record : record -> unit
+
+  val records : unit -> record list
+  (** Snapshot, oldest first. *)
+
+  val dropped : unit -> int
+  (** Records evicted by the cap since the last {!clear}. *)
+
+  val clear : unit -> unit
+end
+
+(** Hierarchical wall-clock spans (trace id, parent, label, interval,
+    attached counters), opened at request admission in [lib/serve] and
+    threaded through [Engine.config.span] down to per-query solves.  The
+    counters attached at each level are the same increments that make up
+    [Engine.result], so per-span sums equal engine totals.  Finished
+    spans land in the {!Flight} ring and — when collection is on — in the
+    {!Trace} sink with [trace]/[span]/[parent] args. *)
+module Span : sig
+  type t = {
+    sp_trace : string;
+    sp_id : int;
+    sp_parent : int;  (** -1 = root *)
+    sp_label : string;
+    sp_start : float;
+    mutable sp_counters : (string * float) list;
+  }
+
+  val fresh_trace : unit -> string
+  (** A fresh process-local trace id ([local-N]); daemon requests use
+      fingerprint-derived ids so duplicates share one trace. *)
+
+  val start : ?trace:string -> ?parent:t -> string -> t
+  (** Open a span.  The trace id is [trace] if given, else inherited from
+      [parent], else fresh. *)
+
+  val add_counter : t -> string -> float -> unit
+
+  val finish : ?counters:(string * float) list -> t -> unit
+  (** Close the span over [sp_start .. now]; [counters] are appended to
+      any [add_counter]ed ones and canonically sorted. *)
+
+  val emit :
+    parent:t ->
+    ?counters:(string * float) list ->
+    ts:float ->
+    dur:float ->
+    string ->
+    unit
+  (** One-shot child span with an explicit interval (the per-query
+      solver hook). *)
+
+  val event :
+    ?parent:t -> ?trace:string -> ?args:(string * string) list -> string -> unit
+  (** Instant event on a span's trace (degradations, injected faults). *)
+end

@@ -1,0 +1,198 @@
+(** Flight-recorder persistence.  See flight.mli. *)
+
+module Obs = Overify_obs.Obs
+module Binfile = Overify_solver.Binfile
+
+let magic = "OVERIFY-FLIGHT"
+let version = 1
+
+type dump = {
+  fd_reason : string;
+  fd_trace : string;
+  fd_dumped_at : float;
+  fd_dropped : int;
+  fd_records : Obs.Flight.record list;
+}
+
+let record_to_json (r : Obs.Flight.record) : string =
+  let counters =
+    String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": %.9g" (Json.escape k) v)
+         r.Obs.Flight.fr_counters)
+  in
+  let args =
+    String.concat ", "
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\": \"%s\"" (Json.escape k) (Json.escape v))
+         r.Obs.Flight.fr_args)
+  in
+  Printf.sprintf
+    "{\"ts\": %.6f, \"dur\": %.6f, \"trace\": \"%s\", \"span\": %d, \
+     \"parent\": %d, \"kind\": \"%s\", \"label\": \"%s\", \"counters\": \
+     {%s}, \"args\": {%s}}"
+    r.Obs.Flight.fr_ts r.Obs.Flight.fr_dur
+    (Json.escape r.Obs.Flight.fr_trace)
+    r.Obs.Flight.fr_id r.Obs.Flight.fr_parent
+    (Json.escape r.Obs.Flight.fr_kind)
+    (Json.escape r.Obs.Flight.fr_label)
+    counters args
+
+let record_of_json (j : Json.t) : (Obs.Flight.record, string) result =
+  let str k =
+    match Json.mem j k with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let num k =
+    match Json.mem j k with Some (Json.Num n) -> Some n | _ -> None
+  in
+  let pairs k f =
+    match Json.mem j k with
+    | Some (Json.Obj kvs) -> List.filter_map (fun (k, v) -> f k v) kvs
+    | _ -> []
+  in
+  match (num "ts", str "trace", str "kind", str "label") with
+  | Some ts, Some trace, Some kind, Some label ->
+      Ok
+        {
+          Obs.Flight.fr_ts = ts;
+          fr_dur = Option.value ~default:0.0 (num "dur");
+          fr_trace = trace;
+          fr_id = int_of_float (Option.value ~default:0.0 (num "span"));
+          fr_parent = int_of_float (Option.value ~default:(-1.0) (num "parent"));
+          fr_kind = kind;
+          fr_label = label;
+          fr_counters =
+            pairs "counters" (fun k v ->
+                match v with Json.Num n -> Some (k, n) | _ -> None);
+          fr_args =
+            pairs "args" (fun k v ->
+                match v with Json.Str s -> Some (k, s) | _ -> None);
+        }
+  | _ -> Error "flight record missing ts/trace/kind/label"
+
+(* per-process dump sequence: unique file names without wall-clock races *)
+let seq = Atomic.make 0
+
+let dump ~dir ~reason ~trace () : string option =
+  let records = Obs.Flight.records () in
+  let dropped = Obs.Flight.dropped () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"reason\": \"%s\", \"trace\": \"%s\", \"dumped_at\": %.6f, \
+        \"dropped\": %d, \"records\": %d}\n"
+       (Json.escape reason) (Json.escape trace)
+       (Unix.gettimeofday ())
+       dropped (List.length records));
+  List.iter
+    (fun r ->
+      Buffer.add_string b (record_to_json r);
+      Buffer.add_char b '\n')
+    records;
+  Binfile.mkdirs dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "flight-%d-%04d-%s.bin" (Unix.getpid ())
+         (Atomic.fetch_and_add seq 1)
+         reason)
+  in
+  if Binfile.write ~path ~magic ~version (Buffer.contents b) then Some path
+  else None
+
+let load path : (dump, string) result =
+  match Binfile.read ~path ~magic ~version with
+  | None ->
+      Error
+        (Printf.sprintf "%s: not a readable OVERIFY-FLIGHT v%d file" path
+           version)
+  | Some payload -> (
+      let lines =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' payload)
+      in
+      match lines with
+      | [] -> Error (path ^ ": empty flight payload")
+      | header :: rest -> (
+          match Json.parse header with
+          | Error msg -> Error ("bad flight header: " ^ msg)
+          | Ok hj ->
+              let str k d =
+                match Json.mem hj k with
+                | Some (Json.Str s) -> s
+                | _ -> d
+              in
+              let num k d =
+                match Json.mem hj k with
+                | Some (Json.Num n) -> n
+                | _ -> d
+              in
+              let rec parse_records acc = function
+                | [] -> Ok (List.rev acc)
+                | l :: tl -> (
+                    match Json.parse l with
+                    | Error msg -> Error ("bad flight record: " ^ msg)
+                    | Ok j -> (
+                        match record_of_json j with
+                        | Error msg -> Error msg
+                        | Ok r -> parse_records (r :: acc) tl))
+              in
+              Result.map
+                (fun records ->
+                  {
+                    fd_reason = str "reason" "";
+                    fd_trace = str "trace" "";
+                    fd_dumped_at = num "dumped_at" 0.0;
+                    fd_dropped = int_of_float (num "dropped" 0.0);
+                    fd_records = records;
+                  })
+                (parse_records [] rest)))
+
+let render ?(oc = stdout) (d : dump) : unit =
+  Printf.fprintf oc
+    "flight record: reason=%s%s records=%d dropped=%d\n"
+    (if d.fd_reason = "" then "unknown" else d.fd_reason)
+    (if d.fd_trace = "" then "" else " trace=" ^ d.fd_trace)
+    (List.length d.fd_records)
+    d.fd_dropped;
+  let t0 =
+    match d.fd_records with
+    | r :: _ -> r.Obs.Flight.fr_ts
+    | [] -> d.fd_dumped_at
+  in
+  (* spans know their parent span id; indent children under ancestors *)
+  let depth_of = Hashtbl.create 64 in
+  let depth r =
+    let open Obs.Flight in
+    let d =
+      if r.fr_parent < 0 then 0
+      else
+        match Hashtbl.find_opt depth_of r.fr_parent with
+        | Some pd -> pd + 1
+        | None -> 1
+    in
+    if r.fr_kind = "span" && r.fr_id > 0 then Hashtbl.replace depth_of r.fr_id d;
+    d
+  in
+  List.iter
+    (fun (r : Obs.Flight.record) ->
+      let open Obs.Flight in
+      let indent = String.make (2 * depth r) ' ' in
+      let counters =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf " %s=%g" k v) r.fr_counters)
+      in
+      let args =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) r.fr_args)
+      in
+      Printf.fprintf oc "%+10.3fms %-5s %-16s %s%s%s%s%s\n"
+        ((r.fr_ts -. t0) *. 1000.0)
+        r.fr_kind
+        (if r.fr_trace = "" then "-" else r.fr_trace)
+        indent r.fr_label
+        (if r.fr_dur > 0.0 then Printf.sprintf " (%.3fms)" (r.fr_dur *. 1000.0)
+         else "")
+        counters args)
+    d.fd_records

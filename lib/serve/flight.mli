@@ -1,0 +1,52 @@
+(** Flight-recorder persistence: dump the bounded in-memory span/event
+    ring ({!Overify_obs.Obs.Flight}) to a post-mortem file and load it
+    back ([overify postmortem FILE]).
+
+    The daemon dumps whenever a request degrades, a worker crash or
+    injected kill surfaces, or the daemon shuts down; the chaos harness
+    dumps after every faulted schedule to prove each injected fault left
+    a readable record.
+
+    On-disk format: a {!Overify_solver.Binfile} frame (magic
+    ["OVERIFY-FLIGHT"], version 1, length + checksum, written
+    atomically) whose payload is one JSON header line — [{"reason",
+    "trace", "dumped_at", "dropped", "records"}] — followed by one JSON
+    line per ring record (oldest first), each carrying
+    [ts/dur/trace/span/parent/kind/label/counters/args].  The ring lives
+    in [lib/obs], which cannot depend on the solver's [Binfile]; this
+    module supplies the file discipline from the serve layer. *)
+
+val magic : string
+val version : int
+
+type dump = {
+  fd_reason : string;     (** why the dump was cut, e.g. ["degraded"],
+                              ["killed"], ["shutdown"], ["chaos"] *)
+  fd_trace : string;      (** trace id of the triggering request; may be
+                              empty (shutdown dumps) *)
+  fd_dumped_at : float;   (** Unix seconds *)
+  fd_dropped : int;       (** ring evictions before the dump — how much
+                              history the cap discarded *)
+  fd_records : Overify_obs.Obs.Flight.record list;  (** oldest first *)
+}
+
+val record_to_json : Overify_obs.Obs.Flight.record -> string
+(** One record as a single JSON line, fixed key order. *)
+
+val record_of_json :
+  Json.t -> (Overify_obs.Obs.Flight.record, string) result
+
+val dump : dir:string -> reason:string -> trace:string -> unit -> string option
+(** Snapshot the current ring to a fresh file under [dir] (created if
+    missing); the file name embeds pid, a per-process sequence number
+    and [reason].  Returns the path, or [None] if the write failed.
+    The ring is left intact — later dumps overlap earlier ones. *)
+
+val load : string -> (dump, string) result
+(** Strict: a corrupt frame, bad header or unparsable record line is an
+    [Error], not a partial dump. *)
+
+val render : ?oc:out_channel -> dump -> unit
+(** Human-readable post-mortem: a header line, then one line per record
+    with milliseconds relative to the first record, trace id, span
+    indentation, duration, counters and args. *)

@@ -2,13 +2,14 @@
 
 module Binfile = Overify_solver.Binfile
 
-type kind = Verify | Compile | Tv | Stats | Shutdown
+type kind = Verify | Compile | Tv | Stats | Metrics | Shutdown
 
 let kind_name = function
   | Verify -> "verify"
   | Compile -> "compile"
   | Tv -> "tv"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
 let kind_of_name = function
@@ -16,6 +17,7 @@ let kind_of_name = function
   | "compile" -> Some Compile
   | "tv" -> Some Tv
   | "stats" -> Some Stats
+  | "metrics" -> Some Metrics
   | "shutdown" -> Some Shutdown
   | _ -> None
 
@@ -32,6 +34,7 @@ type request = {
   rq_deterministic : bool;
   rq_faults : string;
   rq_summaries : bool;
+  rq_format : string;
 }
 
 let default_request =
@@ -48,6 +51,7 @@ let default_request =
     rq_deterministic = false;
     rq_faults = "";
     rq_summaries = false;
+    rq_format = "";
   }
 
 let request_to_json (r : request) : string =
@@ -55,15 +59,15 @@ let request_to_json (r : request) : string =
     "{\"id\": %d, \"kind\": \"%s\", \"program\": \"%s\", \"source\": \
      \"%s\", \"level\": \"%s\", \"input_size\": %d, \"timeout\": %.17g, \
      \"jobs\": %d, \"link_libc\": %b, \"deterministic\": %b, \"faults\": \
-     \"%s\", \"summaries\": %b}"
+     \"%s\", \"summaries\": %b, \"format\": \"%s\"}"
     r.rq_id (kind_name r.rq_kind) (Json.escape r.rq_program)
     (Json.escape r.rq_source) (Json.escape r.rq_level) r.rq_input_size
     r.rq_timeout r.rq_jobs r.rq_link_libc r.rq_deterministic
-    (Json.escape r.rq_faults) r.rq_summaries
+    (Json.escape r.rq_faults) r.rq_summaries (Json.escape r.rq_format)
 
 let known_keys =
   [ "id"; "kind"; "program"; "source"; "level"; "input_size"; "timeout";
-    "jobs"; "link_libc"; "deterministic"; "faults"; "summaries" ]
+    "jobs"; "link_libc"; "deterministic"; "faults"; "summaries"; "format" ]
 
 let request_of_json (j : Json.t) : (request, string) result =
   match j with
@@ -114,7 +118,10 @@ let request_of_json (j : Json.t) : (request, string) result =
           let* summaries =
             field "summaries" Json.bool_ default_request.rq_summaries
           in
-          if input_size < 0 || input_size > 64 then
+          let* format = field "format" Json.str default_request.rq_format in
+          if not (List.mem format [ ""; "json"; "prometheus" ]) then
+            Error (Printf.sprintf "unknown format %S" format)
+          else if input_size < 0 || input_size > 64 then
             Error (Printf.sprintf "input_size %d out of range [0, 64]" input_size)
           else if jobs < 1 || jobs > 64 then
             Error (Printf.sprintf "jobs %d out of range [1, 64]" jobs)
@@ -135,6 +142,7 @@ let request_of_json (j : Json.t) : (request, string) result =
                 rq_deterministic = deterministic;
                 rq_faults = faults;
                 rq_summaries = summaries;
+                rq_format = format;
               }))
   | _ -> Error "request must be a JSON object"
 
@@ -154,6 +162,7 @@ let fingerprint (r : request) : string =
             string_of_bool r.rq_deterministic;
             r.rq_faults;
             string_of_bool r.rq_summaries;
+            r.rq_format;
           ]))
 
 (* ---------------- framing ---------------- *)
@@ -264,7 +273,7 @@ let error_body ~kind ~err ~msg =
   { b_status = "error"; b_kind = kind; b_error = Some (err, msg);
     b_result = "null"; b_obs = "[]" }
 
-let response ~id ~dedup ~elapsed_ms (b : body) : string =
+let response ~id ~dedup ?(trace = "") ~elapsed_ms (b : body) : string =
   let error =
     match b.b_error with
     | None -> "null"
@@ -274,10 +283,10 @@ let response ~id ~dedup ~elapsed_ms (b : body) : string =
   in
   Printf.sprintf
     "{\"id\": %d, \"status\": \"%s\", \"kind\": \"%s\", \"dedup\": \
-     \"%s\", \"elapsed_ms\": %.1f, \"error\": %s, \"result\": %s, \
-     \"obs\": %s}"
-    id b.b_status (Json.escape b.b_kind) (Json.escape dedup) elapsed_ms error
-    b.b_result b.b_obs
+     \"%s\", \"trace\": \"%s\", \"elapsed_ms\": %.1f, \"error\": %s, \
+     \"result\": %s, \"obs\": %s}"
+    id b.b_status (Json.escape b.b_kind) (Json.escape dedup)
+    (Json.escape trace) elapsed_ms error b.b_result b.b_obs
 
 (* ---------------- raw field extraction ---------------- *)
 

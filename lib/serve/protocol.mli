@@ -19,7 +19,7 @@
 
     {v
       {"id": .., "status": "ok"|"error", "kind": .., "dedup":
-       "miss"|"inflight"|"recent"|"none", "elapsed_ms": ..,
+       "miss"|"inflight"|"recent"|"none", "trace": .., "elapsed_ms": ..,
        "error": null|{"kind": .., "message": ..}, "result": ..,
        "obs": [..]}
     v}
@@ -28,7 +28,7 @@
     [Engine.result_to_json] produces, so the daemon and the one-shot CLI
     can be differentially tested. *)
 
-type kind = Verify | Compile | Tv | Stats | Shutdown
+type kind = Verify | Compile | Tv | Stats | Metrics | Shutdown
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind option
@@ -51,6 +51,10 @@ type request = {
           shared store makes summaries cross-request: a later request for
           an edited program reuses every summary outside the edit's
           callgraph cone. *)
+  rq_format : string;
+      (** result encoding for [Metrics] requests: [""]/["json"] = the
+          structured metrics document, ["prometheus"] = a JSON string
+          holding Prometheus text exposition.  Ignored by other kinds. *)
 }
 
 val default_request : request
@@ -106,8 +110,11 @@ type body = {
 val ok_body : kind:string -> result:string -> ?obs:string -> unit -> body
 val error_body : kind:string -> err:string -> msg:string -> body
 
-val response : id:int -> dedup:string -> elapsed_ms:float -> body -> string
-(** The fixed-key-order envelope documented above. *)
+val response :
+  id:int -> dedup:string -> ?trace:string -> elapsed_ms:float -> body -> string
+(** The fixed-key-order envelope documented above.  [trace] is the
+    request's trace id (fingerprint-derived, so dedup'd duplicates share
+    it and byte-compare equal); [""] for control ops. *)
 
 val extract_field : string -> string -> string option
 (** [extract_field json key] returns the raw bytes of a top-level field's

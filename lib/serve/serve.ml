@@ -22,6 +22,25 @@ type counters = {
   mutable c_errors : int;        (** responses with status=error *)
 }
 
+(** Daemon-lifetime telemetry behind the [metrics] op.  Mutated under
+    the daemon lock; wall-clock never leaks into response bodies — the
+    [metrics] document is explicitly non-deterministic. *)
+type telemetry = {
+  tl_started : float;
+  tl_lat : (string * Obs.Hist.t) list;
+      (** request latency (admission to answer) per queued kind *)
+  mutable tl_degraded : int;      (** requests whose run degraded *)
+  mutable tl_flight_dumps : int;  (** flight records written *)
+  mutable tl_store_hits : int;    (** accumulated over verify runs: *)
+  mutable tl_engine_queries : int;
+  mutable tl_engine_cache_hits : int;
+  mutable tl_solver_time : float;
+  mutable tl_sum_instantiated : int;
+  mutable tl_sum_opaque : int;
+  mutable tl_sum_computed : int;
+  mutable tl_sum_cached : int;
+}
+
 type job = {
   jb_req : Protocol.request;
   jb_key : string;
@@ -35,8 +54,10 @@ type t = {
   listen_fd : Unix.file_descr;
   st_store : Store.t;
   own_cache_dir : string option;  (** temp dir to remove at stop *)
+  flight_dir : string option;     (** post-mortem dumps land here *)
   recent_cap : int;
   save_every : int;
+  tl : telemetry;
   lock : Mutex.t;
   work : Condition.t;             (** executor wakeup *)
   queue : job Queue.t;
@@ -58,6 +79,12 @@ let store t = t.st_store
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(** Trace id of a request, derived from its dedup fingerprint so the
+    duplicates of a deduplicated request share one trace — the envelope
+    stays byte-identical across [dedup] outcomes. *)
+let trace_of_key key =
+  "rq-" ^ String.sub key 0 (min 12 (String.length key))
 
 (* ---------------- job execution (executor thread only) ---------------- *)
 
@@ -111,9 +138,17 @@ let obs_snapshot () =
       "[" ^ String.concat ", " deltas ^ "]"
   end
 
-let run_request t (rq : Protocol.request) : Protocol.body =
+(** Execute one queued request on the executor thread.  Opens the
+    request's root span (every child — compile, engine, workers, solver
+    queries — inherits [trace]) and returns the body plus whether the
+    run degraded, so the executor can cut a flight record. *)
+let run_request t (rq : Protocol.request) ~(trace : string) :
+    Protocol.body * bool =
   let kind = Protocol.kind_name rq.rq_kind in
+  let span = Obs.Span.start ~trace ("request." ^ kind) in
+  let degraded = ref false in
   let finish_obs = obs_snapshot () in
+  let body =
   try
     let faults =
       if rq.rq_faults = "" then None
@@ -147,11 +182,13 @@ let run_request t (rq : Protocol.request) : Protocol.body =
     let body =
       match rq.rq_kind with
       | Protocol.Verify ->
+          let cspan = Obs.Span.start ~parent:span "compile" in
           let m =
             (Pipeline.optimize level
                (compile_module level ~link_libc:rq.rq_link_libc source))
               .Pipeline.modul
           in
+          Obs.Span.finish cspan;
           let searcher =
             if rq.rq_jobs > 1 then `Parallel rq.rq_jobs else `Dfs
           in
@@ -166,18 +203,36 @@ let run_request t (rq : Protocol.request) : Protocol.body =
                   summaries = rq.rq_summaries;
                   faults;
                   store = Some t.st_store;
+                  span = Some span;
                 }
               m
           in
+          degraded := r.Engine.degradations <> [];
+          with_lock t (fun () ->
+              let tl = t.tl in
+              if !degraded then tl.tl_degraded <- tl.tl_degraded + 1;
+              tl.tl_store_hits <- tl.tl_store_hits + r.Engine.hits_store;
+              tl.tl_engine_queries <- tl.tl_engine_queries + r.Engine.queries;
+              tl.tl_engine_cache_hits <-
+                tl.tl_engine_cache_hits + r.Engine.cache_hits;
+              tl.tl_solver_time <- tl.tl_solver_time +. r.Engine.solver_time;
+              tl.tl_sum_instantiated <-
+                tl.tl_sum_instantiated + r.Engine.summary_instantiated;
+              tl.tl_sum_opaque <- tl.tl_sum_opaque + r.Engine.summary_opaque;
+              tl.tl_sum_computed <-
+                tl.tl_sum_computed + r.Engine.summary_computed;
+              tl.tl_sum_cached <- tl.tl_sum_cached + r.Engine.summary_cached);
           Protocol.ok_body ~kind
             ~result:
               (Engine.result_to_json ~deterministic:rq.rq_deterministic r)
             ()
       | Protocol.Compile ->
+          let cspan = Obs.Span.start ~parent:span "compile" in
           let r =
             Pipeline.optimize level
               (compile_module level ~link_libc:rq.rq_link_libc source)
           in
+          Obs.Span.finish cspan;
           let m = r.Pipeline.modul in
           let size =
             List.fold_left (fun acc f -> acc + Ir.func_size f) 0 m.Ir.funcs
@@ -199,8 +254,12 @@ let run_request t (rq : Protocol.request) : Protocol.body =
               timeout = rq.rq_timeout;
             }
           in
+          let cspan = Obs.Span.start ~parent:span "compile" in
           let m = compile_module level ~link_libc:rq.rq_link_libc source in
+          Obs.Span.finish cspan;
+          let vspan = Obs.Span.start ~parent:span "tv.validate" in
           let (_, report) = Tv.validate ~budget level m in
+          Obs.Span.finish vspan;
           Protocol.ok_body ~kind
             ~result:
               (Printf.sprintf
@@ -212,7 +271,7 @@ let run_request t (rq : Protocol.request) : Protocol.body =
                  (List.length (Tv.inconclusives report))
                  (Tv.counterexamples report = []))
             ()
-      | Protocol.Stats | Protocol.Shutdown ->
+      | Protocol.Stats | Protocol.Metrics | Protocol.Shutdown ->
           (* handled inline by the connection handler, never queued *)
           assert false
     in
@@ -230,6 +289,20 @@ let run_request t (rq : Protocol.request) : Protocol.body =
       Protocol.error_body ~kind ~err:"internal" ~msg:"stack overflow"
   | e ->
       Protocol.error_body ~kind ~err:"internal" ~msg:(Printexc.to_string e)
+  in
+  (match body.Protocol.b_error with
+  | Some (err, msg) ->
+      Obs.Span.event ~parent:span
+        ~args:[ ("error", err); ("message", msg) ]
+        "request.error"
+  | None -> ());
+  Obs.Span.finish span
+    ~counters:
+      [
+        ("degraded", if !degraded then 1.0 else 0.0);
+        ("error", if body.Protocol.b_status = "error" then 1.0 else 0.0);
+      ];
+  (body, !degraded)
 
 (* ---------------- dedup + executor ---------------- *)
 
@@ -270,13 +343,15 @@ let executor_loop t =
     else begin
       let job = Queue.pop t.queue in
       Mutex.unlock t.lock;
-      let body =
-        try run_request t job.jb_req
+      let trace = trace_of_key job.jb_key in
+      let (body, degraded) =
+        try run_request t job.jb_req ~trace
         with e ->
           (* the executor must survive anything a request throws *)
-          Protocol.error_body
-            ~kind:(Protocol.kind_name job.jb_req.Protocol.rq_kind)
-            ~err:"internal" ~msg:(Printexc.to_string e)
+          ( Protocol.error_body
+              ~kind:(Protocol.kind_name job.jb_req.Protocol.rq_kind)
+              ~err:"internal" ~msg:(Printexc.to_string e),
+            false )
       in
       let save_now =
         with_lock t (fun () ->
@@ -289,6 +364,24 @@ let executor_loop t =
          atomic and internally synchronized, so it may race concurrent
          engine lookups and external readers without tearing the file *)
       if save_now then Store.save t.st_store;
+      (* flight recorder: a degraded run, contained kill/crash or
+         internal error cuts a post-mortem dump of the span/event ring *)
+      let dump_reason =
+        match body.Protocol.b_error with
+        | Some ("killed", _) -> Some "killed"
+        | Some ("internal", _) -> Some "internal"
+        | _ -> if degraded then Some "degraded" else None
+      in
+      (match (dump_reason, t.flight_dir) with
+      | Some reason, Some dir -> (
+          match Flight.dump ~dir ~reason ~trace () with
+          | Some path ->
+              with_lock t (fun () ->
+                  t.tl.tl_flight_dumps <- t.tl.tl_flight_dumps + 1);
+              Log.warn ~trace "flight.dump"
+                [ ("reason", reason); ("path", path) ]
+          | None -> Log.warn ~trace "flight.dump_failed" [ ("reason", reason) ])
+      | _ -> ());
       finish_job job body;
       loop ()
     end
@@ -359,6 +452,145 @@ let stats_body t : Protocol.body =
   in
   Protocol.ok_body ~kind:"stats" ~result ()
 
+(* ---------------- metrics (supersedes stats) ---------------- *)
+
+let hist_json (h : Obs.Hist.t) : string =
+  Printf.sprintf
+    "{\"count\": %d, \"mean_ms\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": \
+     %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}"
+    h.Obs.Hist.count
+    (Obs.Hist.mean h *. 1000.0)
+    (Obs.Hist.percentile h 0.5 *. 1000.0)
+    (Obs.Hist.percentile h 0.95 *. 1000.0)
+    (Obs.Hist.percentile h 0.99 *. 1000.0)
+    (h.Obs.Hist.max *. 1000.0)
+
+(** Absolute registry counters (the [obs] envelope field carries
+    per-request deltas; [metrics] reports daemon-lifetime totals). *)
+let registry_json () : string =
+  let cells =
+    List.filter_map
+      (fun (c : Obs.Registry.cell) ->
+        if c.Obs.Registry.kind <> Obs.Registry.Counter then None
+        else
+          Some
+            (Printf.sprintf "{\"name\": \"%s\"%s, \"count\": %d}"
+               (Json.escape c.Obs.Registry.name)
+               (match c.Obs.Registry.labels with
+               | [] -> ""
+               | ls ->
+                   Printf.sprintf ", \"labels\": {%s}"
+                     (String.concat ", "
+                        (List.map
+                           (fun (k, v) ->
+                             Printf.sprintf "\"%s\": \"%s\"" (Json.escape k)
+                               (Json.escape v))
+                           ls)))
+               c.Obs.Registry.count))
+      (Obs.Registry.dump ())
+  in
+  "[" ^ String.concat ", " cells ^ "]"
+
+(** The full telemetry registry as one JSON document, fixed key order. *)
+let metrics_doc t : string =
+  with_lock t (fun () ->
+      let tl = t.tl in
+      let lat =
+        String.concat ", "
+          (List.map
+             (fun (k, h) -> Printf.sprintf "\"%s\": %s" k (hist_json h))
+             tl.tl_lat)
+      in
+      Printf.sprintf
+        "{\"uptime_s\": %.3f, \"queue_depth\": %d, \"requests\": %d, \
+         \"executed\": %d, \"dedup_inflight\": %d, \"dedup_recent\": %d, \
+         \"dedup_hits\": %d, \"malformed\": %d, \"errors\": %d, \
+         \"degraded\": %d, \"flight_dumps\": %d, \"flight_records\": %d, \
+         \"flight_dropped\": %d, \"store_entries\": %d, \"store_loaded\": \
+         %d, \"store_hits\": %d, \"engine_queries\": %d, \
+         \"engine_cache_hits\": %d, \"solver_time_s\": %.6f, \
+         \"summary_instantiated\": %d, \"summary_opaque\": %d, \
+         \"summary_computed\": %d, \"summary_cached\": %d, \"latency_ms\": \
+         {%s}, \"registry\": %s}"
+        (Unix.gettimeofday () -. tl.tl_started)
+        (Queue.length t.queue) t.ct.c_requests t.ct.c_executed
+        t.ct.c_dedup_inflight t.ct.c_dedup_recent
+        (t.ct.c_dedup_inflight + t.ct.c_dedup_recent)
+        t.ct.c_malformed t.ct.c_errors tl.tl_degraded tl.tl_flight_dumps
+        (List.length (Obs.Flight.records ()))
+        (Obs.Flight.dropped ())
+        (Store.length t.st_store) (Store.loaded t.st_store) tl.tl_store_hits
+        tl.tl_engine_queries tl.tl_engine_cache_hits tl.tl_solver_time
+        tl.tl_sum_instantiated tl.tl_sum_opaque tl.tl_sum_computed
+        tl.tl_sum_cached lat (registry_json ()))
+
+(** The same registry in Prometheus text exposition format. *)
+let prometheus t : string =
+  let b = Buffer.create 2048 in
+  let metric ty name v =
+    Buffer.add_string b
+      (Printf.sprintf "# TYPE %s %s\n%s %s\n" name ty name v)
+  in
+  let gauge name v = metric "gauge" name v in
+  let counter name v = metric "counter" name v in
+  with_lock t (fun () ->
+      let tl = t.tl in
+      gauge "overify_uptime_seconds"
+        (Printf.sprintf "%.3f" (Unix.gettimeofday () -. tl.tl_started));
+      gauge "overify_queue_depth" (string_of_int (Queue.length t.queue));
+      counter "overify_requests_total" (string_of_int t.ct.c_requests);
+      counter "overify_executed_total" (string_of_int t.ct.c_executed);
+      counter "overify_dedup_hits_total"
+        (string_of_int (t.ct.c_dedup_inflight + t.ct.c_dedup_recent));
+      counter "overify_malformed_total" (string_of_int t.ct.c_malformed);
+      counter "overify_errors_total" (string_of_int t.ct.c_errors);
+      counter "overify_degraded_total" (string_of_int tl.tl_degraded);
+      counter "overify_flight_dumps_total" (string_of_int tl.tl_flight_dumps);
+      gauge "overify_store_entries"
+        (string_of_int (Store.length t.st_store));
+      counter "overify_store_hits_total" (string_of_int tl.tl_store_hits);
+      counter "overify_engine_queries_total"
+        (string_of_int tl.tl_engine_queries);
+      counter "overify_engine_cache_hits_total"
+        (string_of_int tl.tl_engine_cache_hits);
+      counter "overify_solver_time_seconds_total"
+        (Printf.sprintf "%.6f" tl.tl_solver_time);
+      Buffer.add_string b
+        "# TYPE overify_request_latency_seconds histogram\n";
+      List.iter
+        (fun (k, (h : Obs.Hist.t)) ->
+          let cum = ref 0 in
+          for i = 0 to Obs.Hist.nbuckets - 1 do
+            cum := !cum + h.Obs.Hist.buckets.(i);
+            Buffer.add_string b
+              (Printf.sprintf
+                 "overify_request_latency_seconds_bucket{kind=\"%s\",le=\"%g\"} \
+                  %d\n"
+                 k (Obs.Hist.bucket_bound i) !cum)
+          done;
+          Buffer.add_string b
+            (Printf.sprintf
+               "overify_request_latency_seconds_bucket{kind=\"%s\",le=\"+Inf\"} \
+                %d\n"
+               k h.Obs.Hist.count);
+          Buffer.add_string b
+            (Printf.sprintf
+               "overify_request_latency_seconds_sum{kind=\"%s\"} %.6f\n" k
+               h.Obs.Hist.sum);
+          Buffer.add_string b
+            (Printf.sprintf
+               "overify_request_latency_seconds_count{kind=\"%s\"} %d\n" k
+               h.Obs.Hist.count))
+        tl.tl_lat);
+  Buffer.contents b
+
+let metrics_body t ~(format : string) : Protocol.body =
+  let result =
+    if format = "prometheus" then "\"" ^ Json.escape (prometheus t) ^ "\""
+    else metrics_doc t
+  in
+  Protocol.ok_body ~kind:"metrics" ~result ()
+
 let initiate_stop t =
   let first =
     with_lock t (fun () ->
@@ -393,6 +625,7 @@ let handle_conn t fd =
   let respond body_json = ignore (Protocol.write_frame fd body_json) in
   let protocol_error err msg =
     bump_malformed t;
+    Log.warn "request.malformed" [ ("error", err); ("message", msg) ];
     let body = Protocol.error_body ~kind:"protocol" ~err ~msg in
     note_status t body;
     respond (Protocol.response ~id:0 ~dedup:"none" ~elapsed_ms:0.0 body)
@@ -417,20 +650,31 @@ let handle_conn t fd =
                 loop ()
             | Ok rq -> (
                 bump_request t;
+                let kind = Protocol.kind_name rq.Protocol.rq_kind in
                 let t0 = Unix.gettimeofday () in
-                let answer dedup body =
+                let answer ?(trace = "") dedup body =
                   note_status t body;
                   let elapsed_ms =
                     if rq.Protocol.rq_deterministic then 0.0
                     else (Unix.gettimeofday () -. t0) *. 1000.0
                   in
+                  Log.info ~trace "request.done"
+                    [
+                      ("kind", kind);
+                      ("dedup", dedup);
+                      ("status", body.Protocol.b_status);
+                    ];
                   respond
-                    (Protocol.response ~id:rq.Protocol.rq_id ~dedup
+                    (Protocol.response ~id:rq.Protocol.rq_id ~dedup ~trace
                        ~elapsed_ms body)
                 in
                 match rq.Protocol.rq_kind with
                 | Protocol.Stats ->
                     answer "none" (stats_body t);
+                    loop ()
+                | Protocol.Metrics ->
+                    answer "none"
+                      (metrics_body t ~format:rq.Protocol.rq_format);
                     loop ()
                 | Protocol.Shutdown ->
                     answer "none"
@@ -439,8 +683,25 @@ let handle_conn t fd =
                     initiate_stop t;
                     loop ()
                 | _ ->
+                    (* request admission: the span every child (queue
+                       wait, compile, engine, solver) hangs off *)
+                    let trace = trace_of_key (Protocol.fingerprint rq) in
+                    Log.debug ~trace "request.admit" [ ("kind", kind) ];
+                    let aspan = Obs.Span.start ~trace ("serve." ^ kind) in
                     let (dedup, body) = submit t rq in
-                    answer dedup body;
+                    Obs.Span.finish aspan
+                      ~counters:
+                        [
+                          ( "dedup_hit",
+                            if dedup = "miss" || dedup = "none" then 0.0
+                            else 1.0 );
+                        ];
+                    with_lock t (fun () ->
+                        match List.assoc_opt kind t.tl.tl_lat with
+                        | Some h ->
+                            Obs.Hist.observe h (Unix.gettimeofday () -. t0)
+                        | None -> ());
+                    answer ~trace dedup body;
                     loop ())))
   in
   (try loop () with _ -> ());
@@ -486,9 +747,14 @@ let rm_rf dir =
        (Sys.readdir dir));
   try Sys.rmdir dir with Sys_error _ -> ()
 
-let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32) () : t =
+let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32) ?obs
+    ?flight_dir ?log_level () : t =
   (* a dead peer must fail the write, not the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* flag beats environment: the daemon decides its own observability,
+     clients need no OVERIFY_OBS/OVERIFY_LOG in their environment *)
+  (match log_level with Some l -> Log.set_level l | None -> ());
+  (match obs with Some b -> Obs.set_enabled b | None -> ());
   let sock_path =
     match socket with Some s -> s | None -> default_socket ()
   in
@@ -516,8 +782,29 @@ let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32) () : t =
       listen_fd;
       st_store;
       own_cache_dir;
+      flight_dir;
       recent_cap = max 1 recent_cap;
       save_every = max 1 save_every;
+      tl =
+        {
+          tl_started = Unix.gettimeofday ();
+          tl_lat =
+            [
+              ("verify", Obs.Hist.create ());
+              ("compile", Obs.Hist.create ());
+              ("tv", Obs.Hist.create ());
+            ];
+          tl_degraded = 0;
+          tl_flight_dumps = 0;
+          tl_store_hits = 0;
+          tl_engine_queries = 0;
+          tl_engine_cache_hits = 0;
+          tl_solver_time = 0.0;
+          tl_sum_instantiated = 0;
+          tl_sum_opaque = 0;
+          tl_sum_computed = 0;
+          tl_sum_cached = 0;
+        };
       lock = Mutex.create ();
       work = Condition.create ();
       queue = Queue.create ();
@@ -543,6 +830,9 @@ let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32) () : t =
   in
   t.exec_thread <- Some (Thread.create executor_loop t);
   t.accept_thread <- Some (Thread.create accept_loop t);
+  Log.info "daemon.start"
+    ([ ("socket", sock_path); ("cache_dir", dir) ]
+    @ match flight_dir with Some d -> [ ("flight_dir", d) ] | None -> []);
   t
 
 let wait t =
@@ -575,6 +865,16 @@ let wait t =
   in
   if first then begin
     Store.save t.st_store;
+    (* the daemon is going away: cut a final flight record so a
+       post-mortem sees the last requests even on a clean shutdown *)
+    (match t.flight_dir with
+    | Some dir -> (
+        match Flight.dump ~dir ~reason:"shutdown" ~trace:"" () with
+        | Some path -> Log.info "flight.dump" [ ("reason", "shutdown"); ("path", path) ]
+        | None -> Log.warn "flight.dump_failed" [ ("reason", "shutdown") ])
+    | None -> ());
+    Log.info "daemon.stop"
+      [ ("executed", string_of_int t.ct.c_executed) ];
     (try Unix.unlink t.sock_path with Unix.Unix_error _ -> ());
     match t.own_cache_dir with Some d -> rm_rf d | None -> ()
   end

@@ -27,7 +27,18 @@
     error, a malformed fault spec — produces a structured error body and
     never takes the daemon down.  Malformed, truncated or oversized
     frames get a structured [protocol] error (when the peer is still
-    readable) and close only that connection. *)
+    readable) and close only that connection.
+
+    Observability (DESIGN.md "Observability"): every admitted request
+    gets a fingerprint-derived trace id (echoed in the envelope's
+    [trace] field) and a root span threaded through
+    [Engine.config.span] down to per-query solves; the [metrics] op
+    returns the daemon's full telemetry registry (per-kind latency
+    histograms, queue depth, dedup/store/summary hit counters, uptime,
+    degradation counts) as JSON or Prometheus text; and a bounded
+    in-memory ring of recent spans/events is dumped to a post-mortem
+    flight record ([overify postmortem]) whenever a request degrades,
+    a kill/crash surfaces, or the daemon shuts down. *)
 
 type t
 
@@ -36,6 +47,9 @@ val start :
   ?cache_dir:string ->
   ?recent_cap:int ->
   ?save_every:int ->
+  ?obs:bool ->
+  ?flight_dir:string ->
+  ?log_level:Log.level ->
   unit ->
   t
 (** Bind, listen and spawn the accept + executor threads; returns once
@@ -43,7 +57,15 @@ val start :
     under the temp directory; [cache_dir] persists the warm store across
     daemon restarts (default: a private temp dir removed at [stop]);
     [recent_cap] bounds the recently-completed cache (default 128);
-    [save_every] is the store save cadence in executed jobs (default 32). *)
+    [save_every] is the store save cadence in executed jobs (default 32).
+
+    [obs] sets per-request registry metrics on/off for the whole daemon
+    — the flag beats the [OVERIFY_OBS] environment variable, so clients
+    need nothing in their environment; [None] defers to the variable.
+    [flight_dir] enables the flight recorder: post-mortem dumps are
+    written there (created if missing) on degraded requests, contained
+    kills/crashes, internal errors and shutdown.  [log_level] overrides
+    the [OVERIFY_LOG] stderr threshold (same flag-beats-env rule). *)
 
 val socket_path : t -> string
 

@@ -97,6 +97,11 @@ type ctx = {
       (** per-query blast+SAT latency histogram; observed only on real
           solves (queries answered from cache cost no solver time).
           [None] (the default) records nothing. *)
+  mutable span : Overify_obs.Obs.Span.t option;
+      (** parent span for per-query solve spans: every real solve emits a
+          one-shot ["solver.check"] child into the flight ring (and trace
+          sink), so a request's span tree reaches individual queries.
+          [None] (the default) emits nothing. *)
 }
 
 let env_cache_default () =
@@ -130,6 +135,7 @@ let create ?deadline ?hist ?cache ?store ?faults () =
     faults;
     deadline;
     hist;
+    span = None;
   }
 
 let stats ctx = ctx.stats
@@ -162,20 +168,32 @@ let clear_cache ctx =
 let set_deadline ctx d = ctx.deadline <- d
 
 let set_hist ctx h = ctx.hist <- h
+let set_span ctx s = ctx.span <- s
 
 (** Charge one real (uncached) solve to the counters, the latency
-    histogram, and — when tracing — the trace sink.  Also called on the
-    timeout path so attributed time stays consistent with [solver_time]. *)
+    histogram, the enclosing span (flight ring) and — when tracing — the
+    trace sink.  Also called on the timeout path so attributed time stays
+    consistent with [solver_time]. *)
 let charge_solve ctx t0 ~timed_out =
   let dt = Unix.gettimeofday () -. t0 in
   ctx.stats.solver_time <- ctx.stats.solver_time +. dt;
   (match ctx.hist with
   | Some h -> Overify_obs.Obs.Hist.observe h dt
   | None -> ());
-  if Overify_obs.Obs.Trace.enabled () then
-    Overify_obs.Obs.Trace.emit ~cat:"solver" ~name:"solver.check"
-      ~args:(if timed_out then [ ("timeout", "true") ] else [])
-      ~ts:t0 ~dur:dt ()
+  match ctx.span with
+  | Some parent ->
+      (* the one-shot span emit covers both sinks (trace args carry
+         trace/span/parent ids, joining the daemon timeline) *)
+      Overify_obs.Obs.Span.emit ~parent ~ts:t0 ~dur:dt
+        ~counters:
+          (("solver_time", dt)
+          :: (if timed_out then [ ("timed_out", 1.0) ] else []))
+        "solver.check"
+  | None ->
+      if Overify_obs.Obs.Trace.enabled () then
+        Overify_obs.Obs.Trace.emit ~cat:"solver" ~name:"solver.check"
+          ~args:(if timed_out then [ ("timeout", "true") ] else [])
+          ~ts:t0 ~dur:dt ()
 
 let sorted_ids (comp : Bv.t list) : int array =
   let a = Array.of_list (List.map (fun (t : Bv.t) -> t.Bv.id) comp) in

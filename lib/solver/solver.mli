@@ -78,6 +78,12 @@ val reset_stats : ctx -> unit
 val set_hist : ctx -> Overify_obs.Obs.Hist.t option -> unit
 (** Attach (or detach) the per-query latency histogram. *)
 
+val set_span : ctx -> Overify_obs.Obs.Span.t option -> unit
+(** Attach (or detach) the parent span: every real (uncached) solve then
+    emits a one-shot ["solver.check"] child span carrying its wall
+    interval and [solver_time] counter into the flight ring (and, when
+    collecting, the trace sink).  [None] (the default) emits nothing. *)
+
 val clear_cache : ctx -> unit
 (** Drop {e every} acceleration layer this context owns — the exact-match
     cache, the canonical component cache, the counterexample cache and the

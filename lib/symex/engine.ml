@@ -67,6 +67,14 @@ type config = {
   resume : bool;
       (** seed the run from [checkpoint_dir]'s snapshot when one exists
           and matches this program/config; otherwise start fresh *)
+  span : Obs.Span.t option;
+      (** parent span for request tracing: the run opens an
+          ["engine.run"] child under it, with ["summary.build"] and
+          per-worker ["symex.worker<i>"] children whose attached counters
+          are the very same per-worker sums that define the result totals
+          — so per-span sums equal [result] exactly, like the profile's
+          per-site sums.  Solver contexts get per-query ["solver.check"]
+          leaves.  [None] (the default) traces nothing. *)
 }
 
 let env_summaries =
@@ -91,6 +99,7 @@ let default_config =
     checkpoint_dir = None;
     checkpoint_every = 64;
     resume = false;
+    span = None;
   }
 
 type bug = {
@@ -559,6 +568,12 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   Bv.reset ();
   let t_start = Unix.gettimeofday () in
   let deadline = t_start +. config.timeout in
+  (* request tracing: one engine child under the caller's span, opened
+     here so every sub-span (summary build, workers, solver queries)
+     nests inside its interval *)
+  let eng_span =
+    Option.map (fun parent -> Obs.Span.start ~parent "engine.run") config.span
+  in
   (* globals *)
   let mem = ref Memory.empty in
   let globals =
@@ -638,13 +653,20 @@ let run ?(config = default_config) (m : Ir.modul) : result =
     match config.store with Some _ as s -> s | None -> own_store
   in
   let glayout = Overify_summary.Summary.layout m in
-  let make_worker () =
+  let make_worker i =
     let prof = if config.profile then Some (Obs.Profile.create ()) else None in
     let solver =
       Solver.create ~deadline
         ?hist:(Option.map (fun p -> p.Obs.Profile.qhist) prof)
         ?cache:config.solver_cache ?store ?faults:config.faults ()
     in
+    let wspan =
+      Option.map
+        (fun parent ->
+          Obs.Span.start ~parent (Printf.sprintf "symex.worker%d" i))
+        eng_span
+    in
+    Solver.set_span solver wspan;
     let gctx =
       {
         Executor.modul = m;
@@ -665,12 +687,13 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         fork_conds = [];
         sum_hits = 0;
         sum_opaque = 0;
+        span = wspan;
       }
     in
     Hashtbl.replace gctx.Executor.covered (main.Ir.fname, entry.Ir.bid) ();
     { gctx; exits = []; bug_tbl = Hashtbl.create 8; degs = []; killed = None }
   in
-  let workers = List.init njobs (fun _ -> make_worker ()) in
+  let workers = List.init njobs make_worker in
   (* compositional mode: worker 0 builds (or loads) the summary table
      bottom-up before exploration, on its own solver and counters —
      so build cost is charged like any other execution — and every
@@ -678,6 +701,11 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   let summary_computed, summary_cached =
     if not config.summaries then (0, 0)
     else begin
+      let bspan =
+        Option.map
+          (fun parent -> Obs.Span.start ~parent "summary.build")
+          eng_span
+      in
       let w0 = List.hd workers in
       let tbl, computed, cached, build_degs =
         Summarize.build ~gctx:w0.gctx ~store m
@@ -689,6 +717,13 @@ let run ?(config = default_config) (m : Ir.modul) : result =
          contained crash, dropped path) demotes its function to inline
          exploration — sound, but never silent *)
       List.iter (fun (kind, where) -> degrade w0 kind where 0) build_degs;
+      (match bspan with
+      | Some sp ->
+          Obs.Span.finish sp
+            ~counters:
+              [ ("computed", float_of_int computed);
+                ("cached", float_of_int cached) ]
+      | None -> ());
       (computed, cached)
     end
   in
@@ -822,6 +857,23 @@ let run ?(config = default_config) (m : Ir.modul) : result =
         })
       workers
   in
+  (* close the per-worker spans with the very counters that define the
+     result totals below, so per-span sums equal the engine's by
+     construction (the attribution invariant, per-span edition) *)
+  List.iter2
+    (fun w ws ->
+      match w.gctx.Executor.span with
+      | Some sp ->
+          Obs.Span.finish sp
+            ~counters:
+              [ ("instructions", float_of_int ws.w_instructions);
+                ("forks", float_of_int ws.w_forks);
+                ("queries", float_of_int ws.w_queries);
+                ("cache_hits", float_of_int ws.w_cache_hits);
+                ("solver_time", ws.w_solver_time);
+                ("exits", float_of_int (List.length w.exits)) ]
+      | None -> ())
+    workers worker_stats;
   (* persist whatever this run contributed to the cross-run store (only
      if we opened it — a borrowed [config.store] is saved by its owner) *)
   (match own_store with
@@ -877,6 +929,36 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   in
   let complete = degradations = [] in
   let time = Unix.gettimeofday () -. t_start in
+  (match eng_span with
+  | Some sp ->
+      (* degradations and fired faults become instant flight events on
+         the request's trace — the post-mortem trail of a degraded run *)
+      List.iter
+        (fun d ->
+          Obs.Span.event ~parent:sp
+            ~args:
+              [ ("kind", d.d_kind); ("where", d.d_where);
+                ("paths", string_of_int d.d_paths) ]
+            "degradation")
+        degradations;
+      List.iter
+        (fun (k, n) ->
+          if n > 0 then
+            Obs.Span.event ~parent:sp
+              ~args:[ ("kind", k); ("count", string_of_int n) ]
+              "fault.injected")
+        faults_injected;
+      Obs.Span.finish sp
+        ~counters:
+          [ ("paths", float_of_int paths);
+            ("instructions",
+             float_of_int (sum (fun w -> w.gctx.Executor.insts_executed)));
+            ("forks", float_of_int (sum (fun w -> w.gctx.Executor.forks)));
+            ("queries",
+             float_of_int (sum (fun w -> (solver_stats w).Solver.queries)));
+            ("solver_time",
+             sumf (fun w -> (solver_stats w).Solver.solver_time)) ]
+  | None -> ());
   if Obs.Trace.enabled () then
     Obs.Trace.emit ~cat:"symex" ~name:"engine.run"
       ~args:

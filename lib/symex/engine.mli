@@ -70,6 +70,16 @@ type config = {
           otherwise start fresh.  A resumed-then-completed run reports
           the same [paths]/[bugs]/[exit_codes]/[blocks_covered] as an
           uninterrupted one. *)
+  span : Overify_obs.Obs.Span.t option;
+      (** parent span for end-to-end request tracing (the [overify serve]
+          daemon opens one per admitted request): the run nests an
+          ["engine.run"] child with ["summary.build"], per-worker
+          ["symex.worker<i>"] and per-query ["solver.check"] descendants
+          in the flight ring / trace sink.  The counters attached to the
+          worker spans are the same per-worker sums that define the
+          [result] totals, so per-span sums equal engine totals exactly
+          as the profile's per-site sums do.  [None] (the default) traces
+          nothing and costs one [option] branch per site. *)
 }
 
 val default_config : config

@@ -51,6 +51,10 @@ type gctx = {
           condition discipline; cleared by the builder before each step *)
   mutable sum_hits : int;    (** call sites answered by a summary *)
   mutable sum_opaque : int;  (** call sites whose summary was opaque *)
+  mutable span : Obs.Span.t option;
+      (** this worker's span (request tracing): summary instantiations
+          emit instant events under it, and the engine parents per-query
+          solver spans on it.  [None] (the default) emits nothing. *)
 }
 
 (** The attribution cell for [st]'s current (function, block). *)
@@ -655,6 +659,12 @@ and exec_call gctx (st : State.t) dst name (args : Sval.t list) :
                       let cell = prof_site p st in
                       cell.Obs.Profile.s_sum_hits <-
                         cell.Obs.Profile.s_sum_hits + 1
+                  | None -> ());
+                  (match gctx.span with
+                  | Some parent ->
+                      Obs.Span.event ~parent
+                        ~args:[ ("fn", fn.Ir.fname) ]
+                        "summary.instantiate"
                   | None -> ());
                   Hashtbl.replace gctx.covered
                     (fn.Ir.fname, (Ir.entry fn).Ir.bid) ();

@@ -424,6 +424,149 @@ let test_trace_disabled_by_default () =
   Obs.Trace.emit ~name:"ignored" ~ts:0.0 ~dur:1.0 ();
   check int "no events recorded when off" 0 (List.length (Obs.Trace.events ()))
 
+(* ------------- spans and the flight ring ------------- *)
+
+let test_span_nesting_manual () =
+  let open Obs.Flight in
+  Obs.Flight.clear ();
+  let root = Obs.Span.start ~trace:"t-nest" "root" in
+  let child = Obs.Span.start ~parent:root "child" in
+  let grandchild = Obs.Span.start ~parent:child "grandchild" in
+  Obs.Span.finish grandchild;
+  Obs.Span.finish child ~counters:[ ("k", 1.0) ];
+  Obs.Span.finish root;
+  let rs =
+    List.filter (fun r -> r.fr_trace = "t-nest") (Obs.Flight.records ())
+  in
+  check int "three records" 3 (List.length rs);
+  let find l = List.find (fun r -> r.fr_label = l) rs in
+  let r = find "root" and c = find "child" and g = find "grandchild" in
+  check int "child's parent is root" r.fr_id c.fr_parent;
+  check int "grandchild's parent is child" c.fr_id g.fr_parent;
+  check int "root has no parent" (-1) r.fr_parent;
+  let inside inner outer =
+    inner.fr_ts >= outer.fr_ts -. 1e-6
+    && inner.fr_ts +. inner.fr_dur <= outer.fr_ts +. outer.fr_dur +. 1e-6
+  in
+  check bool "child interval within root" true (inside c r);
+  check bool "grandchild interval within child" true (inside g c);
+  check bool "finish counters kept" true (List.mem_assoc "k" c.fr_counters)
+
+let engine_span_run ~trace () =
+  let p = Option.get (Programs.find "wc") in
+  let m = compile_program p in
+  let root = Obs.Span.start ~trace "request.verify" in
+  let r =
+    Engine.run
+      ~config:
+        {
+          Engine.default_config with
+          input_size = 2;
+          timeout = 30.0;
+          span = Some root;
+        }
+      m
+  in
+  Obs.Span.finish root;
+  r
+
+(* the attribution invariant, per-span edition: worker-span counters sum
+   to the run's totals, and the engine.run span carries those totals *)
+let test_span_sums_match_engine () =
+  let open Obs.Flight in
+  Obs.Flight.clear ();
+  let r = engine_span_run ~trace:"t-sums" () in
+  let rs =
+    List.filter (fun x -> x.fr_trace = "t-sums") (Obs.Flight.records ())
+  in
+  let prefixed pre l =
+    String.length l >= String.length pre && String.sub l 0 (String.length pre) = pre
+  in
+  let workers =
+    List.filter
+      (fun x -> x.fr_kind = "span" && prefixed "symex.worker" x.fr_label)
+      rs
+  in
+  check bool "worker spans present" true (workers <> []);
+  let sum name =
+    List.fold_left
+      (fun acc w ->
+        acc +. Option.value ~default:0.0 (List.assoc_opt name w.fr_counters))
+      0.0 workers
+  in
+  check int "instructions sum to total" r.Engine.instructions
+    (int_of_float (sum "instructions"));
+  check int "forks sum to total" r.Engine.forks (int_of_float (sum "forks"));
+  check int "queries sum to total" r.Engine.queries
+    (int_of_float (sum "queries"));
+  check int "cache hits sum to total" r.Engine.cache_hits
+    (int_of_float (sum "cache_hits"));
+  check bool "solver time sums to total" true
+    (abs_float (sum "solver_time" -. r.Engine.solver_time)
+    <= 1e-6 +. (1e-9 *. float_of_int r.Engine.queries));
+  let eng = List.find (fun x -> x.fr_label = "engine.run") rs in
+  check int "engine span paths" r.Engine.paths
+    (int_of_float (List.assoc "paths" eng.fr_counters));
+  check int "engine span instructions" r.Engine.instructions
+    (int_of_float (List.assoc "instructions" eng.fr_counters));
+  (* interval nesting holds across the whole recorded tree *)
+  let spans = List.filter (fun x -> x.fr_kind = "span") rs in
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace by_id s.fr_id s) spans;
+  List.iter
+    (fun s ->
+      if s.fr_parent >= 0 then
+        match Hashtbl.find_opt by_id s.fr_parent with
+        | None -> ()
+        | Some p ->
+            check bool
+              (Printf.sprintf "%s within %s" s.fr_label p.fr_label)
+              true
+              (s.fr_ts >= p.fr_ts -. 1e-6
+              && s.fr_ts +. s.fr_dur <= p.fr_ts +. p.fr_dur +. 1e-6))
+    spans
+
+let test_flight_ring_cap () =
+  let open Obs.Flight in
+  Obs.Flight.clear ();
+  Obs.Flight.set_cap 8;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.set_cap Obs.Flight.default_cap;
+      Obs.Flight.clear ())
+  @@ fun () ->
+  for i = 1 to 20 do
+    Obs.Span.event ~trace:"t-cap" (Printf.sprintf "e%d" i)
+  done;
+  let rs = Obs.Flight.records () in
+  check int "ring capped" 8 (List.length rs);
+  check int "evictions counted" 12 (Obs.Flight.dropped ());
+  check string "newest record kept" "e20" (List.nth rs 7).fr_label;
+  check string "oldest surviving record" "e13" (List.hd rs).fr_label
+
+(* two identical runs leave the same record sequence once timestamps,
+   span ids and wall-clock counters are scrubbed *)
+let scrubbed trace =
+  let open Obs.Flight in
+  List.map
+    (fun r ->
+      ( r.fr_kind,
+        r.fr_label,
+        List.filter (fun (k, _) -> k <> "solver_time") r.fr_counters,
+        r.fr_args ))
+    (List.filter (fun r -> r.fr_trace = trace) (Obs.Flight.records ()))
+
+let test_two_run_trace_deterministic () =
+  Obs.Flight.clear ();
+  ignore (engine_span_run ~trace:"t-det1" ());
+  let a = scrubbed "t-det1" in
+  Obs.Flight.clear ();
+  ignore (engine_span_run ~trace:"t-det2" ());
+  let b = scrubbed "t-det2" in
+  check bool "non-trivial trace" true (List.length a > 2);
+  check int "same record count" (List.length a) (List.length b);
+  check bool "identical modulo timestamps/ids" true (a = b)
+
 let () =
   Alcotest.run "obs"
     [
@@ -471,5 +614,16 @@ let () =
             test_trace_capture;
           Alcotest.test_case "disabled by default" `Quick
             test_trace_disabled_by_default;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and intervals" `Quick
+            test_span_nesting_manual;
+          Alcotest.test_case "per-span sums equal engine totals" `Quick
+            test_span_sums_match_engine;
+          Alcotest.test_case "flight ring caps and counts drops" `Quick
+            test_flight_ring_cap;
+          Alcotest.test_case "two runs trace identically (scrubbed)" `Quick
+            test_two_run_trace_deterministic;
         ] );
     ]

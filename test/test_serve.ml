@@ -117,7 +117,7 @@ let request_gen : Protocol.request QCheck.Gen.t =
   let* rq_id = int_bound 1_000_000 in
   let* rq_kind =
     oneofl [ Protocol.Verify; Protocol.Compile; Protocol.Tv;
-             Protocol.Stats; Protocol.Shutdown ]
+             Protocol.Stats; Protocol.Metrics; Protocol.Shutdown ]
   in
   let* rq_program = any_string in
   let* rq_source = any_string in
@@ -133,11 +133,12 @@ let request_gen : Protocol.request QCheck.Gen.t =
   let* rq_deterministic = bool in
   let* rq_faults = any_string in
   let* rq_summaries = bool in
+  let* rq_format = oneofl [ ""; "json"; "prometheus" ] in
   return
     {
       Protocol.rq_id; rq_kind; rq_program; rq_source; rq_level;
       rq_input_size; rq_timeout; rq_jobs; rq_link_libc; rq_deterministic;
-      rq_faults; rq_summaries;
+      rq_faults; rq_summaries; rq_format;
     }
 
 let test_request_roundtrip =
@@ -202,6 +203,7 @@ let test_request_rejects () =
   expect_err "size range" "{\"kind\": \"verify\", \"input_size\": 65}";
   expect_err "jobs range" "{\"kind\": \"verify\", \"jobs\": 0}";
   expect_err "timeout range" "{\"kind\": \"verify\", \"timeout\": -1}";
+  expect_err "unknown format" "{\"kind\": \"metrics\", \"format\": \"xml\"}";
   match parse "{\"kind\": \"verify\", \"program\": \"wc\"}" with
   | Ok rq -> check string "defaults fill in" "OVERIFY" rq.Protocol.rq_level
   | Error e -> Alcotest.failf "rejected minimal request: %s" e
@@ -527,7 +529,8 @@ let test_envelope_golden_keys () =
       golden_walk json
         [
           "{"; "\"id\": 0"; "\"status\": \"ok\""; "\"kind\": \"verify\"";
-          "\"dedup\": \"miss\""; "\"elapsed_ms\": 0.0"; "\"error\": null";
+          "\"dedup\": \"miss\""; "\"trace\": \"rq-"; "\"elapsed_ms\": 0.0";
+          "\"error\": null";
           "\"result\": {"; "\"paths\":"; "\"instructions\":"; "\"forks\":";
           "\"queries\":"; "\"cache_hits\": 0"; "\"time_ms\": 0.0";
           "\"solver_time_ms\": 0.0"; "\"blocks_covered\":";
@@ -547,11 +550,10 @@ let test_error_envelope_golden_keys () =
         [
           "{"; "\"id\": 0"; "\"status\": \"error\"";
           "\"kind\": \"protocol\""; "\"dedup\": \"none\"";
-          "\"elapsed_ms\":"; "\"error\": {\"kind\": \"bad_json\"";
+          "\"trace\": \"\""; "\"elapsed_ms\":";
+          "\"error\": {\"kind\": \"bad_json\"";
           "\"message\":"; "\"result\": null"; "\"obs\": []"; "}";
         ]
-
-(* ------------- store lifecycle under concurrency ------------- *)
 
 let with_temp_dir f =
   let tmp = Filename.temp_file "overify_serve_test" "" in
@@ -566,6 +568,173 @@ let with_temp_dir f =
       (try Sys.rmdir dir with Sys_error _ -> ());
       try Sys.remove tmp with Sys_error _ -> ())
     (fun () -> f dir)
+
+(* ------------- telemetry: metrics op and flight recorder ------------- *)
+
+module Flight = Overify_serve.Flight
+
+let metrics_rpc ?(format = "") d =
+  with_conn d @@ fun c ->
+  match
+    Client.rpc c
+      {
+        Protocol.default_request with
+        Protocol.rq_kind = Protocol.Metrics;
+        rq_format = format;
+      }
+  with
+  | Error e -> Alcotest.failf "metrics rpc: %s" (Protocol.frame_error_name e)
+  | Ok json ->
+      check string "metrics op ok" "ok" (get_str json "status");
+      get_raw json "result"
+
+let test_metrics_golden_keys () =
+  with_daemon @@ fun d ->
+  (with_conn d @@ fun c -> ignore (Client.rpc c wc_request));
+  (with_conn d @@ fun c ->
+   ignore (Client.rpc c { wc_request with Protocol.rq_id = 1 }));
+  let result = metrics_rpc d in
+  (* the full registry document, fixed key order; the two verify
+     requests above pin executed / dedup / latency-count cells *)
+  golden_walk result
+    [
+      "{"; "\"uptime_s\":"; "\"queue_depth\":"; "\"requests\":";
+      "\"executed\": 1"; "\"dedup_inflight\":"; "\"dedup_recent\":";
+      "\"dedup_hits\": 1"; "\"malformed\": 0"; "\"errors\": 0";
+      "\"degraded\": 0"; "\"flight_dumps\": 0"; "\"flight_records\":";
+      "\"flight_dropped\":"; "\"store_entries\":"; "\"store_loaded\":";
+      "\"store_hits\":"; "\"engine_queries\":"; "\"engine_cache_hits\":";
+      "\"solver_time_s\":"; "\"summary_instantiated\":";
+      "\"summary_opaque\":"; "\"summary_computed\":"; "\"summary_cached\":";
+      "\"latency_ms\": {"; "\"verify\": {"; "\"count\": 2"; "\"mean_ms\":";
+      "\"p50_ms\":"; "\"p95_ms\":"; "\"p99_ms\":"; "\"max_ms\":";
+      "\"compile\": {"; "\"count\": 0"; "\"tv\": {"; "\"registry\":"; "}";
+    ];
+  match Json.parse result with
+  | Error e -> Alcotest.failf "metrics result unparseable: %s" e
+  | Ok j ->
+      let leaf path =
+        List.fold_left
+          (fun acc k -> Option.bind acc (fun j -> Json.mem j k))
+          (Some j) path
+      in
+      check bool "latency_ms.verify.count = 2" true
+        (Option.bind (leaf [ "latency_ms"; "verify"; "count" ]) Json.int_
+        = Some 2);
+      check bool "p95 >= p50 >= 0" true
+        (match
+           ( Option.bind (leaf [ "latency_ms"; "verify"; "p50_ms" ]) Json.num,
+             Option.bind (leaf [ "latency_ms"; "verify"; "p95_ms" ]) Json.num )
+         with
+        | Some p50, Some p95 -> p95 >= p50 && p50 >= 0.0
+        | _ -> false)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn <= nh && at 0
+
+let test_prometheus_exposition () =
+  with_daemon @@ fun d ->
+  (with_conn d @@ fun c -> ignore (Client.rpc c wc_request));
+  let raw = metrics_rpc ~format:"prometheus" d in
+  let text =
+    match Json.parse raw with
+    | Ok (Json.Str s) -> s
+    | _ -> Alcotest.failf "exposition is not a JSON string: %s" raw
+  in
+  (* shape: every sample line is `name{labels} value` with a numeric
+     value; comment lines are # TYPE declarations *)
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  check bool "non-trivial exposition" true (List.length lines > 10);
+  List.iter
+    (fun l ->
+      if l.[0] = '#' then
+        check bool ("type line: " ^ l) true
+          (String.length l > 7 && String.sub l 0 7 = "# TYPE ")
+      else
+        match String.rindex_opt l ' ' with
+        | None -> Alcotest.failf "sample without value: %s" l
+        | Some i -> (
+            let v = String.sub l (i + 1) (String.length l - i - 1) in
+            match float_of_string_opt v with
+            | Some _ -> ()
+            | None -> Alcotest.failf "non-numeric sample value: %s" l))
+    lines;
+  check bool "histogram declared" true
+    (contains text "# TYPE overify_request_latency_seconds histogram");
+  (* the one verify request lands in the +Inf bucket with count 1 — the
+     ISSUE's "correct histogram bucket" check in its cumulative form *)
+  check bool "verify +Inf bucket counts the request" true
+    (contains text
+       "overify_request_latency_seconds_bucket{kind=\"verify\",le=\"+Inf\"} 1");
+  check bool "requests counter present" true
+    (contains text "overify_requests_total");
+  check bool "dedup counter present" true
+    (contains text "overify_dedup_hits_total")
+
+let test_flight_record_after_fault () =
+  (* a degraded request (contained crash fault) must leave a flight
+     record carrying its trace id, loadable via the postmortem path *)
+  with_temp_dir @@ fun dir ->
+  let d = Serve.start ~flight_dir:dir () in
+  Fun.protect ~finally:(fun () -> Serve.stop d) @@ fun () ->
+  let trace =
+    with_conn d @@ fun c ->
+    match
+      Client.rpc c { wc_request with Protocol.rq_faults = "crash@1" }
+    with
+    | Ok json ->
+        check string "faulted request ok (contained)" "ok"
+          (get_str json "status");
+        get_str json "trace"
+    | Error e -> Alcotest.failf "rpc: %s" (Protocol.frame_error_name e)
+  in
+  check bool "trace id shape" true
+    (String.length trace > 3 && String.sub trace 0 3 = "rq-");
+  (* the dump happens on the executor thread after the response; poll *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec find_dump () =
+    let dumps =
+      if Sys.file_exists dir then
+        List.filter
+          (fun f -> Filename.check_suffix f ".bin")
+          (Array.to_list (Sys.readdir dir))
+      else []
+    in
+    match dumps with
+    | f :: _ -> Filename.concat dir f
+    | [] ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "no flight dump after degraded request"
+        else begin
+          Thread.delay 0.05;
+          find_dump ()
+        end
+  in
+  let path = find_dump () in
+  match Flight.load path with
+  | Error msg -> Alcotest.failf "flight load: %s" msg
+  | Ok fd ->
+      check string "dump reason" "degraded" fd.Flight.fd_reason;
+      check string "dump trace is the request's" trace fd.Flight.fd_trace;
+      check bool "has records" true (fd.Flight.fd_records <> []);
+      check bool "a record carries the request trace" true
+        (List.exists
+           (fun (r : Overify_obs.Obs.Flight.record) ->
+             r.Overify_obs.Obs.Flight.fr_trace = trace)
+           fd.Flight.fd_records);
+      (* the engine's fault event made it into the ring *)
+      check bool "fault.injected event recorded" true
+        (List.exists
+           (fun (r : Overify_obs.Obs.Flight.record) ->
+             r.Overify_obs.Obs.Flight.fr_label = "fault.injected"
+             && r.Overify_obs.Obs.Flight.fr_trace = trace)
+           fd.Flight.fd_records)
+
+(* ------------- store lifecycle under concurrency ------------- *)
 
 let test_write_atomic_race () =
   (* two in-process writers racing write_atomic on ONE path: every read
@@ -762,6 +931,15 @@ let () =
             test_envelope_golden_keys;
           Alcotest.test_case "golden keys (error)" `Quick
             test_error_envelope_golden_keys;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics op golden keys" `Quick
+            test_metrics_golden_keys;
+          Alcotest.test_case "prometheus exposition parses" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "injected fault leaves a flight record" `Quick
+            test_flight_record_after_fault;
         ] );
       ( "store-lifecycle",
         [
