@@ -707,6 +707,69 @@ let run_serve args =
     exit 1
   end
 
+(* ---- overload: the daemon under deliberate overload — a stall@1-wedged
+   executor, a full capacity-1 queue, a distinct-fingerprint flood, then
+   watchdog recovery, an accepted stream, a slowloris and an idle probe.
+   The contract — zero transport failures, every request answered or
+   shed, sheds reconciling exactly with the daemon's own counter, the
+   watchdog firing exactly once — is asserted and any violation exits 1.
+   The summary (shed rate, accepted p50/p95/p99) goes to
+   BENCH_overload.json. ---- *)
+
+let run_overload args =
+  let flag name =
+    let rec go = function
+      | f :: v :: _ when f = name -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let probes =
+    Option.value (Option.map int_of_string (flag "-n")) ~default:12
+  in
+  let accepted =
+    Option.value (Option.map int_of_string (flag "-a")) ~default:16
+  in
+  let out = Option.value (flag "-o") ~default:"BENCH_overload.json" in
+  Printf.printf
+    "=== Overload: %d-probe flood against a wedged capacity-1 daemon ===\n\n"
+    probes;
+  let (o, healthy) = H.Serve.run_overload ~probes ~accepted () in
+  Printf.printf
+    "requests=%d ok=%d overloaded=%d deadline_exceeded=%d other_errors=%d \
+     transport_failures=%d\n"
+    o.H.Serve.o_requests o.H.Serve.o_ok o.H.Serve.o_overloaded
+    o.H.Serve.o_deadline o.H.Serve.o_other_errors
+    o.H.Serve.o_transport_failures;
+  Printf.printf
+    "shed_rate=%.3f retry_hint_min=%dms watchdog_reason=%b \
+     slowloris_answered=%b idle_reaped=%b\n"
+    (float_of_int o.H.Serve.o_overloaded
+    /. float_of_int (max 1 o.H.Serve.o_requests))
+    o.H.Serve.o_hint_ms_min o.H.Serve.o_watchdog_reason
+    o.H.Serve.o_slowloris_answered o.H.Serve.o_idle_reaped;
+  let lat = o.H.Serve.o_accepted_lat in
+  let pct q =
+    let n = Array.length lat in
+    if n = 0 then 0.0
+    else lat.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+  in
+  Printf.printf "accepted latency p50=%.1fms p95=%.1fms p99=%.1fms\n"
+    (pct 0.50) (pct 0.95) (pct 0.99);
+  Out_channel.with_open_text out (fun oc ->
+      Printf.fprintf oc "%s\n" (H.Serve.overload_to_json o));
+  Printf.printf "wrote %s\n" out;
+  if healthy then
+    print_endline
+      "overload schedule passed: every request answered or shed, shed \
+       accounting exact, watchdog recovered the wedged executor, zero \
+       transport failures"
+  else begin
+    print_endline "overload schedule FAILED the health contract";
+    exit 1
+  end
+
 (* ---- translation-validated corpus sweep: every pass application on every
    corpus program at every level is checked with the symbolic engine; the
    expected result is zero counterexamples (exit 1 otherwise) ---- *)
@@ -921,6 +984,7 @@ let () =
   | _ :: "summary" :: rest -> run_summary rest
   | _ :: "chaos" :: rest -> run_chaos rest
   | _ :: "serve" :: rest -> run_serve rest
+  | _ :: "overload" :: rest -> run_overload rest
   | _ :: "validate" :: rest -> run_validate rest
   | _ :: "profile" :: rest -> run_profile rest
   | _ :: "diff" :: rest -> run_diff rest

@@ -609,6 +609,43 @@ let serve_cmd =
       & info [ "save-every" ] ~docv:"N"
           ~doc:"Save the warm solver store every $(docv) executed jobs.")
   in
+  let queue_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission control: refuse new work once $(docv) jobs are \
+             queued, answering a machine-readable $(i,overloaded) error \
+             with a $(i,retry_after_ms) backoff hint derived from the \
+             live per-kind latency histograms.  Default: unbounded.")
+  in
+  let grace =
+    Arg.(
+      value & opt float 2.0
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog escalation margin: a job still running $(docv) \
+             seconds past its deadline is presumed wedged — the daemon \
+             dumps a flight record, force-cancels it and keeps serving.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 600.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Reap connections with no frame in flight for $(docv) \
+             seconds (closed silently).  0 disables the reaper.")
+  in
+  let frame_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "frame-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Drop a connection that stalls mid-frame for $(docv) seconds \
+             (the slowloris defence), answering \
+             $(i,bad_frame:timeout) first.  0 disables the bound.")
+  in
   let obs =
     Arg.(
       value & flag
@@ -649,11 +686,13 @@ let serve_cmd =
              per event, carrying the request's trace id.  Defaults to \
              $(b,OVERIFY_LOG) (warn when unset); the flag wins.")
   in
-  let run socket cache_dir recent_cap save_every obs flight_dir log_level =
+  let run socket cache_dir recent_cap save_every queue_cap grace idle_timeout
+      frame_timeout obs flight_dir log_level =
     let daemon =
       O.Serve.start
         ?socket:(if socket = "" then None else Some socket)
-        ?cache_dir ~recent_cap ~save_every
+        ?cache_dir ~recent_cap ~save_every ?queue_cap ~grace ~idle_timeout
+        ~frame_timeout
         ?obs:(if obs then Some true else None)
         ?flight_dir ?log_level ()
     in
@@ -671,6 +710,7 @@ let serve_cmd =
           requests, and keeping one warm solver store across all of them. \
           Stop it with $(b,overify client --shutdown).")
     Term.(const run $ socket_arg $ cache_dir_arg $ recent_cap $ save_every
+          $ queue_cap $ grace $ idle_timeout $ frame_timeout
           $ obs $ flight_dir $ log_arg)
 
 (* ---- client subcommand ---- *)
@@ -841,9 +881,30 @@ let client_cmd =
              (raw bytes) — for diffing against the one-shot CLI's \
              $(b,--json) output.")
   in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) extra times — a fresh connection per \
+             attempt — when the daemon is not up yet (connection \
+             refused), the transport fails, or the daemon sheds the \
+             request ($(i,overloaded)).  Sleeps a jittered exponential \
+             backoff between attempts; an $(i,overloaded) answer's \
+             $(i,retry_after_ms) hint is honored as a floor.  Default 0 \
+             (one attempt).")
+  in
+  let backoff =
+    Arg.(
+      value & opt int 100
+      & info [ "backoff" ] ~docv:"MS"
+          ~doc:
+            "Base backoff for $(b,--retries): attempt k sleeps \
+             $(docv)ms × 2^k, jittered ×[0.5,1.5), capped at 10s.")
+  in
   let run socket level kind program file size timeout jobs summaries
       deterministic faults shutdown stats metrics prometheus watch interval
-      count garbage result_only =
+      count garbage result_only retries backoff =
     if socket = "" then begin
       Printf.eprintf "client: --socket is required\n";
       exit 2
@@ -896,12 +957,16 @@ let client_cmd =
       rc
     end
     else begin
-    let conn = connect () in
     let answer =
       if garbage then begin
-        if O.Serve_client.send_payload conn "this is not json {" then
-          O.Serve_client.read_response conn
-        else Error O.Serve_protocol.Closed
+        let conn = connect () in
+        let r =
+          if O.Serve_client.send_payload conn "this is not json {" then
+            O.Serve_client.read_response conn
+          else Error O.Serve_protocol.Closed
+        in
+        O.Serve_client.close conn;
+        Result.map_error O.Serve_protocol.frame_error_name r
       end
       else begin
         let kind =
@@ -919,7 +984,7 @@ let client_cmd =
           if file = "" then ""
           else In_channel.with_open_text file In_channel.input_all
         in
-        O.Serve_client.rpc conn
+        let rq =
           {
             O.Serve_protocol.default_request with
             O.Serve_protocol.rq_kind = kind;
@@ -935,13 +1000,23 @@ let client_cmd =
             rq_summaries = summaries;
             rq_format;
           }
+        in
+        if retries > 0 then
+          (* fresh connection per attempt; retries connect failures,
+             transport errors and [overloaded] sheds (honoring the
+             daemon's retry_after_ms pacing hint) *)
+          O.Serve_client.rpc_retry ~socket ~retries ~backoff_ms:backoff rq
+        else begin
+          let conn = connect () in
+          let r = O.Serve_client.rpc conn rq in
+          O.Serve_client.close conn;
+          Result.map_error O.Serve_protocol.frame_error_name r
+        end
       end
     in
-    O.Serve_client.close conn;
     match answer with
     | Error e ->
-        Printf.eprintf "client: transport error: %s\n"
-          (O.Serve_protocol.frame_error_name e);
+        Printf.eprintf "client: transport error: %s\n" e;
         1
     | Ok json ->
         let doc =
@@ -977,7 +1052,7 @@ let client_cmd =
       const run $ socket_arg $ level $ kind_arg $ program_arg $ file_arg
       $ size $ timeout $ jobs $ summaries_arg $ deterministic $ faults_arg
       $ shutdown $ stats $ metrics $ prometheus $ watch $ interval $ count
-      $ garbage $ result_only)
+      $ garbage $ result_only $ retries $ backoff)
 
 (* ---- postmortem subcommand ---- *)
 

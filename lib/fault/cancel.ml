@@ -1,0 +1,32 @@
+type t = {
+  flag : bool Atomic.t;
+  mutable why : string; (* written once, before [flag] is set *)
+  deadline : float option;
+  now : unit -> float;
+}
+
+exception Cancelled of string
+
+let create ?deadline ?(now = fun () -> Unix.gettimeofday ()) () =
+  { flag = Atomic.make false; why = ""; deadline; now }
+
+let cancel t ~reason =
+  (* First reason wins: the flag is the publication point, so [why] must
+     be in place before it flips. *)
+  if not (Atomic.get t.flag) then begin
+    t.why <- reason;
+    ignore (Atomic.compare_and_set t.flag false true)
+  end
+
+let cancelled t = Atomic.get t.flag
+let reason t = if Atomic.get t.flag then t.why else ""
+let deadline t = t.deadline
+
+let check = function
+  | None -> ()
+  | Some t ->
+      (match t.deadline with
+      | Some d when (not (Atomic.get t.flag)) && t.now () > d ->
+          cancel t ~reason:"deadline exceeded"
+      | _ -> ());
+      if Atomic.get t.flag then raise (Cancelled t.why)

@@ -1,0 +1,46 @@
+(** Cooperative cancellation tokens.
+
+    A token is an atomic flag plus a reason string, optionally armed with
+    an absolute deadline.  Long-running work (the symbolic-execution
+    worklist, the solver's query entry point) polls {!check} at its
+    cooperative points; an external party (the serve daemon's watchdog)
+    calls {!cancel} to stop a wedged job it cannot reach any other way.
+
+    Deadline-aware: {!check} self-cancels the token — with reason
+    ["deadline exceeded"] — the first time it is consulted past the
+    token's deadline, so a deadline set at request admission covers queue
+    wait, compile, symex and solve without any thread having to watch the
+    clock for the common case.
+
+    Lives in [Overify_fault] because this library is deliberately
+    dependency-free (stdlib + [Unix]), so every layer can thread a token
+    through without cycles. *)
+
+type t
+
+(** Raised by {!check} on a cancelled token, carrying the reason. *)
+exception Cancelled of string
+
+val create : ?deadline:float -> ?now:(unit -> float) -> unit -> t
+(** Fresh, un-cancelled token.  [deadline] is an absolute
+    [Unix.gettimeofday] instant past which {!check} self-cancels.  [now]
+    overrides the clock (tests only). *)
+
+val cancel : t -> reason:string -> unit
+(** Set the token.  Idempotent; the first reason wins.  Safe from any
+    thread. *)
+
+val cancelled : t -> bool
+(** The token has been set (explicitly or by a deadline self-cancel).
+    Does {e not} consult the deadline — a pure flag read, which is what a
+    deliberately-stuck query (the [stall] fault) polls so that only an
+    explicit {!cancel} can free it. *)
+
+val reason : t -> string
+(** The cancellation reason, or [""] if not cancelled. *)
+
+val deadline : t -> float option
+
+val check : t option -> unit
+(** Cooperative cancellation point: self-cancels past the deadline, then
+    raises {!Cancelled} if the token is set.  [check None] is free. *)

@@ -5,6 +5,7 @@ type kind =
   | Alloc_fail
   | Worker_crash
   | Kill
+  | Solver_stall
 
 exception Crash of string
 exception Killed of string
@@ -16,9 +17,18 @@ let kind_name = function
   | Alloc_fail -> "alloc"
   | Worker_crash -> "crash"
   | Kill -> "kill"
+  | Solver_stall -> "stall"
 
 let all_kinds =
-  [ Solver_timeout; Store_corrupt; Store_partial; Alloc_fail; Worker_crash; Kill ]
+  [
+    Solver_timeout;
+    Store_corrupt;
+    Store_partial;
+    Alloc_fail;
+    Worker_crash;
+    Kill;
+    Solver_stall;
+  ]
 
 let kind_index = function
   | Solver_timeout -> 0
@@ -27,8 +37,9 @@ let kind_index = function
   | Alloc_fail -> 3
   | Worker_crash -> 4
   | Kill -> 5
+  | Solver_stall -> 6
 
-let nkinds = 6
+let nkinds = 7
 
 type site = {
   triggers : int list; (* sorted visit numbers (1-based) at which to fire *)
@@ -66,6 +77,7 @@ let kind_of_site_name = function
   | "alloc" -> Some Alloc_fail
   | "crash" -> Some Worker_crash
   | "kill" -> Some Kill
+  | "stall" -> Some Solver_stall
   | _ -> None
 
 let parse s =

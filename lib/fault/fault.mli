@@ -18,6 +18,10 @@
       crash@N     the N-th executor step raises a contained worker crash
       kill@N      the N-th executor step raises an uncontainable Killed
                   (simulates SIGKILL; used by the kill/resume test)
+      stall@N     the N-th solver query blocks until its cancellation
+                  token fires (a stuck solver; without a token it raises
+                  Solver.Timeout instead of hanging forever) — the
+                  injectable wedge the serve watchdog recovers from
       seed:S[:K]  expand to K (default 3) pseudo-random entries drawn
                   from {timeout, alloc, crash} with an LCG seeded by S
     v}
@@ -31,6 +35,7 @@ type kind =
   | Alloc_fail
   | Worker_crash
   | Kill
+  | Solver_stall
 
 type t
 

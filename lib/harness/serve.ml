@@ -271,3 +271,305 @@ let run ?(n = 48) ?(clients = 4) ?seed () : summary * bool =
         && stat s "executed" <= stat s "requests"
       in
       (s, healthy))
+
+(* ---------------- overload chaos ---------------- *)
+
+(** Outcome of the overload schedule ({!run_overload}): a deterministic
+    flood against a capacity-1 daemon wedged by an injected [stall@1]
+    stuck solver, followed by an accepted stream, a slowloris probe and
+    an idle connection. *)
+type overload = {
+  o_requests : int;            (** framed requests offered (flood + stream
+                                   + occupier + filler) *)
+  o_ok : int;
+  o_overloaded : int;          (** client-observed sheds *)
+  o_deadline : int;            (** client-observed [deadline_exceeded] *)
+  o_other_errors : int;
+  o_transport_failures : int;  (** must be 0: shed ≠ dropped *)
+  o_hint_ms_min : int;         (** smallest [retry_after_ms] on a shed *)
+  o_accepted_lat : float array;  (** sorted latencies (ms) of [ok] answers *)
+  o_watchdog_reason : bool;    (** the wedged job's answer names the watchdog *)
+  o_slowloris_answered : bool; (** mid-frame staller got [bad_frame:timeout] *)
+  o_idle_reaped : bool;        (** quiet connection closed with no bytes *)
+  o_stats_json : string;       (** daemon counters after the schedule *)
+}
+
+let envelope_error json =
+  match Protocol.extract_field json "error" with
+  | Some err when String.length err > 0 && err.[0] = '{' -> (
+      match Protocol.extract_field err "kind" with
+      | Some k -> (
+          match Json.parse k with Ok (Json.Str s) -> Some s | _ -> None)
+      | None -> None)
+  | _ -> None
+
+let envelope_error_message json =
+  match Protocol.extract_field json "error" with
+  | Some err when String.length err > 0 && err.[0] = '{' -> (
+      match Protocol.extract_field err "message" with
+      | Some m -> (
+          match Json.parse m with Ok (Json.Str s) -> Some s | _ -> None)
+      | None -> None)
+  | _ -> None
+
+let retry_hint json =
+  match Protocol.extract_field json "error" with
+  | Some err when String.length err > 0 && err.[0] = '{' ->
+      Option.bind
+        (Protocol.extract_field err "retry_after_ms")
+        (fun v -> int_of_string_opt (String.trim v))
+  | _ -> None
+
+(** One request over a fresh connection; [Error] is a transport failure. *)
+let rpc_once ~socket rq =
+  match Client.connect socket with
+  | exception _ -> Error ()
+  | conn ->
+      let r = Client.rpc conn rq in
+      Client.close conn;
+      (match r with Ok json -> Ok json | Error _ -> Error ())
+
+let fetch_stats ~socket =
+  match
+    rpc_once ~socket
+      { Protocol.default_request with Protocol.rq_kind = Protocol.Stats }
+  with
+  | Ok json ->
+      Option.value ~default:"{}" (Protocol.extract_field json "result")
+  | Error () -> "{}"
+
+let statj json name =
+  match Json.parse json with
+  | Ok j -> Option.value ~default:0 (Option.bind (Json.mem j name) Json.int_)
+  | Error _ -> 0
+
+(** Poll the daemon's stats until [p] holds (or ~5 s passed). *)
+let wait_for ~socket p =
+  let rec go tries =
+    if tries = 0 then false
+    else if p (fetch_stats ~socket) then true
+    else begin
+      Thread.delay 0.01;
+      go (tries - 1)
+    end
+  in
+  go 500
+
+let verify_rq ~id ~timeout ?(faults = "") () =
+  {
+    Protocol.default_request with
+    Protocol.rq_id = id;
+    rq_kind = Protocol.Verify;
+    rq_program = "wc";
+    rq_level = "O0";
+    rq_input_size = 1;
+    rq_timeout = timeout;
+    rq_deterministic = true;
+    rq_faults = faults;
+  }
+
+(** Distinct-fingerprint cheap probes: the fingerprint hashes
+    [rq_timeout], so an epsilon per probe defeats dedup without changing
+    behaviour. *)
+let compile_rq ~id ~epsilon =
+  {
+    Protocol.default_request with
+    Protocol.rq_id = id;
+    rq_kind = Protocol.Compile;
+    rq_program = "wc";
+    rq_level = "O0";
+    rq_timeout = 29.0 -. (0.001 *. float_of_int epsilon);
+    rq_deterministic = true;
+  }
+
+(** The overload schedule, deterministic by construction:
+
+    1. wedge the single executor with a [stall@1] verify (the injected
+       stuck solver polls its cancellation token, so only the watchdog
+       frees it — deadline [occupier_timeout] + [grace] later);
+    2. fill the capacity-1 queue with one long-deadline verify;
+    3. flood [probes] distinct-fingerprint requests — with the executor
+       wedged and the queue full, {e every} one must shed with
+       [overloaded] + [retry_after_ms], exactly [probes] sheds;
+    4. the watchdog fires: the occupier is answered [deadline_exceeded]
+       (watchdog reason), the filler then runs normally;
+    5. an accepted stream of [accepted] requests measures served
+       latency after recovery;
+    6. a slowloris connection (magic bytes, then silence) must be
+       answered [bad_frame:timeout]; an idle connection must be reaped
+       with no answer.
+
+    Healthy iff: zero transport failures, every request answered or
+    shed, sheds reconcile exactly with the daemon's [requests_shed],
+    the watchdog fired exactly once and the daemon kept serving. *)
+let run_overload ?(probes = 8) ?(accepted = 12) ?(occupier_timeout = 2.0)
+    ?(grace = 0.5) ?flight_dir () : overload * bool =
+  let daemon = Serve.start ~queue_cap:1 ~grace ?flight_dir () in
+  let socket = Serve.socket_path daemon in
+  let finally () = Serve.stop daemon in
+  Fun.protect ~finally (fun () ->
+      let ok = ref 0
+      and overloaded = ref 0
+      and deadline = ref 0
+      and other = ref 0
+      and transport = ref 0
+      and hint_min = ref max_int
+      and lats = ref [] in
+      let classify ?(lat = 0.0) = function
+        | Error () -> incr transport
+        | Ok json -> (
+            match envelope_error json with
+            | None ->
+                incr ok;
+                lats := lat :: !lats
+            | Some "overloaded" ->
+                incr overloaded;
+                (match retry_hint json with
+                | Some h -> hint_min := min !hint_min h
+                | None -> hint_min := min !hint_min 0)
+            | Some "deadline_exceeded" -> incr deadline
+            | Some _ -> incr other)
+      in
+      (* 1. wedge the executor *)
+      let occupier = ref (Error ()) in
+      let occ_thread =
+        Thread.create
+          (fun () ->
+            occupier :=
+              rpc_once ~socket
+                (verify_rq ~id:1 ~timeout:occupier_timeout ~faults:"stall@1" ()))
+          ()
+      in
+      let running =
+        wait_for ~socket (fun s ->
+            statj s "inflight" >= 1 && statj s "queue_depth" = 0
+            && statj s "executed" = 0)
+      in
+      (* 2. fill the queue *)
+      let filler = ref (Error ()) in
+      let fill_thread =
+        Thread.create
+          (fun () ->
+            filler := rpc_once ~socket (verify_rq ~id:2 ~timeout:30.0 ()))
+          ()
+      in
+      let queued = wait_for ~socket (fun s -> statj s "queue_depth" >= 1) in
+      (* 3. flood: every probe must shed *)
+      for i = 0 to probes - 1 do
+        classify (rpc_once ~socket (compile_rq ~id:(10 + i) ~epsilon:i))
+      done;
+      let sheds_exact = !overloaded = probes in
+      (* 4. watchdog recovery *)
+      Thread.join occ_thread;
+      Thread.join fill_thread;
+      classify !occupier;
+      classify !filler;
+      let watchdog_reason =
+        match !occupier with
+        | Ok json -> (
+            match envelope_error_message json with
+            | Some m ->
+                String.length m >= 8 && String.sub m 0 8 = "watchdog"
+            | None -> false)
+        | Error () -> false
+      in
+      (* 5. accepted stream: the daemon must still serve *)
+      for i = 0 to accepted - 1 do
+        let t0 = Unix.gettimeofday () in
+        let r = rpc_once ~socket (compile_rq ~id:(100 + i) ~epsilon:(100 + i)) in
+        classify ~lat:((Unix.gettimeofday () -. t0) *. 1000.0) r
+      done;
+      let stats = fetch_stats ~socket in
+      (* 6. slowloris + idle, against a short-fuse daemon *)
+      let d2 = Serve.start ~idle_timeout:0.25 ~frame_timeout:0.25 () in
+      let s2 = Serve.socket_path d2 in
+      let slowloris_answered =
+        match Client.connect s2 with
+        | exception _ -> false
+        | conn ->
+            let r =
+              if Client.send_bytes conn Protocol.magic then
+                match Client.read_response conn with
+                | Ok json -> (
+                    match envelope_error_message json with
+                    | Some "timeout" -> true
+                    | _ -> false)
+                | Error _ -> false
+              else false
+            in
+            Client.close conn;
+            r
+      in
+      let idle_reaped =
+        match Client.connect s2 with
+        | exception _ -> false
+        | conn ->
+            (* no bytes sent: the reaper must close silently — EOF, not
+               an answer *)
+            let r =
+              match Client.read_response conn with
+              | Error Protocol.Closed -> true
+              | _ -> false
+            in
+            Client.close conn;
+            r
+      in
+      let stats2 = fetch_stats ~socket:s2 in
+      Serve.stop d2;
+      let requests = probes + accepted + 2 in
+      let lat = Array.of_list !lats in
+      Array.sort compare lat;
+      let o =
+        {
+          o_requests = requests;
+          o_ok = !ok;
+          o_overloaded = !overloaded;
+          o_deadline = !deadline;
+          o_other_errors = !other;
+          o_transport_failures = !transport;
+          o_hint_ms_min = (if !hint_min = max_int then 0 else !hint_min);
+          o_accepted_lat = lat;
+          o_watchdog_reason = watchdog_reason;
+          o_slowloris_answered = slowloris_answered;
+          o_idle_reaped = idle_reaped;
+          o_stats_json = stats;
+        }
+      in
+      let healthy =
+        running && queued && sheds_exact
+        && o.o_transport_failures = 0
+        && o.o_ok + o.o_overloaded + o.o_deadline + o.o_other_errors
+           = o.o_requests
+        && o.o_ok = accepted + 1 (* the filler ran after recovery *)
+        && o.o_deadline = 1 (* the wedged occupier *)
+        && o.o_overloaded = statj stats "requests_shed"
+        && o.o_hint_ms_min >= 25
+        && statj stats "watchdog_fired" = 1
+        && statj stats "cancelled" >= 1
+        && statj stats "deadline_exceeded" >= 1
+        && watchdog_reason && slowloris_answered && idle_reaped
+        && statj stats2 "idle_reaped" >= 1
+      in
+      (o, healthy))
+
+let overload_to_json ?(label = "overload") (o : overload) =
+  let pct q =
+    let n = Array.length o.o_accepted_lat in
+    if n = 0 then 0.0
+    else
+      o.o_accepted_lat.(min (n - 1)
+                          (int_of_float (ceil (q *. float_of_int n)) - 1))
+  in
+  Printf.sprintf
+    "{\"label\": \"%s\", \"requests\": %d, \"ok\": %d, \"overloaded\": %d, \
+     \"deadline_exceeded\": %d, \"other_errors\": %d, \
+     \"transport_failures\": %d, \"shed_rate\": %.3f, \"retry_hint_ms_min\": \
+     %d, \"accepted_latency_ms\": {\"p50\": %.2f, \"p95\": %.2f, \"p99\": \
+     %.2f}, \"watchdog_reason\": %b, \"slowloris_answered\": %b, \
+     \"idle_reaped\": %b, \"daemon\": %s}"
+    (Json.escape label) o.o_requests o.o_ok o.o_overloaded o.o_deadline
+    o.o_other_errors o.o_transport_failures
+    (float_of_int o.o_overloaded /. float_of_int (max 1 o.o_requests))
+    o.o_hint_ms_min (pct 0.50) (pct 0.95) (pct 0.99) o.o_watchdog_reason
+    o.o_slowloris_answered o.o_idle_reaped
+    (if o.o_stats_json = "" then "{}" else o.o_stats_json)

@@ -37,3 +37,68 @@ let read_response t = Protocol.read_frame t.fd
 let rpc t rq =
   if send_payload t (Protocol.request_to_json rq) then read_response t
   else Error Protocol.Closed
+
+(* ---------------- retrying one-shot rpc ---------------- *)
+
+(** [Some hint_ms] iff the envelope is an [overloaded] shed; the hint is
+    0 when the error object carries no [retry_after_ms]. *)
+let overloaded_hint payload =
+  match Protocol.extract_field payload "error" with
+  | Some err when String.length err > 0 && err.[0] = '{' -> (
+      match Protocol.extract_field err "kind" with
+      | Some "\"overloaded\"" ->
+          Some
+            (match Protocol.extract_field err "retry_after_ms" with
+            | Some v ->
+                Option.value ~default:0 (int_of_string_opt (String.trim v))
+            | None -> 0)
+      | _ -> None)
+  | _ -> None
+
+let rpc_retry ~socket ?(retries = 0) ?(backoff_ms = 100) rq =
+  (* decorrelation jitter from a private LCG — no [Random] so library
+     users' global PRNG state is untouched *)
+  let lcg = ref (((Unix.getpid () * 7919) lxor 0x5DEECE6) lor 1) in
+  let jitter () =
+    lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    (* uniform-ish in [0.5, 1.5) *)
+    0.5 +. (float_of_int (!lcg land 0xFFF) /. 4096.0)
+  in
+  let sleep_before attempt hint_ms =
+    let exp = float_of_int backoff_ms *. (2.0 ** float_of_int attempt) in
+    let jittered = exp *. jitter () in
+    (* the daemon's pacing hint is a floor, never shortened by jitter *)
+    let ms =
+      match hint_ms with
+      | Some h -> Float.max (float_of_int h) jittered
+      | None -> jittered
+    in
+    Unix.sleepf (Float.min ms 10_000.0 /. 1000.0)
+  in
+  let retries = max 0 retries in
+  let rec go attempt =
+    let retry_or msg hint =
+      if attempt >= retries then Error msg
+      else begin
+        sleep_before attempt hint;
+        go (attempt + 1)
+      end
+    in
+    match connect socket with
+    | exception Unix.Unix_error (e, _, _) ->
+        (* daemon not up (yet): connection refused / socket missing *)
+        retry_or ("connect: " ^ Unix.error_message e) None
+    | c -> (
+        let r = rpc c rq in
+        close c;
+        match r with
+        | Error fe ->
+            retry_or ("transport: " ^ Protocol.frame_error_name fe) None
+        | Ok payload -> (
+            match overloaded_hint payload with
+            | Some hint when attempt < retries ->
+                sleep_before attempt (Some hint);
+                go (attempt + 1)
+            | _ -> Ok payload))
+  in
+  go 0

@@ -179,6 +179,8 @@ type frame_error =
   | Bad_version
   | Oversized of int
   | Corrupt
+  | Timed_out
+  | Idle
 
 let frame_error_name = function
   | Closed -> "closed"
@@ -187,6 +189,8 @@ let frame_error_name = function
   | Bad_version -> "bad_version"
   | Oversized n -> Printf.sprintf "oversized:%d" n
   | Corrupt -> "corrupt"
+  | Timed_out -> "timeout"
+  | Idle -> "idle"
 
 let write_frame fd payload =
   let bytes = Binfile.frame ~magic ~version payload in
@@ -202,20 +206,39 @@ let write_frame fd payload =
   in
   go 0
 
-(** Read exactly [want] bytes; [Ok got] may be short only at EOF. *)
-let really_read fd want : (string, frame_error) result =
+(** Read exactly [want] bytes; [Ok got] may be short only at EOF.
+    [deadline] (absolute) bounds the whole read: expiry before the first
+    byte is [Error Idle] (a quiet connection), expiry mid-read is
+    [Error Timed_out] (a slow peer stalled inside the data). *)
+let really_read ?deadline fd want : (string, frame_error) result =
   let buf = Bytes.create want in
+  (* wait until readable or the deadline passes; true = data (or EOF)
+     is available *)
+  let rec wait_readable d =
+    let left = d -. Unix.gettimeofday () in
+    if left <= 0.0 then false
+    else
+      match Unix.select [ fd ] [] [] left with
+      | [], _, _ -> false
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable d
+      | exception Unix.Unix_error _ -> true (* let read surface the error *)
+  in
   let rec go off =
     if off >= want then Ok (Bytes.to_string buf)
     else
-      match Unix.read fd buf off (want - off) with
-      | 0 -> if off = 0 then Error Closed else Error Truncated
-      | n -> go (off + n)
-      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
-        ->
-          if off = 0 then Error Closed else Error Truncated
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error _ -> Error Truncated
+      match deadline with
+      | Some d when not (wait_readable d) ->
+          if off = 0 then Error Idle else Error Timed_out
+      | _ -> (
+          match Unix.read fd buf off (want - off) with
+          | 0 -> if off = 0 then Error Closed else Error Truncated
+          | n -> go (off + n)
+          | exception Unix.Unix_error
+              ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+              if off = 0 then Error Closed else Error Truncated
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error _ -> Error Truncated)
   in
   go 0
 
@@ -226,16 +249,27 @@ let get_int_be s off width =
   done;
   !v
 
-let read_frame ?(max = max_frame) fd : (string, frame_error) result =
+let read_frame ?(max = max_frame) ?idle_timeout ?frame_timeout fd :
+    (string, frame_error) result =
+  (* [idle_timeout] bounds the wait for a frame to BEGIN (its expiry,
+     [Idle], means a quiet keep-alive connection — the reaper's cue);
+     [frame_timeout] bounds the rest of the frame once the magic landed
+     (its expiry, [Timed_out], means a slow peer parked mid-frame — the
+     slowloris defence).  Both are relative seconds, both optional. *)
+  let abs = Option.map (fun t -> Unix.gettimeofday () +. t) in
   (* validate the magic as soon as its bytes arrive — a peer that sent
      non-protocol garbage is answered immediately instead of both sides
      waiting for a full header that will never come *)
   let mlen = String.length magic in
-  match really_read fd mlen with
+  match really_read ?deadline:(abs idle_timeout) fd mlen with
   | Error _ as e -> e
   | Ok m when m <> magic -> Error Bad_magic
   | Ok _ -> (
-      match really_read fd (header_len - mlen) with
+      let deadline = abs frame_timeout in
+      (* past the magic, an expiry at offset 0 is still a mid-frame
+         stall, never an idle connection *)
+      let demote_idle = function Error Idle -> Error Timed_out | r -> r in
+      match demote_idle (really_read ?deadline fd (header_len - mlen)) with
       | Error Closed -> Error Truncated
       | Error _ as e -> e
       | Ok rest_header ->
@@ -245,7 +279,7 @@ let read_frame ?(max = max_frame) fd : (string, frame_error) result =
             let plen = get_int_be header (mlen + 4) 8 in
             if plen > max then Error (Oversized plen)
             else (
-              match really_read fd (plen + 16) with
+              match demote_idle (really_read ?deadline fd (plen + 16)) with
               | Error Closed -> Error Truncated
               | Error _ as e -> e
               | Ok rest -> (
@@ -261,25 +295,32 @@ type body = {
   b_status : string;
   b_kind : string;
   b_error : (string * string) option;
+  b_retry_after_ms : int option;
+      (** machine-readable backoff hint attached to the error object
+          (the [overloaded] shed carries one so clients can retry at the
+          pace the daemon's live latency histograms suggest) *)
   b_result : string;
   b_obs : string;
 }
 
 let ok_body ~kind ~result ?(obs = "[]") () =
-  { b_status = "ok"; b_kind = kind; b_error = None; b_result = result;
-    b_obs = obs }
+  { b_status = "ok"; b_kind = kind; b_error = None; b_retry_after_ms = None;
+    b_result = result; b_obs = obs }
 
 let error_body ~kind ~err ~msg =
   { b_status = "error"; b_kind = kind; b_error = Some (err, msg);
-    b_result = "null"; b_obs = "[]" }
+    b_retry_after_ms = None; b_result = "null"; b_obs = "[]" }
 
 let response ~id ~dedup ?(trace = "") ~elapsed_ms (b : body) : string =
   let error =
     match b.b_error with
     | None -> "null"
     | Some (k, m) ->
-        Printf.sprintf "{\"kind\": \"%s\", \"message\": \"%s\"}"
+        Printf.sprintf "{\"kind\": \"%s\", \"message\": \"%s\"%s}"
           (Json.escape k) (Json.escape m)
+          (match b.b_retry_after_ms with
+          | Some ms -> Printf.sprintf ", \"retry_after_ms\": %d" ms
+          | None -> "")
   in
   Printf.sprintf
     "{\"id\": %d, \"status\": \"%s\", \"kind\": \"%s\", \"dedup\": \

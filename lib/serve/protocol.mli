@@ -20,9 +20,14 @@
     {v
       {"id": .., "status": "ok"|"error", "kind": .., "dedup":
        "miss"|"inflight"|"recent"|"none", "trace": .., "elapsed_ms": ..,
-       "error": null|{"kind": .., "message": ..}, "result": ..,
-       "obs": [..]}
+       "error": null|{"kind": .., "message": ..[, "retry_after_ms": ..]},
+       "result": .., "obs": [..]}
     v}
+
+    The [retry_after_ms] member appears only on errors that carry a
+    backoff hint (the [overloaded] shed): a machine-readable pacing
+    suggestion derived from the daemon's live per-kind latency
+    histograms and current queue depth.
 
     The [result] of a [verify] request is byte-for-byte the document
     [Engine.result_to_json] produces, so the daemon and the one-shot CLI
@@ -87,15 +92,30 @@ type frame_error =
   | Bad_version
   | Oversized of int  (** declared payload length exceeded the cap *)
   | Corrupt         (** length/digest validation failed *)
+  | Timed_out
+      (** a slow peer stalled mid-frame past [frame_timeout] (the
+          slowloris defence; answered as [bad_frame:timeout]) *)
+  | Idle
+      (** no frame began within [idle_timeout] — a quiet keep-alive
+          connection the reaper may close without an answer *)
 
 val frame_error_name : frame_error -> string
 
 val write_frame : Unix.file_descr -> string -> bool
 (** Frame and send a payload; [false] on any write failure (peer gone). *)
 
-val read_frame : ?max:int -> Unix.file_descr -> (string, frame_error) result
+val read_frame :
+  ?max:int ->
+  ?idle_timeout:float ->
+  ?frame_timeout:float ->
+  Unix.file_descr ->
+  (string, frame_error) result
 (** Read and validate one frame.  Never raises; socket errors map to
-    [Closed]/[Truncated]. *)
+    [Closed]/[Truncated].  [idle_timeout] (relative seconds) bounds the
+    wait for the frame's first bytes — expiry is [Idle]; [frame_timeout]
+    bounds the remainder once the magic has arrived — expiry is
+    [Timed_out].  Omitted timeouts (the default, and what {!Client}
+    uses) block indefinitely as before. *)
 
 (** {2 Response envelope} *)
 
@@ -103,12 +123,17 @@ type body = {
   b_status : string;                   (** ["ok"] or ["error"] *)
   b_kind : string;                     (** request kind name *)
   b_error : (string * string) option;  (** (kind, message) when status=error *)
+  b_retry_after_ms : int option;
+      (** backoff hint emitted inside the error object (overload sheds) *)
   b_result : string;                   (** raw JSON value text; ["null"] if none *)
   b_obs : string;                      (** raw JSON array of per-request metric deltas *)
 }
 
 val ok_body : kind:string -> result:string -> ?obs:string -> unit -> body
+
 val error_body : kind:string -> err:string -> msg:string -> body
+(** [b_retry_after_ms] defaults to [None]; the overload shed sets it with
+    a record update. *)
 
 val response :
   id:int -> dedup:string -> ?trace:string -> elapsed_ms:float -> body -> string

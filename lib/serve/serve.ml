@@ -11,6 +11,7 @@ module Printer = Overify_ir.Printer
 module Ir = Overify_ir.Ir
 module Store = Overify_solver.Store
 module Fault = Overify_fault.Fault
+module Cancel = Overify_fault.Cancel
 module Obs = Overify_obs.Obs
 
 type counters = {
@@ -20,6 +21,12 @@ type counters = {
   mutable c_dedup_recent : int;
   mutable c_malformed : int;     (** frames/JSON/requests rejected *)
   mutable c_errors : int;        (** responses with status=error *)
+  mutable c_shed : int;          (** requests refused at admission (queue full) *)
+  mutable c_cancelled : int;     (** running jobs stopped by their cancel token *)
+  mutable c_deadline : int;      (** requests answered [deadline_exceeded]
+                                     (queued expiries + cancelled runs) *)
+  mutable c_watchdog : int;      (** wedged jobs the watchdog escalated on *)
+  mutable c_reaped : int;        (** idle connections closed by the reaper *)
 }
 
 (** Daemon-lifetime telemetry behind the [metrics] op.  Mutated under
@@ -44,6 +51,13 @@ type telemetry = {
 type job = {
   jb_req : Protocol.request;
   jb_key : string;
+  jb_deadline : float;
+      (** absolute: admission time + [rq_timeout]; covers queue wait,
+          compile, symex and solve *)
+  jb_cancel : Cancel.t;
+      (** deadline-armed token threaded through the engine and solver;
+          the watchdog sets it explicitly on a wedged job *)
+  mutable jb_watchdogged : bool;  (** watchdog already escalated on this job *)
   jm : Mutex.t;
   jc : Condition.t;
   mutable jb_body : Protocol.body option;
@@ -57,6 +71,11 @@ type t = {
   flight_dir : string option;     (** post-mortem dumps land here *)
   recent_cap : int;
   save_every : int;
+  queue_cap : int;                (** admission control: max queued jobs *)
+  grace : float;
+      (** watchdog escalation margin past a running job's deadline *)
+  idle_timeout : float option;    (** reap quiet keep-alive connections *)
+  frame_timeout : float option;   (** slow-peer (mid-frame) read deadline *)
   tl : telemetry;
   lock : Mutex.t;
   work : Condition.t;             (** executor wakeup *)
@@ -65,12 +84,14 @@ type t = {
   recent : (string, Protocol.body) Hashtbl.t;
   recent_order : string Queue.t;
   ct : counters;
+  mutable running : job option;   (** what the executor is driving now *)
   mutable stopping : bool;
   mutable finished : bool;
   mutable conns : Unix.file_descr list;
   mutable handlers : Thread.t list;
   mutable accept_thread : Thread.t option;
   mutable exec_thread : Thread.t option;
+  mutable watchdog_thread : Thread.t option;
 }
 
 let socket_path t = t.sock_path
@@ -142,8 +163,8 @@ let obs_snapshot () =
     request's root span (every child — compile, engine, workers, solver
     queries — inherits [trace]) and returns the body plus whether the
     run degraded, so the executor can cut a flight record. *)
-let run_request t (rq : Protocol.request) ~(trace : string) :
-    Protocol.body * bool =
+let run_request t (rq : Protocol.request) ~(trace : string)
+    ?(cancel : Cancel.t option) () : Protocol.body * bool =
   let kind = Protocol.kind_name rq.rq_kind in
   let span = Obs.Span.start ~trace ("request." ^ kind) in
   let degraded = ref false in
@@ -204,6 +225,7 @@ let run_request t (rq : Protocol.request) ~(trace : string) :
                   faults;
                   store = Some t.st_store;
                   span = Some span;
+                  cancel;
                 }
               m
           in
@@ -278,6 +300,11 @@ let run_request t (rq : Protocol.request) ~(trace : string) :
     { body with Protocol.b_obs = finish_obs () }
   with
   | Bad_request msg -> Protocol.error_body ~kind ~err:"bad_request" ~msg
+  | Cancel.Cancelled reason ->
+      (* safety net: the engine converts cancellation into a degraded
+         result itself; anything cancelled outside it (compile, tv)
+         still answers structurally *)
+      Protocol.error_body ~kind ~err:"deadline_exceeded" ~msg:reason
   | Fault.Killed msg ->
       (* the injected analogue of SIGKILL: in one-shot mode it ends the
          process; in service mode it may only end the request *)
@@ -332,6 +359,33 @@ let finish_job (job : job) body =
   Condition.broadcast job.jc;
   Mutex.unlock job.jm
 
+(** The structured deadline envelope: an error of kind [deadline_exceeded]
+    that still carries the engine's partial result (with its
+    ["deadline_exceeded"] degradation entry) when the run got far enough
+    to produce one. *)
+let deadline_body ~kind ?result ~msg () =
+  let b = Protocol.error_body ~kind ~err:"deadline_exceeded" ~msg in
+  match result with
+  | Some r -> { b with Protocol.b_result = r }
+  | None -> b
+
+(** Deadline and overload answers describe the daemon's load at one
+    instant, not the request's semantics — caching them would make a
+    retry (which dedup makes safe precisely so clients can retry) replay
+    a stale refusal. *)
+let transient_error (body : Protocol.body) =
+  match body.Protocol.b_error with
+  | Some (("deadline_exceeded" | "overloaded" | "unavailable"), _) -> true
+  | _ -> false
+
+(** Answer a job whose deadline passed before the engine ever saw it. *)
+let expire_job job ~(where : string) =
+  let kind = Protocol.kind_name job.jb_req.Protocol.rq_kind in
+  let trace = trace_of_key job.jb_key in
+  Log.warn ~trace "request.deadline" [ ("kind", kind); ("where", where) ];
+  finish_job job
+    (deadline_body ~kind ~msg:("deadline expired while " ^ where) ())
+
 let executor_loop t =
   let rec loop () =
     Mutex.lock t.lock;
@@ -342,24 +396,54 @@ let executor_loop t =
       Mutex.unlock t.lock
     else begin
       let job = Queue.pop t.queue in
-      Mutex.unlock t.lock;
-      let trace = trace_of_key job.jb_key in
-      let (body, degraded) =
-        try run_request t job.jb_req ~trace
-        with e ->
-          (* the executor must survive anything a request throws *)
-          ( Protocol.error_body
+      if Unix.gettimeofday () > job.jb_deadline then begin
+        (* expired in the queue between watchdog ticks: answered here at
+           the pop, but never run *)
+        Hashtbl.remove t.inflight job.jb_key;
+        t.ct.c_deadline <- t.ct.c_deadline + 1;
+        Mutex.unlock t.lock;
+        expire_job job ~where:"queued";
+        loop ()
+      end
+      else begin
+        t.running <- Some job;
+        Mutex.unlock t.lock;
+        let trace = trace_of_key job.jb_key in
+        let (body, degraded) =
+          try run_request t job.jb_req ~trace ~cancel:job.jb_cancel ()
+          with e ->
+            (* the executor must survive anything a request throws *)
+            ( Protocol.error_body
+                ~kind:(Protocol.kind_name job.jb_req.Protocol.rq_kind)
+                ~err:"internal" ~msg:(Printexc.to_string e),
+              false )
+        in
+        (* a fired token (deadline self-cancel or watchdog) outranks the
+           run's own answer: the caller's deadline has passed, so the
+           envelope is the structured deadline error — the partial
+           engine result (and its degradation entry) rides along *)
+        let cancelled = Cancel.cancelled job.jb_cancel in
+        let body =
+          if not cancelled then body
+          else
+            deadline_body
               ~kind:(Protocol.kind_name job.jb_req.Protocol.rq_kind)
-              ~err:"internal" ~msg:(Printexc.to_string e),
-            false )
-      in
-      let save_now =
-        with_lock t (fun () ->
-            t.ct.c_executed <- t.ct.c_executed + 1;
-            Hashtbl.remove t.inflight job.jb_key;
-            add_recent t job.jb_key body;
-            t.ct.c_executed mod t.save_every = 0)
-      in
+              ~result:body.Protocol.b_result
+              ~msg:(Cancel.reason job.jb_cancel)
+              ()
+        in
+        let save_now =
+          with_lock t (fun () ->
+              t.running <- None;
+              t.ct.c_executed <- t.ct.c_executed + 1;
+              if cancelled then begin
+                t.ct.c_cancelled <- t.ct.c_cancelled + 1;
+                t.ct.c_deadline <- t.ct.c_deadline + 1
+              end;
+              Hashtbl.remove t.inflight job.jb_key;
+              if not (transient_error body) then add_recent t job.jb_key body;
+              t.ct.c_executed mod t.save_every = 0)
+        in
       (* persist warm-store growth outside the daemon lock; Store.save is
          atomic and internally synchronized, so it may race concurrent
          engine lookups and external readers without tearing the file *)
@@ -382,11 +466,27 @@ let executor_loop t =
                 [ ("reason", reason); ("path", path) ]
           | None -> Log.warn ~trace "flight.dump_failed" [ ("reason", reason) ])
       | _ -> ());
-      finish_job job body;
-      loop ()
+        finish_job job body;
+        loop ()
+      end
     end
   in
   loop ()
+
+(** The [retry_after_ms] hint on an overload shed: the queue would have
+    to drain [depth + 1] slots before a retry could run, and the live
+    per-kind latency histogram says how long a slot takes (p50; 100 ms a
+    slot until the histogram has data).  Clamped to [25 ms, 60 s] so the
+    hint is never a busy-loop nor a give-up.  Caller holds the lock. *)
+let retry_after_ms_locked t (kind : string) : int =
+  let slot_ms =
+    match List.assoc_opt kind t.tl.tl_lat with
+    | Some h when h.Obs.Hist.count > 0 -> Obs.Hist.percentile h 0.5 *. 1000.0
+    | _ -> 100.0
+  in
+  let slots = Queue.length t.queue + 1 in
+  let ms = int_of_float (ceil (slot_ms *. float_of_int slots)) in
+  max 25 (min 60_000 ms)
 
 (** Resolve a request to a (dedup label, body).  Blocks until the body is
     available; connection-handler context. *)
@@ -405,11 +505,26 @@ let submit t (rq : Protocol.request) : string * Protocol.body =
                 `Join job
             | None ->
                 if t.stopping then `Unavailable
+                else if Queue.length t.queue >= t.queue_cap then begin
+                  (* admission control: shed rather than grow the queue
+                     without bound — the answer costs nothing downstream
+                     (never touches the executor) and tells the client
+                     exactly when to come back *)
+                  t.ct.c_shed <- t.ct.c_shed + 1;
+                  `Shed
+                    (retry_after_ms_locked t
+                       (Protocol.kind_name rq.Protocol.rq_kind))
+                end
                 else begin
+                  let now = Unix.gettimeofday () in
+                  let deadline = now +. rq.Protocol.rq_timeout in
                   let job =
                     {
                       jb_req = rq;
                       jb_key = key;
+                      jb_deadline = deadline;
+                      jb_cancel = Cancel.create ~deadline ();
+                      jb_watchdogged = false;
                       jm = Mutex.create ();
                       jc = Condition.create ();
                       jb_body = None;
@@ -425,11 +540,101 @@ let submit t (rq : Protocol.request) : string * Protocol.body =
   | `Recent body -> ("recent", body)
   | `Join job -> ("inflight", wait_job job)
   | `Run job -> ("miss", wait_job job)
+  | `Shed ms ->
+      let kind = Protocol.kind_name rq.Protocol.rq_kind in
+      Log.warn "request.shed" [ ("kind", kind); ("retry_after_ms", string_of_int ms) ];
+      ( "none",
+        {
+          (Protocol.error_body ~kind ~err:"overloaded"
+             ~msg:"queue full; retry after the hinted backoff")
+          with
+          Protocol.b_retry_after_ms = Some ms;
+        } )
   | `Unavailable ->
       ( "none",
         Protocol.error_body
           ~kind:(Protocol.kind_name rq.Protocol.rq_kind)
           ~err:"unavailable" ~msg:"daemon is shutting down" )
+
+(* ---------------- watchdog (wedge recovery) ---------------- *)
+
+(** The watchdog tick: expel queued jobs whose deadline already passed
+    (answered without ever touching the executor) and escalate on a
+    wedged running job — one that blew through deadline + grace, meaning
+    the engine's cooperative check points are not being reached (e.g. a
+    stuck solver).  Escalation: dump a flight record, then cancel the
+    job's token so the wedge (which polls the token) unblocks; the
+    executor answers it like any cancelled run and keeps serving. *)
+let watchdog_tick t =
+  let now = Unix.gettimeofday () in
+  let (expired, wedged) =
+    with_lock t (fun () ->
+        let expired = ref [] in
+        let keep = Queue.create () in
+        Queue.iter
+          (fun job ->
+            if now > job.jb_deadline then begin
+              Hashtbl.remove t.inflight job.jb_key;
+              t.ct.c_deadline <- t.ct.c_deadline + 1;
+              expired := job :: !expired
+            end
+            else Queue.add job keep)
+          t.queue;
+        Queue.clear t.queue;
+        Queue.transfer keep t.queue;
+        let wedged =
+          match t.running with
+          | Some job
+            when now > job.jb_deadline +. t.grace && not job.jb_watchdogged ->
+              job.jb_watchdogged <- true;
+              t.ct.c_watchdog <- t.ct.c_watchdog + 1;
+              Some job
+          | _ -> None
+        in
+        (List.rev !expired, wedged))
+  in
+  List.iter (fun job -> expire_job job ~where:"queued") expired;
+  match wedged with
+  | None -> ()
+  | Some job ->
+      let trace = trace_of_key job.jb_key in
+      (* dump first: the record must capture the wedged state, not the
+         recovery *)
+      (match t.flight_dir with
+      | Some dir -> (
+          match Flight.dump ~dir ~reason:"watchdog" ~trace () with
+          | Some path ->
+              with_lock t (fun () ->
+                  t.tl.tl_flight_dumps <- t.tl.tl_flight_dumps + 1);
+              Log.warn ~trace "flight.dump"
+                [ ("reason", "watchdog"); ("path", path) ]
+          | None ->
+              Log.warn ~trace "flight.dump_failed" [ ("reason", "watchdog") ])
+      | None -> ());
+      Log.warn ~trace "watchdog.cancel"
+        [
+          ("kind", Protocol.kind_name job.jb_req.Protocol.rq_kind);
+          ("grace_s", Printf.sprintf "%.3f" t.grace);
+        ];
+      Cancel.cancel job.jb_cancel
+        ~reason:"watchdog: job ran past deadline + grace"
+
+let watchdog_loop t =
+  let rec loop () =
+    let done_ =
+      with_lock t (fun () ->
+          (* keep ticking through shutdown until the executor is idle —
+             a job that wedges during drain still needs the escalation *)
+          t.stopping && Queue.is_empty t.queue && t.running = None)
+    in
+    if done_ then ()
+    else begin
+      watchdog_tick t;
+      Thread.delay 0.05;
+      loop ()
+    end
+  in
+  loop ()
 
 (* ---------------- stats + shutdown (inline, no queue) ---------------- *)
 
@@ -439,12 +644,16 @@ let stats_body t : Protocol.body =
         Printf.sprintf
           "{\"requests\": %d, \"executed\": %d, \"dedup_inflight\": %d, \
            \"dedup_recent\": %d, \"dedup_hits\": %d, \"malformed\": %d, \
-           \"errors\": %d, \"inflight\": %d, \"recent\": %d, \
-           \"store_entries\": %d, \"store_loaded\": %d}"
+           \"errors\": %d, \"requests_shed\": %d, \"cancelled\": %d, \
+           \"deadline_exceeded\": %d, \"watchdog_fired\": %d, \
+           \"idle_reaped\": %d, \"queue_depth\": %d, \"inflight\": %d, \
+           \"recent\": %d, \"store_entries\": %d, \"store_loaded\": %d}"
           t.ct.c_requests t.ct.c_executed t.ct.c_dedup_inflight
           t.ct.c_dedup_recent
           (t.ct.c_dedup_inflight + t.ct.c_dedup_recent)
-          t.ct.c_malformed t.ct.c_errors
+          t.ct.c_malformed t.ct.c_errors t.ct.c_shed t.ct.c_cancelled
+          t.ct.c_deadline t.ct.c_watchdog t.ct.c_reaped
+          (Queue.length t.queue)
           (Hashtbl.length t.inflight)
           (Hashtbl.length t.recent)
           (Store.length t.st_store)
@@ -505,6 +714,8 @@ let metrics_doc t : string =
         "{\"uptime_s\": %.3f, \"queue_depth\": %d, \"requests\": %d, \
          \"executed\": %d, \"dedup_inflight\": %d, \"dedup_recent\": %d, \
          \"dedup_hits\": %d, \"malformed\": %d, \"errors\": %d, \
+         \"requests_shed\": %d, \"cancelled\": %d, \"deadline_exceeded\": \
+         %d, \"watchdog_fired\": %d, \"idle_reaped\": %d, \
          \"degraded\": %d, \"flight_dumps\": %d, \"flight_records\": %d, \
          \"flight_dropped\": %d, \"store_entries\": %d, \"store_loaded\": \
          %d, \"store_hits\": %d, \"engine_queries\": %d, \
@@ -516,7 +727,9 @@ let metrics_doc t : string =
         (Queue.length t.queue) t.ct.c_requests t.ct.c_executed
         t.ct.c_dedup_inflight t.ct.c_dedup_recent
         (t.ct.c_dedup_inflight + t.ct.c_dedup_recent)
-        t.ct.c_malformed t.ct.c_errors tl.tl_degraded tl.tl_flight_dumps
+        t.ct.c_malformed t.ct.c_errors t.ct.c_shed t.ct.c_cancelled
+        t.ct.c_deadline t.ct.c_watchdog t.ct.c_reaped
+        tl.tl_degraded tl.tl_flight_dumps
         (List.length (Obs.Flight.records ()))
         (Obs.Flight.dropped ())
         (Store.length t.st_store) (Store.loaded t.st_store) tl.tl_store_hits
@@ -544,6 +757,12 @@ let prometheus t : string =
         (string_of_int (t.ct.c_dedup_inflight + t.ct.c_dedup_recent));
       counter "overify_malformed_total" (string_of_int t.ct.c_malformed);
       counter "overify_errors_total" (string_of_int t.ct.c_errors);
+      counter "overify_requests_shed_total" (string_of_int t.ct.c_shed);
+      counter "overify_cancelled_total" (string_of_int t.ct.c_cancelled);
+      counter "overify_deadline_exceeded_total"
+        (string_of_int t.ct.c_deadline);
+      counter "overify_watchdog_fired_total" (string_of_int t.ct.c_watchdog);
+      counter "overify_idle_reaped_total" (string_of_int t.ct.c_reaped);
       counter "overify_degraded_total" (string_of_int tl.tl_degraded);
       counter "overify_flight_dumps_total" (string_of_int tl.tl_flight_dumps);
       gauge "overify_store_entries"
@@ -631,12 +850,23 @@ let handle_conn t fd =
     respond (Protocol.response ~id:0 ~dedup:"none" ~elapsed_ms:0.0 body)
   in
   let rec loop () =
-    match Protocol.read_frame fd with
+    match
+      Protocol.read_frame ?idle_timeout:t.idle_timeout
+        ?frame_timeout:t.frame_timeout fd
+    with
     | Error Protocol.Closed -> ()
+    | Error Protocol.Idle ->
+        (* the reaper: a quiet keep-alive connection owed no answer —
+           close it silently to free the handler thread *)
+        with_lock t (fun () -> t.ct.c_reaped <- t.ct.c_reaped + 1);
+        Log.info "conn.idle_reaped" []
     | Error ((Protocol.Truncated | Protocol.Corrupt | Protocol.Bad_magic
-             | Protocol.Bad_version | Protocol.Oversized _) as e) ->
-        (* the stream is no longer frame-synchronized: answer (if the
-           peer can still read) and drop the connection, daemon intact *)
+             | Protocol.Bad_version | Protocol.Oversized _
+             | Protocol.Timed_out) as e) ->
+        (* the stream is no longer frame-synchronized (a slow peer that
+           stalls mid-frame is the slowloris case, answered
+           [bad_frame:timeout]): answer (if the peer can still read) and
+           drop the connection, daemon intact *)
         protocol_error "bad_frame" (Protocol.frame_error_name e)
     | Ok payload -> (
         match Json.parse payload with
@@ -696,11 +926,15 @@ let handle_conn t fd =
                             if dedup = "miss" || dedup = "none" then 0.0
                             else 1.0 );
                         ];
-                    with_lock t (fun () ->
-                        match List.assoc_opt kind t.tl.tl_lat with
-                        | Some h ->
-                            Obs.Hist.observe h (Unix.gettimeofday () -. t0)
-                        | None -> ());
+                    (* sheds/unavailable ([dedup = "none"]) never ran:
+                       folding their ~0-cost answers into the latency
+                       histogram would poison the retry_after_ms hint *)
+                    if dedup <> "none" then
+                      with_lock t (fun () ->
+                          match List.assoc_opt kind t.tl.tl_lat with
+                          | Some h ->
+                              Obs.Hist.observe h (Unix.gettimeofday () -. t0)
+                          | None -> ());
                     answer ~trace dedup body;
                     loop ())))
   in
@@ -747,8 +981,9 @@ let rm_rf dir =
        (Sys.readdir dir));
   try Sys.rmdir dir with Sys_error _ -> ()
 
-let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32) ?obs
-    ?flight_dir ?log_level () : t =
+let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32)
+    ?queue_cap ?(grace = 2.0) ?(idle_timeout = 600.0) ?(frame_timeout = 30.0)
+    ?obs ?flight_dir ?log_level () : t =
   (* a dead peer must fail the write, not the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (* flag beats environment: the daemon decides its own observability,
@@ -785,6 +1020,11 @@ let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32) ?obs
       flight_dir;
       recent_cap = max 1 recent_cap;
       save_every = max 1 save_every;
+      queue_cap = (match queue_cap with Some c -> max 0 c | None -> max_int);
+      grace = max 0.0 grace;
+      idle_timeout = (if idle_timeout <= 0.0 then None else Some idle_timeout);
+      frame_timeout =
+        (if frame_timeout <= 0.0 then None else Some frame_timeout);
       tl =
         {
           tl_started = Unix.gettimeofday ();
@@ -819,16 +1059,24 @@ let start ?socket ?cache_dir ?(recent_cap = 128) ?(save_every = 32) ?obs
           c_dedup_recent = 0;
           c_malformed = 0;
           c_errors = 0;
+          c_shed = 0;
+          c_cancelled = 0;
+          c_deadline = 0;
+          c_watchdog = 0;
+          c_reaped = 0;
         };
+      running = None;
       stopping = false;
       finished = false;
       conns = [];
       handlers = [];
       accept_thread = None;
       exec_thread = None;
+      watchdog_thread = None;
     }
   in
   t.exec_thread <- Some (Thread.create executor_loop t);
+  t.watchdog_thread <- Some (Thread.create watchdog_loop t);
   t.accept_thread <- Some (Thread.create accept_loop t);
   Log.info "daemon.start"
     ([ ("socket", sock_path); ("cache_dir", dir) ]
@@ -845,6 +1093,7 @@ let wait t =
         Condition.broadcast t.work
       end);
   (match t.exec_thread with Some th -> Thread.join th | None -> ());
+  (match t.watchdog_thread with Some th -> Thread.join th | None -> ());
   (* every job has a body by now, but a handler may still be {e writing}
      its response — shut down only the read side, so blocked reads wake
      with EOF while in-flight response writes complete *)

@@ -29,6 +29,37 @@
     frames get a structured [protocol] error (when the peer is still
     readable) and close only that connection.
 
+    Overload and cancellation (DESIGN.md "Overload and cancellation
+    model"): every admitted job carries an absolute deadline
+    (admission time + [rq_timeout], covering queue wait, compile, symex
+    and solve) materialized as a deadline-armed
+    {!Overify_fault.Cancel.t} threaded through [Engine.config.cancel]
+    down to the per-worker solver contexts.  A run that outlives its
+    deadline stops at the next cooperative check point and is answered
+    with a structured [deadline_exceeded] error that still carries the
+    partial engine result (including its ["deadline_exceeded"]
+    degradation entry).  Admission control: when [queue_cap] jobs are
+    already queued, new work is shed with an [overloaded] error whose
+    [retry_after_ms] hint is derived from the live per-kind latency
+    histograms and queue depth; shed requests never touch the executor.
+    Queued jobs whose deadline expires are likewise answered without
+    running.  A watchdog thread escalates on {e wedged} jobs — running
+    past deadline + [grace], meaning cooperative checks are not being
+    reached (e.g. an injected [stall@N] stuck solver): it dumps a
+    flight record, force-cancels the token (which the stall polls) and
+    the daemon keeps serving.  Because the handler threads are
+    synchronous (one frame in, one response out), each connection has
+    at most one request in flight by construction — the per-connection
+    in-flight cap is 1.  Slow peers are bounded too: a connection that
+    stalls mid-frame past [frame_timeout] is answered
+    [bad_frame:timeout] and dropped (the slowloris defence), and a
+    connection idle past [idle_timeout] is reaped silently.  Transient
+    answers ([deadline_exceeded], [overloaded], [unavailable]) never
+    enter the recent-dedup cache, so a retry re-executes; the warm
+    store's entries are individually complete, so a
+    cancelled-then-retried run is byte-identical to an uncancelled one
+    under [--deterministic].
+
     Observability (DESIGN.md "Observability"): every admitted request
     gets a fingerprint-derived trace id (echoed in the envelope's
     [trace] field) and a root span threaded through
@@ -47,6 +78,10 @@ val start :
   ?cache_dir:string ->
   ?recent_cap:int ->
   ?save_every:int ->
+  ?queue_cap:int ->
+  ?grace:float ->
+  ?idle_timeout:float ->
+  ?frame_timeout:float ->
   ?obs:bool ->
   ?flight_dir:string ->
   ?log_level:Log.level ->
@@ -58,6 +93,15 @@ val start :
     daemon restarts (default: a private temp dir removed at [stop]);
     [recent_cap] bounds the recently-completed cache (default 128);
     [save_every] is the store save cadence in executed jobs (default 32).
+
+    [queue_cap] bounds the executor queue — admission beyond it sheds
+    with [overloaded] + [retry_after_ms] (default: unbounded, the
+    pre-admission-control behaviour).  [grace] is the watchdog's
+    escalation margin past a running job's deadline (default 2 s).
+    [idle_timeout] (default 600 s) reaps connections with no frame in
+    flight; [frame_timeout] (default 30 s) bounds a frame's remainder
+    once its first bytes arrived.  A zero or negative timeout disables
+    that bound.
 
     [obs] sets per-request registry metrics on/off for the whole daemon
     — the flag beats the [OVERIFY_OBS] environment variable, so clients

@@ -93,6 +93,11 @@ type ctx = {
   mutable deadline : float option;
       (** wall-clock deadline honoured by [check]; long-running
           blasting/SAT work raises {!Timeout} past it *)
+  mutable cancel : Overify_fault.Cancel.t option;
+      (** cooperative cancellation token, polled at the top of every
+          query (the serve daemon threads the request's token here so a
+          past-deadline or watchdog-cancelled job stops before its next
+          solve); also what an injected [stall@N] query blocks on *)
   mutable hist : Overify_obs.Obs.Hist.t option;
       (** per-query blast+SAT latency histogram; observed only on real
           solves (queries answered from cache cost no solver time).
@@ -109,7 +114,7 @@ let env_cache_default () =
   | Some "0" -> false
   | _ -> true
 
-let create ?deadline ?hist ?cache ?store ?faults () =
+let create ?deadline ?cancel ?hist ?cache ?store ?faults () =
   {
     stats =
       {
@@ -134,6 +139,7 @@ let create ?deadline ?hist ?cache ?store ?faults () =
     store;
     faults;
     deadline;
+    cancel;
     hist;
     span = None;
   }
@@ -166,6 +172,7 @@ let clear_cache ctx =
   Canon.clear ctx.canon
 
 let set_deadline ctx d = ctx.deadline <- d
+let set_cancel ctx c = ctx.cancel <- c
 
 let set_hist ctx h = ctx.hist <- h
 let set_span ctx s = ctx.span <- s
@@ -285,14 +292,35 @@ let check_component ctx ~fresh (comp : Bv.t list) : result =
               answer entry
         end
 
+(** An injected stuck query ([stall@N]): blocks polling only the explicit
+    cancellation flag — deliberately ignoring the solver deadline, which
+    is what makes it a wedge the engine's own budgets cannot escape —
+    until an external party (the serve watchdog) cancels the token.
+    Without a token attached nothing could ever free it, so it degrades
+    to an ordinary {!Timeout} instead of hanging the process. *)
+let stall ctx =
+  match ctx.cancel with
+  | None -> raise Timeout
+  | Some c ->
+      while not (Overify_fault.Cancel.cancelled c) do
+        Unix.sleepf 0.005
+      done;
+      raise (Overify_fault.Cancel.Cancelled (Overify_fault.Cancel.reason c))
+
 (** Check satisfiability of the conjunction of width-1 terms. *)
 let check (ctx : ctx) (assertions : Bv.t list) : result =
   let stats = ctx.stats in
   stats.queries <- stats.queries + 1;
+  (* cooperative cancellation point: every query starts with a token
+     check (deadline-aware), so a cancelled job never begins another
+     solve *)
+  Overify_fault.Cancel.check ctx.cancel;
   (* injected solver timeout: fires before any cache layer, so a faulted
      query costs its caller a path regardless of warm caches *)
   if Overify_fault.Fault.fire ctx.faults Overify_fault.Fault.Solver_timeout then
     raise Timeout;
+  if Overify_fault.Fault.fire ctx.faults Overify_fault.Fault.Solver_stall then
+    stall ctx;
   (* constant-prune: smart constructors already folded constants *)
   let assertions =
     List.filter (fun (t : Bv.t) -> t.Bv.node <> Bv.Const 1L) assertions

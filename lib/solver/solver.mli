@@ -53,6 +53,7 @@ type ctx
 
 val create :
   ?deadline:float ->
+  ?cancel:Overify_fault.Cancel.t ->
   ?hist:Overify_obs.Obs.Hist.t ->
   ?cache:bool ->
   ?store:Store.t ->
@@ -61,16 +62,22 @@ val create :
   ctx
 (** Fresh context with empty caches and zeroed counters.  [deadline] is an
     absolute [Unix.gettimeofday] instant past which blasting or SAT work
-    raises {!Timeout}.  [hist] receives the latency of every real
-    (uncached) solve.  [cache] enables the reuse layers (default: the
-    [OVERIFY_SOLVER_CACHE] environment variable, off only when ["0"]);
-    disabling it never changes an answer — canonicalization and
-    partitioning still run, only reuse is skipped.  [store] attaches a
-    persistent cross-run store (shared across contexts; it locks
-    internally); fresh results are published to it even with
+    raises {!Timeout}.  [cancel] attaches a cooperative cancellation
+    token, polled (deadline-aware) at the top of every {!check}: a set or
+    past-deadline token makes the query raise
+    {!Overify_fault.Cancel.Cancelled} before any other work.  [hist]
+    receives the latency of every real (uncached) solve.  [cache] enables
+    the reuse layers (default: the [OVERIFY_SOLVER_CACHE] environment
+    variable, off only when ["0"]); disabling it never changes an answer —
+    canonicalization and partitioning still run, only reuse is skipped.
+    [store] attaches a persistent cross-run store (shared across contexts;
+    it locks internally); fresh results are published to it even with
     [cache:false].  [faults] attaches a fault-injection schedule: a
     scheduled solver timeout makes that query raise {!Timeout} before any
-    cache layer is consulted. *)
+    cache layer is consulted, and a scheduled [stall@N] makes the N-th
+    query block until the cancellation token fires ({!Timeout} immediately
+    if no token is attached — a stuck solver must not hang a process that
+    has no way to cancel it). *)
 
 val stats : ctx -> stats
 val reset_stats : ctx -> unit
@@ -91,6 +98,9 @@ val clear_cache : ctx -> unit
     store are unaffected. *)
 
 val set_deadline : ctx -> float option -> unit
+
+val set_cancel : ctx -> Overify_fault.Cancel.t option -> unit
+(** Attach (or detach) the cooperative cancellation token. *)
 
 val check : ctx -> Bv.t list -> result
 (** Satisfiability of the conjunction of width-1 terms, through the

@@ -30,6 +30,7 @@ module Bv = Overify_solver.Bv
 module Solver = Overify_solver.Solver
 module Obs = Overify_obs.Obs
 module Fault = Overify_fault.Fault
+module Cancel = Overify_fault.Cancel
 
 type config = {
   input_size : int;
@@ -75,6 +76,19 @@ type config = {
           — so per-span sums equal [result] exactly, like the profile's
           per-site sums.  Solver contexts get per-query ["solver.check"]
           leaves.  [None] (the default) traces nothing. *)
+  cancel : Overify_fault.Cancel.t option;
+      (** cooperative cancellation token (see {!Overify_fault.Cancel}),
+          checked at worklist pops, at the periodic budget points, around
+          the summary build and before every solver query.  A set (or
+          past-deadline) token stops exploration promptly and is reported
+          as a ["deadline_exceeded"] degradation carrying the
+          cancellation reason — the run still returns every verdict
+          proved so far, and anything already published to the shared
+          store/summary caches is complete (pure memoization), so a
+          cancelled-then-retried run is byte-identical to an uncancelled
+          one under [result_to_json ~deterministic].  [None] (the
+          default) cancels nothing and costs one [option] branch per
+          check point. *)
 }
 
 let env_summaries =
@@ -100,6 +114,7 @@ let default_config =
     checkpoint_every = 64;
     resume = false;
     span = None;
+    cancel = None;
   }
 
 type bug = {
@@ -112,7 +127,8 @@ type degradation = {
   d_kind : string;
       (** what gave way: one of [path_budget], [inst_budget],
           [wall_clock], [solver_timeout], [worker_crash],
-          [executor_error], [alloc_exhausted], [path_dropped] *)
+          [executor_error], [alloc_exhausted], [path_dropped],
+          [deadline_exceeded] (cooperative cancellation) *)
   d_where : string;  (** site/reason detail (may be empty) *)
   d_paths : int;     (** paths affected (lower bound for budget kinds) *)
 }
@@ -329,6 +345,9 @@ let run_sequential config (w : worker) init_states deadline input_vars
     else None
   in
   let check_budget () =
+    (* cancellation outranks budgets: a deadline set at admission may
+       predate the engine's own wall clock *)
+    Cancel.check config.cancel;
     match budget_kind () with
     | Some k -> raise (Out_of_budget k)
     | None -> ()
@@ -370,12 +389,14 @@ let run_sequential config (w : worker) init_states deadline input_vars
      let running = ref true in
      while !running do
        maybe_checkpoint ();
+       (* worklist-pop cancellation point *)
+       Cancel.check config.cancel;
        match pop () with
        | None -> running := false
        | Some st -> (
            try advance st with
-           | (Out_of_budget _ | Fault.Killed _ | Out_of_memory
-             | Stack_overflow) as e ->
+           | (Out_of_budget _ | Cancel.Cancelled _ | Fault.Killed _
+             | Out_of_memory | Stack_overflow) as e ->
                raise e
            | Solver.Timeout ->
                degrade w "solver_timeout" "solver query gave up" 1
@@ -388,11 +409,16 @@ let run_sequential config (w : worker) init_states deadline input_vars
      match ckpt with
      | Some ck -> Checkpoint.delete ~dir:ck.ck_dir
      | None -> ()
-   with Out_of_budget k ->
-     (* everything still on the worklist (plus the in-flight state) is
-        unexplored; the last periodic snapshot, if any, remains on disk
-        so a budget-exhausted run can also be resumed *)
-     degrade w k "exploration budget" (1 + List.length (frontier ())));
+   with
+  | Out_of_budget k ->
+      (* everything still on the worklist (plus the in-flight state) is
+         unexplored; the last periodic snapshot, if any, remains on disk
+         so a budget-exhausted run can also be resumed *)
+      degrade w k "exploration budget" (1 + List.length (frontier ()))
+  | Cancel.Cancelled reason ->
+      (* cooperative cancellation: same shape as a tripped budget — keep
+         every verdict proved so far, report the frontier as unexplored *)
+      degrade w "deadline_exceeded" reason (1 + List.length (frontier ())));
   !paths
 
 (* ---------------- parallel exploration ---------------- *)
@@ -491,6 +517,7 @@ let run_parallel config n (workers : worker list) init_states deadline
       if !check_counter land 255 = 0 then begin
         flush_insts ();
         if Atomic.get stop then raise Halt;
+        Cancel.check config.cancel;
         if out_of_budget () then begin
           halt ();
           raise Halt
@@ -527,6 +554,10 @@ let run_parallel config n (workers : worker list) init_states deadline
       | Some st ->
           (try advance st with
           | Halt -> ()
+          | Cancel.Cancelled _ ->
+              (* the global degrade entry after the join carries the
+                 reason; here just stop everyone *)
+              halt ()
           | Solver.Timeout -> degrade w "solver_timeout" "solver query gave up" 1
           | Executor.Symex_error msg -> record_error w msg
           | Fault.Crash msg -> degrade w "worker_crash" msg 1
@@ -551,13 +582,16 @@ let run_parallel config n (workers : worker list) init_states deadline
   ignore n;
   (if Atomic.get stop && not (List.exists (fun w -> w.killed <> None) workers)
    then
-     let kind =
-       if Atomic.get paths >= config.max_paths then "path_budget"
-       else if Atomic.get insts >= config.max_insts then "inst_budget"
-       else "wall_clock"
+     let kind, where =
+       match config.cancel with
+       | Some c when Cancel.cancelled c -> ("deadline_exceeded", Cancel.reason c)
+       | _ ->
+           ( (if Atomic.get paths >= config.max_paths then "path_budget"
+              else if Atomic.get insts >= config.max_insts then "inst_budget"
+              else "wall_clock"),
+             "exploration budget" )
      in
-     degrade (List.hd workers) kind "exploration budget"
-       (Queue.length frontier));
+     degrade (List.hd workers) kind where (Queue.length frontier));
   Atomic.get paths
 
 (* ---------------- driver ---------------- *)
@@ -656,7 +690,7 @@ let run ?(config = default_config) (m : Ir.modul) : result =
   let make_worker i =
     let prof = if config.profile then Some (Obs.Profile.create ()) else None in
     let solver =
-      Solver.create ~deadline
+      Solver.create ~deadline ?cancel:config.cancel
         ?hist:(Option.map (fun p -> p.Obs.Profile.qhist) prof)
         ?cache:config.solver_cache ?store ?faults:config.faults ()
     in
@@ -708,7 +742,13 @@ let run ?(config = default_config) (m : Ir.modul) : result =
       in
       let w0 = List.hd workers in
       let tbl, computed, cached, build_degs =
-        Summarize.build ~gctx:w0.gctx ~store m
+        (* a build cancelled mid-way degrades like any other build fault:
+           summaries already published to the store are individually
+           complete, everything unbuilt is explored inline (and the
+           exploration loop re-checks the token immediately) *)
+        try Summarize.build ~gctx:w0.gctx ~store m
+        with Cancel.Cancelled reason ->
+          (Hashtbl.create 0, 0, 0, [ ("deadline_exceeded", reason) ])
       in
       List.iter
         (fun w -> w.gctx.Executor.summaries <- Some tbl)

@@ -80,6 +80,19 @@ type config = {
           [result] totals, so per-span sums equal engine totals exactly
           as the profile's per-site sums do.  [None] (the default) traces
           nothing and costs one [option] branch per site. *)
+  cancel : Overify_fault.Cancel.t option;
+      (** cooperative cancellation token (the [overify serve] daemon
+          threads each request's admission-deadline token here): checked
+          at worklist pops, at the periodic budget points, around the
+          summary build and — via the per-worker solver contexts —
+          before every solver query.  A set or past-deadline token stops
+          exploration promptly; the run still returns, with every
+          verdict proved so far plus a ["deadline_exceeded"] degradation
+          carrying the cancellation reason.  Store/summary caches stay
+          consistent (entries are individually complete), so a
+          cancelled-then-retried run is byte-identical to an uncancelled
+          one under [result_to_json ~deterministic].  [None] (the
+          default) cancels nothing. *)
 }
 
 val default_config : config
@@ -98,7 +111,9 @@ type degradation = {
           injected), [executor_error] (unsupported construct),
           [alloc_exhausted] (allocation budget, injected),
           [path_dropped] (executor abandoned a path, e.g. symbolic
-          pointer beyond the ITE cap) *)
+          pointer beyond the ITE cap), [deadline_exceeded] (cooperative
+          cancellation via [config.cancel]; [d_where] is the
+          cancellation reason) *)
   d_where : string;  (** site/reason detail; may be empty for budgets *)
   d_paths : int;
       (** paths affected; for budget kinds a lower bound (the frontier

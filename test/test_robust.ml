@@ -9,7 +9,10 @@
 module Engine = Overify_symex.Engine
 module Checkpoint = Overify_symex.Checkpoint
 module Store = Overify_solver.Store
+module Solver = Overify_solver.Solver
+module Bv = Overify_solver.Bv
 module Fault = Overify_fault.Fault
+module Cancel = Overify_fault.Cancel
 module Costmodel = Overify_opt.Costmodel
 module Programs = Overify_corpus.Programs
 module H = Overify_harness
@@ -50,6 +53,7 @@ let test_fault_parse_good () =
       | Error msg -> Alcotest.failf "%S should parse: %s" spec msg)
     [
       "timeout@3"; "corrupt@1"; "partial@2"; "alloc@5"; "crash@7"; "kill@9";
+      "stall@2"; "stall@1,timeout@3";
       "timeout@3,timeout@7"; "alloc@2;crash@5"; " timeout@1 , alloc@2 ";
       "seed:42"; "seed:42:5"; "seed:0:1,kill@3";
     ]
@@ -62,7 +66,8 @@ let test_fault_parse_bad () =
       | Ok _ -> Alcotest.failf "%S should be rejected" spec)
     [
       "timeout@"; "timeout@x"; "timeout@0"; "timeout@-3"; "bogus@3"; "@3";
-      "timeout"; "seed:"; "seed:x"; "seed:1:0"; "timeout@3@4";
+      "timeout"; "seed:"; "seed:x"; "seed:1:0"; "timeout@3@4"; "stall@";
+      "stall@0";
     ]
 
 let test_fault_fire_semantics () =
@@ -92,6 +97,98 @@ let test_fault_of_env () =
   | _ -> Alcotest.fail "malformed env schedule must fail fast");
   Unix.putenv "OVERIFY_FAULTS" "";
   check bool "empty means none" true (Fault.of_env () = None)
+
+(* ------------- cancellation tokens and the stall wedge ------------- *)
+
+let test_cancel_token_basics () =
+  let c = Cancel.create () in
+  check bool "fresh token unset" false (Cancel.cancelled c);
+  check Alcotest.string "no reason yet" "" (Cancel.reason c);
+  Cancel.check (Some c);
+  Cancel.check None;
+  Cancel.cancel c ~reason:"first";
+  Cancel.cancel c ~reason:"second";
+  check bool "set" true (Cancel.cancelled c);
+  check Alcotest.string "first reason wins" "first" (Cancel.reason c);
+  match Cancel.check (Some c) with
+  | exception Cancel.Cancelled r ->
+      check Alcotest.string "check raises the reason" "first" r
+  | () -> Alcotest.fail "check on a cancelled token must raise"
+
+let test_cancel_deadline_self_arms () =
+  let now = ref 0.0 in
+  let c = Cancel.create ~deadline:10.0 ~now:(fun () -> !now) () in
+  Cancel.check (Some c);
+  check bool "before the deadline: unset" false (Cancel.cancelled c);
+  now := 11.0;
+  (* [cancelled] is a pure flag read — it must NOT consult the clock
+     (that is what lets an injected stall wedge past its deadline until
+     the watchdog fires) *)
+  check bool "cancelled ignores the clock" false (Cancel.cancelled c);
+  (match Cancel.check (Some c) with
+  | exception Cancel.Cancelled r ->
+      check Alcotest.string "self-armed reason" "deadline exceeded" r
+  | () -> Alcotest.fail "past-deadline check must raise");
+  check bool "check armed the flag" true (Cancel.cancelled c)
+
+let test_stall_without_token_times_out () =
+  (* a stall with no cancellation token attached must not hang a
+     process that has no way to free it: it degrades to Timeout *)
+  let ctx = Solver.create ~faults:(faults "stall@1") () in
+  match Solver.check ctx [ Bv.tt ] with
+  | exception Solver.Timeout -> ()
+  | _ -> Alcotest.fail "token-less stall must raise Solver.Timeout"
+
+let test_cancel_checked_before_query () =
+  let c = Cancel.create () in
+  Cancel.cancel c ~reason:"pre-cancelled";
+  let ctx = Solver.create ~cancel:c () in
+  match Solver.check ctx [ Bv.tt ] with
+  | exception Cancel.Cancelled r ->
+      check Alcotest.string "reason surfaces" "pre-cancelled" r
+  | _ -> Alcotest.fail "a cancelled token must stop the query"
+
+let test_stall_unblocks_on_cancel () =
+  (* the watchdog scenario in miniature: the stall polls the token, so
+     an explicit cancel from another thread frees it promptly *)
+  let c = Cancel.create () in
+  let ctx = Solver.create ~cancel:c ~faults:(faults "stall@1") () in
+  let canceller =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.05;
+        Cancel.cancel c ~reason:"unwedged")
+      ()
+  in
+  (match Solver.check ctx [ Bv.tt ] with
+  | exception Cancel.Cancelled r ->
+      check Alcotest.string "watchdog reason surfaces" "unwedged" r
+  | _ -> Alcotest.fail "stall must end in Cancelled once the token fires");
+  Thread.join canceller
+
+let test_engine_deadline_degrades () =
+  (* a token whose deadline already passed: the run stops at the first
+     cooperative check and reports a deadline_exceeded degradation
+     instead of raising *)
+  let c = compile "wc" in
+  let cancel = Cancel.create ~deadline:(Unix.gettimeofday () -. 1.0) () in
+  let r =
+    Engine.run
+      ~config:
+        {
+          Engine.default_config with
+          Engine.input_size = 2;
+          cancel = Some cancel;
+        }
+      c.H.Experiment.modul
+  in
+  check bool "run is degraded" false r.Engine.complete;
+  check bool "deadline_exceeded entry present" true
+    (List.exists
+       (fun (d : Engine.degradation) ->
+         d.Engine.d_kind = "deadline_exceeded"
+         && d.Engine.d_where = "deadline exceeded")
+       r.Engine.degradations)
 
 (* ------------- containment and the degradation ladder ------------- *)
 
@@ -316,6 +413,20 @@ let () =
           Alcotest.test_case "parse bad" `Quick test_fault_parse_bad;
           Alcotest.test_case "fire semantics" `Quick test_fault_fire_semantics;
           Alcotest.test_case "env schedule" `Quick test_fault_of_env;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "token basics" `Quick test_cancel_token_basics;
+          Alcotest.test_case "deadline self-arms" `Quick
+            test_cancel_deadline_self_arms;
+          Alcotest.test_case "stall without token times out" `Quick
+            test_stall_without_token_times_out;
+          Alcotest.test_case "cancel checked before query" `Quick
+            test_cancel_checked_before_query;
+          Alcotest.test_case "stall unblocks on cancel" `Quick
+            test_stall_unblocks_on_cancel;
+          Alcotest.test_case "engine deadline degrades" `Quick
+            test_engine_deadline_degrades;
         ] );
       ( "containment",
         [

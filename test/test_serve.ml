@@ -601,7 +601,9 @@ let test_metrics_golden_keys () =
       "{"; "\"uptime_s\":"; "\"queue_depth\":"; "\"requests\":";
       "\"executed\": 1"; "\"dedup_inflight\":"; "\"dedup_recent\":";
       "\"dedup_hits\": 1"; "\"malformed\": 0"; "\"errors\": 0";
-      "\"degraded\": 0"; "\"flight_dumps\": 0"; "\"flight_records\":";
+      "\"requests_shed\": 0"; "\"cancelled\": 0";
+      "\"deadline_exceeded\": 0"; "\"watchdog_fired\": 0";
+      "\"idle_reaped\": 0"; "\"degraded\": 0"; "\"flight_dumps\": 0"; "\"flight_records\":";
       "\"flight_dropped\":"; "\"store_entries\":"; "\"store_loaded\":";
       "\"store_hits\":"; "\"engine_queries\":"; "\"engine_cache_hits\":";
       "\"solver_time_s\":"; "\"summary_instantiated\":";
@@ -673,7 +675,11 @@ let test_prometheus_exposition () =
   check bool "requests counter present" true
     (contains text "overify_requests_total");
   check bool "dedup counter present" true
-    (contains text "overify_dedup_hits_total")
+    (contains text "overify_dedup_hits_total");
+  check bool "shed counter present" true
+    (contains text "overify_requests_shed_total");
+  check bool "watchdog counter present" true
+    (contains text "overify_watchdog_fired_total")
 
 let test_flight_record_after_fault () =
   (* a degraded request (contained crash fault) must leave a flight
@@ -838,6 +844,250 @@ let test_clear_cache_keeps_shared_store () =
     (Solver.stats c).Solver.component_solves;
   check bool "store layer hit" true ((Solver.stats c).Solver.hits_store > 0)
 
+(* ------------- deadlines, admission control, watchdog ------------- *)
+
+let stall_request ~timeout =
+  { wc_request with Protocol.rq_faults = "stall@1"; rq_timeout = timeout }
+
+(** Poll a daemon-side predicate (10ms ticks, ~5s budget). *)
+let eventually ?(tries = 500) p =
+  let rec go n = n > 0 && (p () || (Thread.delay 0.01; go (n - 1))) in
+  go tries
+
+let error_field json key =
+  match Json.parse (get_raw json "error") with
+  | Ok e -> Json.mem e key
+  | Error _ -> None
+
+let error_kind json =
+  match error_field json "kind" with Some (Json.Str s) -> s | _ -> "<none>"
+
+let error_message json =
+  match error_field json "message" with Some (Json.Str s) -> s | _ -> "<none>"
+
+let rpc_json c rq =
+  match Client.rpc c rq with
+  | Ok json -> json
+  | Error e -> Alcotest.failf "rpc: %s" (Protocol.frame_error_name e)
+
+(** Occupy the single executor with a wedged solver ([stall@1] polls only
+    the explicit cancel flag, so the job runs past its deadline until the
+    watchdog cancels it) and hand back the occupier's envelope cell plus
+    its thread for joining. *)
+let occupy d ~timeout =
+  let out = ref "" in
+  let th =
+    Thread.create
+      (fun () ->
+        with_conn d @@ fun c -> out := rpc_json c (stall_request ~timeout))
+      ()
+  in
+  check bool "occupier reached the executor" true
+    (eventually (fun () ->
+         daemon_stat d "inflight" >= 1
+         && daemon_stat d "queue_depth" = 0
+         && daemon_stat d "executed" = 0));
+  (th, out)
+
+let test_read_frame_timeouts () =
+  let (a, b) = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* no bytes at all before the timeout: an idle connection *)
+      (match Protocol.read_frame ~idle_timeout:0.05 a with
+      | Error Protocol.Idle -> ()
+      | Ok _ -> Alcotest.fail "idle read returned a frame"
+      | Error e ->
+          Alcotest.failf "idle read: %s" (Protocol.frame_error_name e));
+      (* the magic arrives, then silence: a slowloris half-frame *)
+      let n =
+        Unix.write_substring b Protocol.magic 0 (String.length Protocol.magic)
+      in
+      check int "magic written" (String.length Protocol.magic) n;
+      (match Protocol.read_frame ~idle_timeout:5.0 ~frame_timeout:0.05 a with
+      | Error Protocol.Timed_out -> ()
+      | Ok _ -> Alcotest.fail "half-frame returned a frame"
+      | Error e ->
+          Alcotest.failf "half-frame read: %s" (Protocol.frame_error_name e));
+      check string "mid-frame expiry is the answerable one" "timeout"
+        (Protocol.frame_error_name Protocol.Timed_out);
+      check string "idle expiry is reaped silently" "idle"
+        (Protocol.frame_error_name Protocol.Idle))
+
+let test_deadline_while_queued () =
+  let d = Serve.start ~grace:0.4 () in
+  Fun.protect ~finally:(fun () -> Serve.stop d) @@ fun () ->
+  let (occ_t, occ) = occupy d ~timeout:0.8 in
+  (* a queued probe whose deadline lapses while the executor is wedged:
+     the watchdog answers it without the engine ever seeing it *)
+  let json =
+    with_conn d @@ fun c ->
+    rpc_json c { wc_request with Protocol.rq_timeout = 0.1; rq_id = 7 }
+  in
+  golden_walk json
+    [
+      "{"; "\"id\": 7"; "\"status\": \"error\""; "\"kind\": \"verify\"";
+      "\"dedup\": \"miss\"";
+      "\"error\": {\"kind\": \"deadline_exceeded\"";
+      "\"message\": \"deadline expired while queued\"";
+      "\"result\": null"; "}";
+    ];
+  check int "probe never executed" 0 (daemon_stat d "executed");
+  Thread.join occ_t;
+  check string "occupier degraded to deadline_exceeded" "deadline_exceeded"
+    (error_kind !occ);
+  check bool "occupier was freed by the watchdog" true
+    (String.length (error_message !occ) >= 8
+    && String.sub (error_message !occ) 0 8 = "watchdog");
+  check int "watchdog fired exactly once" 1 (daemon_stat d "watchdog_fired");
+  check bool "both deadline answers counted" true
+    (daemon_stat d "deadline_exceeded" >= 2);
+  (* the daemon keeps serving after wedge recovery *)
+  with_conn d @@ fun c ->
+  check string "daemon healthy after watchdog" "ok"
+    (get_str (rpc_json c wc_request) "status")
+
+let test_deadline_mid_run () =
+  (* a deadline that lapses mid-symex: the engine self-cancels at its
+     next cooperative check point and the envelope carries the partial
+     result with its deadline_exceeded degradation entry *)
+  with_daemon @@ fun d ->
+  let json =
+    with_conn d @@ fun c ->
+    rpc_json c
+      { wc_request with Protocol.rq_input_size = 8; rq_timeout = 0.02 }
+  in
+  check string "status" "error" (get_str json "status");
+  check string "error kind" "deadline_exceeded" (error_kind json);
+  check string "cooperative self-cancel, not the watchdog"
+    "deadline exceeded" (error_message json);
+  let result = get_raw json "result" in
+  check bool "partial result rides along" true (result <> "null");
+  check bool "run marked incomplete" true
+    (contains result "\"complete\": false");
+  check bool "degradation entry recorded" true
+    (contains result "\"deadline_exceeded\"");
+  check int "watchdog stayed out of it" 0 (daemon_stat d "watchdog_fired")
+
+let test_cancelled_retry_byte_identity () =
+  with_daemon @@ fun d ->
+  let attempt =
+    { wc_request with Protocol.rq_input_size = 8; rq_timeout = 0.02 }
+  in
+  (* 1. the first attempt dies on its deadline, partially warming the
+     shared solver store and summary cache *)
+  (with_conn d @@ fun c ->
+   let json = rpc_json c attempt in
+   check string "first attempt cancelled" "deadline_exceeded"
+     (error_kind json));
+  (* 2. transient answers never enter the recent-dedup cache: the same
+     fingerprint re-executes instead of replaying the stale refusal *)
+  (with_conn d @@ fun c ->
+   let json = rpc_json c { attempt with Protocol.rq_id = 2 } in
+   check string "transient answer not cached: fresh miss" "miss"
+     (get_str json "dedup"));
+  (* 3. the retried run (adequate deadline) must be byte-identical to
+     the cold one-shot document despite the partially-warmed store *)
+  let retried =
+    with_conn d @@ fun c ->
+    let json = rpc_json c wc_request in
+    check string "retry ok" "ok" (get_str json "status");
+    get_raw json "result"
+  in
+  check string "cancelled-then-retried run is byte-identical"
+    (oneshot_verify_json ~level:"O0" ~input_size:1 ~faults:"" ())
+    retried
+
+let test_queue_cap_exact_sheds () =
+  (* cap 1: one running + one queued; every distinct probe beyond that
+     must shed — exactly N sheds, zero transport failures, each with the
+     machine-readable overloaded envelope and a sane retry hint *)
+  let d = Serve.start ~queue_cap:1 ~grace:0.4 () in
+  Fun.protect ~finally:(fun () -> Serve.stop d) @@ fun () ->
+  let (occ_t, occ) = occupy d ~timeout:1.0 in
+  let filler = ref "" in
+  let fill_t =
+    Thread.create
+      (fun () ->
+        with_conn d @@ fun c ->
+        filler :=
+          rpc_json c
+            { wc_request with Protocol.rq_level = "O2"; rq_timeout = 25.0 })
+      ()
+  in
+  check bool "filler queued" true
+    (eventually (fun () -> daemon_stat d "queue_depth" >= 1));
+  let n = 3 in
+  let sheds =
+    List.init n (fun i ->
+        with_conn d @@ fun c ->
+        rpc_json c
+          {
+            wc_request with
+            Protocol.rq_id = 10 + i;
+            (* epsilon timeouts: distinct fingerprints defeat dedup *)
+            rq_timeout = 29.0 -. (0.001 *. float_of_int i);
+          })
+  in
+  List.iteri
+    (fun i json ->
+      golden_walk json
+        [
+          "{"; Printf.sprintf "\"id\": %d" (10 + i);
+          "\"status\": \"error\""; "\"dedup\": \"none\"";
+          "\"error\": {\"kind\": \"overloaded\""; "\"message\":";
+          "\"retry_after_ms\":"; "\"result\": null"; "}";
+        ];
+      check bool (Printf.sprintf "probe %d hint at or above the floor" i)
+        true
+        (match Option.bind (error_field json "retry_after_ms") Json.int_ with
+        | Some ms -> ms >= 25
+        | None -> false))
+    sheds;
+  check int "exactly N sheds, none leaked to the executor" n
+    (daemon_stat d "requests_shed");
+  Thread.join occ_t;
+  Thread.join fill_t;
+  check string "occupier degraded to deadline_exceeded" "deadline_exceeded"
+    (error_kind !occ);
+  check string "filler ran to completion after recovery" "ok"
+    (get_str !filler "status");
+  check int "sheds still exactly N after drain" n
+    (daemon_stat d "requests_shed")
+
+let test_client_retry_backoff () =
+  (* queue_cap 0 sheds every verify: the retrying client must re-send on
+     a fresh connection per attempt and surface the final overloaded
+     answer rather than a transport error *)
+  let d = Serve.start ~queue_cap:0 () in
+  Fun.protect ~finally:(fun () -> Serve.stop d) @@ fun () ->
+  match
+    Client.rpc_retry ~socket:(Serve.socket_path d) ~retries:2 ~backoff_ms:1
+      wc_request
+  with
+  | Error e -> Alcotest.failf "retry surfaced a transport error: %s" e
+  | Ok json ->
+      check string "final answer still overloaded" "overloaded"
+        (error_kind json);
+      check int "every attempt reached the daemon and was shed" 3
+        (daemon_stat d "requests_shed")
+
+let test_overload_schedule_healthy () =
+  (* the bench-overload workload in miniature: wedge, flood, recover,
+     slowloris — the CI overload smoke's in-process twin *)
+  let (o, healthy) =
+    Hserve.run_overload ~probes:4 ~accepted:4 ~occupier_timeout:1.0
+      ~grace:0.4 ()
+  in
+  check int "zero transport failures" 0 o.Hserve.o_transport_failures;
+  check int "every request answered or shed" o.Hserve.o_requests
+    (o.Hserve.o_ok + o.Hserve.o_overloaded + o.Hserve.o_deadline
+   + o.Hserve.o_other_errors);
+  check bool "overload schedule healthy" true healthy
+
 (* ------------- harness trace replay ------------- *)
 
 let test_trace_replay_healthy () =
@@ -949,6 +1199,23 @@ let () =
             test_store_save_race;
           Alcotest.test_case "clear_cache keeps the shared store" `Quick
             test_clear_cache_keeps_shared_store;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "read_frame idle / mid-frame timeouts" `Quick
+            test_read_frame_timeouts;
+          Alcotest.test_case "deadline lapses while queued" `Quick
+            test_deadline_while_queued;
+          Alcotest.test_case "deadline lapses mid-run (partial result)"
+            `Quick test_deadline_mid_run;
+          Alcotest.test_case "cancelled-then-retried byte identity" `Quick
+            test_cancelled_retry_byte_identity;
+          Alcotest.test_case "queue cap: exact sheds, golden envelope"
+            `Quick test_queue_cap_exact_sheds;
+          Alcotest.test_case "client retry surfaces final overload" `Quick
+            test_client_retry_backoff;
+          Alcotest.test_case "overload schedule healthy" `Quick
+            test_overload_schedule_healthy;
         ] );
       ( "replay",
         [
